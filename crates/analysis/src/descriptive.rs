@@ -1,0 +1,128 @@
+//! Basic descriptive statistics used throughout the experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub median: f64,
+}
+
+/// Computes summary statistics. Returns `None` for an empty sample.
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let count = samples.len();
+    let mean = samples.iter().sum::<f64>() / count as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+    Some(Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        median: sorted[(count - 1) / 2],
+    })
+}
+
+/// Computes the share (fraction summing to 1) of each labelled count. Used for
+/// Table I (multicodec shares) and Table II (country shares).
+pub fn shares<L: Clone>(counts: &[(L, u64)]) -> Vec<(L, f64)> {
+    let total: u64 = counts.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return counts.iter().map(|(l, _)| (l.clone(), 0.0)).collect();
+    }
+    counts
+        .iter()
+        .map(|(l, c)| (l.clone(), *c as f64 / total as f64))
+        .collect()
+}
+
+/// Pearson correlation coefficient of two equally long samples. Returns
+/// `None` when undefined (length mismatch, fewer than two points, or zero
+/// variance).
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let shares = shares(&[("a", 86), ("b", 13), ("c", 1)]);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((shares[0].1 - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_of_zero_counts() {
+        let shares = shares(&[("a", 0u64), ("b", 0)]);
+        assert!(shares.iter().all(|(_, s)| *s == 0.0));
+    }
+
+    #[test]
+    fn correlation_of_linear_data_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson_correlation(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_undefined_cases() {
+        assert!(pearson_correlation(&[1.0], &[2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+}

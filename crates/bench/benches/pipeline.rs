@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the monitoring pipeline itself: trace
+//! preprocessing, popularity scoring, estimators, power-law fitting, and the
+//! attack queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipfs_mon_analysis::{committee_estimate, fit_power_law, two_monitor_estimate};
+use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_core::{
+    identify_data_wanters, popularity_scores, track_node_wants, unify_and_flag, EntryFlags,
+    MonitoringDataset, PreprocessConfig, TraceEntry, UnifiedTrace,
+};
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+/// Builds a synthetic two-monitor dataset with `entries` raw entries spread
+/// over `peers` peers and `cids` CIDs, including cross-monitor duplicates and
+/// 30 s re-broadcast patterns.
+fn synthetic_dataset(entries: usize, peers: u64, cids: u64) -> MonitoringDataset {
+    let mut ds = MonitoringDataset::new(vec!["us".into(), "de".into()]);
+    for i in 0..entries as u64 {
+        let peer = i % peers;
+        let cid = (i * 7919) % cids;
+        let base = (i / peers) * 2_000 + peer * 13;
+        let entry = |monitor: usize, offset: u64| TraceEntry {
+            timestamp: SimTime::from_millis(base + offset),
+            peer: PeerId::derived(1, peer),
+            address: Multiaddr::new(peer as u32, 4001, Transport::Tcp, Country::Us),
+            request_type: if i % 11 == 0 {
+                RequestType::Cancel
+            } else {
+                RequestType::WantHave
+            },
+            cid: Cid::new_v1(Multicodec::Raw, &cid.to_be_bytes()),
+            monitor,
+            flags: EntryFlags::default(),
+        };
+        ds.entries[0].push(entry(0, 0));
+        if i % 3 == 0 {
+            ds.entries[1].push(entry(1, 150));
+        }
+    }
+    ds
+}
+
+fn unified(entries: usize) -> UnifiedTrace {
+    let (trace, _) = unify_and_flag(&synthetic_dataset(entries, 500, 2_000), PreprocessConfig::default());
+    trace
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess/unify_and_flag");
+    for &size in &[10_000usize, 50_000] {
+        let dataset = synthetic_dataset(size, 500, 2_000);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &dataset, |b, ds| {
+            b.iter(|| unify_and_flag(ds, PreprocessConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_popularity(c: &mut Criterion) {
+    let trace = unified(50_000);
+    c.bench_function("popularity/scores_50k", |b| {
+        b.iter(|| popularity_scores(&trace))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    c.bench_function("estimators/capture_recapture", |b| {
+        b.iter(|| two_monitor_estimate(7132, 7798, 5200).unwrap())
+    });
+    c.bench_function("estimators/committee_occupancy", |b| {
+        b.iter(|| committee_estimate(9628, 2, 7465.0).unwrap())
+    });
+}
+
+fn bench_power_law(c: &mut Criterion) {
+    // Heavy-tailed synthetic counts.
+    let samples: Vec<f64> = (1..5_000u64)
+        .map(|i| ((i % 97) + 1) as f64 * if i % 13 == 0 { 40.0 } else { 1.0 })
+        .collect();
+    c.bench_function("powerlaw/fit_5k", |b| b.iter(|| fit_power_law(&samples, 30)));
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let trace = unified(50_000);
+    let cid = trace.entries[0].cid.clone();
+    let peer = trace.entries[0].peer;
+    c.bench_function("attacks/idw_50k", |b| {
+        b.iter(|| identify_data_wanters(&trace, &cid))
+    });
+    c.bench_function("attacks/tnw_50k", |b| b.iter(|| track_node_wants(&trace, &peer)));
+}
+
+criterion_group!(
+    benches,
+    bench_preprocessing,
+    bench_popularity,
+    bench_estimators,
+    bench_power_law,
+    bench_attacks
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the substrate layers: hashing/CIDs, Bitswap wire
+//! codec and engine, routing table operations, DHT crawling, and the block
+//! store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipfs_mon_bitswap::{BitswapEngine, BitswapMessage, WantlistEntry};
+use ipfs_mon_blockstore::{build_file, Block, Blockstore};
+use ipfs_mon_kad::{Crawler, RoutingTable, StaticView};
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::{sha256, Cid, Multicodec, PeerId};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("types/sha256");
+    for &size in &[256usize, 4096, 262_144] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256::sha256(d))
+        });
+    }
+    group.finish();
+
+    c.bench_function("types/cid_v1_create", |b| {
+        let data = vec![1u8; 1024];
+        b.iter(|| Cid::new_v1(Multicodec::Raw, &data))
+    });
+    c.bench_function("types/cid_string_roundtrip", |b| {
+        let cid = Cid::new_v1(Multicodec::DagProtobuf, b"bench");
+        b.iter(|| Cid::parse(&cid.to_string_form()).unwrap())
+    });
+}
+
+fn bench_bitswap(c: &mut Criterion) {
+    let message = BitswapMessage {
+        wantlist: (0..32u8)
+            .map(|i| WantlistEntry::want_have(Cid::new_v1(Multicodec::Raw, &[i])))
+            .collect(),
+        ..Default::default()
+    };
+    let encoded = message.encode();
+    c.bench_function("bitswap/encode_32_wants", |b| b.iter(|| message.encode()));
+    c.bench_function("bitswap/decode_32_wants", |b| {
+        b.iter(|| BitswapMessage::decode(&encoded).unwrap())
+    });
+
+    c.bench_function("bitswap/engine_handle_want", |b| {
+        let mut engine = BitswapEngine::modern();
+        let peer = PeerId::derived(1, 1);
+        let msg = BitswapMessage::single_want(WantlistEntry::want_have(Cid::new_v1(
+            Multicodec::Raw,
+            b"bench-want",
+        )));
+        b.iter(|| engine.handle_message(peer, &msg, SimTime::ZERO, |_| None))
+    });
+}
+
+fn bench_kad(c: &mut Criterion) {
+    c.bench_function("kad/routing_table_insert_1k", |b| {
+        b.iter(|| {
+            let mut table = RoutingTable::with_default_k(PeerId::derived(0, 0));
+            for i in 1..1_000u64 {
+                table.insert(PeerId::derived(0, i), true);
+            }
+            table.len()
+        })
+    });
+
+    // A 500-server network for crawling.
+    let ids: Vec<PeerId> = (0..500u64).map(|i| PeerId::derived(9, i)).collect();
+    let mut view = StaticView::new();
+    for (i, &id) in ids.iter().enumerate() {
+        let mut table = RoutingTable::with_default_k(id);
+        for d in 1..=8u64 {
+            table.insert(ids[(i + d as usize) % ids.len()], true);
+        }
+        view.add_peer(table, true, true);
+    }
+    c.bench_function("kad/crawl_500_servers", |b| {
+        b.iter(|| Crawler::new().crawl(&view, &ids[..3]))
+    });
+}
+
+fn bench_blockstore(c: &mut Criterion) {
+    c.bench_function("blockstore/put_get_1k", |b| {
+        b.iter(|| {
+            let mut store = Blockstore::new();
+            for i in 0..1_000u32 {
+                let block = Block::new(Multicodec::Raw, i.to_be_bytes().to_vec());
+                let cid = block.cid().clone();
+                store.put(block, SimTime::from_secs(i as u64));
+                store.get(&cid, SimTime::from_secs(i as u64));
+            }
+            store.len()
+        })
+    });
+    c.bench_function("blockstore/build_file_4mb", |b| {
+        b.iter(|| build_file(42, 4 * 1024 * 1024, 256 * 1024, 174))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_bitswap,
+    bench_kad,
+    bench_blockstore
+);
+criterion_main!(benches);

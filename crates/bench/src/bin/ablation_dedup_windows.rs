@@ -1,0 +1,41 @@
+//! Ablation A1 (Sec. IV-B): sensitivity of the preprocessing step to the two
+//! window sizes (5 s inter-monitor duplicate window, 31 s re-broadcast
+//! window).
+
+use ipfs_mon_bench::{pct, print_header, run_experiment, scaled};
+use ipfs_mon_core::{unify_and_flag, PreprocessConfig};
+use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_workload::ScenarioConfig;
+
+fn main() {
+    let mut config = ScenarioConfig::analysis_week(111, scaled(800));
+    config.horizon = SimDuration::from_days(1);
+    // A higher unresolvable fraction produces more 30 s re-broadcasts.
+    config.catalog.unresolvable_fraction = 0.4;
+    let run = run_experiment(&config);
+
+    print_header("Ablation — duplicate / re-broadcast windows (Sec. IV-B)");
+    println!(
+        "  {:>12} {:>14} {:>12} {:>14} {:>10}",
+        "dup window", "rebroad window", "duplicates", "rebroadcasts", "primary"
+    );
+    for dup_secs in [1u64, 3, 5, 10, 20] {
+        for rb_secs in [15u64, 31, 62] {
+            let config = PreprocessConfig {
+                duplicate_window: SimDuration::from_secs(dup_secs),
+                rebroadcast_window: SimDuration::from_secs(rb_secs),
+            };
+            let (_, stats) = unify_and_flag(&run.dataset, config);
+            println!(
+                "  {:>11}s {:>13}s {:>12} {:>14} {:>10}",
+                dup_secs,
+                rb_secs,
+                pct(stats.inter_monitor_duplicates as f64 / stats.total.max(1) as f64),
+                pct(stats.rebroadcasts as f64 / stats.total.max(1) as f64),
+                stats.primary
+            );
+        }
+    }
+    println!("\n  paper: repeated broadcasts alone make up >50% of raw requests;");
+    println!("  the 5 s / 31 s defaults used in the paper sit at the knee of both curves");
+}

@@ -1,0 +1,163 @@
+//! Shared harness code for the experiment binaries and benchmarks.
+//!
+//! Every table and figure of the paper has a dedicated binary under
+//! `src/bin/`; they all follow the same recipe — build a scenario, run the
+//! network simulation with a [`MonitorCollector`] attached, preprocess the
+//! traces, compute the analysis, print the rows the paper reports — and share
+//! the helpers in this crate.
+//!
+//! Experiment scale can be adjusted with the `IPFS_MON_SCALE` environment
+//! variable (a positive float multiplying node counts; default 1.0), so the
+//! same binaries serve quick smoke runs and larger reproductions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ipfs_mon_core::{
+    unify_and_flag, MonitorCollector, MonitoringDataset, PreprocessConfig, PreprocessStats,
+    UnifiedTrace,
+};
+use ipfs_mon_node::{Network, RunReport};
+use ipfs_mon_types::PeerId;
+use ipfs_mon_workload::{build_scenario, ScenarioConfig};
+use std::collections::HashSet;
+
+/// Everything an experiment typically needs after a simulation run.
+pub struct ExperimentRun {
+    /// The executed network (for ground truth and attack APIs).
+    pub network: Network,
+    /// Raw per-monitor dataset.
+    pub dataset: MonitoringDataset,
+    /// Unified, flagged trace.
+    pub trace: UnifiedTrace,
+    /// Preprocessing statistics.
+    pub preprocess: PreprocessStats,
+    /// Simulation report.
+    pub report: RunReport,
+}
+
+/// Builds and runs a scenario end to end with the standard monitoring
+/// pipeline attached.
+pub fn run_experiment(config: &ScenarioConfig) -> ExperimentRun {
+    let scenario = build_scenario(config);
+    let labels: Vec<String> = scenario.monitors.iter().map(|m| m.label.clone()).collect();
+    let network = Network::new(scenario);
+    run_network_with_labels(network, labels)
+}
+
+/// Runs an already-built network (used by experiments that modify the network
+/// before execution, e.g. gateway probing).
+pub fn run_network(network: Network) -> ExperimentRun {
+    let labels: Vec<String> = network
+        .scenario()
+        .monitors
+        .iter()
+        .map(|m| m.label.clone())
+        .collect();
+    run_network_with_labels(network, labels)
+}
+
+fn run_network_with_labels(mut network: Network, labels: Vec<String>) -> ExperimentRun {
+    let mut collector = MonitorCollector::new(labels);
+    let report = network.run(&mut collector);
+    let dataset = collector.into_dataset();
+    let (trace, preprocess) = unify_and_flag(&dataset, PreprocessConfig::default());
+    ExperimentRun {
+        network,
+        dataset,
+        trace,
+        preprocess,
+        report,
+    }
+}
+
+/// The peer IDs of all gateway nodes of the executed scenario, plus the peers
+/// of the operator with the largest traffic share (the "Cloudflare-like" one).
+pub fn gateway_peer_sets(network: &Network) -> (HashSet<PeerId>, HashSet<PeerId>) {
+    let scenario = network.scenario();
+    let mut all = HashSet::new();
+    let mut dominant = HashSet::new();
+    let dominant_op = scenario
+        .operators
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.traffic_share
+                .partial_cmp(&b.1.traffic_share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i);
+    for (i, op) in scenario.operators.iter().enumerate() {
+        for &node in &op.node_indices {
+            let peer = network.peer_id(node);
+            all.insert(peer);
+            if Some(i) == dominant_op {
+                dominant.insert(peer);
+            }
+        }
+    }
+    (all, dominant)
+}
+
+/// Scale factor from the `IPFS_MON_SCALE` environment variable (default 1.0).
+pub fn scale_factor() -> f64 {
+    std::env::var("IPFS_MON_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the scale factor to a node count.
+pub fn scaled(nodes: usize) -> usize {
+    ((nodes as f64) * scale_factor()).round().max(10.0) as usize
+}
+
+/// Prints a section header for experiment output.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a `label: value` row with aligned labels.
+pub fn print_row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<42} {value}");
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Re-export of the dataset type for binaries that persist results.
+pub use ipfs_mon_core::MonitoringDataset as Dataset;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_experiment_runs_end_to_end() {
+        let config = ScenarioConfig::small_test(3);
+        let run = run_experiment(&config);
+        assert!(run.dataset.total_entries() > 0, "monitors saw traffic");
+        assert_eq!(run.trace.len(), run.dataset.total_entries());
+        assert!(run.report.events_processed > 0);
+        assert!(run.preprocess.total > 0);
+    }
+
+    #[test]
+    fn gateway_peer_sets_cover_operators() {
+        let config = ScenarioConfig::small_test(4);
+        let run = run_experiment(&config);
+        let (all, dominant) = gateway_peer_sets(&run.network);
+        assert!(!all.is_empty());
+        assert!(!dominant.is_empty());
+        assert!(dominant.is_subset(&all));
+    }
+
+    #[test]
+    fn scale_helpers() {
+        assert!(scaled(100) >= 10);
+        assert_eq!(pct(0.5432), "54.32%");
+    }
+}

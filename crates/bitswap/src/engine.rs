@@ -1,0 +1,611 @@
+//! The Bitswap engine: the per-node protocol state machine.
+//!
+//! The engine implements the content-retrieval behaviour of Fig. 1 of the
+//! paper as far as Bitswap is concerned:
+//!
+//! 1. A user request for CID `c` creates a session and **broadcasts**
+//!    `WANT_HAVE c` to *all* connected peers (or `WANT_BLOCK c` for peers —
+//!    and eras — preceding IPFS v0.5).
+//! 2. Peers answering `HAVE` join the session; `WANT_BLOCK c` is sent to them.
+//! 3. The first `BLOCK` completes the retrieval; `CANCEL` entries are sent to
+//!    everyone who still holds the want.
+//! 4. Unresolved wants are re-broadcast every 30 s (the behaviour the paper's
+//!    preprocessing step must detect and flag).
+//!
+//! The engine is a *pure* state machine: it owns no sockets and no clock.
+//! Callers feed it events (`want`, `handle_message`, `tick`, connection
+//! changes) together with the current [`SimTime`], and it returns the messages
+//! to transmit. The surrounding node model (crate `ipfs-mon-node`) performs
+//! delivery via the discrete-event scheduler.
+
+use crate::message::{BitswapMessage, BlockPresence, RequestType, WantlistEntry};
+use crate::session::{Session, DEFAULT_REBROADCAST_INTERVAL};
+use crate::wantlist::Ledger;
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_types::{Cid, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which generation of the Bitswap protocol a node speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolVersion {
+    /// Pre-v0.5 behaviour: no inventory mechanism, data is requested directly
+    /// with `WANT_BLOCK` broadcasts.
+    Legacy,
+    /// v0.5-and-later behaviour: `WANT_HAVE` inventory broadcasts followed by
+    /// targeted `WANT_BLOCK`s to session members.
+    Modern,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Protocol generation spoken by this node.
+    pub protocol: ProtocolVersion,
+    /// Re-broadcast interval for unresolved wants.
+    pub rebroadcast_interval: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            protocol: ProtocolVersion::Modern,
+            rebroadcast_interval: DEFAULT_REBROADCAST_INTERVAL,
+        }
+    }
+}
+
+/// An observation the engine makes about an incoming message; the node model
+/// forwards these to any attached monitor/trace collector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRequest {
+    /// The peer the entry came from.
+    pub from: PeerId,
+    /// The request type (`WANT_HAVE`, `WANT_BLOCK` or `CANCEL`).
+    pub request_type: RequestType,
+    /// The requested CID.
+    pub cid: Cid,
+}
+
+/// Everything the engine wants done as a result of one call.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOutput {
+    /// Messages to transmit, as `(destination, message)` pairs.
+    pub outgoing: Vec<(PeerId, BitswapMessage)>,
+    /// Blocks received that this node had asked for, as `(cid, data)`.
+    pub completed: Vec<(Cid, Vec<u8>)>,
+    /// Wantlist entries observed in incoming messages (for monitoring).
+    pub observed: Vec<ObservedRequest>,
+}
+
+impl EngineOutput {
+    fn merge(&mut self, other: EngineOutput) {
+        self.outgoing.extend(other.outgoing);
+        self.completed.extend(other.completed);
+        self.observed.extend(other.observed);
+    }
+}
+
+/// The Bitswap protocol engine for one node.
+#[derive(Debug, Clone)]
+pub struct BitswapEngine {
+    config: EngineConfig,
+    /// Per-connected-peer state.
+    ledgers: HashMap<PeerId, Ledger>,
+    /// Active retrieval sessions keyed by root CID.
+    sessions: HashMap<Cid, Session>,
+    /// Peers to which we have sent a (not yet cancelled) want per CID.
+    pending_wants: HashMap<Cid, Vec<PeerId>>,
+}
+
+impl BitswapEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            ledgers: HashMap::new(),
+            sessions: HashMap::new(),
+            pending_wants: HashMap::new(),
+        }
+    }
+
+    /// Creates an engine with default (modern-protocol) configuration.
+    pub fn modern() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// Creates an engine speaking the pre-v0.5 protocol.
+    pub fn legacy() -> Self {
+        Self::new(EngineConfig {
+            protocol: ProtocolVersion::Legacy,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Currently connected peers.
+    pub fn connected_peers(&self) -> Vec<PeerId> {
+        self.ledgers.keys().copied().collect()
+    }
+
+    /// Number of currently connected peers.
+    pub fn connection_count(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// The ledger for `peer`, if connected.
+    pub fn ledger(&self, peer: &PeerId) -> Option<&Ledger> {
+        self.ledgers.get(peer)
+    }
+
+    /// Active sessions.
+    pub fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// The session for `root`, if any.
+    pub fn session(&self, root: &Cid) -> Option<&Session> {
+        self.sessions.get(root)
+    }
+
+    /// Registers a new connection.
+    pub fn peer_connected(&mut self, peer: PeerId) {
+        self.ledgers.entry(peer).or_default();
+    }
+
+    /// Removes a disconnected peer from all state.
+    pub fn peer_disconnected(&mut self, peer: &PeerId) {
+        self.ledgers.remove(peer);
+        for session in self.sessions.values_mut() {
+            session.remove_peer(peer);
+        }
+        for pending in self.pending_wants.values_mut() {
+            pending.retain(|p| p != peer);
+        }
+    }
+
+    /// Handles a local user request for `cid`: creates a session and
+    /// broadcasts the want to all connected peers (Fig. 1, step 1).
+    pub fn want(&mut self, cid: &Cid, now: SimTime) -> EngineOutput {
+        let mut output = EngineOutput::default();
+        let session = self
+            .sessions
+            .entry(cid.clone())
+            .or_insert_with(|| Session::new(cid.clone(), now));
+        if session.complete {
+            return output;
+        }
+        session.mark_broadcast(now);
+
+        let entry = match self.config.protocol {
+            ProtocolVersion::Modern => WantlistEntry::want_have(cid.clone()),
+            ProtocolVersion::Legacy => WantlistEntry::want_block(cid.clone()),
+        };
+        for peer in self.ledgers.keys().copied() {
+            output
+                .outgoing
+                .push((peer, BitswapMessage::single_want(entry.clone())));
+            self.pending_wants
+                .entry(cid.clone())
+                .or_default()
+                .push(peer);
+        }
+        output
+    }
+
+    /// Adds DHT-discovered providers to the session for `cid` and sends the
+    /// want to any of them we had not contacted yet (Fig. 1, step 2 after a
+    /// provider search).
+    pub fn add_providers(&mut self, cid: &Cid, providers: &[PeerId], now: SimTime) -> EngineOutput {
+        let mut output = EngineOutput::default();
+        let Some(session) = self.sessions.get_mut(cid) else {
+            return output;
+        };
+        if session.complete {
+            return output;
+        }
+        session.mark_dht_search(now);
+        for &peer in providers {
+            session.add_peer(peer);
+            let already_asked = self
+                .pending_wants
+                .get(cid)
+                .map(|v| v.contains(&peer))
+                .unwrap_or(false);
+            if !already_asked {
+                output.outgoing.push((
+                    peer,
+                    BitswapMessage::single_want(WantlistEntry::want_block(cid.clone())),
+                ));
+                self.pending_wants.entry(cid.clone()).or_default().push(peer);
+            }
+        }
+        output
+    }
+
+    /// Handles an incoming Bitswap message from `from`.
+    ///
+    /// `lookup` resolves a CID in the local block store; it is consulted to
+    /// answer incoming wants. Monitors pass a lookup that always returns
+    /// `None` — they never serve data.
+    pub fn handle_message<F>(
+        &mut self,
+        from: PeerId,
+        message: &BitswapMessage,
+        now: SimTime,
+        lookup: F,
+    ) -> EngineOutput
+    where
+        F: Fn(&Cid) -> Option<Vec<u8>>,
+    {
+        let mut output = EngineOutput::default();
+        // Unknown peers can send us messages if their connection attempt won;
+        // treat it as an implicit connect.
+        self.peer_connected(from);
+
+        // 1. Record their wantlist entries and answer them.
+        let ledger = self.ledgers.get_mut(&from).expect("just inserted");
+        for entry in &message.wantlist {
+            output.observed.push(ObservedRequest {
+                from,
+                request_type: entry.request_type(),
+                cid: entry.cid.clone(),
+            });
+        }
+        ledger.record_incoming(&message.wantlist, message.full_wantlist, now);
+
+        let mut reply = BitswapMessage::new();
+        for entry in &message.wantlist {
+            if entry.cancel {
+                continue;
+            }
+            match lookup(&entry.cid) {
+                Some(data) => match entry.want_type {
+                    crate::message::WantType::Have => {
+                        reply.presences.push((entry.cid.clone(), BlockPresence::Have));
+                    }
+                    crate::message::WantType::Block => {
+                        self.ledgers.get_mut(&from).expect("connected").add_sent(data.len() as u64);
+                        reply.blocks.push((entry.cid.clone(), data));
+                    }
+                },
+                None => {
+                    if entry.send_dont_have {
+                        reply
+                            .presences
+                            .push((entry.cid.clone(), BlockPresence::DontHave));
+                    }
+                }
+            }
+        }
+        if !reply.is_empty() {
+            output.outgoing.push((from, reply));
+        }
+
+        // 2. Process presences: HAVE adds the sender to the session and
+        //    triggers a targeted WANT_BLOCK.
+        for (cid, presence) in &message.presences {
+            if *presence != BlockPresence::Have {
+                continue;
+            }
+            if let Some(session) = self.sessions.get_mut(cid) {
+                if session.complete {
+                    continue;
+                }
+                session.add_peer(from);
+                let pending = self.pending_wants.entry(cid.clone()).or_default();
+                // Send WANT_BLOCK even if a WANT_HAVE went out earlier; only
+                // skip if a WANT_BLOCK was already directed at this peer via
+                // add_providers (tracked in the same list, so a duplicate is
+                // possible but harmless: kubo does the same).
+                output.outgoing.push((
+                    from,
+                    BitswapMessage::single_want(WantlistEntry::want_block(cid.clone())),
+                ));
+                if !pending.contains(&from) {
+                    pending.push(from);
+                }
+            }
+        }
+
+        // 3. Process received blocks.
+        for (cid, data) in &message.blocks {
+            if !cid.verifies(data) {
+                // Integrity failure: ignore the block (self-certifying data).
+                continue;
+            }
+            self.ledgers
+                .get_mut(&from)
+                .expect("connected")
+                .add_received(data.len() as u64);
+            let wanted = self.sessions.contains_key(cid) || self.pending_wants.contains_key(cid);
+            if !wanted {
+                continue;
+            }
+            if let Some(session) = self.sessions.get_mut(cid) {
+                if session.complete {
+                    continue;
+                }
+                session.mark_complete();
+            }
+            output.completed.push((cid.clone(), data.clone()));
+            output.merge(self.cancel_want(cid));
+        }
+
+        output
+    }
+
+    /// Periodic timer tick: re-broadcasts unresolved wants whose re-broadcast
+    /// interval has elapsed. Returns the messages to send.
+    pub fn tick(&mut self, now: SimTime) -> EngineOutput {
+        let mut output = EngineOutput::default();
+        let interval = self.config.rebroadcast_interval;
+        let due: Vec<Cid> = self
+            .sessions
+            .values()
+            .filter(|s| s.should_rebroadcast(now, interval))
+            .map(|s| s.root.clone())
+            .collect();
+        for cid in due {
+            output.merge(self.want(&cid, now));
+        }
+        output
+    }
+
+    /// CIDs with unresolved (incomplete) sessions.
+    pub fn unresolved_wants(&self) -> Vec<Cid> {
+        self.sessions
+            .values()
+            .filter(|s| !s.complete)
+            .map(|s| s.root.clone())
+            .collect()
+    }
+
+    /// Sends `CANCEL` for `cid` to every peer holding one of our wants and
+    /// clears local want state. Called internally on block receipt and usable
+    /// directly for user-initiated aborts.
+    pub fn cancel_want(&mut self, cid: &Cid) -> EngineOutput {
+        let mut output = EngineOutput::default();
+        if let Some(peers) = self.pending_wants.remove(cid) {
+            for peer in peers {
+                if self.ledgers.contains_key(&peer) {
+                    output.outgoing.push((
+                        peer,
+                        BitswapMessage::single_want(WantlistEntry::cancel(cid.clone())),
+                    ));
+                }
+            }
+        }
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_types::Multicodec;
+
+    fn cid_for(data: &[u8]) -> Cid {
+        Cid::new_v1(Multicodec::Raw, data)
+    }
+
+    fn pid(n: u64) -> PeerId {
+        PeerId::derived(2, n)
+    }
+
+    fn no_blocks(_: &Cid) -> Option<Vec<u8>> {
+        None
+    }
+
+    #[test]
+    fn want_broadcasts_to_all_connected_peers() {
+        let mut engine = BitswapEngine::modern();
+        for i in 0..5 {
+            engine.peer_connected(pid(i));
+        }
+        let c = cid_for(b"data");
+        let out = engine.want(&c, SimTime::ZERO);
+        assert_eq!(out.outgoing.len(), 5);
+        for (_, msg) in &out.outgoing {
+            assert_eq!(msg.wantlist.len(), 1);
+            assert_eq!(msg.wantlist[0].request_type(), RequestType::WantHave);
+        }
+        assert_eq!(engine.unresolved_wants(), vec![c]);
+    }
+
+    #[test]
+    fn legacy_engine_broadcasts_want_block() {
+        let mut engine = BitswapEngine::legacy();
+        engine.peer_connected(pid(1));
+        let out = engine.want(&cid_for(b"x"), SimTime::ZERO);
+        assert_eq!(out.outgoing[0].1.wantlist[0].request_type(), RequestType::WantBlock);
+    }
+
+    #[test]
+    fn incoming_want_have_is_answered_with_presence() {
+        let mut engine = BitswapEngine::modern();
+        let data = b"the block".to_vec();
+        let c = cid_for(&data);
+        let msg = BitswapMessage::single_want(WantlistEntry::want_have(c.clone()));
+        let have = {
+            let data = data.clone();
+            let c2 = c.clone();
+            move |q: &Cid| if *q == c2 { Some(data.clone()) } else { None }
+        };
+        let out = engine.handle_message(pid(1), &msg, SimTime::ZERO, have);
+        assert_eq!(out.outgoing.len(), 1);
+        let (to, reply) = &out.outgoing[0];
+        assert_eq!(*to, pid(1));
+        assert_eq!(reply.presences, vec![(c.clone(), BlockPresence::Have)]);
+        assert!(reply.blocks.is_empty());
+        // Observation recorded for monitoring.
+        assert_eq!(out.observed.len(), 1);
+        assert_eq!(out.observed[0].request_type, RequestType::WantHave);
+    }
+
+    #[test]
+    fn incoming_want_have_without_block_yields_dont_have() {
+        let mut engine = BitswapEngine::modern();
+        let c = cid_for(b"missing");
+        let msg = BitswapMessage::single_want(WantlistEntry::want_have(c.clone()));
+        let out = engine.handle_message(pid(1), &msg, SimTime::ZERO, no_blocks);
+        assert_eq!(out.outgoing[0].1.presences, vec![(c, BlockPresence::DontHave)]);
+    }
+
+    #[test]
+    fn incoming_want_block_is_answered_with_block() {
+        let mut engine = BitswapEngine::modern();
+        let data = b"payload".to_vec();
+        let c = cid_for(&data);
+        let msg = BitswapMessage::single_want(WantlistEntry::want_block(c.clone()));
+        let data2 = data.clone();
+        let out = engine.handle_message(pid(1), &msg, SimTime::ZERO, move |q| {
+            if *q == c {
+                Some(data2.clone())
+            } else {
+                None
+            }
+        });
+        assert_eq!(out.outgoing[0].1.blocks.len(), 1);
+        assert_eq!(engine.ledger(&pid(1)).unwrap().bytes_sent, data.len() as u64);
+    }
+
+    #[test]
+    fn have_response_adds_peer_to_session_and_requests_block() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        engine.peer_connected(pid(2));
+        let c = cid_for(b"wanted");
+        engine.want(&c, SimTime::ZERO);
+
+        let have_msg = BitswapMessage {
+            presences: vec![(c.clone(), BlockPresence::Have)],
+            ..Default::default()
+        };
+        let out = engine.handle_message(pid(2), &have_msg, SimTime::from_secs(1), no_blocks);
+        assert!(engine.session(&c).unwrap().contains(&pid(2)));
+        let want_blocks: Vec<_> = out
+            .outgoing
+            .iter()
+            .filter(|(to, m)| *to == pid(2) && m.wantlist.iter().any(|e| e.request_type() == RequestType::WantBlock))
+            .collect();
+        assert_eq!(want_blocks.len(), 1);
+    }
+
+    #[test]
+    fn block_receipt_completes_and_cancels() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        engine.peer_connected(pid(2));
+        let data = b"the data".to_vec();
+        let c = cid_for(&data);
+        engine.want(&c, SimTime::ZERO);
+
+        let block_msg = BitswapMessage {
+            blocks: vec![(c.clone(), data.clone())],
+            ..Default::default()
+        };
+        let out = engine.handle_message(pid(1), &block_msg, SimTime::from_secs(2), no_blocks);
+        assert_eq!(out.completed, vec![(c.clone(), data)]);
+        assert!(engine.session(&c).unwrap().complete);
+        // Cancels go to both peers that had received the original broadcast.
+        let cancels: Vec<_> = out
+            .outgoing
+            .iter()
+            .filter(|(_, m)| m.wantlist.iter().any(|e| e.cancel))
+            .collect();
+        assert_eq!(cancels.len(), 2);
+        assert!(engine.unresolved_wants().is_empty());
+    }
+
+    #[test]
+    fn corrupted_blocks_are_rejected() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        let c = cid_for(b"real data");
+        engine.want(&c, SimTime::ZERO);
+        let bogus = BitswapMessage {
+            blocks: vec![(c.clone(), b"tampered".to_vec())],
+            ..Default::default()
+        };
+        let out = engine.handle_message(pid(1), &bogus, SimTime::from_secs(1), no_blocks);
+        assert!(out.completed.is_empty());
+        assert!(!engine.session(&c).unwrap().complete);
+    }
+
+    #[test]
+    fn unsolicited_blocks_are_ignored() {
+        let mut engine = BitswapEngine::modern();
+        let data = b"unsolicited".to_vec();
+        let c = cid_for(&data);
+        let msg = BitswapMessage {
+            blocks: vec![(c, data)],
+            ..Default::default()
+        };
+        let out = engine.handle_message(pid(1), &msg, SimTime::ZERO, no_blocks);
+        assert!(out.completed.is_empty());
+    }
+
+    #[test]
+    fn tick_rebroadcasts_after_interval() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        let c = cid_for(b"slow data");
+        engine.want(&c, SimTime::ZERO);
+
+        assert!(engine.tick(SimTime::from_secs(29)).outgoing.is_empty());
+        let out = engine.tick(SimTime::from_secs(30));
+        assert_eq!(out.outgoing.len(), 1, "re-broadcast to the one connected peer");
+        // And again another interval later.
+        assert!(engine.tick(SimTime::from_secs(45)).outgoing.is_empty());
+        assert_eq!(engine.tick(SimTime::from_secs(60)).outgoing.len(), 1);
+    }
+
+    #[test]
+    fn completed_sessions_do_not_rebroadcast() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        let data = b"found".to_vec();
+        let c = cid_for(&data);
+        engine.want(&c, SimTime::ZERO);
+        engine.handle_message(
+            pid(1),
+            &BitswapMessage {
+                blocks: vec![(c, data)],
+                ..Default::default()
+            },
+            SimTime::from_secs(1),
+            no_blocks,
+        );
+        assert!(engine.tick(SimTime::from_secs(120)).outgoing.is_empty());
+    }
+
+    #[test]
+    fn disconnect_cleans_up_state() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        let c = cid_for(b"z");
+        engine.want(&c, SimTime::ZERO);
+        engine.peer_disconnected(&pid(1));
+        assert_eq!(engine.connection_count(), 0);
+        // Cancel after disconnect produces no messages to the gone peer.
+        assert!(engine.cancel_want(&c).outgoing.is_empty());
+    }
+
+    #[test]
+    fn add_providers_targets_new_peers_only() {
+        let mut engine = BitswapEngine::modern();
+        engine.peer_connected(pid(1));
+        let c = cid_for(b"via dht");
+        engine.want(&c, SimTime::ZERO);
+        let out = engine.add_providers(&c, &[pid(1), pid(7)], SimTime::from_secs(2));
+        // pid(1) already got the broadcast; only pid(7) gets a new want.
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(out.outgoing[0].0, pid(7));
+        assert!(engine.session(&c).unwrap().contains(&pid(7)));
+    }
+}

@@ -1,0 +1,51 @@
+//! Bitswap error types.
+
+use ipfs_mon_types::TypesError;
+use std::fmt;
+
+/// Errors produced by the Bitswap wire codec and engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitswapError {
+    /// The message ended before all declared fields were read.
+    Truncated,
+    /// Bytes remained after the message was fully decoded.
+    TrailingBytes(usize),
+    /// A CID embedded in the message could not be parsed.
+    InvalidCid(TypesError),
+}
+
+impl fmt::Display for BitswapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitswapError::Truncated => write!(f, "truncated Bitswap message"),
+            BitswapError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after Bitswap message")
+            }
+            BitswapError::InvalidCid(e) => write!(f, "invalid CID in Bitswap message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BitswapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitswapError::InvalidCid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(BitswapError::Truncated.to_string().contains("truncated"));
+        assert!(BitswapError::TrailingBytes(3).to_string().contains('3'));
+        let wrapped = BitswapError::InvalidCid(TypesError::UnexpectedEof);
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&BitswapError::Truncated).is_none());
+    }
+}

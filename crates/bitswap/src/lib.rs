@@ -1,0 +1,28 @@
+//! Bitswap protocol substrate for the IPFS monitoring suite.
+//!
+//! Bitswap is IPFS' "data trading module": interest in CIDs is announced with
+//! `WANT_HAVE`/`WANT_BLOCK` entries that are **broadcast to every connected
+//! peer**, and blocks are transferred in response to `WANT_BLOCK`s. That
+//! broadcast behaviour is precisely what the paper's passive monitoring
+//! methodology exploits.
+//!
+//! * [`message`] — message and request types plus a binary wire codec,
+//! * [`wantlist`] — per-peer wantlists and exchange ledgers,
+//! * [`session`] — retrieval sessions (`S(c)`) with re-broadcast timers,
+//! * [`engine`] — the per-node protocol state machine (modern and pre-v0.5),
+//! * [`error`] — codec errors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod error;
+pub mod message;
+pub mod session;
+pub mod wantlist;
+
+pub use engine::{BitswapEngine, EngineConfig, EngineOutput, ObservedRequest, ProtocolVersion};
+pub use error::BitswapError;
+pub use message::{BitswapMessage, BlockPresence, RequestType, WantType, WantlistEntry};
+pub use session::{Session, DEFAULT_REBROADCAST_INTERVAL};
+pub use wantlist::{Ledger, Want, Wantlist};

@@ -1,0 +1,406 @@
+//! Bitswap messages.
+//!
+//! A Bitswap message carries wantlist entries (`WANT_HAVE`, `WANT_BLOCK`,
+//! `CANCEL`), block presences (`HAVE`, `DONT_HAVE`) and blocks. The passive
+//! monitor records exactly the wantlist entries it receives; the
+//! request-type taxonomy here therefore doubles as the `request_type` field of
+//! the paper's trace tuples.
+//!
+//! The module also provides a compact binary wire codec (length-prefixed with
+//! varints). The real go-bitswap uses protobuf; the exact framing is
+//! irrelevant to the methodology, but having a real codec lets the benchmark
+//! suite measure message-processing throughput end to end.
+
+use crate::error::BitswapError;
+use bytes::{Buf, BufMut, BytesMut};
+use ipfs_mon_types::{varint, Cid};
+use serde::{Deserialize, Serialize};
+
+/// What kind of response the sender of a want entry expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WantType {
+    /// "Do you have this block?" — answered with `HAVE`/`DONT_HAVE`.
+    /// Introduced with IPFS v0.5.
+    Have,
+    /// "Send me this block if you have it." — answered with the block.
+    /// The only want type that existed before v0.5.
+    Block,
+}
+
+/// The request types distinguished by the monitoring pipeline, mirroring the
+/// `request_type` column of the paper's trace tuples and the classification in
+/// Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RequestType {
+    /// A `WANT_HAVE` wantlist entry.
+    WantHave,
+    /// A `WANT_BLOCK` wantlist entry.
+    WantBlock,
+    /// A `CANCEL` entry retracting an earlier want.
+    Cancel,
+}
+
+impl RequestType {
+    /// Returns true for the entry types that express interest in data
+    /// (everything except cancels). Table I counts only these.
+    pub fn is_request(self) -> bool {
+        !matches!(self, RequestType::Cancel)
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestType::WantHave => "WANT_HAVE",
+            RequestType::WantBlock => "WANT_BLOCK",
+            RequestType::Cancel => "CANCEL",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A single wantlist entry inside a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WantlistEntry {
+    /// The requested CID.
+    pub cid: Cid,
+    /// Request priority (higher = more urgent); kubo uses this to order block
+    /// sending. Not interpreted by the monitor.
+    pub priority: i32,
+    /// Whether the sender asks for presence (`Have`) or the block itself.
+    pub want_type: WantType,
+    /// True if this entry cancels a previous want instead of adding one.
+    pub cancel: bool,
+    /// True if the receiver should reply `DONT_HAVE` when it lacks the block
+    /// (otherwise absence is detected by timeout).
+    pub send_dont_have: bool,
+}
+
+impl WantlistEntry {
+    /// Convenience constructor for a `WANT_HAVE` entry.
+    pub fn want_have(cid: Cid) -> Self {
+        Self {
+            cid,
+            priority: 1,
+            want_type: WantType::Have,
+            cancel: false,
+            send_dont_have: true,
+        }
+    }
+
+    /// Convenience constructor for a `WANT_BLOCK` entry.
+    pub fn want_block(cid: Cid) -> Self {
+        Self {
+            cid,
+            priority: 1,
+            want_type: WantType::Block,
+            cancel: false,
+            send_dont_have: true,
+        }
+    }
+
+    /// Convenience constructor for a `CANCEL` entry.
+    pub fn cancel(cid: Cid) -> Self {
+        Self {
+            cid,
+            priority: 0,
+            want_type: WantType::Block,
+            cancel: true,
+            send_dont_have: false,
+        }
+    }
+
+    /// The request type this entry represents in the monitoring taxonomy.
+    pub fn request_type(&self) -> RequestType {
+        if self.cancel {
+            RequestType::Cancel
+        } else {
+            match self.want_type {
+                WantType::Have => RequestType::WantHave,
+                WantType::Block => RequestType::WantBlock,
+            }
+        }
+    }
+}
+
+/// Block presence notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockPresence {
+    /// The sender has the block.
+    Have,
+    /// The sender does not have the block.
+    DontHave,
+}
+
+/// A full Bitswap message exchanged between two peers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitswapMessage {
+    /// Wantlist entries (wants and cancels).
+    pub wantlist: Vec<WantlistEntry>,
+    /// If true, the wantlist is the sender's complete wantlist (sent on
+    /// connection establishment); otherwise it is a delta.
+    pub full_wantlist: bool,
+    /// Presence notifications for previously requested CIDs.
+    pub presences: Vec<(Cid, BlockPresence)>,
+    /// Blocks being transferred, as `(cid, payload)` pairs.
+    pub blocks: Vec<(Cid, Vec<u8>)>,
+}
+
+impl BitswapMessage {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns true if the message carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.wantlist.is_empty() && self.presences.is_empty() && self.blocks.is_empty()
+    }
+
+    /// A message consisting of a single want entry.
+    pub fn single_want(entry: WantlistEntry) -> Self {
+        Self {
+            wantlist: vec![entry],
+            ..Self::default()
+        }
+    }
+
+    /// Approximate wire size in bytes (used for traffic accounting).
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encodes the message into the compact binary wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(if self.full_wantlist { 1 } else { 0 });
+
+        let mut scratch = Vec::new();
+        varint::encode(self.wantlist.len() as u64, &mut scratch);
+        for entry in &self.wantlist {
+            let cid_bytes = entry.cid.to_bytes();
+            varint::encode(cid_bytes.len() as u64, &mut scratch);
+            scratch.extend_from_slice(&cid_bytes);
+            varint::encode(entry.priority.unsigned_abs() as u64, &mut scratch);
+            let flags = (entry.priority < 0) as u8
+                | ((entry.want_type == WantType::Have) as u8) << 1
+                | (entry.cancel as u8) << 2
+                | (entry.send_dont_have as u8) << 3;
+            scratch.push(flags);
+        }
+
+        varint::encode(self.presences.len() as u64, &mut scratch);
+        for (cid, presence) in &self.presences {
+            let cid_bytes = cid.to_bytes();
+            varint::encode(cid_bytes.len() as u64, &mut scratch);
+            scratch.extend_from_slice(&cid_bytes);
+            scratch.push(matches!(presence, BlockPresence::Have) as u8);
+        }
+
+        varint::encode(self.blocks.len() as u64, &mut scratch);
+        for (cid, data) in &self.blocks {
+            let cid_bytes = cid.to_bytes();
+            varint::encode(cid_bytes.len() as u64, &mut scratch);
+            scratch.extend_from_slice(&cid_bytes);
+            varint::encode(data.len() as u64, &mut scratch);
+            scratch.extend_from_slice(data);
+        }
+
+        buf.put_slice(&scratch);
+        buf.to_vec()
+    }
+
+    /// Decodes a message produced by [`BitswapMessage::encode`].
+    pub fn decode(input: &[u8]) -> Result<Self, BitswapError> {
+        let mut cursor = input;
+        if cursor.is_empty() {
+            return Err(BitswapError::Truncated);
+        }
+        let full_wantlist = cursor.get_u8() == 1;
+
+        let read_varint = |cursor: &mut &[u8]| -> Result<u64, BitswapError> {
+            let (value, used) = varint::decode(cursor).map_err(|_| BitswapError::Truncated)?;
+            cursor.advance(used);
+            Ok(value)
+        };
+        let read_bytes = |cursor: &mut &[u8], len: usize| -> Result<Vec<u8>, BitswapError> {
+            if cursor.len() < len {
+                return Err(BitswapError::Truncated);
+            }
+            let out = cursor[..len].to_vec();
+            cursor.advance(len);
+            Ok(out)
+        };
+
+        let want_count = read_varint(&mut cursor)?;
+        let mut wantlist = Vec::with_capacity(want_count.min(1024) as usize);
+        for _ in 0..want_count {
+            let cid_len = read_varint(&mut cursor)? as usize;
+            let cid_bytes = read_bytes(&mut cursor, cid_len)?;
+            let cid = Cid::from_bytes(&cid_bytes).map_err(BitswapError::InvalidCid)?;
+            let priority_abs = read_varint(&mut cursor)? as i64;
+            let flag_bytes = read_bytes(&mut cursor, 1)?;
+            let flags = flag_bytes[0];
+            // Negate in i64 so that i32::MIN (whose magnitude does not fit in
+            // i32) round-trips without overflow.
+            let priority = if flags & 1 != 0 {
+                (-priority_abs) as i32
+            } else {
+                priority_abs as i32
+            };
+            wantlist.push(WantlistEntry {
+                cid,
+                priority,
+                want_type: if flags & 2 != 0 {
+                    WantType::Have
+                } else {
+                    WantType::Block
+                },
+                cancel: flags & 4 != 0,
+                send_dont_have: flags & 8 != 0,
+            });
+        }
+
+        let presence_count = read_varint(&mut cursor)?;
+        let mut presences = Vec::with_capacity(presence_count.min(1024) as usize);
+        for _ in 0..presence_count {
+            let cid_len = read_varint(&mut cursor)? as usize;
+            let cid_bytes = read_bytes(&mut cursor, cid_len)?;
+            let cid = Cid::from_bytes(&cid_bytes).map_err(BitswapError::InvalidCid)?;
+            let flag = read_bytes(&mut cursor, 1)?[0];
+            presences.push((
+                cid,
+                if flag == 1 {
+                    BlockPresence::Have
+                } else {
+                    BlockPresence::DontHave
+                },
+            ));
+        }
+
+        let block_count = read_varint(&mut cursor)?;
+        let mut blocks = Vec::with_capacity(block_count.min(1024) as usize);
+        for _ in 0..block_count {
+            let cid_len = read_varint(&mut cursor)? as usize;
+            let cid_bytes = read_bytes(&mut cursor, cid_len)?;
+            let cid = Cid::from_bytes(&cid_bytes).map_err(BitswapError::InvalidCid)?;
+            let data_len = read_varint(&mut cursor)? as usize;
+            let data = read_bytes(&mut cursor, data_len)?;
+            blocks.push((cid, data));
+        }
+
+        if !cursor.is_empty() {
+            return Err(BitswapError::TrailingBytes(cursor.len()));
+        }
+
+        Ok(Self {
+            wantlist,
+            full_wantlist,
+            presences,
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_types::Multicodec;
+    use proptest::prelude::*;
+
+    fn cid(n: u8) -> Cid {
+        Cid::new_v1(Multicodec::Raw, &[n, n + 1])
+    }
+
+    #[test]
+    fn request_type_classification() {
+        assert_eq!(WantlistEntry::want_have(cid(1)).request_type(), RequestType::WantHave);
+        assert_eq!(WantlistEntry::want_block(cid(1)).request_type(), RequestType::WantBlock);
+        assert_eq!(WantlistEntry::cancel(cid(1)).request_type(), RequestType::Cancel);
+        assert!(RequestType::WantHave.is_request());
+        assert!(RequestType::WantBlock.is_request());
+        assert!(!RequestType::Cancel.is_request());
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let msg = BitswapMessage::new();
+        assert!(msg.is_empty());
+        let decoded = BitswapMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn full_message_roundtrip() {
+        let msg = BitswapMessage {
+            wantlist: vec![
+                WantlistEntry::want_have(cid(1)),
+                WantlistEntry::want_block(cid(2)),
+                WantlistEntry {
+                    cid: cid(3),
+                    priority: -7,
+                    want_type: WantType::Have,
+                    cancel: false,
+                    send_dont_have: false,
+                },
+                WantlistEntry::cancel(cid(4)),
+            ],
+            full_wantlist: true,
+            presences: vec![(cid(5), BlockPresence::Have), (cid(6), BlockPresence::DontHave)],
+            blocks: vec![(cid(7), vec![1, 2, 3, 4, 5])],
+        };
+        let decoded = BitswapMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let msg = BitswapMessage::single_want(WantlistEntry::want_have(cid(1)));
+        let bytes = msg.encode();
+        assert!(BitswapMessage::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(BitswapMessage::decode(&[]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            BitswapMessage::decode(&extended),
+            Err(BitswapError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let msg = BitswapMessage {
+            wantlist: vec![WantlistEntry::want_have(cid(1))],
+            ..Default::default()
+        };
+        assert_eq!(msg.encoded_len(), msg.encode().len());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_messages(
+            wants in proptest::collection::vec((0u8..255, any::<i32>(), any::<bool>(), any::<bool>(), any::<bool>()), 0..20),
+            blocks in proptest::collection::vec((0u8..255, proptest::collection::vec(any::<u8>(), 0..64)), 0..5),
+            full in any::<bool>(),
+        ) {
+            let msg = BitswapMessage {
+                wantlist: wants.iter().map(|&(n, priority, have, cancel, sdh)| WantlistEntry {
+                    cid: cid(n),
+                    priority,
+                    want_type: if have { WantType::Have } else { WantType::Block },
+                    cancel,
+                    send_dont_have: sdh,
+                }).collect(),
+                full_wantlist: full,
+                presences: vec![],
+                blocks: blocks.iter().map(|(n, data)| (cid(*n), data.clone())).collect(),
+            };
+            let decoded = BitswapMessage::decode(&msg.encode()).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Bitswap sessions.
+//!
+//! A session `S(c)` scopes the retrieval of the DAG rooted at CID `c`: peers
+//! that answered `HAVE` (or were found as providers in the DHT) are added to
+//! the session, and subsequent requests for blocks of the same DAG are sent
+//! only to session members instead of being broadcast.
+//!
+//! Sessions are the reason the paper's passive monitors see (mostly) only
+//! *root* CIDs: a monitor that never answers `HAVE` is never added to a
+//! session and therefore never receives the follow-up requests for the rest of
+//! the DAG.
+
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_types::{Cid, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Default interval after which an unresolved want is re-broadcast.
+pub const DEFAULT_REBROADCAST_INTERVAL: SimDuration = SimDuration::from_secs(30);
+
+/// State of a retrieval session for one root CID.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Session {
+    /// The root CID the session was created for.
+    pub root: Cid,
+    /// Peers believed to have data related to the root (sent `HAVE` or were
+    /// returned as DHT providers).
+    peers: HashSet<PeerId>,
+    /// When the session was created (the first user request).
+    pub created_at: SimTime,
+    /// When the want was last broadcast to connected peers.
+    pub last_broadcast: SimTime,
+    /// When the DHT was last searched for providers.
+    pub last_dht_search: Option<SimTime>,
+    /// Whether the root block has been received.
+    pub complete: bool,
+}
+
+impl Session {
+    /// Creates a new session for `root` at time `now`.
+    pub fn new(root: Cid, now: SimTime) -> Self {
+        Self {
+            root,
+            peers: HashSet::new(),
+            created_at: now,
+            last_broadcast: now,
+            last_dht_search: None,
+            complete: false,
+        }
+    }
+
+    /// Adds a peer to the session (it answered `HAVE` or is a DHT provider).
+    /// Returns true if the peer was not already a member.
+    pub fn add_peer(&mut self, peer: PeerId) -> bool {
+        self.peers.insert(peer)
+    }
+
+    /// Removes a peer (e.g. it disconnected).
+    pub fn remove_peer(&mut self, peer: &PeerId) {
+        self.peers.remove(peer);
+    }
+
+    /// Current session members.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerId> {
+        self.peers.iter()
+    }
+
+    /// Number of session members.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Returns true if `peer` is a session member.
+    pub fn contains(&self, peer: &PeerId) -> bool {
+        self.peers.contains(peer)
+    }
+
+    /// Returns true if the unresolved want should be re-broadcast at `now`
+    /// given the configured interval. Mirrors the 30 s re-broadcast behaviour
+    /// the paper's preprocessing has to filter out (Sec. IV-B).
+    pub fn should_rebroadcast(&self, now: SimTime, interval: SimDuration) -> bool {
+        !self.complete && now.since(self.last_broadcast) >= interval
+    }
+
+    /// Records that the want was (re-)broadcast at `now`.
+    pub fn mark_broadcast(&mut self, now: SimTime) {
+        self.last_broadcast = now;
+    }
+
+    /// Records that a DHT provider search was performed at `now`.
+    pub fn mark_dht_search(&mut self, now: SimTime) {
+        self.last_dht_search = Some(now);
+    }
+
+    /// Marks the root block as received.
+    pub fn mark_complete(&mut self) {
+        self.complete = true;
+    }
+
+    /// How long the session has been running at `now`.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.since(self.created_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_types::Multicodec;
+
+    fn cid(n: u8) -> Cid {
+        Cid::new_v1(Multicodec::Raw, &[n])
+    }
+
+    fn pid(n: u64) -> PeerId {
+        PeerId::derived(1, n)
+    }
+
+    #[test]
+    fn membership() {
+        let mut s = Session::new(cid(1), SimTime::ZERO);
+        assert!(s.add_peer(pid(1)));
+        assert!(!s.add_peer(pid(1)), "duplicate add");
+        assert!(s.contains(&pid(1)));
+        assert_eq!(s.peer_count(), 1);
+        s.remove_peer(&pid(1));
+        assert_eq!(s.peer_count(), 0);
+    }
+
+    #[test]
+    fn rebroadcast_timing() {
+        let mut s = Session::new(cid(1), SimTime::ZERO);
+        let interval = DEFAULT_REBROADCAST_INTERVAL;
+        assert!(!s.should_rebroadcast(SimTime::from_secs(29), interval));
+        assert!(s.should_rebroadcast(SimTime::from_secs(30), interval));
+        s.mark_broadcast(SimTime::from_secs(30));
+        assert!(!s.should_rebroadcast(SimTime::from_secs(59), interval));
+        assert!(s.should_rebroadcast(SimTime::from_secs(60), interval));
+    }
+
+    #[test]
+    fn complete_sessions_never_rebroadcast() {
+        let mut s = Session::new(cid(1), SimTime::ZERO);
+        s.mark_complete();
+        assert!(!s.should_rebroadcast(SimTime::from_secs(1000), DEFAULT_REBROADCAST_INTERVAL));
+    }
+
+    #[test]
+    fn age_and_dht_search_tracking() {
+        let mut s = Session::new(cid(1), SimTime::from_secs(10));
+        assert_eq!(s.age(SimTime::from_secs(25)), SimDuration::from_secs(15));
+        assert!(s.last_dht_search.is_none());
+        s.mark_dht_search(SimTime::from_secs(12));
+        assert_eq!(s.last_dht_search, Some(SimTime::from_secs(12)));
+    }
+}

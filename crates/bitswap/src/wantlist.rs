@@ -1,0 +1,275 @@
+//! Wantlists and per-peer ledgers.
+//!
+//! Each node tracks, for every connected peer, the set of CIDs that peer has
+//! announced interest in ("their wantlist as seen by us"). Wantlists persist
+//! for as long as the peer stays connected and are the raw material the
+//! passive monitor records. The ledger additionally tracks bytes exchanged,
+//! which the real protocol uses for fairness decisions.
+
+use crate::message::{RequestType, WantType, WantlistEntry};
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::Cid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single tracked want.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Want {
+    /// Whether the peer asked for presence or the block itself.
+    pub want_type: WantType,
+    /// Priority communicated by the peer.
+    pub priority: i32,
+    /// When the want was first received.
+    pub first_seen: SimTime,
+    /// When the want was most recently (re-)announced.
+    pub last_seen: SimTime,
+}
+
+/// The wantlist of one peer, as observed by the local node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Wantlist {
+    wants: HashMap<Cid, Want>,
+}
+
+impl Wantlist {
+    /// Creates an empty wantlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one wantlist entry received from the peer. Returns the request
+    /// type the entry represented (for monitoring/accounting).
+    pub fn apply(&mut self, entry: &WantlistEntry, now: SimTime) -> RequestType {
+        let request_type = entry.request_type();
+        if entry.cancel {
+            self.wants.remove(&entry.cid);
+        } else {
+            self.wants
+                .entry(entry.cid.clone())
+                .and_modify(|w| {
+                    w.last_seen = now;
+                    w.priority = entry.priority;
+                    // A WANT_BLOCK upgrade replaces a WANT_HAVE, never the
+                    // other way around (mirrors go-bitswap semantics).
+                    if entry.want_type == WantType::Block {
+                        w.want_type = WantType::Block;
+                    }
+                })
+                .or_insert(Want {
+                    want_type: entry.want_type,
+                    priority: entry.priority,
+                    first_seen: now,
+                    last_seen: now,
+                });
+        }
+        request_type
+    }
+
+    /// Replaces the whole wantlist (a `full_wantlist` message).
+    pub fn replace_with(&mut self, entries: &[WantlistEntry], now: SimTime) {
+        self.wants.clear();
+        for entry in entries {
+            if !entry.cancel {
+                self.apply(entry, now);
+            }
+        }
+    }
+
+    /// Returns true if the peer currently wants `cid` (in either mode).
+    pub fn wants(&self, cid: &Cid) -> bool {
+        self.wants.contains_key(cid)
+    }
+
+    /// Returns the tracked want for `cid`, if any.
+    pub fn get(&self, cid: &Cid) -> Option<&Want> {
+        self.wants.get(cid)
+    }
+
+    /// Number of outstanding wants.
+    pub fn len(&self) -> usize {
+        self.wants.len()
+    }
+
+    /// Returns true if the wantlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.wants.is_empty()
+    }
+
+    /// Iterates over outstanding wants.
+    pub fn iter(&self) -> impl Iterator<Item = (&Cid, &Want)> {
+        self.wants.iter()
+    }
+
+    /// CIDs the peer wants as full blocks (candidates for sending data).
+    pub fn wanted_blocks(&self) -> Vec<Cid> {
+        self.wants
+            .iter()
+            .filter(|(_, w)| w.want_type == WantType::Block)
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+}
+
+/// Per-peer connection state: the peer's wantlist plus exchange accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    /// The peer's wantlist as observed locally.
+    pub wantlist: Wantlist,
+    /// Bytes of block data sent to the peer.
+    pub bytes_sent: u64,
+    /// Bytes of block data received from the peer.
+    pub bytes_received: u64,
+    /// Number of Bitswap messages received from the peer.
+    pub messages_received: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an incoming message's wantlist entries; returns the request
+    /// types observed (used by monitors and by the engine's accounting).
+    pub fn record_incoming(&mut self, entries: &[WantlistEntry], full: bool, now: SimTime) -> Vec<RequestType> {
+        self.messages_received += 1;
+        if full {
+            self.wantlist.replace_with(entries, now);
+            return entries.iter().map(|e| e.request_type()).collect();
+        }
+        entries
+            .iter()
+            .map(|entry| self.wantlist.apply(entry, now))
+            .collect()
+    }
+
+    /// Records block bytes sent to the peer.
+    pub fn add_sent(&mut self, bytes: u64) {
+        self.bytes_sent += bytes;
+    }
+
+    /// Records block bytes received from the peer.
+    pub fn add_received(&mut self, bytes: u64) {
+        self.bytes_received += bytes;
+    }
+
+    /// The debt ratio used by Bitswap's fairness heuristics
+    /// (sent / (received + 1)).
+    pub fn debt_ratio(&self) -> f64 {
+        self.bytes_sent as f64 / (self.bytes_received as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_types::Multicodec;
+    use proptest::prelude::*;
+
+    fn cid(n: u8) -> Cid {
+        Cid::new_v1(Multicodec::Raw, &[n])
+    }
+
+    #[test]
+    fn apply_want_then_cancel() {
+        let mut wl = Wantlist::new();
+        let t = SimTime::from_secs(1);
+        assert_eq!(wl.apply(&WantlistEntry::want_have(cid(1)), t), RequestType::WantHave);
+        assert!(wl.wants(&cid(1)));
+        assert_eq!(wl.len(), 1);
+        assert_eq!(wl.apply(&WantlistEntry::cancel(cid(1)), t), RequestType::Cancel);
+        assert!(!wl.wants(&cid(1)));
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn want_block_upgrades_want_have_but_not_vice_versa() {
+        let mut wl = Wantlist::new();
+        let t0 = SimTime::from_secs(1);
+        let t1 = SimTime::from_secs(2);
+        wl.apply(&WantlistEntry::want_have(cid(1)), t0);
+        wl.apply(&WantlistEntry::want_block(cid(1)), t1);
+        assert_eq!(wl.get(&cid(1)).unwrap().want_type, WantType::Block);
+        assert_eq!(wl.get(&cid(1)).unwrap().first_seen, t0);
+        assert_eq!(wl.get(&cid(1)).unwrap().last_seen, t1);
+
+        // Re-announcing as WANT_HAVE must not downgrade.
+        wl.apply(&WantlistEntry::want_have(cid(1)), SimTime::from_secs(3));
+        assert_eq!(wl.get(&cid(1)).unwrap().want_type, WantType::Block);
+    }
+
+    #[test]
+    fn rebroadcast_updates_last_seen_only() {
+        let mut wl = Wantlist::new();
+        wl.apply(&WantlistEntry::want_have(cid(1)), SimTime::from_secs(1));
+        wl.apply(&WantlistEntry::want_have(cid(1)), SimTime::from_secs(31));
+        let want = wl.get(&cid(1)).unwrap();
+        assert_eq!(want.first_seen, SimTime::from_secs(1));
+        assert_eq!(want.last_seen, SimTime::from_secs(31));
+        assert_eq!(wl.len(), 1);
+    }
+
+    #[test]
+    fn full_wantlist_replaces_previous_state() {
+        let mut ledger = Ledger::new();
+        let t = SimTime::from_secs(1);
+        ledger.record_incoming(&[WantlistEntry::want_have(cid(1))], false, t);
+        ledger.record_incoming(
+            &[WantlistEntry::want_have(cid(2)), WantlistEntry::want_have(cid(3))],
+            true,
+            SimTime::from_secs(2),
+        );
+        assert!(!ledger.wantlist.wants(&cid(1)));
+        assert!(ledger.wantlist.wants(&cid(2)));
+        assert!(ledger.wantlist.wants(&cid(3)));
+        assert_eq!(ledger.messages_received, 2);
+    }
+
+    #[test]
+    fn cancel_of_unknown_cid_is_harmless() {
+        let mut wl = Wantlist::new();
+        wl.apply(&WantlistEntry::cancel(cid(9)), SimTime::ZERO);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn wanted_blocks_filters_by_type() {
+        let mut wl = Wantlist::new();
+        let t = SimTime::ZERO;
+        wl.apply(&WantlistEntry::want_have(cid(1)), t);
+        wl.apply(&WantlistEntry::want_block(cid(2)), t);
+        assert_eq!(wl.wanted_blocks(), vec![cid(2)]);
+    }
+
+    #[test]
+    fn ledger_accounting() {
+        let mut ledger = Ledger::new();
+        ledger.add_sent(1000);
+        ledger.add_received(250);
+        assert_eq!(ledger.bytes_sent, 1000);
+        assert_eq!(ledger.bytes_received, 250);
+        assert!((ledger.debt_ratio() - 1000.0 / 251.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn wantlist_len_equals_distinct_uncancelled(ops in proptest::collection::vec((0u8..20, any::<bool>()), 0..200)) {
+            let mut wl = Wantlist::new();
+            let mut reference: std::collections::HashSet<u8> = std::collections::HashSet::new();
+            for (i, &(n, cancel)) in ops.iter().enumerate() {
+                let t = SimTime::from_secs(i as u64);
+                if cancel {
+                    wl.apply(&WantlistEntry::cancel(cid(n)), t);
+                    reference.remove(&n);
+                } else {
+                    wl.apply(&WantlistEntry::want_have(cid(n)), t);
+                    reference.insert(n);
+                }
+            }
+            prop_assert_eq!(wl.len(), reference.len());
+            for n in reference {
+                prop_assert!(wl.wants(&cid(n)));
+            }
+        }
+    }
+}

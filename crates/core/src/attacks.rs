@@ -1,0 +1,356 @@
+//! Privacy attacks built on the monitoring methodology (Sec. VI).
+//!
+//! The same data that powers the benign analyses enables three attacks on
+//! user privacy, all implemented here against the collected traces and the
+//! simulated network:
+//!
+//! * **IDW — Identifying Data Wanters**: list the node IDs (and request
+//!   times) that asked for a given CID.
+//! * **TNW — Tracking Node Wants**: list the CIDs (and request times) a given
+//!   node asked for.
+//! * **TPI — Testing for Past Interests**: probe whether a target node holds a
+//!   given CID in its cache, revealing whether it recently downloaded it.
+//! * **Gateway probing** (Sec. VI-B): de-anonymize the IPFS nodes behind
+//!   public HTTP gateways by registering the monitor as the only DHT provider
+//!   for a freshly generated random block and requesting that block through
+//!   the gateway's HTTP side; the Bitswap request that arrives at the monitor
+//!   carries the gateway node's peer ID.
+
+use crate::trace::UnifiedTrace;
+use ipfs_mon_blockstore::{Block, BuiltDag};
+use ipfs_mon_node::{ContentSpec, GatewayRequestEvent, Network};
+use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::{Cid, Multicodec, PeerId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// IDW
+// ---------------------------------------------------------------------------
+
+/// One observation supporting an IDW result: a peer asked for the target CID.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WanterObservation {
+    /// The requesting peer.
+    pub peer: PeerId,
+    /// When the request was observed.
+    pub at: SimTime,
+}
+
+/// Runs the IDW attack: all peers observed requesting `cid`, with their
+/// request times (primary requests only — repeats don't add information).
+pub fn identify_data_wanters(trace: &UnifiedTrace, cid: &Cid) -> Vec<WanterObservation> {
+    let mut observations: Vec<WanterObservation> = trace
+        .primary_requests()
+        .filter(|e| e.cid == *cid)
+        .map(|e| WanterObservation {
+            peer: e.peer,
+            at: e.timestamp,
+        })
+        .collect();
+    observations.sort_by_key(|o| (o.at, o.peer));
+    observations
+}
+
+// ---------------------------------------------------------------------------
+// TNW
+// ---------------------------------------------------------------------------
+
+/// The request profile of one tracked node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeWantProfile {
+    /// CIDs the node requested, with all observed request times.
+    pub wants: BTreeMap<Cid, Vec<SimTime>>,
+}
+
+impl NodeWantProfile {
+    /// Number of distinct CIDs the node was observed requesting.
+    pub fn distinct_cids(&self) -> usize {
+        self.wants.len()
+    }
+
+    /// Total number of observed (primary) requests.
+    pub fn total_requests(&self) -> usize {
+        self.wants.values().map(Vec::len).sum()
+    }
+}
+
+/// Runs the TNW attack: everything the target peer was observed requesting.
+pub fn track_node_wants(trace: &UnifiedTrace, target: &PeerId) -> NodeWantProfile {
+    let mut profile = NodeWantProfile::default();
+    for entry in trace.primary_requests().filter(|e| e.peer == *target) {
+        profile
+            .wants
+            .entry(entry.cid.clone())
+            .or_default()
+            .push(entry.timestamp);
+    }
+    profile
+}
+
+// ---------------------------------------------------------------------------
+// TPI
+// ---------------------------------------------------------------------------
+
+/// Outcome of a TPI probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TpiOutcome {
+    /// The target answered the probe: the data is in its cache, so it was
+    /// requested (or published) via that node in the recent past.
+    CachedRecently,
+    /// The target did not have the block.
+    NotCached,
+}
+
+/// Runs the TPI attack against a node of the simulated network: send a probe
+/// request for `cid` to the target and observe whether it can serve the
+/// block. In the simulation this inspects the target's block store — exactly
+/// the signal a real probe request would extract, since nodes serve cached
+/// blocks to anyone who asks.
+pub fn test_past_interest(network: &Network, target_node: usize, cid: &Cid) -> TpiOutcome {
+    if network.node_has_block(target_node, cid) {
+        TpiOutcome::CachedRecently
+    } else {
+        TpiOutcome::NotCached
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway probing
+// ---------------------------------------------------------------------------
+
+/// One prepared gateway probe (Sec. VI-B1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatewayProbe {
+    /// Name of the probed gateway operator.
+    pub operator_name: String,
+    /// Index of the probed operator in the scenario.
+    pub operator: usize,
+    /// The unique random-content CID used for this probe.
+    pub cid: Cid,
+    /// When the HTTP request was issued.
+    pub issued_at: SimTime,
+}
+
+/// Result of evaluating a probe against the collected trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatewayProbeResult {
+    /// The probe this result belongs to.
+    pub probe: GatewayProbe,
+    /// Node IDs that requested the probe CID — the IPFS side of the gateway.
+    pub discovered_peers: Vec<PeerId>,
+}
+
+/// Orchestrates gateway probing against a [`Network`] before it runs.
+#[derive(Debug, Default)]
+pub struct GatewayProber {
+    probes: Vec<GatewayProbe>,
+}
+
+impl GatewayProber {
+    /// Creates an empty prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares one probe: generates a unique block of random data, registers
+    /// monitor `monitor` as its only DHT provider, and schedules an HTTP
+    /// request for it through operator `operator` at time `at`.
+    pub fn prepare_probe(
+        &mut self,
+        network: &mut Network,
+        monitor: usize,
+        operator: usize,
+        at: SimTime,
+        rng: &mut SimRng,
+    ) -> GatewayProbe {
+        // A unique random block → a CID nobody else will ever request.
+        let mut payload = vec![0u8; 64];
+        rng.fill_bytes(&mut payload);
+        let block = Block::new(Multicodec::Raw, payload);
+        let cid = block.cid().clone();
+        let dag = BuiltDag {
+            root: cid.clone(),
+            total_size: block.logical_size(),
+            blocks: vec![block],
+        };
+        let content = network.add_content(ContentSpec {
+            dag,
+            initial_providers: Vec::new(),
+        });
+        network.register_monitor_provider(monitor, content);
+        network.schedule_gateway_request(GatewayRequestEvent {
+            at,
+            operator,
+            content,
+        });
+        let probe = GatewayProbe {
+            operator_name: network.scenario().operators[operator].name.clone(),
+            operator,
+            cid,
+            issued_at: at,
+        };
+        self.probes.push(probe.clone());
+        probe
+    }
+
+    /// Prepares one probe per operator of the scenario, spaced `spacing_secs`
+    /// apart starting at `start`.
+    pub fn probe_all_operators(
+        &mut self,
+        network: &mut Network,
+        monitor: usize,
+        start: SimTime,
+        spacing_secs: u64,
+        rng: &mut SimRng,
+    ) -> usize {
+        let operators = network.scenario().operators.len();
+        for op in 0..operators {
+            let at = SimTime::from_millis(start.as_millis() + op as u64 * spacing_secs * 1000);
+            self.prepare_probe(network, monitor, op, at, rng);
+        }
+        operators
+    }
+
+    /// The prepared probes.
+    pub fn probes(&self) -> &[GatewayProbe] {
+        &self.probes
+    }
+
+    /// After the simulation ran, evaluates every probe against the unified
+    /// trace: any peer that requested the probe CID is (part of) the gateway's
+    /// IPFS side.
+    pub fn evaluate(&self, trace: &UnifiedTrace) -> Vec<GatewayProbeResult> {
+        self.probes
+            .iter()
+            .map(|probe| {
+                let peers: HashSet<PeerId> = trace
+                    .entries
+                    .iter()
+                    .filter(|e| e.is_request() && e.cid == probe.cid)
+                    .map(|e| e.peer)
+                    .collect();
+                let mut discovered: Vec<PeerId> = peers.into_iter().collect();
+                discovered.sort();
+                GatewayProbeResult {
+                    probe: probe.clone(),
+                    discovered_peers: discovered,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Cross-references probe results with the monitors' peer lists to find
+/// operators running multiple nodes (the paper discovered 93 gateway node IDs
+/// this way, 13 behind a single operator).
+pub fn gateway_nodes_by_operator(results: &[GatewayProbeResult]) -> BTreeMap<String, HashSet<PeerId>> {
+    let mut map: BTreeMap<String, HashSet<PeerId>> = BTreeMap::new();
+    for result in results {
+        map.entry(result.probe.operator_name.clone())
+            .or_default()
+            .extend(result.discovered_peers.iter().copied());
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EntryFlags, TraceEntry};
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_types::{Country, Multiaddr, Transport};
+
+    fn entry(secs: u64, peer: u64, cid: u8, rtype: RequestType) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_secs(secs),
+            peer: PeerId::derived(11, peer),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::Us),
+            request_type: rtype,
+            cid: Cid::new_v1(Multicodec::Raw, &[cid]),
+            monitor: 0,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    #[test]
+    fn idw_lists_wanters_of_a_cid() {
+        let trace = UnifiedTrace {
+            entries: vec![
+                entry(10, 1, 7, RequestType::WantHave),
+                entry(20, 2, 7, RequestType::WantBlock),
+                entry(30, 3, 8, RequestType::WantHave),
+                entry(40, 1, 7, RequestType::Cancel),
+            ],
+        };
+        let target = Cid::new_v1(Multicodec::Raw, &[7]);
+        let wanters = identify_data_wanters(&trace, &target);
+        assert_eq!(wanters.len(), 2);
+        assert_eq!(wanters[0].peer, PeerId::derived(11, 1));
+        assert_eq!(wanters[1].peer, PeerId::derived(11, 2));
+    }
+
+    #[test]
+    fn tnw_profiles_a_target_node() {
+        let trace = UnifiedTrace {
+            entries: vec![
+                entry(10, 1, 1, RequestType::WantHave),
+                entry(20, 1, 2, RequestType::WantHave),
+                entry(25, 1, 2, RequestType::WantHave),
+                entry(30, 2, 3, RequestType::WantHave),
+            ],
+        };
+        let profile = track_node_wants(&trace, &PeerId::derived(11, 1));
+        assert_eq!(profile.distinct_cids(), 2);
+        assert_eq!(profile.total_requests(), 3);
+        assert!(profile
+            .wants
+            .contains_key(&Cid::new_v1(Multicodec::Raw, &[2])));
+        // The other node's requests are not attributed to the target.
+        assert!(!profile
+            .wants
+            .contains_key(&Cid::new_v1(Multicodec::Raw, &[3])));
+    }
+
+    #[test]
+    fn flagged_repeats_do_not_inflate_profiles() {
+        let mut repeat = entry(40, 1, 1, RequestType::WantHave);
+        repeat.flags.rebroadcast = true;
+        let trace = UnifiedTrace {
+            entries: vec![entry(10, 1, 1, RequestType::WantHave), repeat],
+        };
+        let profile = track_node_wants(&trace, &PeerId::derived(11, 1));
+        assert_eq!(profile.total_requests(), 1);
+        let wanters = identify_data_wanters(&trace, &Cid::new_v1(Multicodec::Raw, &[1]));
+        assert_eq!(wanters.len(), 1);
+    }
+
+    #[test]
+    fn gateway_nodes_by_operator_merges_probe_results() {
+        let probe = |name: &str, cid: u8| GatewayProbe {
+            operator_name: name.into(),
+            operator: 0,
+            cid: Cid::new_v1(Multicodec::Raw, &[cid]),
+            issued_at: SimTime::ZERO,
+        };
+        let results = vec![
+            GatewayProbeResult {
+                probe: probe("gw-a", 1),
+                discovered_peers: vec![PeerId::derived(11, 1), PeerId::derived(11, 2)],
+            },
+            GatewayProbeResult {
+                probe: probe("gw-a", 2),
+                discovered_peers: vec![PeerId::derived(11, 2), PeerId::derived(11, 3)],
+            },
+            GatewayProbeResult {
+                probe: probe("gw-b", 3),
+                discovered_peers: vec![],
+            },
+        ];
+        let map = gateway_nodes_by_operator(&results);
+        assert_eq!(map["gw-a"].len(), 3);
+        assert!(map["gw-b"].is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Privacy countermeasures (Sec. VI-C).
+//!
+//! The paper closes with a design-space discussion of countermeasures against
+//! the IDW/TNW/TPI attacks. This module makes that discussion executable: each
+//! [`Countermeasure`] is modelled as a transformation of what the adversary's
+//! monitors would have observed, and [`evaluate`] quantifies how much each
+//! attack degrades (and at what overhead) — the trade-offs the paper describes
+//! qualitatively.
+//!
+//! Modelled countermeasures:
+//!
+//! * **Node-ID rotation** — nodes cycle their peer ID every `interval`; TNW
+//!   profiles fragment across the rotated identities, at the cost of
+//!   connection churn (each rotation tears down all connections).
+//! * **Cover traffic** — nodes issue fake requests for existing CIDs; IDW
+//!   loses precision because fake wanters are indistinguishable from real
+//!   ones, at the cost of additional request traffic.
+//! * **Salted CID hashing** — requests carry salted hashes instead of
+//!   plaintext CIDs; an adversary can only link requests to CIDs it already
+//!   knows (modelled by an adversary-knowledge fraction).
+//! * **Gateway usage** — a fraction of users sends requests via public
+//!   gateways instead of their own node; their requests disappear from the
+//!   adversary's per-user view entirely (but centralize trust in gateways).
+
+use crate::trace::{TraceEntry, UnifiedTrace};
+use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_types::{Cid, Multicodec, PeerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A privacy countermeasure from the Sec. VI-C design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Countermeasure {
+    /// Nodes rotate their peer ID every `interval`.
+    NodeIdRotation {
+        /// Time between identity changes.
+        interval: SimDuration,
+    },
+    /// Nodes send `fake_per_real` fake requests (for plausible existing CIDs)
+    /// per genuine request.
+    CoverTraffic {
+        /// Fake requests added per real request.
+        fake_per_real: f64,
+    },
+    /// Requests carry salted hashes of CIDs; the adversary can only interpret
+    /// requests for CIDs it already knows.
+    SaltedCidHashing {
+        /// Fraction of requested CIDs the adversary knows in plaintext (e.g.
+        /// from public `ipfs://` links).
+        adversary_knowledge: f64,
+    },
+    /// A fraction of users routes requests through public gateways instead of
+    /// running their own node.
+    GatewayUsage {
+        /// Fraction of (non-gateway) users moving behind gateways.
+        adoption: f64,
+    },
+}
+
+/// The adversary-visible trace after applying a countermeasure, plus overhead
+/// accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MitigatedTrace {
+    /// What the monitors observe once the countermeasure is deployed.
+    pub trace: UnifiedTrace,
+    /// Extra requests induced by the countermeasure (cover traffic), as a
+    /// fraction of the original request volume.
+    pub traffic_overhead: f64,
+    /// Number of connection teardowns forced by identity rotation.
+    pub forced_reconnections: u64,
+}
+
+/// Effectiveness metrics of a countermeasure against the three attacks.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CountermeasureEvaluation {
+    /// Mean fraction of a node's requests still linkable to a single observed
+    /// identity (TNW strength; 1.0 = fully trackable).
+    pub tnw_linkability: f64,
+    /// Precision of IDW: fraction of identified wanters of a CID that really
+    /// wanted it (1.0 = no plausible deniability).
+    pub idw_precision: f64,
+    /// Fraction of requests whose CID the adversary can still interpret.
+    pub cid_visibility: f64,
+    /// Traffic overhead introduced by the countermeasure.
+    pub traffic_overhead: f64,
+}
+
+/// Applies a countermeasure to the adversary's view of a trace.
+///
+/// The input should be the unified trace of a run *without* countermeasures;
+/// the output is what the same monitors would have recorded had the
+/// countermeasure been deployed by all (affected) users.
+pub fn apply(trace: &UnifiedTrace, countermeasure: Countermeasure, rng: &mut SimRng) -> MitigatedTrace {
+    match countermeasure {
+        Countermeasure::NodeIdRotation { interval } => apply_rotation(trace, interval),
+        Countermeasure::CoverTraffic { fake_per_real } => apply_cover_traffic(trace, fake_per_real, rng),
+        Countermeasure::SaltedCidHashing { adversary_knowledge } => {
+            apply_salted_hashing(trace, adversary_knowledge, rng)
+        }
+        Countermeasure::GatewayUsage { adoption } => apply_gateway_usage(trace, adoption, rng),
+    }
+}
+
+fn apply_rotation(trace: &UnifiedTrace, interval: SimDuration) -> MitigatedTrace {
+    assert!(interval.as_millis() > 0, "rotation interval must be positive");
+    let mut entries = trace.entries.clone();
+    let mut reconnections: HashSet<(PeerId, u64)> = HashSet::new();
+    for entry in entries.iter_mut() {
+        let epoch = entry.timestamp.as_millis() / interval.as_millis();
+        // The rotated identity is a deterministic function of (true identity,
+        // epoch): within an epoch the node is linkable, across epochs it is
+        // not (the adversary cannot invert the hash).
+        let mut seed_bytes = [0u8; 8];
+        seed_bytes.copy_from_slice(&entry.peer.as_bytes()[..8]);
+        let seed = u64::from_be_bytes(seed_bytes);
+        if epoch > 0 {
+            reconnections.insert((entry.peer, epoch));
+        }
+        entry.peer = PeerId::derived(seed ^ 0xA5A5_5A5A, epoch);
+    }
+    MitigatedTrace {
+        trace: UnifiedTrace { entries },
+        traffic_overhead: 0.0,
+        forced_reconnections: reconnections.len() as u64,
+    }
+}
+
+fn apply_cover_traffic(trace: &UnifiedTrace, fake_per_real: f64, rng: &mut SimRng) -> MitigatedTrace {
+    assert!(fake_per_real >= 0.0, "cover traffic rate must be non-negative");
+    let cids: Vec<Cid> = trace
+        .primary_requests()
+        .map(|e| e.cid.clone())
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    let peers: Vec<&TraceEntry> = trace.primary_requests().collect();
+    let mut entries = trace.entries.clone();
+    let mut added = 0u64;
+    if !cids.is_empty() {
+        for entry in &peers {
+            let mut budget = fake_per_real;
+            while budget > 0.0 {
+                let emit = if budget >= 1.0 { true } else { rng.gen_bool(budget) };
+                if emit {
+                    let mut fake = (*entry).clone();
+                    fake.cid = cids[rng.gen_range(0..cids.len())].clone();
+                    entries.push(fake);
+                    added += 1;
+                }
+                budget -= 1.0;
+            }
+        }
+    }
+    entries.sort_by_key(|e| (e.timestamp, e.monitor));
+    let real = peers.len().max(1) as f64;
+    MitigatedTrace {
+        trace: UnifiedTrace { entries },
+        traffic_overhead: added as f64 / real,
+        forced_reconnections: 0,
+    }
+}
+
+fn apply_salted_hashing(
+    trace: &UnifiedTrace,
+    adversary_knowledge: f64,
+    rng: &mut SimRng,
+) -> MitigatedTrace {
+    let knowledge = adversary_knowledge.clamp(0.0, 1.0);
+    // Decide per CID whether the adversary knows it (public links keep being
+    // trackable even under hashing — the paper's caveat).
+    let mut known: HashMap<Cid, bool> = HashMap::new();
+    let mut entries = trace.entries.clone();
+    for entry in entries.iter_mut() {
+        let is_known = *known
+            .entry(entry.cid.clone())
+            .or_insert_with(|| rng.gen_bool(knowledge));
+        if !is_known {
+            // The adversary only sees an opaque salted hash: model it as a
+            // fresh unlinkable CID per entry.
+            let mut salt = [0u8; 16];
+            rng.fill(&mut salt);
+            entry.cid = Cid::new_v1(Multicodec::Raw, &salt);
+        }
+    }
+    MitigatedTrace {
+        trace: UnifiedTrace { entries },
+        traffic_overhead: 0.0,
+        forced_reconnections: 0,
+    }
+}
+
+fn apply_gateway_usage(trace: &UnifiedTrace, adoption: f64, rng: &mut SimRng) -> MitigatedTrace {
+    let adoption = adoption.clamp(0.0, 1.0);
+    // Users adopting gateway access stop emitting Bitswap requests from their
+    // own node: drop their entries (the gateway side would show up instead,
+    // already aggregated and therefore not attributable to the user).
+    let peers: HashSet<PeerId> = trace.entries.iter().map(|e| e.peer).collect();
+    let adopting: HashSet<PeerId> = peers
+        .into_iter()
+        .filter(|_| rng.gen_bool(adoption))
+        .collect();
+    let entries: Vec<TraceEntry> = trace
+        .entries
+        .iter()
+        .filter(|e| !adopting.contains(&e.peer))
+        .cloned()
+        .collect();
+    MitigatedTrace {
+        trace: UnifiedTrace { entries },
+        traffic_overhead: 0.0,
+        forced_reconnections: 0,
+    }
+}
+
+/// Evaluates how well the attacks still work on a mitigated trace, relative
+/// to the ground truth contained in the *original* trace.
+pub fn evaluate(original: &UnifiedTrace, mitigated: &MitigatedTrace) -> CountermeasureEvaluation {
+    // TNW linkability: for each original peer, the largest fraction of its
+    // requests that remains attributable to one observed identity.
+    // With rotation the observed identity changes over time; without any
+    // countermeasure it stays 1.0. We approximate attribution by comparing
+    // per-(timestamp, cid) matches — the adversary sees the mitigated
+    // entries, and the question is how concentrated each user's activity
+    // remains under observed identities.
+    let mut per_original_peer: HashMap<PeerId, HashMap<PeerId, u64>> = HashMap::new();
+    // Align original and mitigated entries by (timestamp, CID): the
+    // transformations preserve that pair for entries that stay observable,
+    // which is exactly the attribution question the adversary faces.
+    let mitigated_index: HashMap<(u64, Cid), Vec<&TraceEntry>> = {
+        let mut map: HashMap<(u64, Cid), Vec<&TraceEntry>> = HashMap::new();
+        for e in mitigated.trace.primary_requests() {
+            map.entry((e.timestamp.as_millis(), e.cid.clone())).or_default().push(e);
+        }
+        map
+    };
+    let mut total_original_requests = 0u64;
+    let mut visible_cids = 0u64;
+    for entry in original.primary_requests() {
+        total_original_requests += 1;
+        if let Some(matches) = mitigated_index.get(&(entry.timestamp.as_millis(), entry.cid.clone())) {
+            if let Some(observed) = matches.first() {
+                *per_original_peer
+                    .entry(entry.peer)
+                    .or_default()
+                    .entry(observed.peer)
+                    .or_insert(0) += 1;
+                visible_cids += 1;
+            }
+        }
+    }
+    let tnw_linkability = if per_original_peer.is_empty() {
+        0.0
+    } else {
+        per_original_peer
+            .values()
+            .map(|observed| {
+                let total: u64 = observed.values().sum();
+                let max = observed.values().copied().max().unwrap_or(0);
+                if total == 0 {
+                    0.0
+                } else {
+                    max as f64 / total as f64
+                }
+            })
+            .sum::<f64>()
+            / per_original_peer.len() as f64
+    };
+
+    // IDW precision: for the most-requested original CID, which fraction of
+    // the wanters identified on the mitigated trace really requested it.
+    let mut truth: HashMap<&Cid, HashSet<PeerId>> = HashMap::new();
+    for entry in original.primary_requests() {
+        truth.entry(&entry.cid).or_default().insert(entry.peer);
+    }
+    let idw_precision = truth
+        .iter()
+        .max_by_key(|(_, peers)| peers.len())
+        .map(|(cid, peers)| {
+            let identified: HashSet<PeerId> = mitigated
+                .trace
+                .primary_requests()
+                .filter(|e| e.cid == **cid)
+                .map(|e| e.peer)
+                .collect();
+            if identified.is_empty() {
+                0.0
+            } else {
+                identified.intersection(peers).count() as f64 / identified.len() as f64
+            }
+        })
+        .unwrap_or(0.0);
+
+    // CID visibility: fraction of original requests that still appear with
+    // their interpretable (original) CID at the original time in the
+    // mitigated trace.
+    let cid_visibility = if total_original_requests == 0 {
+        0.0
+    } else {
+        (visible_cids as f64 / total_original_requests as f64).min(1.0)
+    };
+
+    CountermeasureEvaluation {
+        tnw_linkability,
+        idw_precision,
+        cid_visibility,
+        traffic_overhead: mitigated.traffic_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EntryFlags;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_types::{Country, Multiaddr, Transport};
+
+    fn entry(secs: u64, peer: u64, cid: u8) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_secs(secs),
+            peer: PeerId::derived(77, peer),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::De),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[cid]),
+            monitor: 0,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    /// One node requesting 20 CIDs over 10 hours, another requesting 5.
+    fn base_trace() -> UnifiedTrace {
+        let mut entries = Vec::new();
+        for i in 0..20u64 {
+            entries.push(entry(i * 1800, 1, i as u8));
+        }
+        for i in 0..5u64 {
+            entries.push(entry(i * 3600, 2, 100 + i as u8));
+        }
+        UnifiedTrace { entries }
+    }
+
+    #[test]
+    fn baseline_without_countermeasure_is_fully_trackable() {
+        let trace = base_trace();
+        let mitigated = MitigatedTrace {
+            trace: trace.clone(),
+            traffic_overhead: 0.0,
+            forced_reconnections: 0,
+        };
+        let eval = evaluate(&trace, &mitigated);
+        assert!((eval.tnw_linkability - 1.0).abs() < 1e-9);
+        assert!((eval.idw_precision - 1.0).abs() < 1e-9);
+        assert!((eval.cid_visibility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_fragments_tnw_profiles() {
+        let trace = base_trace();
+        let mut rng = SimRng::new(1);
+        let mitigated = apply(
+            &trace,
+            Countermeasure::NodeIdRotation {
+                interval: SimDuration::from_hours(2),
+            },
+            &mut rng,
+        );
+        let eval = evaluate(&trace, &mitigated);
+        assert!(
+            eval.tnw_linkability < 0.5,
+            "rotation should fragment profiles: {}",
+            eval.tnw_linkability
+        );
+        // CIDs remain visible in plaintext.
+        assert!((eval.cid_visibility - 1.0).abs() < 1e-9);
+        assert!(mitigated.forced_reconnections > 0);
+        // Distinct observed identities exceed the two real nodes.
+        let observed: HashSet<PeerId> = mitigated.trace.entries.iter().map(|e| e.peer).collect();
+        assert!(observed.len() > 2);
+    }
+
+    #[test]
+    fn rotation_keeps_identity_within_an_epoch() {
+        let trace = UnifiedTrace {
+            entries: vec![entry(10, 1, 1), entry(20, 1, 2)],
+        };
+        let mut rng = SimRng::new(2);
+        let mitigated = apply(
+            &trace,
+            Countermeasure::NodeIdRotation {
+                interval: SimDuration::from_hours(1),
+            },
+            &mut rng,
+        );
+        assert_eq!(mitigated.trace.entries[0].peer, mitigated.trace.entries[1].peer);
+    }
+
+    #[test]
+    fn cover_traffic_reduces_idw_precision_and_adds_overhead() {
+        // A richer population: ten users with five distinct CIDs each, so
+        // fake requests for any given CID almost surely come from peers that
+        // never really wanted it.
+        let mut entries = Vec::new();
+        for peer in 0..10u64 {
+            for i in 0..5u64 {
+                entries.push(entry(peer * 100 + i * 10, peer, (peer * 5 + i) as u8));
+            }
+        }
+        let trace = UnifiedTrace { entries };
+        let mut rng = SimRng::new(3);
+        let mitigated = apply(&trace, Countermeasure::CoverTraffic { fake_per_real: 3.0 }, &mut rng);
+        let eval = evaluate(&trace, &mitigated);
+        assert!(eval.idw_precision < 1.0, "fakes should dilute IDW: {}", eval.idw_precision);
+        assert!(eval.traffic_overhead > 2.0, "overhead {}", eval.traffic_overhead);
+        assert!(mitigated.trace.len() > trace.len());
+    }
+
+    #[test]
+    fn salted_hashing_hides_unknown_cids_only() {
+        let trace = base_trace();
+        let mut rng = SimRng::new(4);
+        let hidden = apply(
+            &trace,
+            Countermeasure::SaltedCidHashing {
+                adversary_knowledge: 0.0,
+            },
+            &mut rng,
+        );
+        let eval_hidden = evaluate(&trace, &hidden);
+        assert!(eval_hidden.cid_visibility < 0.05, "{}", eval_hidden.cid_visibility);
+
+        let mut rng = SimRng::new(5);
+        let known = apply(
+            &trace,
+            Countermeasure::SaltedCidHashing {
+                adversary_knowledge: 1.0,
+            },
+            &mut rng,
+        );
+        let eval_known = evaluate(&trace, &known);
+        assert!((eval_known.cid_visibility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gateway_adoption_removes_users_from_the_trace() {
+        let trace = base_trace();
+        let mut rng = SimRng::new(6);
+        let mitigated = apply(&trace, Countermeasure::GatewayUsage { adoption: 1.0 }, &mut rng);
+        assert!(mitigated.trace.is_empty());
+        let eval = evaluate(&trace, &mitigated);
+        assert_eq!(eval.idw_precision, 0.0);
+        assert_eq!(eval.tnw_linkability, 0.0);
+    }
+
+    #[test]
+    fn zero_strength_countermeasures_change_nothing() {
+        let trace = base_trace();
+        let mut rng = SimRng::new(7);
+        let cover = apply(&trace, Countermeasure::CoverTraffic { fake_per_real: 0.0 }, &mut rng);
+        assert_eq!(cover.trace.len(), trace.len());
+        let gateway = apply(&trace, Countermeasure::GatewayUsage { adoption: 0.0 }, &mut rng);
+        assert_eq!(gateway.trace.len(), trace.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Passive Bitswap-request monitoring for decentralized data storage systems —
+//! the core library of this workspace, implementing the methodology of
+//! *"Monitoring Data Requests in Decentralized Data Storage Systems: A Case
+//! Study of IPFS"* (ICDCS 2022).
+//!
+//! The pipeline mirrors the paper:
+//!
+//! 1. **Collection** ([`monitor`], [`trace`]) — passive monitoring nodes
+//!    accept every connection and log each received Bitswap wantlist entry as
+//!    a `(timestamp, node ID, address, request type, CID)` tuple, together
+//!    with connection events.
+//! 2. **Preprocessing** ([`preprocess`]) — traces from multiple monitors are
+//!    unified; inter-monitor duplicates (5 s window) and periodic 30 s
+//!    re-broadcasts (31 s window) are flagged.
+//! 3. **Analysis** ([`netsize`], [`popularity`], [`activity`]) — network-size
+//!    estimation and monitoring coverage (Sec. V-C), content-popularity
+//!    distributions with the power-law test (Sec. V-E), request-type /
+//!    multicodec / geography breakdowns (Fig. 4, Tables I and II), and
+//!    origin-group rate series (Fig. 6).
+//! 4. **Privacy attacks** ([`attacks`]) — IDW, TNW, TPI and the gateway
+//!    probing methodology of Sec. VI.
+//!
+//! Data is fed in either from the bundled network simulator
+//! (`ipfs-mon-node`, via [`monitor::MonitorCollector`]) or from persisted JSON
+//! traces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activity;
+pub mod attacks;
+pub mod countermeasures;
+pub mod monitor;
+pub mod netsize;
+pub mod popularity;
+pub mod preprocess;
+pub mod trace;
+
+pub use activity::{
+    country_shares, multicodec_shares, origin_group_rates, per_peer_request_counts,
+    request_type_series, OriginGroupRates, RequestTypeSeries,
+};
+pub use attacks::{
+    gateway_nodes_by_operator, identify_data_wanters, test_past_interest, track_node_wants,
+    GatewayProbe, GatewayProbeResult, GatewayProber, NodeWantProfile, TpiOutcome,
+    WanterObservation,
+};
+pub use countermeasures::{
+    apply as apply_countermeasure, evaluate as evaluate_countermeasure, Countermeasure,
+    CountermeasureEvaluation, MitigatedTrace,
+};
+pub use monitor::MonitorCollector;
+pub use netsize::{
+    coverage, estimate_network_size, peer_id_positions, CoverageReport, NetworkSizeReport,
+    PeerSetSnapshot,
+};
+pub use popularity::{popularity_report, popularity_scores, PopularityReport, PopularityScores};
+pub use preprocess::{unify_and_flag, PreprocessConfig, PreprocessStats};
+pub use trace::{
+    ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace,
+};

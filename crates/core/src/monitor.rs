@@ -1,0 +1,146 @@
+//! The passive monitor: trace collection.
+//!
+//! A monitoring node (Sec. IV-A) is an ordinary-looking IPFS node that
+//! accepts every incoming connection, never requests or serves data, and logs
+//! every Bitswap wantlist entry it receives. [`MonitorCollector`] implements
+//! the [`MonitorSink`] interface of the network simulator and accumulates the
+//! resulting [`MonitoringDataset`]; in a real deployment the same component
+//! would sit inside a modified IPFS client, as the paper's implementation
+//! does.
+
+use crate::trace::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry};
+use ipfs_mon_node::{BitswapObservation, MonitorSink};
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::{Multiaddr, PeerId};
+
+/// Collects the observations of all monitoring nodes of a deployment.
+#[derive(Debug, Clone)]
+pub struct MonitorCollector {
+    dataset: MonitoringDataset,
+    /// Open connections per monitor: index into `dataset.connections`.
+    open: Vec<std::collections::HashMap<PeerId, usize>>,
+}
+
+impl MonitorCollector {
+    /// Creates a collector for monitors with the given labels.
+    pub fn new(monitor_labels: Vec<String>) -> Self {
+        let monitors = monitor_labels.len();
+        Self {
+            dataset: MonitoringDataset::new(monitor_labels),
+            open: vec![std::collections::HashMap::new(); monitors],
+        }
+    }
+
+    /// Convenience constructor matching the paper's two-monitor setup.
+    pub fn us_de() -> Self {
+        Self::new(vec!["us".into(), "de".into()])
+    }
+
+    /// Number of monitors.
+    pub fn monitor_count(&self) -> usize {
+        self.dataset.monitor_count()
+    }
+
+    /// Read access to the dataset collected so far.
+    pub fn dataset(&self) -> &MonitoringDataset {
+        &self.dataset
+    }
+
+    /// Consumes the collector and returns the dataset.
+    pub fn into_dataset(self) -> MonitoringDataset {
+        self.dataset
+    }
+
+    /// Total number of entries recorded so far.
+    pub fn total_entries(&self) -> usize {
+        self.dataset.total_entries()
+    }
+}
+
+impl MonitorSink for MonitorCollector {
+    fn record(&mut self, monitor: usize, observation: BitswapObservation) {
+        self.dataset.entries[monitor].push(TraceEntry {
+            timestamp: observation.timestamp,
+            peer: observation.peer,
+            address: observation.address,
+            request_type: observation.request_type,
+            cid: observation.cid,
+            monitor,
+            flags: EntryFlags::default(),
+        });
+    }
+
+    fn peer_connected(&mut self, monitor: usize, peer: PeerId, address: Multiaddr, at: SimTime) {
+        let index = self.dataset.connections.len();
+        self.dataset.connections.push(ConnectionRecord {
+            monitor,
+            peer,
+            address,
+            connected_at: at,
+            disconnected_at: None,
+        });
+        self.open[monitor].insert(peer, index);
+    }
+
+    fn peer_disconnected(&mut self, monitor: usize, peer: PeerId, at: SimTime) {
+        if let Some(index) = self.open[monitor].remove(&peer) {
+            self.dataset.connections[index].disconnected_at = Some(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_types::{Cid, Country, Multicodec, Transport};
+
+    fn observation(secs: u64, peer: u64) -> BitswapObservation {
+        BitswapObservation {
+            timestamp: SimTime::from_secs(secs),
+            peer: PeerId::derived(7, peer),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::Nl),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[1]),
+        }
+    }
+
+    #[test]
+    fn records_entries_per_monitor() {
+        let mut collector = MonitorCollector::us_de();
+        collector.record(0, observation(1, 1));
+        collector.record(1, observation(2, 2));
+        collector.record(0, observation(3, 1));
+        assert_eq!(collector.total_entries(), 3);
+        assert_eq!(collector.dataset().entries[0].len(), 2);
+        assert_eq!(collector.dataset().entries[1].len(), 1);
+        assert_eq!(collector.dataset().monitor_labels, vec!["us", "de"]);
+    }
+
+    #[test]
+    fn tracks_connection_lifetimes() {
+        let mut collector = MonitorCollector::us_de();
+        let peer = PeerId::derived(7, 9);
+        let addr = Multiaddr::new(1, 1, Transport::Tcp, Country::Us);
+        collector.peer_connected(0, peer, addr, SimTime::from_secs(10));
+        collector.peer_disconnected(0, peer, SimTime::from_secs(50));
+        // Reconnection creates a second record.
+        collector.peer_connected(0, peer, addr, SimTime::from_secs(100));
+        let dataset = collector.into_dataset();
+        assert_eq!(dataset.connections.len(), 2);
+        assert_eq!(
+            dataset.connections[0].disconnected_at,
+            Some(SimTime::from_secs(50))
+        );
+        assert_eq!(dataset.connections[1].disconnected_at, None);
+        assert!(dataset.peer_set_at(0, SimTime::from_secs(200)).contains(&peer));
+        assert!(!dataset.peer_set_at(0, SimTime::from_secs(60)).contains(&peer));
+    }
+
+    #[test]
+    fn disconnect_of_unknown_peer_is_ignored() {
+        let mut collector = MonitorCollector::new(vec!["m".into()]);
+        collector.peer_disconnected(0, PeerId::derived(1, 1), SimTime::from_secs(1));
+        assert!(collector.dataset().connections.is_empty());
+    }
+}

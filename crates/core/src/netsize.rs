@@ -1,0 +1,331 @@
+//! Network-size estimation and monitoring coverage (Sec. IV-C / V-C).
+//!
+//! From the monitors' connection logs this module derives peer-set snapshots,
+//! applies the two estimators (capture–recapture and committee occupancy),
+//! compares against a DHT crawl, and computes the monitoring coverage — the
+//! fraction of the network each monitor (and the joint deployment) receives
+//! Bitswap messages from.
+
+use crate::trace::MonitoringDataset;
+use ipfs_mon_analysis::{committee_estimate, summarize, two_monitor_estimate, Summary};
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_types::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One peer-set snapshot: what each monitor was connected to at an instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerSetSnapshot {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Per-monitor peer-set sizes.
+    pub sizes: Vec<usize>,
+    /// Size of the union over all monitors.
+    pub union_size: usize,
+    /// Size of the pairwise intersection of monitors 0 and 1 (if at least two
+    /// monitors exist).
+    pub intersection_01: Option<usize>,
+    /// Estimate from the two-monitor capture–recapture formula (eq. 1).
+    pub estimate_capture_recapture: Option<f64>,
+    /// Estimate from the committee-occupancy formula (eq. 3), using the mean
+    /// per-monitor peer-set size as `w`.
+    pub estimate_committee: Option<f64>,
+}
+
+/// Aggregate of many snapshots over an observation window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSizeReport {
+    /// The individual snapshots.
+    pub snapshots: Vec<PeerSetSnapshot>,
+    /// Summary of the capture–recapture estimates across snapshots.
+    pub capture_recapture: Option<Summary>,
+    /// Summary of the committee-occupancy estimates across snapshots.
+    pub committee: Option<Summary>,
+    /// Summary of the per-snapshot union sizes.
+    pub union_sizes: Option<Summary>,
+    /// Unique peers connected to each monitor over the whole window.
+    pub weekly_unique_per_monitor: Vec<usize>,
+    /// Unique peers connected to any monitor over the whole window.
+    pub weekly_unique_union: usize,
+    /// Unique Bitswap-active peers (sent at least one entry) per monitor.
+    pub bitswap_active_per_monitor: Vec<usize>,
+    /// Unique Bitswap-active peers across monitors.
+    pub bitswap_active_union: usize,
+}
+
+/// Computes peer-set snapshots every `interval` over `[start, end]` and runs
+/// both estimators on each.
+pub fn estimate_network_size(
+    dataset: &MonitoringDataset,
+    start: SimTime,
+    end: SimTime,
+    interval: SimDuration,
+) -> NetworkSizeReport {
+    assert!(interval.as_millis() > 0, "interval must be positive");
+    let monitors = dataset.monitor_count();
+    let mut snapshots = Vec::new();
+    let mut t = start;
+    while t <= end {
+        let sets: Vec<HashSet<PeerId>> = (0..monitors).map(|m| dataset.peer_set_at(m, t)).collect();
+        let sizes: Vec<usize> = sets.iter().map(HashSet::len).collect();
+        let union: HashSet<PeerId> = sets.iter().flatten().copied().collect();
+        let intersection_01 = if monitors >= 2 {
+            Some(sets[0].intersection(&sets[1]).count())
+        } else {
+            None
+        };
+        let estimate_capture_recapture = intersection_01
+            .and_then(|k| two_monitor_estimate(sizes[0], sizes[1], k).ok());
+        let mean_w = if monitors > 0 {
+            sizes.iter().sum::<usize>() as f64 / monitors as f64
+        } else {
+            0.0
+        };
+        let estimate_committee = committee_estimate(union.len(), monitors, mean_w).ok();
+        snapshots.push(PeerSetSnapshot {
+            at: t,
+            sizes,
+            union_size: union.len(),
+            intersection_01,
+            estimate_capture_recapture,
+            estimate_committee,
+        });
+        t += interval;
+    }
+
+    let capture: Vec<f64> = snapshots
+        .iter()
+        .filter_map(|s| s.estimate_capture_recapture)
+        .collect();
+    let committee: Vec<f64> = snapshots
+        .iter()
+        .filter_map(|s| s.estimate_committee)
+        .collect();
+    let unions: Vec<f64> = snapshots.iter().map(|s| s.union_size as f64).collect();
+
+    let weekly_unique_per_monitor: Vec<usize> = (0..monitors)
+        .map(|m| dataset.peers_connected_to(m).len())
+        .collect();
+    let weekly_union: HashSet<PeerId> = (0..monitors)
+        .flat_map(|m| dataset.peers_connected_to(m).into_iter())
+        .collect();
+    let bitswap_active_per_monitor: Vec<usize> =
+        (0..monitors).map(|m| dataset.peers_seen_by(m).len()).collect();
+    let bitswap_union: HashSet<PeerId> = (0..monitors)
+        .flat_map(|m| dataset.peers_seen_by(m).into_iter())
+        .collect();
+
+    NetworkSizeReport {
+        snapshots,
+        capture_recapture: summarize(&capture),
+        committee: summarize(&committee),
+        union_sizes: summarize(&unions),
+        weekly_unique_per_monitor,
+        weekly_unique_union: weekly_union.len(),
+        bitswap_active_per_monitor,
+        bitswap_active_union: bitswap_union.len(),
+    }
+}
+
+/// Monitoring coverage relative to a reference network size (the paper uses
+/// the crawler-derived size as the conservative denominator).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Reference network size used as the denominator.
+    pub reference_size: f64,
+    /// Average per-monitor coverage (mean peer-set size / reference).
+    pub per_monitor: Vec<f64>,
+    /// Average joint coverage (mean union size / reference).
+    pub joint: f64,
+}
+
+/// Computes coverage from a [`NetworkSizeReport`] and a reference size.
+pub fn coverage(report: &NetworkSizeReport, reference_size: f64) -> CoverageReport {
+    assert!(reference_size > 0.0, "reference size must be positive");
+    let monitors = report.weekly_unique_per_monitor.len();
+    let mut per_monitor_means = vec![0.0f64; monitors];
+    if !report.snapshots.is_empty() {
+        for snapshot in &report.snapshots {
+            for (m, &size) in snapshot.sizes.iter().enumerate() {
+                per_monitor_means[m] += size as f64;
+            }
+        }
+        for mean in per_monitor_means.iter_mut() {
+            *mean /= report.snapshots.len() as f64;
+        }
+    }
+    let joint_mean = report
+        .union_sizes
+        .map(|s| s.mean)
+        .unwrap_or(0.0);
+    CoverageReport {
+        reference_size,
+        per_monitor: per_monitor_means
+            .iter()
+            .map(|m| (m / reference_size).min(1.0))
+            .collect(),
+        joint: (joint_mean / reference_size).min(1.0),
+    }
+}
+
+/// Peer-ID uniformity data for Fig. 3: the key-space positions (in `[0, 1)`)
+/// of all peers connected to `monitor` at time `at`.
+pub fn peer_id_positions(dataset: &MonitoringDataset, monitor: usize, at: SimTime) -> Vec<f64> {
+    dataset
+        .peer_set_at(monitor, at)
+        .iter()
+        .map(|p| p.as_unit_fraction())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ConnectionRecord, MonitoringDataset, TraceEntry};
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, Transport};
+
+    fn addr() -> Multiaddr {
+        Multiaddr::new(1, 4001, Transport::Tcp, Country::Us)
+    }
+
+    /// Builds a dataset where `n` peers exist, each connected to monitor 0
+    /// with probability `p0` and monitor 1 with probability `p1` (derived
+    /// deterministically from the peer number).
+    fn synthetic_dataset(n: u64, p0: f64, p1: f64) -> MonitoringDataset {
+        let mut ds = MonitoringDataset::new(vec!["us".into(), "de".into()]);
+        for i in 0..n {
+            let peer = PeerId::derived(42, i);
+            // Derive independent, deterministic "dice" for the two attach
+            // decisions (independent of the peer ID itself, so the connected
+            // peer sets remain uniform samples of the key space).
+            let u0 = PeerId::derived(143, i).as_unit_fraction();
+            let u1 = PeerId::derived(144, i).as_unit_fraction();
+            for (m, (u, p)) in [(u0, p0), (u1, p1)].iter().enumerate() {
+                if u < p {
+                    ds.connections.push(ConnectionRecord {
+                        monitor: m,
+                        peer,
+                        address: addr(),
+                        connected_at: SimTime::ZERO,
+                        disconnected_at: None,
+                    });
+                }
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn estimators_recover_population_size() {
+        let n = 20_000;
+        let ds = synthetic_dataset(n, 0.6, 0.5);
+        let report = estimate_network_size(
+            &ds,
+            SimTime::from_secs(0),
+            SimTime::from_secs(0),
+            SimDuration::from_secs(1),
+        );
+        let capture = report.capture_recapture.unwrap().mean;
+        let committee = report.committee.unwrap().mean;
+        assert!(
+            (capture - n as f64).abs() / (n as f64) < 0.05,
+            "capture-recapture {capture}"
+        );
+        assert!(
+            (committee - n as f64).abs() / (n as f64) < 0.05,
+            "committee {committee}"
+        );
+    }
+
+    #[test]
+    fn coverage_matches_attach_probabilities() {
+        let n = 10_000;
+        let ds = synthetic_dataset(n, 0.54, 0.49);
+        let report = estimate_network_size(
+            &ds,
+            SimTime::from_secs(0),
+            SimTime::from_secs(0),
+            SimDuration::from_secs(1),
+        );
+        let cov = coverage(&report, n as f64);
+        assert!((cov.per_monitor[0] - 0.54).abs() < 0.03, "{:?}", cov.per_monitor);
+        assert!((cov.per_monitor[1] - 0.49).abs() < 0.03, "{:?}", cov.per_monitor);
+        let expected_joint = 1.0 - (1.0 - 0.54) * (1.0 - 0.49);
+        assert!((cov.joint - expected_joint).abs() < 0.03, "joint {}", cov.joint);
+    }
+
+    #[test]
+    fn weekly_uniques_and_bitswap_active_counts() {
+        let mut ds = synthetic_dataset(1_000, 0.5, 0.5);
+        // Make 20 peers Bitswap-active on monitor 0 and 10 on monitor 1.
+        for i in 0..20u64 {
+            ds.entries[0].push(TraceEntry {
+                timestamp: SimTime::from_secs(i),
+                peer: PeerId::derived(42, i),
+                address: addr(),
+                request_type: RequestType::WantHave,
+                cid: Cid::new_v1(Multicodec::Raw, &[1]),
+                monitor: 0,
+                flags: Default::default(),
+            });
+        }
+        for i in 0..10u64 {
+            ds.entries[1].push(TraceEntry {
+                timestamp: SimTime::from_secs(i),
+                peer: PeerId::derived(42, i),
+                address: addr(),
+                request_type: RequestType::WantBlock,
+                cid: Cid::new_v1(Multicodec::Raw, &[2]),
+                monitor: 1,
+                flags: Default::default(),
+            });
+        }
+        let report = estimate_network_size(
+            &ds,
+            SimTime::from_secs(0),
+            SimTime::from_secs(0),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(report.bitswap_active_per_monitor, vec![20, 10]);
+        assert_eq!(report.bitswap_active_union, 20);
+        assert!(report.weekly_unique_union >= report.weekly_unique_per_monitor[0]);
+    }
+
+    #[test]
+    fn multiple_snapshots_are_collected() {
+        let ds = synthetic_dataset(500, 0.7, 0.7);
+        let report = estimate_network_size(
+            &ds,
+            SimTime::from_secs(0),
+            SimTime::from_secs(3_600),
+            SimDuration::from_mins(10),
+        );
+        assert_eq!(report.snapshots.len(), 7);
+    }
+
+    #[test]
+    fn peer_positions_are_unit_fractions() {
+        let ds = synthetic_dataset(2_000, 0.5, 0.5);
+        let positions = peer_id_positions(&ds, 0, SimTime::ZERO);
+        assert!(!positions.is_empty());
+        assert!(positions.iter().all(|p| (0.0..=1.0).contains(p)));
+        // They come from SHA-256-derived IDs, so they should be close to
+        // uniform.
+        let dev = ipfs_mon_analysis::qq_uniform_deviation(&positions, 51);
+        assert!(dev < 0.08, "deviation {dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reference size must be positive")]
+    fn coverage_rejects_zero_reference() {
+        let ds = synthetic_dataset(10, 0.5, 0.5);
+        let report = estimate_network_size(
+            &ds,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+        coverage(&report, 0.0);
+    }
+}

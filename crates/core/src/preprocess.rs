@@ -1,0 +1,265 @@
+//! Trace preprocessing (Sec. IV-B).
+//!
+//! Raw per-monitor traces are unified into one stream and two kinds of
+//! repeated entries are flagged:
+//!
+//! * **Inter-monitor duplicates** — a node connected to several monitors
+//!   broadcasts each want to all of them; entries with the same
+//!   `(peer, request type, CID)` arriving at *different* monitors within a
+//!   5 s window are genuine duplicates of one broadcast.
+//! * **Re-broadcasts** — IPFS re-broadcasts unresolved wants every 30 s; a
+//!   per-monitor window of 31 s flags these repeats.
+//!
+//! As in the paper, the flags are kept (rather than entries being dropped) so
+//! that each analysis can decide which view it needs; the standard analyses
+//! filter both out via [`crate::trace::UnifiedTrace::primary_entries`].
+
+use crate::trace::{MonitoringDataset, TraceEntry, UnifiedTrace};
+use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_types::{Cid, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Preprocessing configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Window within which the same entry at *different* monitors counts as a
+    /// duplicate of one broadcast (paper: 5 s).
+    pub duplicate_window: SimDuration,
+    /// Window within which the same entry at the *same* monitor counts as a
+    /// periodic re-broadcast (paper: 31 s).
+    pub rebroadcast_window: SimDuration,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            duplicate_window: SimDuration::from_secs(5),
+            rebroadcast_window: SimDuration::from_secs(31),
+        }
+    }
+}
+
+/// Statistics of one preprocessing pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreprocessStats {
+    /// Total entries in the unified trace.
+    pub total: usize,
+    /// Entries flagged as inter-monitor duplicates.
+    pub inter_monitor_duplicates: usize,
+    /// Entries flagged as re-broadcasts.
+    pub rebroadcasts: usize,
+    /// Entries carrying neither flag.
+    pub primary: usize,
+}
+
+impl PreprocessStats {
+    /// Fraction of entries that are repeats of some kind.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.primary) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Key identifying "the same logical entry" for both windows.
+type EntryKey = (PeerId, RequestType, Cid);
+
+/// Unifies the per-monitor traces of `dataset` into one time-ordered trace
+/// and sets the duplicate/re-broadcast flags.
+pub fn unify_and_flag(
+    dataset: &MonitoringDataset,
+    config: PreprocessConfig,
+) -> (UnifiedTrace, PreprocessStats) {
+    // Merge and sort by timestamp (stable tie-break by monitor index keeps the
+    // result deterministic).
+    let mut entries: Vec<TraceEntry> = dataset.entries.iter().flatten().cloned().collect();
+    entries.sort_by_key(|e| (e.timestamp, e.monitor));
+
+    // For the duplicate window we remember, per key, the last time each
+    // monitor saw the entry. An entry is an inter-monitor duplicate if any
+    // *other* monitor saw the same key within the window before it.
+    let mut last_seen: HashMap<EntryKey, Vec<Option<SimTime>>> = HashMap::new();
+    let monitors = dataset.monitor_count().max(1);
+
+    let mut stats = PreprocessStats::default();
+    for entry in entries.iter_mut() {
+        let key: EntryKey = (entry.peer, entry.request_type, entry.cid.clone());
+        let per_monitor = last_seen
+            .entry(key)
+            .or_insert_with(|| vec![None; monitors]);
+
+        // Inter-monitor duplicate: some other monitor saw it recently.
+        let is_duplicate = per_monitor.iter().enumerate().any(|(m, seen)| {
+            m != entry.monitor
+                && seen
+                    .map(|t| entry.timestamp.since(t) <= config.duplicate_window)
+                    .unwrap_or(false)
+        });
+        // Re-broadcast: the same monitor saw it within the larger window.
+        let is_rebroadcast = per_monitor[entry.monitor]
+            .map(|t| entry.timestamp.since(t) <= config.rebroadcast_window)
+            .unwrap_or(false);
+
+        entry.flags.inter_monitor_duplicate = is_duplicate;
+        entry.flags.rebroadcast = is_rebroadcast;
+        per_monitor[entry.monitor] = Some(entry.timestamp);
+
+        stats.total += 1;
+        if is_duplicate {
+            stats.inter_monitor_duplicates += 1;
+        }
+        if is_rebroadcast {
+            stats.rebroadcasts += 1;
+        }
+        if !is_duplicate && !is_rebroadcast {
+            stats.primary += 1;
+        }
+    }
+
+    (UnifiedTrace { entries }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EntryFlags;
+    use ipfs_mon_types::{Country, Multiaddr, Multicodec, Transport};
+
+    fn entry(millis: u64, peer: u64, cid: u8, monitor: usize, rtype: RequestType) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(millis),
+            peer: PeerId::derived(3, peer),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::De),
+            request_type: rtype,
+            cid: Cid::new_v1(Multicodec::Raw, &[cid]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    fn dataset(entries: Vec<TraceEntry>) -> MonitoringDataset {
+        let mut ds = MonitoringDataset::new(vec!["us".into(), "de".into()]);
+        for e in entries {
+            let m = e.monitor;
+            ds.entries[m].push(e);
+        }
+        ds
+    }
+
+    #[test]
+    fn cross_monitor_copy_within_window_is_duplicate() {
+        let ds = dataset(vec![
+            entry(1_000, 1, 1, 0, RequestType::WantHave),
+            entry(2_500, 1, 1, 1, RequestType::WantHave), // 1.5 s later, other monitor
+        ]);
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert!(!trace.entries[0].flags.inter_monitor_duplicate);
+        assert!(trace.entries[1].flags.inter_monitor_duplicate);
+        assert!(!trace.entries[1].flags.rebroadcast);
+        assert_eq!(stats.inter_monitor_duplicates, 1);
+        assert_eq!(stats.primary, 1);
+    }
+
+    #[test]
+    fn cross_monitor_copy_outside_window_is_not_duplicate() {
+        let ds = dataset(vec![
+            entry(1_000, 1, 1, 0, RequestType::WantHave),
+            entry(7_500, 1, 1, 1, RequestType::WantHave), // 6.5 s later
+        ]);
+        let (trace, _) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert!(!trace.entries[1].flags.inter_monitor_duplicate);
+    }
+
+    #[test]
+    fn same_monitor_repeat_within_31s_is_rebroadcast() {
+        let ds = dataset(vec![
+            entry(0, 1, 1, 0, RequestType::WantHave),
+            entry(30_000, 1, 1, 0, RequestType::WantHave),
+            entry(60_000, 1, 1, 0, RequestType::WantHave),
+            entry(120_000, 1, 1, 0, RequestType::WantHave), // 60 s gap → not flagged
+        ]);
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert!(!trace.entries[0].flags.rebroadcast);
+        assert!(trace.entries[1].flags.rebroadcast);
+        assert!(trace.entries[2].flags.rebroadcast);
+        assert!(!trace.entries[3].flags.rebroadcast);
+        assert_eq!(stats.rebroadcasts, 2);
+    }
+
+    #[test]
+    fn different_cids_or_types_are_never_repeats() {
+        let ds = dataset(vec![
+            entry(0, 1, 1, 0, RequestType::WantHave),
+            entry(100, 1, 2, 0, RequestType::WantHave),        // other CID
+            entry(200, 1, 1, 0, RequestType::Cancel),          // other type
+            entry(300, 2, 1, 0, RequestType::WantHave),        // other peer
+        ]);
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert!(trace.entries.iter().all(|e| e.flags.is_primary()));
+        assert_eq!(stats.primary, 4);
+    }
+
+    #[test]
+    fn repeated_rebroadcasts_across_monitors_flag_both_ways() {
+        // A node connected to both monitors re-broadcasting every 30 s: the
+        // paper notes the >50 % repeat share; check the unified trace ends up
+        // with exactly one primary entry.
+        let mut raw = Vec::new();
+        for i in 0..10u64 {
+            raw.push(entry(i * 30_000, 1, 1, 0, RequestType::WantHave));
+            raw.push(entry(i * 30_000 + 120, 1, 1, 1, RequestType::WantHave));
+        }
+        let ds = dataset(raw);
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert_eq!(stats.total, 20);
+        assert_eq!(stats.primary, 1);
+        assert!(stats.repeat_fraction() > 0.9);
+        assert_eq!(trace.primary_entries().count(), 1);
+    }
+
+    #[test]
+    fn unified_trace_is_time_ordered() {
+        let ds = dataset(vec![
+            entry(5_000, 1, 1, 1, RequestType::WantHave),
+            entry(1_000, 2, 2, 0, RequestType::WantHave),
+            entry(3_000, 3, 3, 0, RequestType::WantBlock),
+        ]);
+        let (trace, _) = unify_and_flag(&ds, PreprocessConfig::default());
+        for pair in trace.entries.windows(2) {
+            assert!(pair[0].timestamp <= pair[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_produces_empty_trace() {
+        let ds = MonitoringDataset::new(vec!["us".into()]);
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+        assert!(trace.is_empty());
+        assert_eq!(stats, PreprocessStats::default());
+        assert_eq!(stats.repeat_fraction(), 0.0);
+    }
+
+    #[test]
+    fn window_sizes_are_configurable() {
+        let ds = dataset(vec![
+            entry(0, 1, 1, 0, RequestType::WantHave),
+            entry(8_000, 1, 1, 1, RequestType::WantHave),
+        ]);
+        let strict = PreprocessConfig {
+            duplicate_window: SimDuration::from_secs(5),
+            rebroadcast_window: SimDuration::from_secs(31),
+        };
+        let relaxed = PreprocessConfig {
+            duplicate_window: SimDuration::from_secs(10),
+            rebroadcast_window: SimDuration::from_secs(31),
+        };
+        let (_, s1) = unify_and_flag(&ds, strict);
+        let (_, s2) = unify_and_flag(&ds, relaxed);
+        assert_eq!(s1.inter_monitor_duplicates, 0);
+        assert_eq!(s2.inter_monitor_duplicates, 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Provider records.
+//!
+//! The DHT maps a CID to the set of peers that claim to hold the referenced
+//! block ("providers"). Nodes re-publish their provider records periodically;
+//! records expire after a TTL (24 h in kubo). The gateway-probing attack of
+//! Sec. VI-B relies on this machinery: the monitor inserts *itself* as a
+//! provider for a freshly generated random CID so that the probed gateway's
+//! DHT lookup finds the monitor and connects to it.
+
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_types::{Cid, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Default provider-record TTL used by kubo.
+pub const DEFAULT_PROVIDER_TTL: SimDuration = SimDuration::from_hours(24);
+
+/// One provider record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderRecord {
+    /// The peer claiming to provide the content.
+    pub provider: PeerId,
+    /// When the record was (re-)published.
+    pub published_at: SimTime,
+}
+
+/// A store of provider records, keyed by CID.
+///
+/// In the real network these records are spread over the DHT servers closest
+/// to the CID; the simulation keeps them in one logical store (the union of
+/// all servers' stores), which preserves lookup *results* while eliding
+/// per-server placement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProviderStore {
+    records: HashMap<Cid, Vec<ProviderRecord>>,
+    ttl: Option<SimDuration>,
+}
+
+impl ProviderStore {
+    /// Creates a store with the default 24 h TTL.
+    pub fn new() -> Self {
+        Self {
+            records: HashMap::new(),
+            ttl: Some(DEFAULT_PROVIDER_TTL),
+        }
+    }
+
+    /// Creates a store with a custom TTL (or no expiry at all).
+    pub fn with_ttl(ttl: Option<SimDuration>) -> Self {
+        Self {
+            records: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Adds (or refreshes) a provider record for `cid`.
+    pub fn add_provider(&mut self, cid: &Cid, provider: PeerId, now: SimTime) {
+        let records = self.records.entry(cid.clone()).or_default();
+        if let Some(existing) = records.iter_mut().find(|r| r.provider == provider) {
+            existing.published_at = now;
+        } else {
+            records.push(ProviderRecord {
+                provider,
+                published_at: now,
+            });
+        }
+    }
+
+    /// Removes a provider record (e.g. the node stopped providing).
+    pub fn remove_provider(&mut self, cid: &Cid, provider: &PeerId) {
+        if let Some(records) = self.records.get_mut(cid) {
+            records.retain(|r| r.provider != *provider);
+            if records.is_empty() {
+                self.records.remove(cid);
+            }
+        }
+    }
+
+    /// Returns the providers of `cid` whose records have not expired at `now`.
+    pub fn providers(&self, cid: &Cid, now: SimTime) -> Vec<PeerId> {
+        let Some(records) = self.records.get(cid) else {
+            return Vec::new();
+        };
+        records
+            .iter()
+            .filter(|r| self.is_live(r, now))
+            .map(|r| r.provider)
+            .collect()
+    }
+
+    /// Returns true if `provider` currently provides `cid`.
+    pub fn is_provider(&self, cid: &Cid, provider: &PeerId, now: SimTime) -> bool {
+        self.providers(cid, now).contains(provider)
+    }
+
+    /// Number of CIDs with at least one live record at `now`.
+    pub fn provided_cid_count(&self, now: SimTime) -> usize {
+        self.records
+            .iter()
+            .filter(|(_, records)| records.iter().any(|r| self.is_live(r, now)))
+            .count()
+    }
+
+    /// Total number of records (including expired ones not yet compacted).
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Drops expired records.
+    pub fn compact(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.records.retain(|_, records| {
+            records.retain(|r| match ttl {
+                Some(ttl) => now.since(r.published_at) < ttl,
+                None => true,
+            });
+            !records.is_empty()
+        });
+    }
+
+    fn is_live(&self, record: &ProviderRecord, now: SimTime) -> bool {
+        match self.ttl {
+            Some(ttl) => now.since(record.published_at) < ttl,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_types::Multicodec;
+
+    fn cid(n: u8) -> Cid {
+        Cid::new_v1(Multicodec::Raw, &[n])
+    }
+
+    fn pid(n: u64) -> PeerId {
+        PeerId::derived(7, n)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ProviderStore::new();
+        let t = SimTime::from_secs(0);
+        store.add_provider(&cid(1), pid(1), t);
+        store.add_provider(&cid(1), pid(2), t);
+        store.add_provider(&cid(2), pid(3), t);
+        let mut providers = store.providers(&cid(1), t);
+        providers.sort();
+        let mut expected = vec![pid(1), pid(2)];
+        expected.sort();
+        assert_eq!(providers, expected);
+        assert!(store.is_provider(&cid(2), &pid(3), t));
+        assert!(!store.is_provider(&cid(2), &pid(1), t));
+    }
+
+    #[test]
+    fn unknown_cid_has_no_providers() {
+        let store = ProviderStore::new();
+        assert!(store.providers(&cid(9), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn records_expire_after_ttl() {
+        let mut store = ProviderStore::with_ttl(Some(SimDuration::from_hours(1)));
+        store.add_provider(&cid(1), pid(1), SimTime::ZERO);
+        let before = SimTime::ZERO + SimDuration::from_mins(59);
+        let after = SimTime::ZERO + SimDuration::from_mins(61);
+        assert_eq!(store.providers(&cid(1), before).len(), 1);
+        assert!(store.providers(&cid(1), after).is_empty());
+        assert_eq!(store.provided_cid_count(after), 0);
+    }
+
+    #[test]
+    fn republish_refreshes_ttl() {
+        let mut store = ProviderStore::with_ttl(Some(SimDuration::from_hours(1)));
+        store.add_provider(&cid(1), pid(1), SimTime::ZERO);
+        store.add_provider(&cid(1), pid(1), SimTime::ZERO + SimDuration::from_mins(50));
+        let probe = SimTime::ZERO + SimDuration::from_mins(100);
+        assert_eq!(store.providers(&cid(1), probe).len(), 1);
+        assert_eq!(store.record_count(), 1, "refresh must not duplicate");
+    }
+
+    #[test]
+    fn remove_provider_and_compact() {
+        let mut store = ProviderStore::with_ttl(Some(SimDuration::from_hours(1)));
+        store.add_provider(&cid(1), pid(1), SimTime::ZERO);
+        store.add_provider(&cid(1), pid(2), SimTime::ZERO);
+        store.remove_provider(&cid(1), &pid(1));
+        assert_eq!(store.providers(&cid(1), SimTime::ZERO), vec![pid(2)]);
+
+        let later = SimTime::ZERO + SimDuration::from_hours(2);
+        store.compact(later);
+        assert_eq!(store.record_count(), 0);
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let mut store = ProviderStore::with_ttl(None);
+        store.add_provider(&cid(1), pid(1), SimTime::ZERO);
+        let far = SimTime::ZERO + SimDuration::from_days(365);
+        assert_eq!(store.providers(&cid(1), far).len(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Discrete-event scheduler.
+//!
+//! The simulation advances by popping the earliest pending event from a
+//! priority queue. Events are generic over a user-defined payload type; the
+//! node crate drives the loop with its own event enum (message deliveries,
+//! protocol timers, churn transitions, workload arrivals, …).
+//!
+//! Determinism: events scheduled for the same instant are delivered in the
+//! order they were scheduled (FIFO tie-breaking by sequence number), so a
+//! seeded simulation always produces the same trace.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct ScheduledEvent<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order by (time, sequence) — BinaryHeap is a max-heap, so comparisons are
+// wrapped in `Reverse` at the call sites.
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use ipfs_mon_simnet::scheduler::Scheduler;
+/// use ipfs_mon_simnet::time::{SimDuration, SimTime};
+///
+/// let mut sched: Scheduler<&'static str> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_secs(2), "later");
+/// sched.schedule_at(SimTime::from_secs(1), "sooner");
+/// let (t, event) = sched.pop().unwrap();
+/// assert_eq!((t, event), (SimTime::from_secs(1), "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    delivered: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before any event was delivered).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns true if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `payload` for the absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time: the event will
+    /// be delivered next, preserving causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(ScheduledEvent { at, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Schedules `payload` for `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending (it will be silently dropped when reached).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if self.cancelled.remove(&event.seq) {
+                continue;
+            }
+            debug_assert!(event.at >= self.now, "time must be monotone");
+            self.now = event.at;
+            self.delivered += 1;
+            return Some((event.at, event.payload));
+        }
+        None
+    }
+
+    /// Pops the next event only if it is scheduled at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let head_at = self.queue.peek().map(|Reverse(e)| (e.at, e.seq))?;
+            if head_at.0 > deadline {
+                return None;
+            }
+            if self.cancelled.contains(&head_at.1) {
+                self.queue.pop();
+                self.cancelled.remove(&head_at.1);
+                continue;
+            }
+            return self.pop();
+        }
+    }
+
+    /// Timestamp of the next pending (non-cancelled) event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Cancelled events may still sit at the head; report their time
+        // conservatively only if a live event exists at all.
+        self.queue
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+            .map(|Reverse(e)| e.at)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(3), "c");
+        sched.schedule_at(SimTime::from_secs(1), "a");
+        sched.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| sched.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(sched.now(), SimTime::from_secs(3));
+        assert_eq!(sched.delivered(), 3);
+    }
+
+    #[test]
+    fn ties_broken_in_fifo_order() {
+        let mut sched = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sched.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| sched.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(10), "first");
+        sched.pop();
+        sched.schedule_after(SimDuration::from_secs(5), "second");
+        let (t, _) = sched.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(10), "first");
+        sched.pop();
+        sched.schedule_at(SimTime::from_secs(1), "late");
+        let (t, e) = sched.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+    }
+
+    #[test]
+    fn cancellation_drops_event() {
+        let mut sched = Scheduler::new();
+        let keep = sched.schedule_at(SimTime::from_secs(1), "keep");
+        let drop_ = sched.schedule_at(SimTime::from_secs(2), "drop");
+        assert!(sched.cancel(drop_));
+        assert!(!sched.cancel(EventId(999)), "unknown id");
+        let order: Vec<&str> = std::iter::from_fn(|| sched.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), 1);
+        sched.schedule_at(SimTime::from_secs(5), 5);
+        assert_eq!(sched.pop_until(SimTime::from_secs(2)), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(sched.pop_until(SimTime::from_secs(2)), None);
+        assert_eq!(sched.pop_until(SimTime::from_secs(10)), Some((SimTime::from_secs(5), 5)));
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled() {
+        let mut sched = Scheduler::new();
+        let a = sched.schedule_at(SimTime::from_secs(1), "a");
+        sched.schedule_at(SimTime::from_secs(2), "b");
+        sched.cancel(a);
+        assert_eq!(sched.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn empty_scheduler_behaviour() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        assert!(sched.is_empty());
+        assert_eq!(sched.pop(), None);
+        assert_eq!(sched.peek_time(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn pops_are_monotone_in_time(times in proptest::collection::vec(0u64..100_000, 1..200)) {
+            let mut sched = Scheduler::new();
+            for (i, &t) in times.iter().enumerate() {
+                sched.schedule_at(SimTime::from_millis(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some((t, _)) = sched.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        }
+
+        #[test]
+        fn cancelled_events_never_delivered(n in 1usize..100, cancel_every in 1usize..5) {
+            let mut sched = Scheduler::new();
+            let mut cancelled = Vec::new();
+            for i in 0..n {
+                let id = sched.schedule_at(SimTime::from_millis(i as u64 % 17), i);
+                if i % cancel_every == 0 {
+                    sched.cancel(id);
+                    cancelled.push(i);
+                }
+            }
+            let delivered: Vec<usize> = std::iter::from_fn(|| sched.pop().map(|(_, e)| e)).collect();
+            for c in cancelled {
+                prop_assert!(!delivered.contains(&c));
+            }
+        }
+    }
+}

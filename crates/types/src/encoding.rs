@@ -1,0 +1,194 @@
+//! Multibase-style string encodings used for rendering CIDs and peer IDs:
+//! base58btc (CIDv0 / peer IDs) and lowercase base32 without padding (CIDv1).
+
+use crate::error::TypesError;
+
+const BASE58_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+const BASE32_ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Encodes `input` as base58btc (the Bitcoin alphabet), the encoding used for
+/// CIDv0 strings and textual peer IDs.
+pub fn base58btc_encode(input: &[u8]) -> String {
+    // Count leading zero bytes; each maps to a leading '1'.
+    let zeros = input.iter().take_while(|&&b| b == 0).count();
+
+    // Base conversion via repeated division, operating on a big-endian digit
+    // vector in base 58.
+    let mut digits: Vec<u8> = Vec::with_capacity(input.len() * 138 / 100 + 1);
+    for &byte in input {
+        let mut carry = byte as u32;
+        for digit in digits.iter_mut() {
+            carry += (*digit as u32) << 8;
+            *digit = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push('1');
+    }
+    for &digit in digits.iter().rev() {
+        out.push(BASE58_ALPHABET[digit as usize] as char);
+    }
+    out
+}
+
+/// Decodes a base58btc string back to bytes.
+pub fn base58btc_decode(input: &str) -> Result<Vec<u8>, TypesError> {
+    let zeros = input.chars().take_while(|&c| c == '1').count();
+
+    let mut bytes: Vec<u8> = Vec::with_capacity(input.len());
+    for c in input.chars() {
+        let value = BASE58_ALPHABET
+            .iter()
+            .position(|&a| a as char == c)
+            .ok_or(TypesError::InvalidBaseCharacter(c))? as u32;
+        let mut carry = value;
+        for byte in bytes.iter_mut() {
+            carry += (*byte as u32) * 58;
+            *byte = (carry & 0xff) as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            bytes.push((carry & 0xff) as u8);
+            carry >>= 8;
+        }
+    }
+
+    let mut out = vec![0u8; zeros];
+    out.extend(bytes.iter().rev().skip_while(|&&b| b == 0).copied());
+    // `skip_while` above also strips zeros that belong to the value when the
+    // value itself starts with zero bytes after the counted leading '1's; the
+    // division-based algorithm never produces such zeros, so this is safe.
+    Ok(out)
+}
+
+/// Encodes `input` as lowercase RFC 4648 base32 without padding, the default
+/// string form of CIDv1.
+pub fn base32_lower_encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(5) * 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for &byte in input {
+        buffer = (buffer << 8) | u64::from(byte);
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            let index = ((buffer >> bits) & 0x1f) as usize;
+            out.push(BASE32_ALPHABET[index] as char);
+        }
+    }
+    if bits > 0 {
+        let index = ((buffer << (5 - bits)) & 0x1f) as usize;
+        out.push(BASE32_ALPHABET[index] as char);
+    }
+    out
+}
+
+/// Decodes lowercase, unpadded base32.
+pub fn base32_lower_decode(input: &str) -> Result<Vec<u8>, TypesError> {
+    let mut out = Vec::with_capacity(input.len() * 5 / 8);
+    let mut buffer: u64 = 0;
+    let mut bits: u32 = 0;
+    for c in input.chars() {
+        let value = BASE32_ALPHABET
+            .iter()
+            .position(|&a| a as char == c)
+            .ok_or(TypesError::InvalidBaseCharacter(c))? as u64;
+        buffer = (buffer << 5) | value;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((buffer >> bits) & 0xff) as u8);
+        }
+    }
+    // Remaining bits must be zero padding bits.
+    if bits > 0 && (buffer & ((1 << bits) - 1)) != 0 {
+        return Err(TypesError::InvalidBasePadding);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn base58_known_vectors() {
+        assert_eq!(base58btc_encode(b""), "");
+        assert_eq!(base58btc_encode(b"hello world"), "StV1DL6CwTryKyV");
+        assert_eq!(base58btc_encode(&[0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]), "11233QC4");
+        assert_eq!(base58btc_encode(&[0x61]), "2g");
+        assert_eq!(base58btc_encode(&[0x62, 0x62, 0x62]), "a3gV");
+    }
+
+    #[test]
+    fn base58_decode_known_vectors() {
+        assert_eq!(base58btc_decode("StV1DL6CwTryKyV").unwrap(), b"hello world");
+        assert_eq!(
+            base58btc_decode("11233QC4").unwrap(),
+            vec![0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]
+        );
+        assert_eq!(base58btc_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn base58_rejects_invalid_characters() {
+        // '0', 'O', 'I', 'l' are not in the base58btc alphabet.
+        for bad in ["0", "O", "I", "l", "hello!"] {
+            assert!(base58btc_decode(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn base32_known_vectors() {
+        // RFC 4648 test vectors, lowercased and unpadded.
+        assert_eq!(base32_lower_encode(b""), "");
+        assert_eq!(base32_lower_encode(b"f"), "my");
+        assert_eq!(base32_lower_encode(b"fo"), "mzxq");
+        assert_eq!(base32_lower_encode(b"foo"), "mzxw6");
+        assert_eq!(base32_lower_encode(b"foob"), "mzxw6yq");
+        assert_eq!(base32_lower_encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(base32_lower_encode(b"foobar"), "mzxw6ytboi");
+    }
+
+    #[test]
+    fn base32_decode_known_vectors() {
+        assert_eq!(base32_lower_decode("mzxw6ytboi").unwrap(), b"foobar");
+        assert_eq!(base32_lower_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn base32_rejects_uppercase_and_invalid() {
+        assert!(base32_lower_decode("MZXW6").is_err());
+        assert!(base32_lower_decode("a1").is_err()); // '1' not in alphabet
+    }
+
+    proptest! {
+        #[test]
+        fn base58_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let encoded = base58btc_encode(&data);
+            let decoded = base58btc_decode(&encoded).unwrap();
+            prop_assert_eq!(decoded, data);
+        }
+
+        #[test]
+        fn base32_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let encoded = base32_lower_encode(&data);
+            let decoded = base32_lower_decode(&encoded).unwrap();
+            prop_assert_eq!(decoded, data);
+        }
+
+        #[test]
+        fn base58_output_alphabet(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let encoded = base58btc_encode(&data);
+            prop_assert!(encoded.chars().all(|c| BASE58_ALPHABET.contains(&(c as u8))));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for identifier parsing and encoding.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding the identifier types in this
+/// crate (varints, multihashes, CIDs, peer IDs, multiaddrs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypesError {
+    /// A varint did not terminate before the end of the input.
+    UnexpectedEof,
+    /// A varint encoded a value larger than `u64::MAX` or used too many bytes.
+    VarintOverflow,
+    /// A varint used a non-canonical (overlong) encoding.
+    NonCanonicalVarint,
+    /// A character outside the expected base alphabet was encountered.
+    InvalidBaseCharacter(char),
+    /// Base32 padding bits were not zero.
+    InvalidBasePadding,
+    /// The multihash code is not one this crate understands.
+    UnknownHashCode(u64),
+    /// The digest length did not match the declared length or the hash
+    /// function's output size.
+    InvalidDigestLength {
+        /// Digest length implied by the hash function.
+        expected: usize,
+        /// Digest length actually present.
+        actual: usize,
+    },
+    /// The multicodec code is not one this crate understands.
+    UnknownCodec(u64),
+    /// A CID string or byte representation could not be parsed.
+    InvalidCid(String),
+    /// A peer ID could not be parsed.
+    InvalidPeerId(String),
+    /// A multiaddr could not be parsed.
+    InvalidMultiaddr(String),
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::UnexpectedEof => write!(f, "unexpected end of input"),
+            TypesError::VarintOverflow => write!(f, "varint exceeds u64 range"),
+            TypesError::NonCanonicalVarint => write!(f, "non-canonical varint encoding"),
+            TypesError::InvalidBaseCharacter(c) => {
+                write!(f, "character {c:?} is not in the expected base alphabet")
+            }
+            TypesError::InvalidBasePadding => write!(f, "non-zero base32 padding bits"),
+            TypesError::UnknownHashCode(code) => write!(f, "unknown multihash code {code:#x}"),
+            TypesError::InvalidDigestLength { expected, actual } => {
+                write!(f, "invalid digest length: expected {expected}, got {actual}")
+            }
+            TypesError::UnknownCodec(code) => write!(f, "unknown multicodec {code:#x}"),
+            TypesError::InvalidCid(msg) => write!(f, "invalid CID: {msg}"),
+            TypesError::InvalidPeerId(msg) => write!(f, "invalid peer ID: {msg}"),
+            TypesError::InvalidMultiaddr(msg) => write!(f, "invalid multiaddr: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypesError::InvalidDigestLength {
+            expected: 32,
+            actual: 20,
+        };
+        assert!(e.to_string().contains("expected 32"));
+        assert!(TypesError::UnknownCodec(0x99).to_string().contains("0x99"));
+        assert!(TypesError::InvalidBaseCharacter('!').to_string().contains('!'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<TypesError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Core identifier types for the IPFS Bitswap monitoring suite.
+//!
+//! This crate implements, from scratch, the identifier and addressing
+//! primitives that the rest of the workspace builds on:
+//!
+//! * [`sha256`] — a FIPS 180-4 SHA-256 implementation (IPFS' default hash),
+//! * [`varint`] — unsigned LEB128 varints used across wire formats,
+//! * [`encoding`] — base58btc and base32 multibase string encodings,
+//! * [`multihash`] — self-describing digests,
+//! * [`multicodec`] — content-type codes (DagProtobuf, Raw, DagCBOR, …),
+//! * [`cid`] — content identifiers (CIDv0 and CIDv1),
+//! * [`peer_id`] — node identities and the XOR distance metric,
+//! * [`multiaddr`] — simplified transport addresses with GeoIP-style country
+//!   attribution.
+//!
+//! Everything else in the workspace — the Kademlia DHT, Bitswap, the node
+//! model, and the monitoring pipeline itself — speaks in terms of these types.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cid;
+pub mod encoding;
+pub mod error;
+pub mod multiaddr;
+pub mod multicodec;
+pub mod multihash;
+pub mod peer_id;
+pub mod sha256;
+pub mod varint;
+
+pub use cid::{Cid, CidVersion};
+pub use error::TypesError;
+pub use multiaddr::{Country, Multiaddr, Transport};
+pub use multicodec::Multicodec;
+pub use multihash::{HashAlgorithm, Multihash};
+pub use peer_id::{Distance, Keypair, PeerId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_compose() {
+        let cid = Cid::new_v1(Multicodec::Raw, b"integration of re-exports");
+        assert!(cid.verifies(b"integration of re-exports"));
+        let id = PeerId::derived(1, 2);
+        assert_eq!(id, PeerId::derived(1, 2));
+    }
+}

@@ -1,0 +1,290 @@
+//! A from-scratch SHA-256 implementation (FIPS 180-4).
+//!
+//! IPFS content identifiers are, by default, SHA-256 multihashes of the block
+//! data. The monitoring suite deliberately implements the hash function itself
+//! instead of depending on an external crate, so that the whole content
+//! addressing path — data → digest → multihash → CID — is reproducible and
+//! auditable within this repository.
+//!
+//! The implementation supports both one-shot hashing ([`sha256`]) and
+//! incremental hashing through [`Sha256`], which is used by the chunker when
+//! hashing large simulated files block by block.
+
+/// Initial hash values (first 32 bits of the fractional parts of the square
+/// roots of the first eight primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants (first 32 bits of the fractional parts of the cube roots of
+/// the first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// The SHA-256 digest size in bytes.
+pub const DIGEST_SIZE: usize = 32;
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use ipfs_mon_types::sha256::Sha256;
+///
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let digest = hasher.finalize();
+/// assert_eq!(digest, ipfs_mon_types::sha256::sha256(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Buffered partial block.
+    buffer: [u8; 64],
+    /// Number of valid bytes in `buffer`.
+    buffer_len: usize,
+    /// Total number of message bytes processed so far.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a new hasher in its initial state.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially filled buffer first.
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        // Process full blocks directly from the input.
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+
+        // Stash the remainder.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_SIZE] {
+        let bit_len = self.total_len.wrapping_mul(8);
+
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buffer_len + 1 + zeros + 8) % 64 == 0.
+        let used = self.buffer_len + 1;
+        let zeros = if used % 64 <= 56 {
+            56 - used % 64
+        } else {
+            56 + 64 - used % 64
+        };
+        let mut tail = Vec::with_capacity(1 + zeros + 8);
+        tail.extend_from_slice(&pad[..1 + zeros]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+        self.update_without_count(&tail);
+
+        let mut out = [0u8; DIGEST_SIZE];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Like [`Sha256::update`] but without advancing the message length
+    /// counter. Used only for padding during finalization.
+    fn update_without_count(&mut self, data: &[u8]) {
+        let saved = self.total_len;
+        self.update(data);
+        self.total_len = saved;
+    }
+
+    /// SHA-256 compression function over one 512-bit block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Computes the SHA-256 digest of `data` in one shot.
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_SIZE] {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// Formats a digest (or any byte slice) as lowercase hex. Convenience helper
+/// used by tests and debugging output.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer tests from the NIST FIPS 180-4 examples and other widely
+    /// published vectors.
+    #[test]
+    fn nist_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(&to_hex(&sha256(input)), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4 long test vector: one million repetitions of 'a'.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_across_block_boundaries() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 500, 999, 1000] {
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn many_small_updates() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut hasher = Sha256::new();
+        for byte in &data {
+            hasher.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn padding_edge_lengths() {
+        // Lengths around the 56-byte padding boundary exercise both padding
+        // branches.
+        for len in 50..70usize {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            let one = h.finalize();
+            assert_eq!(one, sha256(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn to_hex_formats_leading_zeros() {
+        assert_eq!(to_hex(&[0x00, 0x01, 0xff]), "0001ff");
+    }
+}

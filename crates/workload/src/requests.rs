@@ -1,0 +1,266 @@
+//! Request-workload generation.
+//!
+//! Generates the two request streams of a scenario:
+//!
+//! * **node-initiated ("homegrown") requests** — each node runs a Poisson
+//!   request process while it is online, with a per-node rate drawn from a
+//!   heavy-tailed distribution (most nodes request rarely, a few are extremely
+//!   active — the paper explicitly observes such outliers);
+//! * **gateway HTTP requests** — a Poisson stream per gateway operator,
+//!   weighted by the operator's traffic share, with its own (typically more
+//!   head-heavy) popularity profile.
+
+use crate::popularity::{PopularityModel, PopularitySampler};
+use ipfs_mon_node::{GatewayRequestEvent, NodeSpec, RequestEvent};
+use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the request workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestWorkloadConfig {
+    /// Mean request rate per node, in requests per hour of online time.
+    pub mean_node_requests_per_hour: f64,
+    /// Pareto shape of the per-node rate distribution (lower = heavier tail;
+    /// must be > 1 so the mean exists).
+    pub rate_shape: f64,
+    /// Popularity model for node-initiated requests.
+    pub node_popularity: PopularityModel,
+    /// Total gateway HTTP request rate (requests per hour across all
+    /// operators).
+    pub gateway_requests_per_hour: f64,
+    /// Popularity model for gateway requests.
+    pub gateway_popularity: PopularityModel,
+}
+
+impl Default for RequestWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            mean_node_requests_per_hour: 2.0,
+            rate_shape: 1.6,
+            node_popularity: PopularityModel::paper_default(),
+            gateway_requests_per_hour: 400.0,
+            gateway_popularity: PopularityModel::Zipf { exponent: 1.1 },
+        }
+    }
+}
+
+/// Generates node-initiated requests for the given population and catalog
+/// size.
+pub fn generate_node_requests(
+    config: &RequestWorkloadConfig,
+    nodes: &[NodeSpec],
+    catalog_size: usize,
+    rng: &mut SimRng,
+) -> Vec<RequestEvent> {
+    assert!(catalog_size > 0, "catalog must not be empty");
+    let mut sampler_rng = rng.derive("node-popularity");
+    let sampler = PopularitySampler::new(config.node_popularity, catalog_size, &mut sampler_rng);
+    let mut requests = Vec::new();
+    for (index, node) in nodes.iter().enumerate() {
+        // Gateway nodes are driven by the HTTP workload, not by local users.
+        if node.config.role.is_gateway() {
+            continue;
+        }
+        let mut node_rng = rng.derive_indexed("requests", index as u64);
+        // Per-node rate: Pareto around the configured mean.
+        let shape = config.rate_shape.max(1.05);
+        let x_min = config.mean_node_requests_per_hour * (shape - 1.0) / shape;
+        let rate_per_hour = node_rng.sample_pareto(x_min.max(1e-3), shape);
+        let mean_gap_secs = 3600.0 / rate_per_hour;
+        for session in &node.schedule.sessions {
+            let mut t = session.start;
+            loop {
+                let gap = node_rng.sample_exponential(mean_gap_secs);
+                t = t + SimDuration::from_secs_f64(gap);
+                if t >= session.end {
+                    break;
+                }
+                requests.push(RequestEvent {
+                    at: t,
+                    node: index,
+                    content: sampler.sample(&mut node_rng),
+                });
+            }
+        }
+    }
+    requests.sort_by_key(|r| r.at);
+    requests
+}
+
+/// Generates gateway HTTP requests over `horizon` for the given operators'
+/// traffic shares.
+pub fn generate_gateway_requests(
+    config: &RequestWorkloadConfig,
+    operator_shares: &[f64],
+    catalog_size: usize,
+    horizon: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<GatewayRequestEvent> {
+    assert!(catalog_size > 0, "catalog must not be empty");
+    if operator_shares.is_empty() || config.gateway_requests_per_hour <= 0.0 {
+        return Vec::new();
+    }
+    let mut sampler_rng = rng.derive("gateway-popularity");
+    let sampler =
+        PopularitySampler::new(config.gateway_popularity, catalog_size, &mut sampler_rng);
+    let mut stream_rng = rng.derive("gateway-arrivals");
+    let mean_gap_secs = 3600.0 / config.gateway_requests_per_hour;
+    let horizon_end = SimTime::ZERO + horizon;
+    let mut requests = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = stream_rng.sample_exponential(mean_gap_secs);
+        t = t + SimDuration::from_secs_f64(gap);
+        if t >= horizon_end {
+            break;
+        }
+        let operator = stream_rng.sample_weighted_index(operator_shares);
+        requests.push(GatewayRequestEvent {
+            at: t,
+            operator,
+            content: sampler.sample(&mut stream_rng),
+        });
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_node::{NodeConfig, UpgradeSchedule};
+    use ipfs_mon_simnet::churn::{NodeSchedule, OnlineSession};
+    use ipfs_mon_types::Country;
+
+    fn node(online_hours: u64) -> NodeSpec {
+        NodeSpec {
+            config: NodeConfig::regular(),
+            country: Country::De,
+            schedule: NodeSchedule {
+                stable: true,
+                sessions: vec![OnlineSession {
+                    start: SimTime::ZERO,
+                    end: SimTime::ZERO + SimDuration::from_hours(online_hours),
+                }],
+            },
+            upgrade: UpgradeSchedule::always_modern(),
+            connections: 700,
+        }
+    }
+
+    fn gateway_node() -> NodeSpec {
+        NodeSpec {
+            config: NodeConfig::gateway(),
+            ..node(24)
+        }
+    }
+
+    #[test]
+    fn request_count_scales_with_rate_and_duration() {
+        let config = RequestWorkloadConfig {
+            mean_node_requests_per_hour: 4.0,
+            rate_shape: 8.0, // nearly deterministic rates for this test
+            ..Default::default()
+        };
+        let nodes: Vec<NodeSpec> = (0..200).map(|_| node(24)).collect();
+        let mut rng = SimRng::new(1);
+        let requests = generate_node_requests(&config, &nodes, 100, &mut rng);
+        // ≈ 200 nodes * 24 h * ~3.5..4 req/h (Pareto mean ≈ configured mean).
+        let expected = 200.0 * 24.0 * 4.0;
+        let actual = requests.len() as f64;
+        assert!(
+            actual > expected * 0.6 && actual < expected * 1.6,
+            "expected ≈{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn requests_fall_within_online_sessions() {
+        let config = RequestWorkloadConfig::default();
+        let nodes = vec![node(5)];
+        let mut rng = SimRng::new(2);
+        let requests = generate_node_requests(&config, &nodes, 50, &mut rng);
+        for r in &requests {
+            assert!(r.at < SimTime::ZERO + SimDuration::from_hours(5));
+            assert_eq!(r.node, 0);
+            assert!(r.content < 50);
+        }
+    }
+
+    #[test]
+    fn gateway_nodes_generate_no_local_requests() {
+        let config = RequestWorkloadConfig::default();
+        let nodes = vec![gateway_node(), node(24)];
+        let mut rng = SimRng::new(3);
+        let requests = generate_node_requests(&config, &nodes, 10, &mut rng);
+        assert!(requests.iter().all(|r| r.node == 1));
+    }
+
+    #[test]
+    fn requests_are_time_sorted() {
+        let config = RequestWorkloadConfig::default();
+        let nodes: Vec<NodeSpec> = (0..50).map(|_| node(12)).collect();
+        let mut rng = SimRng::new(4);
+        let requests = generate_node_requests(&config, &nodes, 100, &mut rng);
+        for pair in requests.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn gateway_requests_follow_traffic_shares() {
+        let config = RequestWorkloadConfig {
+            gateway_requests_per_hour: 2_000.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(5);
+        let requests = generate_gateway_requests(
+            &config,
+            &[0.8, 0.2],
+            100,
+            SimDuration::from_hours(24),
+            &mut rng,
+        );
+        assert!(!requests.is_empty());
+        let op0 = requests.iter().filter(|r| r.operator == 0).count() as f64;
+        let share = op0 / requests.len() as f64;
+        assert!((share - 0.8).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn zero_gateway_rate_produces_no_requests() {
+        let config = RequestWorkloadConfig {
+            gateway_requests_per_hour: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(6);
+        assert!(generate_gateway_requests(&config, &[1.0], 10, SimDuration::from_hours(1), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn per_node_rates_are_heterogeneous() {
+        let config = RequestWorkloadConfig {
+            mean_node_requests_per_hour: 2.0,
+            rate_shape: 1.3,
+            ..Default::default()
+        };
+        let nodes: Vec<NodeSpec> = (0..300).map(|_| node(24)).collect();
+        let mut rng = SimRng::new(7);
+        let requests = generate_node_requests(&config, &nodes, 200, &mut rng);
+        let mut per_node = vec![0usize; 300];
+        for r in &requests {
+            per_node[r.node] += 1;
+        }
+        let max = *per_node.iter().max().unwrap();
+        let median = {
+            let mut sorted = per_node.clone();
+            sorted.sort_unstable();
+            sorted[150]
+        };
+        assert!(
+            max as f64 > 4.0 * median.max(1) as f64,
+            "heavy tail expected: max {max}, median {median}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # ipfs-monitoring
+//!
+//! Workspace facade for the reproduction of *"Monitoring Data Requests in
+//! Decentralized Data Storage Systems: A Case Study of IPFS"* (ICDCS 2022).
+//!
+//! The facade re-exports every workspace crate under a short module name so
+//! that examples and downstream users can depend on a single crate:
+//!
+//! * [`types`] — peer IDs, CIDs, multihashes, multicodecs, multiaddrs,
+//! * [`simnet`] — deterministic discrete-event simulation kernel,
+//! * [`kad`] — Kademlia DHT substrate and the crawler baseline,
+//! * [`bitswap`] — the Bitswap protocol engine and wire format,
+//! * [`blockstore`] — blocks, Merkle DAGs and the local block cache,
+//! * [`node`] — the full node/network model (scenarios, gateways, monitors'
+//!   observation stream),
+//! * [`workload`] — scenario/workload generation,
+//! * [`analysis`] — statistics (ECDF, power-law tests, size estimators),
+//! * [`core`] — the monitoring methodology itself: trace collection,
+//!   preprocessing, analyses and privacy attacks.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ipfs_mon_analysis as analysis;
+pub use ipfs_mon_bitswap as bitswap;
+pub use ipfs_mon_blockstore as blockstore;
+pub use ipfs_mon_core as core;
+pub use ipfs_mon_kad as kad;
+pub use ipfs_mon_node as node;
+pub use ipfs_mon_simnet as simnet;
+pub use ipfs_mon_types as types;
+pub use ipfs_mon_workload as workload;

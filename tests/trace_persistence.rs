@@ -1,0 +1,48 @@
+//! Persistence and stability of the trace formats.
+
+use ipfs_monitoring::core::{
+    unify_and_flag, MonitorCollector, MonitoringDataset, PreprocessConfig, UnifiedTrace,
+};
+use ipfs_monitoring::node::Network;
+use ipfs_monitoring::simnet::time::SimDuration;
+use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
+
+fn small_dataset(seed: u64) -> MonitoringDataset {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.horizon = SimDuration::from_hours(2);
+    let mut network = Network::new(build_scenario(&config));
+    let mut collector = MonitorCollector::us_de();
+    network.run(&mut collector);
+    collector.into_dataset()
+}
+
+#[test]
+fn dataset_json_roundtrip_preserves_everything() {
+    let dataset = small_dataset(600);
+    assert!(dataset.total_entries() > 0);
+    let json = dataset.to_json().unwrap();
+    let parsed = MonitoringDataset::from_json(&json).unwrap();
+    assert_eq!(parsed.monitor_labels, dataset.monitor_labels);
+    assert_eq!(parsed.entries, dataset.entries);
+    assert_eq!(parsed.connections, dataset.connections);
+}
+
+#[test]
+fn unified_trace_json_roundtrip_preserves_flags() {
+    let dataset = small_dataset(601);
+    let (trace, stats) = unify_and_flag(&dataset, PreprocessConfig::default());
+    let parsed = UnifiedTrace::from_json(&trace.to_json().unwrap()).unwrap();
+    assert_eq!(parsed.entries, trace.entries);
+    assert_eq!(parsed.primary_entries().count(), stats.primary);
+}
+
+#[test]
+fn preprocessing_is_idempotent_on_reloaded_data() {
+    let dataset = small_dataset(602);
+    let json = dataset.to_json().unwrap();
+    let reloaded = MonitoringDataset::from_json(&json).unwrap();
+    let (a, sa) = unify_and_flag(&dataset, PreprocessConfig::default());
+    let (b, sb) = unify_and_flag(&reloaded, PreprocessConfig::default());
+    assert_eq!(a.entries, b.entries);
+    assert_eq!(sa, sb);
+}
