@@ -39,6 +39,60 @@ pub fn summarize(samples: &[f64]) -> Option<Summary> {
     })
 }
 
+/// Streaming single-pass summary: mean/variance by Welford's algorithm,
+/// min/max exactly. Use this for sources too large to materialize (e.g.
+/// scores streamed out of a tracestore segment); when the full sample fits in
+/// memory, [`summarize`] additionally provides the median.
+///
+/// NaN samples are skipped (and excluded from `count`) — a stream cannot be
+/// pre-validated the way [`summarize`]'s slice can, and poisoning every
+/// statistic over one bad sample would make the summary useless. Returns
+/// `None` when no non-NaN sample remains.
+pub fn summarize_stream<I: IntoIterator<Item = f64>>(samples: I) -> Option<StreamSummary> {
+    let mut count = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for x in samples {
+        if x.is_nan() {
+            continue;
+        }
+        count += 1;
+        let delta = x - mean;
+        mean += delta / count as f64;
+        m2 += delta * (x - mean);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(StreamSummary {
+        count,
+        mean,
+        std_dev: (m2 / count as f64).sqrt(),
+        min,
+        max,
+    })
+}
+
+/// Summary statistics computable in one streaming pass (no median — that
+/// needs the full sample; see [`Summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
 /// Computes the share (fraction summing to 1) of each labelled count. Used for
 /// Table I (multicodec shares) and Table II (country shares).
 pub fn shares<L: Clone>(counts: &[(L, u64)]) -> Vec<(L, f64)> {

@@ -26,6 +26,13 @@ impl Ecdf {
         Self::new(counts.into_iter().map(|c| c as f64).collect())
     }
 
+    /// Builds an ECDF by draining a sample stream, e.g. scores computed on
+    /// the fly from a tracestore segment. (The samples must be collected —
+    /// quantiles need the sorted set — but the *source* need not be resident.)
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        Self::new(samples.into_iter().collect())
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

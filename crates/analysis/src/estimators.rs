@@ -169,7 +169,11 @@ mod tests {
 
     #[test]
     fn committee_inverts_forward_model() {
-        for &(n, r, w) in &[(10_000.0, 2, 6000.0), (14_000.0, 3, 5000.0), (50_000.0, 4, 9000.0)] {
+        for &(n, r, w) in &[
+            (10_000.0, 2, 6000.0),
+            (14_000.0, 3, 5000.0),
+            (50_000.0, 4, 9000.0),
+        ] {
             let m = expected_distinct(n, r, w).round() as usize;
             let est = committee_estimate(m, r, w).unwrap();
             assert!(

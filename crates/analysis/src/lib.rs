@@ -16,9 +16,9 @@ pub mod ecdf;
 pub mod estimators;
 pub mod powerlaw;
 
-pub use descriptive::{pearson_correlation, shares, summarize, Summary};
-pub use ecdf::{qq_against_uniform, qq_uniform_deviation, Ecdf};
-pub use estimators::{
-    committee_estimate, expected_distinct, two_monitor_estimate, EstimateError,
+pub use descriptive::{
+    pearson_correlation, shares, summarize, summarize_stream, StreamSummary, Summary,
 };
+pub use ecdf::{qq_against_uniform, qq_uniform_deviation, Ecdf};
+pub use estimators::{committee_estimate, expected_distinct, two_monitor_estimate, EstimateError};
 pub use powerlaw::{fit_lognormal, fit_power_law, goodness_of_fit, GoodnessOfFit, PowerLawFit};

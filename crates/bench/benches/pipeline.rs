@@ -43,7 +43,10 @@ fn synthetic_dataset(entries: usize, peers: u64, cids: u64) -> MonitoringDataset
 }
 
 fn unified(entries: usize) -> UnifiedTrace {
-    let (trace, _) = unify_and_flag(&synthetic_dataset(entries, 500, 2_000), PreprocessConfig::default());
+    let (trace, _) = unify_and_flag(
+        &synthetic_dataset(entries, 500, 2_000),
+        PreprocessConfig::default(),
+    );
     trace
 }
 
@@ -79,7 +82,9 @@ fn bench_power_law(c: &mut Criterion) {
     let samples: Vec<f64> = (1..5_000u64)
         .map(|i| ((i % 97) + 1) as f64 * if i % 13 == 0 { 40.0 } else { 1.0 })
         .collect();
-    c.bench_function("powerlaw/fit_5k", |b| b.iter(|| fit_power_law(&samples, 30)));
+    c.bench_function("powerlaw/fit_5k", |b| {
+        b.iter(|| fit_power_law(&samples, 30))
+    });
 }
 
 fn bench_attacks(c: &mut Criterion) {
@@ -89,7 +94,9 @@ fn bench_attacks(c: &mut Criterion) {
     c.bench_function("attacks/idw_50k", |b| {
         b.iter(|| identify_data_wanters(&trace, &cid))
     });
-    c.bench_function("attacks/tnw_50k", |b| b.iter(|| track_node_wants(&trace, &peer)));
+    c.bench_function("attacks/tnw_50k", |b| {
+        b.iter(|| track_node_wants(&trace, &peer))
+    });
 }
 
 criterion_group!(

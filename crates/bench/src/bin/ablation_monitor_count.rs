@@ -42,10 +42,7 @@ fn main() {
             .iter()
             .filter(|n| n.schedule.online_at(midpoint))
             .count() as f64;
-        let joint = report
-            .union_sizes
-            .map(|s| s.mean / truth)
-            .unwrap_or(0.0);
+        let joint = report.union_sizes.map(|s| s.mean / truth).unwrap_or(0.0);
         let (estimate, error) = report
             .committee
             .map(|s| (s.mean, (s.mean - truth).abs() / truth))

@@ -27,14 +27,24 @@ fn main() {
     for (i, (_, have, block)) in series.rows.iter().enumerate() {
         println!("  {i:>6} {have:>14} {block:>14}");
     }
-    let first_quarter: u64 = series.rows.iter().take(series.rows.len() / 4).map(|r| r.1).sum();
+    let first_quarter: u64 = series
+        .rows
+        .iter()
+        .take(series.rows.len() / 4)
+        .map(|r| r.1)
+        .sum();
     let last_quarter: u64 = series
         .rows
         .iter()
         .skip(3 * series.rows.len() / 4)
         .map(|r| r.1)
         .sum();
-    let first_quarter_block: u64 = series.rows.iter().take(series.rows.len() / 4).map(|r| r.2).sum();
+    let first_quarter_block: u64 = series
+        .rows
+        .iter()
+        .take(series.rows.len() / 4)
+        .map(|r| r.2)
+        .sum();
     let last_quarter_block: u64 = series
         .rows
         .iter()
@@ -42,7 +52,10 @@ fn main() {
         .map(|r| r.2)
         .sum();
     print_header("Shape check (paper: WANT_BLOCK dominates early, WANT_HAVE later)");
-    print_row("WANT_HAVE first quarter vs last quarter", format!("{first_quarter} → {last_quarter}"));
+    print_row(
+        "WANT_HAVE first quarter vs last quarter",
+        format!("{first_quarter} → {last_quarter}"),
+    );
     print_row(
         "WANT_BLOCK first quarter vs last quarter",
         format!("{first_quarter_block} → {last_quarter_block}"),

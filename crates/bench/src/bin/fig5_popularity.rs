@@ -28,21 +28,13 @@ fn main() {
 
     print_header("RRP ECDF (score → cumulative probability)");
     for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
-        if let Some((score, _)) = report
-            .rrp_curve
-            .iter()
-            .find(|(_, p)| *p >= q)
-        {
+        if let Some((score, _)) = report.rrp_curve.iter().find(|(_, p)| *p >= q) {
             print_row(&format!("P{:.0} score", q * 100.0), format!("{score:.0}"));
         }
     }
     print_header("URP ECDF (score → cumulative probability)");
     for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
-        if let Some((score, _)) = report
-            .urp_curve
-            .iter()
-            .find(|(_, p)| *p >= q)
-        {
+        if let Some((score, _)) = report.urp_curve.iter().find(|(_, p)| *p >= q) {
             print_row(&format!("P{:.0} score", q * 100.0), format!("{score:.0}"));
         }
     }

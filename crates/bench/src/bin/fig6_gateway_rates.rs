@@ -37,7 +37,10 @@ fn main() {
     print_row("non-gateway requests", rates.totals.2);
     let ratio = rates.totals.0 as f64 / rates.totals.2.max(1) as f64;
     print_row("gateway / non-gateway ratio", format!("{ratio:.2}"));
-    print_row("paper", "similar volume from gateways and non-gateways; one operator dominates");
+    print_row(
+        "paper",
+        "similar volume from gateways and non-gateways; one operator dominates",
+    );
     let (h, r, m) = (
         run.report.counters.get("gateway_cache_hits"),
         run.report.counters.get("gateway_cache_revalidations"),
@@ -45,6 +48,9 @@ fn main() {
     );
     print_row(
         "gateway HTTP cache (hit/revalidate/miss)",
-        format!("{h}/{r}/{m} (hit ratio {:.1}%)", 100.0 * h as f64 / (h + r + m).max(1) as f64),
+        format!(
+            "{h}/{r}/{m} (hit ratio {:.1}%)",
+            100.0 * h as f64 / (h + r + m).max(1) as f64
+        ),
     );
 }

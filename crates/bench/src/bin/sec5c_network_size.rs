@@ -41,27 +41,48 @@ fn main() {
         .count();
 
     print_header("Sec. V-C — unique peers over the window");
-    print_row("monitor us: unique connected peers", report.weekly_unique_per_monitor[0]);
-    print_row("monitor de: unique connected peers", report.weekly_unique_per_monitor[1]);
-    print_row("union of unique connected peers", report.weekly_unique_union);
-    print_row("bitswap-active peers (us / de / union)", format!(
-        "{} / {} / {}",
-        report.bitswap_active_per_monitor[0],
-        report.bitswap_active_per_monitor[1],
-        report.bitswap_active_union
-    ));
+    print_row(
+        "monitor us: unique connected peers",
+        report.weekly_unique_per_monitor[0],
+    );
+    print_row(
+        "monitor de: unique connected peers",
+        report.weekly_unique_per_monitor[1],
+    );
+    print_row(
+        "union of unique connected peers",
+        report.weekly_unique_union,
+    );
+    print_row(
+        "bitswap-active peers (us / de / union)",
+        format!(
+            "{} / {} / {}",
+            report.bitswap_active_per_monitor[0],
+            report.bitswap_active_per_monitor[1],
+            report.bitswap_active_union
+        ),
+    );
 
     print_header("Sec. V-C — network size estimates");
     if let Some(s) = report.capture_recapture {
-        print_row("eq. (1) capture-recapture (mean ± std)", format!("{:.0} ± {:.0}", s.mean, s.std_dev));
+        print_row(
+            "eq. (1) capture-recapture (mean ± std)",
+            format!("{:.0} ± {:.0}", s.mean, s.std_dev),
+        );
     }
     if let Some(s) = report.committee {
-        print_row("eq. (3) committee occupancy (mean ± std)", format!("{:.0} ± {:.0}", s.mean, s.std_dev));
+        print_row(
+            "eq. (3) committee occupancy (mean ± std)",
+            format!("{:.0} ± {:.0}", s.mean, s.std_dev),
+        );
     }
     print_row("DHT crawl: discovered peers", crawl.discovered_count());
     print_row("DHT crawl: responsive peers", crawl.responsive_count());
     print_row("ground truth: all nodes in scenario", ground_truth_total);
-    print_row("ground truth: nodes online at crawl time", ground_truth_online);
+    print_row(
+        "ground truth: nodes online at crawl time",
+        ground_truth_online,
+    );
     print_row(
         "paper values",
         "eq.(1) 10561±390, eq.(3) 10250±395, crawl avg 14411/52463 weekly",

@@ -2,7 +2,10 @@
 //! evaluated against simulation ground truth.
 
 use ipfs_mon_bench::{pct, print_header, print_row, run_experiment, scaled};
-use ipfs_mon_core::{identify_data_wanters, per_peer_request_counts, test_past_interest, track_node_wants, TpiOutcome};
+use ipfs_mon_core::{
+    identify_data_wanters, per_peer_request_counts, test_past_interest, track_node_wants,
+    TpiOutcome,
+};
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_workload::ScenarioConfig;
 use std::collections::{HashMap, HashSet};
@@ -22,7 +25,10 @@ fn main() {
             .entry(request.content)
             .or_default()
             .insert(run.network.peer_id(request.node));
-        truth_by_node.entry(request.node).or_default().insert(request.content);
+        truth_by_node
+            .entry(request.node)
+            .or_default()
+            .insert(request.content);
     }
 
     // --- IDW: pick the content item with the most ground-truth requesters.
@@ -39,9 +45,18 @@ fn main() {
     print_row("target CID", &cid);
     print_row("ground-truth requesters", truth_wanters.len());
     print_row("identified by the attack", identified.len());
-    print_row("precision", pct(true_positives as f64 / identified.len().max(1) as f64));
-    print_row("recall", pct(true_positives as f64 / truth_wanters.len().max(1) as f64));
-    print_row("note", "recall < 100% is expected: cache hits and offline periods hide requests");
+    print_row(
+        "precision",
+        pct(true_positives as f64 / identified.len().max(1) as f64),
+    );
+    print_row(
+        "recall",
+        pct(true_positives as f64 / truth_wanters.len().max(1) as f64),
+    );
+    print_row(
+        "note",
+        "recall < 100% is expected: cache hits and offline periods hide requests",
+    );
 
     // --- TNW: track the most active observed node.
     let per_peer = per_peer_request_counts(&run.trace);
@@ -80,6 +95,12 @@ fn main() {
     }
     print_row("probes issued", probes);
     print_row("probes answered 'cached'", cached_found);
-    print_row("probe accuracy vs ground truth", pct(correct as f64 / probes.max(1) as f64));
-    print_row("paper", "any node's cache can be probed by sending it a request for the CID");
+    print_row(
+        "probe accuracy vs ground truth",
+        pct(correct as f64 / probes.max(1) as f64),
+    );
+    print_row(
+        "paper",
+        "any node's cache can be probed by sending it a request for the CID",
+    );
 }

@@ -28,8 +28,14 @@ fn main() {
                 interval: SimDuration::from_hours(1),
             },
         ),
-        ("cover traffic (1x)", Countermeasure::CoverTraffic { fake_per_real: 1.0 }),
-        ("cover traffic (4x)", Countermeasure::CoverTraffic { fake_per_real: 4.0 }),
+        (
+            "cover traffic (1x)",
+            Countermeasure::CoverTraffic { fake_per_real: 1.0 },
+        ),
+        (
+            "cover traffic (4x)",
+            Countermeasure::CoverTraffic { fake_per_real: 4.0 },
+        ),
         (
             "salted CID hashing (10% known)",
             Countermeasure::SaltedCidHashing {
@@ -42,8 +48,14 @@ fn main() {
                 adversary_knowledge: 0.5,
             },
         ),
-        ("gateway usage (30% adoption)", Countermeasure::GatewayUsage { adoption: 0.3 }),
-        ("gateway usage (80% adoption)", Countermeasure::GatewayUsage { adoption: 0.8 }),
+        (
+            "gateway usage (30% adoption)",
+            Countermeasure::GatewayUsage { adoption: 0.3 },
+        ),
+        (
+            "gateway usage (80% adoption)",
+            Countermeasure::GatewayUsage { adoption: 0.8 },
+        ),
     ];
 
     print_header("Sec. VI-C — countermeasure design space (lower = better privacy)");

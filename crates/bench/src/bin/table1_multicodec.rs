@@ -24,7 +24,10 @@ fn main() {
     ];
 
     print_header("Table I — share of data requests by multicodec");
-    println!("  {:<14} {:>12} {:>10} {:>12}", "codec", "requests", "share", "paper");
+    println!(
+        "  {:<14} {:>12} {:>10} {:>12}",
+        "codec", "requests", "share", "paper"
+    );
     for (codec, count, share) in &rows {
         let paper_share = paper
             .iter()

@@ -14,11 +14,7 @@ fn main() {
     config.horizon = SimDuration::from_days(3);
     let run = run_experiment(&config);
 
-    let rows = country_shares(
-        &run.trace,
-        SimTime::ZERO,
-        SimTime::ZERO + config.horizon,
-    );
+    let rows = country_shares(&run.trace, SimTime::ZERO, SimTime::ZERO + config.horizon);
     let paper: &[(&str, f64)] = &[
         ("US", 45.65),
         ("NL", 13.85),
@@ -28,7 +24,10 @@ fn main() {
     ];
 
     print_header("Table II — share of data requests by country");
-    println!("  {:<8} {:>12} {:>10} {:>12}", "country", "requests", "share", "paper");
+    println!(
+        "  {:<8} {:>12} {:>10} {:>12}",
+        "country", "requests", "share", "paper"
+    );
     for (country, count, share) in &rows {
         let paper_share = paper
             .iter()

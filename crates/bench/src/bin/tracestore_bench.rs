@@ -1,0 +1,140 @@
+//! Storage benchmark: the tracestore columnar segment format vs. JSON.
+//!
+//! Generates a realistic two-monitor trace with the standard scenario
+//! machinery, then measures encode/decode throughput and bytes-per-entry of
+//! the segment format against the JSON debug format, plus the streaming
+//! preprocessing path against the in-memory one. The acceptance bar of the
+//! tracestore subsystem is a segment under 50 % of the equivalent JSON.
+
+use ipfs_mon_bench::{print_header, run_experiment, scaled};
+use ipfs_mon_core::{flag_segment, unify_and_flag, unify_and_flag_segment, PreprocessConfig};
+use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_tracestore::{MonitoringDataset, SegmentConfig, SliceSource, TraceReader};
+use ipfs_mon_workload::ScenarioConfig;
+use std::time::Instant;
+
+fn mib_per_s(bytes: usize, seconds: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / seconds.max(1e-9)
+}
+
+fn entries_per_s(entries: usize, seconds: f64) -> f64 {
+    entries as f64 / seconds.max(1e-9)
+}
+
+fn main() {
+    let mut config = ScenarioConfig::analysis_week(77, scaled(600));
+    config.horizon = SimDuration::from_days(1);
+    let run = run_experiment(&config);
+    let dataset = &run.dataset;
+    let total_entries = dataset.total_entries();
+
+    print_header("tracestore — columnar segments vs JSON");
+    println!(
+        "  trace: {total_entries} entries, {} connections\n",
+        dataset.connections.len()
+    );
+
+    // Encode.
+    let start = Instant::now();
+    let json = dataset.to_json().expect("JSON encode");
+    let json_encode_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let segment = dataset
+        .to_segment_bytes(SegmentConfig::default())
+        .expect("segment encode");
+    let segment_encode_s = start.elapsed().as_secs_f64();
+
+    // Decode.
+    let start = Instant::now();
+    let from_json = MonitoringDataset::from_json(&json).expect("JSON decode");
+    let json_decode_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let from_segment = MonitoringDataset::from_segment_bytes(&segment).expect("segment decode");
+    let segment_decode_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        from_segment.entries, dataset.entries,
+        "segment round-trip must be lossless"
+    );
+    assert_eq!(
+        from_json.entries, dataset.entries,
+        "JSON round-trip must be lossless"
+    );
+
+    println!(
+        "  {:<10} {:>14} {:>12} {:>16} {:>16}",
+        "format", "bytes", "bytes/entry", "encode", "decode"
+    );
+    for (name, bytes, enc_s, dec_s) in [
+        ("json", json.len(), json_encode_s, json_decode_s),
+        ("segment", segment.len(), segment_encode_s, segment_decode_s),
+    ] {
+        println!(
+            "  {:<10} {:>14} {:>12.1} {:>9.1} MiB/s {:>9.1} MiB/s",
+            name,
+            bytes,
+            bytes as f64 / total_entries.max(1) as f64,
+            mib_per_s(bytes, enc_s),
+            mib_per_s(bytes, dec_s),
+        );
+    }
+    let ratio = segment.len() as f64 / json.len().max(1) as f64;
+    println!(
+        "\n  segment size = {:.1}% of JSON (target: < 50%)",
+        ratio * 100.0
+    );
+
+    // Streaming preprocessing over the segment vs the in-memory path.
+    let start = Instant::now();
+    let (trace, stats) = unify_and_flag(dataset, PreprocessConfig::default());
+    let in_memory_s = start.elapsed().as_secs_f64();
+
+    let reader = TraceReader::new(SliceSource::new(&segment)).expect("open segment");
+    let start = Instant::now();
+    let (streamed, streamed_stats) =
+        unify_and_flag_segment(&reader, PreprocessConfig::default()).expect("stream segment");
+    let streaming_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        streamed.entries, trace.entries,
+        "streaming flags must match"
+    );
+    assert_eq!(streamed_stats, stats);
+
+    // Pure streaming consumption (no materialization), as analyses use it.
+    let start = Instant::now();
+    let mut stream = flag_segment(&reader, PreprocessConfig::default());
+    let primary = (&mut stream).filter(|e| e.flags.is_primary()).count();
+    let tracked = stream.tracked_keys();
+    let pure_streaming_s = start.elapsed().as_secs_f64();
+
+    println!(
+        "\n  preprocessing ({} entries, {} primary):",
+        stats.total, stats.primary
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "in-memory",
+        entries_per_s(stats.total, in_memory_s)
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "segment -> unified",
+        entries_per_s(stats.total, streaming_s)
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s  ({} primary, {} window keys resident)",
+        "segment streaming",
+        entries_per_s(stats.total, pure_streaming_s),
+        primary,
+        tracked
+    );
+
+    if ratio < 0.5 {
+        println!("\n  PASS: segment is {:.1}x smaller than JSON", 1.0 / ratio);
+    } else {
+        println!("\n  FAIL: segment not under 50% of JSON");
+        std::process::exit(1);
+    }
+}

@@ -221,7 +221,10 @@ impl BitswapEngine {
                     peer,
                     BitswapMessage::single_want(WantlistEntry::want_block(cid.clone())),
                 ));
-                self.pending_wants.entry(cid.clone()).or_default().push(peer);
+                self.pending_wants
+                    .entry(cid.clone())
+                    .or_default()
+                    .push(peer);
             }
         }
         output
@@ -266,10 +269,15 @@ impl BitswapEngine {
             match lookup(&entry.cid) {
                 Some(data) => match entry.want_type {
                     crate::message::WantType::Have => {
-                        reply.presences.push((entry.cid.clone(), BlockPresence::Have));
+                        reply
+                            .presences
+                            .push((entry.cid.clone(), BlockPresence::Have));
                     }
                     crate::message::WantType::Block => {
-                        self.ledgers.get_mut(&from).expect("connected").add_sent(data.len() as u64);
+                        self.ledgers
+                            .get_mut(&from)
+                            .expect("connected")
+                            .add_sent(data.len() as u64);
                         reply.blocks.push((entry.cid.clone(), data));
                     }
                 },
@@ -422,7 +430,10 @@ mod tests {
         let mut engine = BitswapEngine::legacy();
         engine.peer_connected(pid(1));
         let out = engine.want(&cid_for(b"x"), SimTime::ZERO);
-        assert_eq!(out.outgoing[0].1.wantlist[0].request_type(), RequestType::WantBlock);
+        assert_eq!(
+            out.outgoing[0].1.wantlist[0].request_type(),
+            RequestType::WantBlock
+        );
     }
 
     #[test]
@@ -453,7 +464,10 @@ mod tests {
         let c = cid_for(b"missing");
         let msg = BitswapMessage::single_want(WantlistEntry::want_have(c.clone()));
         let out = engine.handle_message(pid(1), &msg, SimTime::ZERO, no_blocks);
-        assert_eq!(out.outgoing[0].1.presences, vec![(c, BlockPresence::DontHave)]);
+        assert_eq!(
+            out.outgoing[0].1.presences,
+            vec![(c, BlockPresence::DontHave)]
+        );
     }
 
     #[test]
@@ -471,7 +485,10 @@ mod tests {
             }
         });
         assert_eq!(out.outgoing[0].1.blocks.len(), 1);
-        assert_eq!(engine.ledger(&pid(1)).unwrap().bytes_sent, data.len() as u64);
+        assert_eq!(
+            engine.ledger(&pid(1)).unwrap().bytes_sent,
+            data.len() as u64
+        );
     }
 
     #[test]
@@ -491,7 +508,12 @@ mod tests {
         let want_blocks: Vec<_> = out
             .outgoing
             .iter()
-            .filter(|(to, m)| *to == pid(2) && m.wantlist.iter().any(|e| e.request_type() == RequestType::WantBlock))
+            .filter(|(to, m)| {
+                *to == pid(2)
+                    && m.wantlist
+                        .iter()
+                        .any(|e| e.request_type() == RequestType::WantBlock)
+            })
             .collect();
         assert_eq!(want_blocks.len(), 1);
     }
@@ -559,7 +581,11 @@ mod tests {
 
         assert!(engine.tick(SimTime::from_secs(29)).outgoing.is_empty());
         let out = engine.tick(SimTime::from_secs(30));
-        assert_eq!(out.outgoing.len(), 1, "re-broadcast to the one connected peer");
+        assert_eq!(
+            out.outgoing.len(),
+            1,
+            "re-broadcast to the one connected peer"
+        );
         // And again another interval later.
         assert!(engine.tick(SimTime::from_secs(45)).outgoing.is_empty());
         assert_eq!(engine.tick(SimTime::from_secs(60)).outgoing.len(), 1);

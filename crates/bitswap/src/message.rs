@@ -318,9 +318,18 @@ mod tests {
 
     #[test]
     fn request_type_classification() {
-        assert_eq!(WantlistEntry::want_have(cid(1)).request_type(), RequestType::WantHave);
-        assert_eq!(WantlistEntry::want_block(cid(1)).request_type(), RequestType::WantBlock);
-        assert_eq!(WantlistEntry::cancel(cid(1)).request_type(), RequestType::Cancel);
+        assert_eq!(
+            WantlistEntry::want_have(cid(1)).request_type(),
+            RequestType::WantHave
+        );
+        assert_eq!(
+            WantlistEntry::want_block(cid(1)).request_type(),
+            RequestType::WantBlock
+        );
+        assert_eq!(
+            WantlistEntry::cancel(cid(1)).request_type(),
+            RequestType::Cancel
+        );
         assert!(RequestType::WantHave.is_request());
         assert!(RequestType::WantBlock.is_request());
         assert!(!RequestType::Cancel.is_request());
@@ -350,7 +359,10 @@ mod tests {
                 WantlistEntry::cancel(cid(4)),
             ],
             full_wantlist: true,
-            presences: vec![(cid(5), BlockPresence::Have), (cid(6), BlockPresence::DontHave)],
+            presences: vec![
+                (cid(5), BlockPresence::Have),
+                (cid(6), BlockPresence::DontHave),
+            ],
             blocks: vec![(cid(7), vec![1, 2, 3, 4, 5])],
         };
         let decoded = BitswapMessage::decode(&msg.encode()).unwrap();

@@ -131,7 +131,12 @@ impl Ledger {
 
     /// Records an incoming message's wantlist entries; returns the request
     /// types observed (used by monitors and by the engine's accounting).
-    pub fn record_incoming(&mut self, entries: &[WantlistEntry], full: bool, now: SimTime) -> Vec<RequestType> {
+    pub fn record_incoming(
+        &mut self,
+        entries: &[WantlistEntry],
+        full: bool,
+        now: SimTime,
+    ) -> Vec<RequestType> {
         self.messages_received += 1;
         if full {
             self.wantlist.replace_with(entries, now);
@@ -174,10 +179,16 @@ mod tests {
     fn apply_want_then_cancel() {
         let mut wl = Wantlist::new();
         let t = SimTime::from_secs(1);
-        assert_eq!(wl.apply(&WantlistEntry::want_have(cid(1)), t), RequestType::WantHave);
+        assert_eq!(
+            wl.apply(&WantlistEntry::want_have(cid(1)), t),
+            RequestType::WantHave
+        );
         assert!(wl.wants(&cid(1)));
         assert_eq!(wl.len(), 1);
-        assert_eq!(wl.apply(&WantlistEntry::cancel(cid(1)), t), RequestType::Cancel);
+        assert_eq!(
+            wl.apply(&WantlistEntry::cancel(cid(1)), t),
+            RequestType::Cancel
+        );
         assert!(!wl.wants(&cid(1)));
         assert!(wl.is_empty());
     }
@@ -215,7 +226,10 @@ mod tests {
         let t = SimTime::from_secs(1);
         ledger.record_incoming(&[WantlistEntry::want_have(cid(1))], false, t);
         ledger.record_incoming(
-            &[WantlistEntry::want_have(cid(2)), WantlistEntry::want_have(cid(3))],
+            &[
+                WantlistEntry::want_have(cid(2)),
+                WantlistEntry::want_have(cid(3)),
+            ],
             true,
             SimTime::from_secs(2),
         );

@@ -67,7 +67,8 @@ pub fn build_file(seed: u64, size: u64, chunk_size: u64, max_links: usize) -> Bu
     let chunk_count = size.div_ceil(chunk_size).max(1);
     let mut level: Vec<DagLink> = Vec::with_capacity(chunk_count as usize);
     for index in 0..chunk_count {
-        let this_size = if index == chunk_count - 1 && size % chunk_size != 0 && size > 0 {
+        let this_size = if index == chunk_count - 1 && !size.is_multiple_of(chunk_size) && size > 0
+        {
             size % chunk_size
         } else if size == 0 {
             0
@@ -224,7 +225,12 @@ mod tests {
     #[test]
     fn directory_links_children() {
         let file_a = build_file(1, 500, DEFAULT_CHUNK_SIZE, DEFAULT_MAX_LINKS);
-        let file_b = build_file(2, 3 * DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE, DEFAULT_MAX_LINKS);
+        let file_b = build_file(
+            2,
+            3 * DEFAULT_CHUNK_SIZE,
+            DEFAULT_CHUNK_SIZE,
+            DEFAULT_MAX_LINKS,
+        );
         let dir = build_directory(&[("a.txt".into(), &file_a), ("b.bin".into(), &file_b)]);
         assert_eq!(dir.total_size, file_a.total_size + file_b.total_size);
         assert_eq!(dir.root_block().codec(), Multicodec::DagProtobuf);
@@ -232,12 +238,19 @@ mod tests {
         assert_eq!(node.links.len(), 2);
         assert_eq!(node.links[0].name, "a.txt");
         assert_eq!(node.links[1].cid, file_b.root);
-        assert_eq!(dir.block_count(), file_a.block_count() + file_b.block_count() + 1);
+        assert_eq!(
+            dir.block_count(),
+            file_a.block_count() + file_b.block_count() + 1
+        );
     }
 
     #[test]
     fn typed_items_carry_their_codec() {
-        for codec in [Multicodec::DagCbor, Multicodec::EthereumTx, Multicodec::GitRaw] {
+        for codec in [
+            Multicodec::DagCbor,
+            Multicodec::EthereumTx,
+            Multicodec::GitRaw,
+        ] {
             let dag = build_typed_item(codec, 42, 512);
             assert_eq!(dag.block_count(), 1);
             assert_eq!(dag.root_block().codec(), codec);
@@ -247,7 +260,12 @@ mod tests {
 
     #[test]
     fn non_root_cids_excludes_root() {
-        let dag = build_file(5, 3 * DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE, DEFAULT_MAX_LINKS);
+        let dag = build_file(
+            5,
+            3 * DEFAULT_CHUNK_SIZE,
+            DEFAULT_CHUNK_SIZE,
+            DEFAULT_MAX_LINKS,
+        );
         let non_root = dag.non_root_cids();
         assert_eq!(non_root.len(), dag.block_count() - 1);
         assert!(!non_root.contains(&dag.root));

@@ -96,7 +96,9 @@ impl DagNode {
         let data = input[pos..pos + data_len].to_vec();
         pos += data_len;
         if pos != input.len() {
-            return Err(TypesError::InvalidCid("trailing bytes after DAG node".into()));
+            return Err(TypesError::InvalidCid(
+                "trailing bytes after DAG node".into(),
+            ));
         }
         Ok(Self { links, data })
     }
@@ -191,10 +193,7 @@ mod tests {
                 size: 50,
             },
         ]);
-        assert_eq!(
-            node.cumulative_size(),
-            node.encode().len() as u64 + 150
-        );
+        assert_eq!(node.cumulative_size(), node.encode().len() as u64 + 150);
     }
 
     #[test]

@@ -310,7 +310,10 @@ mod tests {
         store.pin(a.cid());
         store.put(b.clone(), t(1));
         assert!(store.contains(a.cid()), "pinned block survives");
-        assert!(!store.contains(b.cid()), "unpinned newer block evicted instead");
+        assert!(
+            !store.contains(b.cid()),
+            "unpinned newer block evicted instead"
+        );
         assert!(store.is_pinned(a.cid()));
         store.unpin(a.cid());
         assert!(!store.is_pinned(a.cid()));

@@ -47,6 +47,15 @@ pub fn request_type_series(
             RequestType::Cancel => {}
         }
     }
+    assemble_request_type_series(want_have, want_block, bucket)
+}
+
+/// Densifies the two per-type series into aligned rows.
+fn assemble_request_type_series(
+    want_have: BucketedSeries,
+    want_block: BucketedSeries,
+    bucket: SimDuration,
+) -> RequestTypeSeries {
     let last_have = want_have.dense().len();
     let last_block = want_block.dense().len();
     let buckets = last_have.max(last_block);
@@ -89,7 +98,7 @@ pub fn multicodec_shares(dataset: &MonitoringDataset) -> Vec<(Multicodec, u64, f
             (codec, count, share)
         })
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     rows
 }
 
@@ -120,7 +129,7 @@ pub fn country_shares(
             (country, count, share)
         })
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     rows
 }
 
@@ -175,7 +184,10 @@ pub fn origin_group_rates(
         .map(|i| {
             let at = SimTime::from_millis(i as u64 * bucket.as_millis());
             let rate = |series: &Vec<(SimTime, u64)>| {
-                series.get(i).map(|&(_, c)| c as f64 / width_secs).unwrap_or(0.0)
+                series
+                    .get(i)
+                    .map(|&(_, c)| c as f64 / width_secs)
+                    .unwrap_or(0.0)
             };
             (at, rate(&g), rate(&d), rate(&o))
         })
@@ -195,8 +207,45 @@ pub fn per_peer_request_counts(trace: &UnifiedTrace) -> Vec<(PeerId, u64)> {
         *counts.entry(entry.peer).or_insert(0) += 1;
     }
     let mut rows: Vec<(PeerId, u64)> = counts.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     rows
+}
+
+/// Streaming counterpart of [`per_peer_request_counts`]: aggregates over any
+/// entry stream (e.g. a flagged tracestore segment stream), keeping only the
+/// per-peer counters in memory. Non-primary entries and cancels are filtered
+/// out, matching the in-memory path.
+pub fn per_peer_request_counts_stream<I: IntoIterator<Item = crate::trace::TraceEntry>>(
+    entries: I,
+) -> Vec<(PeerId, u64)> {
+    let mut counts: BTreeMap<PeerId, u64> = BTreeMap::new();
+    for entry in entries {
+        if entry.flags.is_primary() && entry.is_request() {
+            *counts.entry(entry.peer).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<(PeerId, u64)> = counts.into_iter().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
+    rows
+}
+
+/// Streaming counterpart of [`request_type_series`]: builds the Fig. 4 series
+/// from one monitor's raw entry stream (e.g.
+/// `TraceReader::stream_monitor(m)`) without materializing the trace.
+pub fn request_type_series_stream<I: IntoIterator<Item = crate::trace::TraceEntry>>(
+    entries: I,
+    bucket: SimDuration,
+) -> RequestTypeSeries {
+    let mut want_have = BucketedSeries::new(bucket);
+    let mut want_block = BucketedSeries::new(bucket);
+    for entry in entries {
+        match entry.request_type {
+            RequestType::WantHave => want_have.record(entry.timestamp),
+            RequestType::WantBlock => want_block.record(entry.timestamp),
+            RequestType::Cancel => {}
+        }
+    }
+    assemble_request_type_series(want_have, want_block, bucket)
 }
 
 #[cfg(test)]
@@ -228,7 +277,13 @@ mod tests {
         let mut ds = MonitoringDataset::new(vec!["us".into()]);
         // Day 0: only WANT_BLOCK; day 2: only WANT_HAVE.
         for i in 0..10 {
-            ds.entries[0].push(entry_at(i * 60, i, RequestType::WantBlock, Multicodec::Raw, Country::Us));
+            ds.entries[0].push(entry_at(
+                i * 60,
+                i,
+                RequestType::WantBlock,
+                Multicodec::Raw,
+                Country::Us,
+            ));
         }
         for i in 0..20 {
             ds.entries[0].push(entry_at(
@@ -251,13 +306,37 @@ mod tests {
     fn multicodec_shares_sum_to_one_and_exclude_cancels() {
         let mut ds = MonitoringDataset::new(vec!["us".into()]);
         for i in 0..86 {
-            ds.entries[0].push(entry_at(i, i, RequestType::WantHave, Multicodec::DagProtobuf, Country::Us));
+            ds.entries[0].push(entry_at(
+                i,
+                i,
+                RequestType::WantHave,
+                Multicodec::DagProtobuf,
+                Country::Us,
+            ));
         }
         for i in 0..13 {
-            ds.entries[0].push(entry_at(i, 100 + i, RequestType::WantHave, Multicodec::Raw, Country::Us));
+            ds.entries[0].push(entry_at(
+                i,
+                100 + i,
+                RequestType::WantHave,
+                Multicodec::Raw,
+                Country::Us,
+            ));
         }
-        ds.entries[0].push(entry_at(1, 999, RequestType::WantHave, Multicodec::DagCbor, Country::Us));
-        ds.entries[0].push(entry_at(2, 999, RequestType::Cancel, Multicodec::EthereumTx, Country::Us));
+        ds.entries[0].push(entry_at(
+            1,
+            999,
+            RequestType::WantHave,
+            Multicodec::DagCbor,
+            Country::Us,
+        ));
+        ds.entries[0].push(entry_at(
+            2,
+            999,
+            RequestType::Cancel,
+            Multicodec::EthereumTx,
+            Country::Us,
+        ));
         let rows = multicodec_shares(&ds);
         let total_share: f64 = rows.iter().map(|(_, _, s)| s).sum();
         assert!((total_share - 1.0).abs() < 1e-9);
@@ -271,7 +350,13 @@ mod tests {
         let mut entries = vec![
             entry_at(10, 1, RequestType::WantHave, Multicodec::Raw, Country::Us),
             entry_at(20, 2, RequestType::WantHave, Multicodec::Raw, Country::De),
-            entry_at(5_000, 3, RequestType::WantHave, Multicodec::Raw, Country::Fr), // outside window
+            entry_at(
+                5_000,
+                3,
+                RequestType::WantHave,
+                Multicodec::Raw,
+                Country::Fr,
+            ), // outside window
         ];
         let mut dup = entry_at(11, 4, RequestType::WantHave, Multicodec::Raw, Country::Us);
         dup.flags.inter_monitor_duplicate = true;
@@ -293,7 +378,13 @@ mod tests {
             entry_at(10, 1, RequestType::WantHave, Multicodec::Raw, Country::Us),
             entry_at(20, 2, RequestType::WantHave, Multicodec::Raw, Country::Us),
             entry_at(30, 3, RequestType::WantHave, Multicodec::Raw, Country::Us),
-            entry_at(3_700, 3, RequestType::WantHave, Multicodec::DagProtobuf, Country::Us),
+            entry_at(
+                3_700,
+                3,
+                RequestType::WantHave,
+                Multicodec::DagProtobuf,
+                Country::Us,
+            ),
         ];
         let trace = UnifiedTrace { entries };
         let gateways: HashSet<PeerId> = [gateway_peer, dominant_peer].into_iter().collect();
@@ -311,9 +402,21 @@ mod tests {
     fn per_peer_counts_are_sorted_descending() {
         let mut entries = Vec::new();
         for _ in 0..5 {
-            entries.push(entry_at(1, 1, RequestType::WantHave, Multicodec::Raw, Country::Us));
+            entries.push(entry_at(
+                1,
+                1,
+                RequestType::WantHave,
+                Multicodec::Raw,
+                Country::Us,
+            ));
         }
-        entries.push(entry_at(2, 2, RequestType::WantHave, Multicodec::Raw, Country::Us));
+        entries.push(entry_at(
+            2,
+            2,
+            RequestType::WantHave,
+            Multicodec::Raw,
+            Country::Us,
+        ));
         let trace = UnifiedTrace { entries };
         let counts = per_peer_request_counts(&trace);
         assert_eq!(counts.len(), 2);

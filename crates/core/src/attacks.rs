@@ -246,7 +246,9 @@ impl GatewayProber {
 /// Cross-references probe results with the monitors' peer lists to find
 /// operators running multiple nodes (the paper discovered 93 gateway node IDs
 /// this way, 13 behind a single operator).
-pub fn gateway_nodes_by_operator(results: &[GatewayProbeResult]) -> BTreeMap<String, HashSet<PeerId>> {
+pub fn gateway_nodes_by_operator(
+    results: &[GatewayProbeResult],
+) -> BTreeMap<String, HashSet<PeerId>> {
     let mut map: BTreeMap<String, HashSet<PeerId>> = BTreeMap::new();
     for result in results {
         map.entry(result.probe.operator_name.clone())

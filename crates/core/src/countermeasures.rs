@@ -92,19 +92,28 @@ pub struct CountermeasureEvaluation {
 /// The input should be the unified trace of a run *without* countermeasures;
 /// the output is what the same monitors would have recorded had the
 /// countermeasure been deployed by all (affected) users.
-pub fn apply(trace: &UnifiedTrace, countermeasure: Countermeasure, rng: &mut SimRng) -> MitigatedTrace {
+pub fn apply(
+    trace: &UnifiedTrace,
+    countermeasure: Countermeasure,
+    rng: &mut SimRng,
+) -> MitigatedTrace {
     match countermeasure {
         Countermeasure::NodeIdRotation { interval } => apply_rotation(trace, interval),
-        Countermeasure::CoverTraffic { fake_per_real } => apply_cover_traffic(trace, fake_per_real, rng),
-        Countermeasure::SaltedCidHashing { adversary_knowledge } => {
-            apply_salted_hashing(trace, adversary_knowledge, rng)
+        Countermeasure::CoverTraffic { fake_per_real } => {
+            apply_cover_traffic(trace, fake_per_real, rng)
         }
+        Countermeasure::SaltedCidHashing {
+            adversary_knowledge,
+        } => apply_salted_hashing(trace, adversary_knowledge, rng),
         Countermeasure::GatewayUsage { adoption } => apply_gateway_usage(trace, adoption, rng),
     }
 }
 
 fn apply_rotation(trace: &UnifiedTrace, interval: SimDuration) -> MitigatedTrace {
-    assert!(interval.as_millis() > 0, "rotation interval must be positive");
+    assert!(
+        interval.as_millis() > 0,
+        "rotation interval must be positive"
+    );
     let mut entries = trace.entries.clone();
     let mut reconnections: HashSet<(PeerId, u64)> = HashSet::new();
     for entry in entries.iter_mut() {
@@ -127,8 +136,15 @@ fn apply_rotation(trace: &UnifiedTrace, interval: SimDuration) -> MitigatedTrace
     }
 }
 
-fn apply_cover_traffic(trace: &UnifiedTrace, fake_per_real: f64, rng: &mut SimRng) -> MitigatedTrace {
-    assert!(fake_per_real >= 0.0, "cover traffic rate must be non-negative");
+fn apply_cover_traffic(
+    trace: &UnifiedTrace,
+    fake_per_real: f64,
+    rng: &mut SimRng,
+) -> MitigatedTrace {
+    assert!(
+        fake_per_real >= 0.0,
+        "cover traffic rate must be non-negative"
+    );
     let cids: Vec<Cid> = trace
         .primary_requests()
         .map(|e| e.cid.clone())
@@ -142,7 +158,11 @@ fn apply_cover_traffic(trace: &UnifiedTrace, fake_per_real: f64, rng: &mut SimRn
         for entry in &peers {
             let mut budget = fake_per_real;
             while budget > 0.0 {
-                let emit = if budget >= 1.0 { true } else { rng.gen_bool(budget) };
+                let emit = if budget >= 1.0 {
+                    true
+                } else {
+                    rng.gen_bool(budget)
+                };
                 if emit {
                     let mut fake = (*entry).clone();
                     fake.cid = cids[rng.gen_range(0..cids.len())].clone();
@@ -231,7 +251,9 @@ pub fn evaluate(original: &UnifiedTrace, mitigated: &MitigatedTrace) -> Counterm
     let mitigated_index: HashMap<(u64, Cid), Vec<&TraceEntry>> = {
         let mut map: HashMap<(u64, Cid), Vec<&TraceEntry>> = HashMap::new();
         for e in mitigated.trace.primary_requests() {
-            map.entry((e.timestamp.as_millis(), e.cid.clone())).or_default().push(e);
+            map.entry((e.timestamp.as_millis(), e.cid.clone()))
+                .or_default()
+                .push(e);
         }
         map
     };
@@ -239,7 +261,9 @@ pub fn evaluate(original: &UnifiedTrace, mitigated: &MitigatedTrace) -> Counterm
     let mut visible_cids = 0u64;
     for entry in original.primary_requests() {
         total_original_requests += 1;
-        if let Some(matches) = mitigated_index.get(&(entry.timestamp.as_millis(), entry.cid.clone())) {
+        if let Some(matches) =
+            mitigated_index.get(&(entry.timestamp.as_millis(), entry.cid.clone()))
+        {
             if let Some(observed) = matches.first() {
                 *per_original_peer
                     .entry(entry.peer)
@@ -393,7 +417,10 @@ mod tests {
             },
             &mut rng,
         );
-        assert_eq!(mitigated.trace.entries[0].peer, mitigated.trace.entries[1].peer);
+        assert_eq!(
+            mitigated.trace.entries[0].peer,
+            mitigated.trace.entries[1].peer
+        );
     }
 
     #[test]
@@ -409,10 +436,22 @@ mod tests {
         }
         let trace = UnifiedTrace { entries };
         let mut rng = SimRng::new(3);
-        let mitigated = apply(&trace, Countermeasure::CoverTraffic { fake_per_real: 3.0 }, &mut rng);
+        let mitigated = apply(
+            &trace,
+            Countermeasure::CoverTraffic { fake_per_real: 3.0 },
+            &mut rng,
+        );
         let eval = evaluate(&trace, &mitigated);
-        assert!(eval.idw_precision < 1.0, "fakes should dilute IDW: {}", eval.idw_precision);
-        assert!(eval.traffic_overhead > 2.0, "overhead {}", eval.traffic_overhead);
+        assert!(
+            eval.idw_precision < 1.0,
+            "fakes should dilute IDW: {}",
+            eval.idw_precision
+        );
+        assert!(
+            eval.traffic_overhead > 2.0,
+            "overhead {}",
+            eval.traffic_overhead
+        );
         assert!(mitigated.trace.len() > trace.len());
     }
 
@@ -428,7 +467,11 @@ mod tests {
             &mut rng,
         );
         let eval_hidden = evaluate(&trace, &hidden);
-        assert!(eval_hidden.cid_visibility < 0.05, "{}", eval_hidden.cid_visibility);
+        assert!(
+            eval_hidden.cid_visibility < 0.05,
+            "{}",
+            eval_hidden.cid_visibility
+        );
 
         let mut rng = SimRng::new(5);
         let known = apply(
@@ -446,7 +489,11 @@ mod tests {
     fn gateway_adoption_removes_users_from_the_trace() {
         let trace = base_trace();
         let mut rng = SimRng::new(6);
-        let mitigated = apply(&trace, Countermeasure::GatewayUsage { adoption: 1.0 }, &mut rng);
+        let mitigated = apply(
+            &trace,
+            Countermeasure::GatewayUsage { adoption: 1.0 },
+            &mut rng,
+        );
         assert!(mitigated.trace.is_empty());
         let eval = evaluate(&trace, &mitigated);
         assert_eq!(eval.idw_precision, 0.0);
@@ -457,9 +504,17 @@ mod tests {
     fn zero_strength_countermeasures_change_nothing() {
         let trace = base_trace();
         let mut rng = SimRng::new(7);
-        let cover = apply(&trace, Countermeasure::CoverTraffic { fake_per_real: 0.0 }, &mut rng);
+        let cover = apply(
+            &trace,
+            Countermeasure::CoverTraffic { fake_per_real: 0.0 },
+            &mut rng,
+        );
         assert_eq!(cover.trace.len(), trace.len());
-        let gateway = apply(&trace, Countermeasure::GatewayUsage { adoption: 0.0 }, &mut rng);
+        let gateway = apply(
+            &trace,
+            Countermeasure::GatewayUsage { adoption: 0.0 },
+            &mut rng,
+        );
         assert_eq!(gateway.trace.len(), trace.len());
     }
 }

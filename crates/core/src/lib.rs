@@ -38,7 +38,8 @@ pub mod trace;
 
 pub use activity::{
     country_shares, multicodec_shares, origin_group_rates, per_peer_request_counts,
-    request_type_series, OriginGroupRates, RequestTypeSeries,
+    per_peer_request_counts_stream, request_type_series, request_type_series_stream,
+    OriginGroupRates, RequestTypeSeries,
 };
 pub use attacks::{
     gateway_nodes_by_operator, identify_data_wanters, test_past_interest, track_node_wants,
@@ -49,13 +50,17 @@ pub use countermeasures::{
     apply as apply_countermeasure, evaluate as evaluate_countermeasure, Countermeasure,
     CountermeasureEvaluation, MitigatedTrace,
 };
-pub use monitor::MonitorCollector;
+pub use monitor::{MonitorCollector, SpillingCollector};
 pub use netsize::{
     coverage, estimate_network_size, peer_id_positions, CoverageReport, NetworkSizeReport,
     PeerSetSnapshot,
 };
-pub use popularity::{popularity_report, popularity_scores, PopularityReport, PopularityScores};
-pub use preprocess::{unify_and_flag, PreprocessConfig, PreprocessStats};
-pub use trace::{
-    ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace,
+pub use popularity::{
+    popularity_report, popularity_scores, popularity_scores_stream, PopularityReport,
+    PopularityScores,
 };
+pub use preprocess::{
+    flag_segment, unify_and_flag, unify_and_flag_segment, unify_and_flag_stream, FlaggedStream,
+    PreprocessConfig, PreprocessStats, StreamingPreprocessor,
+};
+pub use trace::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};

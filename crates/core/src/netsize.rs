@@ -74,8 +74,8 @@ pub fn estimate_network_size(
         } else {
             None
         };
-        let estimate_capture_recapture = intersection_01
-            .and_then(|k| two_monitor_estimate(sizes[0], sizes[1], k).ok());
+        let estimate_capture_recapture =
+            intersection_01.and_then(|k| two_monitor_estimate(sizes[0], sizes[1], k).ok());
         let mean_w = if monitors > 0 {
             sizes.iter().sum::<usize>() as f64 / monitors as f64
         } else {
@@ -109,8 +109,9 @@ pub fn estimate_network_size(
     let weekly_union: HashSet<PeerId> = (0..monitors)
         .flat_map(|m| dataset.peers_connected_to(m).into_iter())
         .collect();
-    let bitswap_active_per_monitor: Vec<usize> =
-        (0..monitors).map(|m| dataset.peers_seen_by(m).len()).collect();
+    let bitswap_active_per_monitor: Vec<usize> = (0..monitors)
+        .map(|m| dataset.peers_seen_by(m).len())
+        .collect();
     let bitswap_union: HashSet<PeerId> = (0..monitors)
         .flat_map(|m| dataset.peers_seen_by(m).into_iter())
         .collect();
@@ -154,10 +155,7 @@ pub fn coverage(report: &NetworkSizeReport, reference_size: f64) -> CoverageRepo
             *mean /= report.snapshots.len() as f64;
         }
     }
-    let joint_mean = report
-        .union_sizes
-        .map(|s| s.mean)
-        .unwrap_or(0.0);
+    let joint_mean = report.union_sizes.map(|s| s.mean).unwrap_or(0.0);
     CoverageReport {
         reference_size,
         per_monitor: per_monitor_means
@@ -249,10 +247,22 @@ mod tests {
             SimDuration::from_secs(1),
         );
         let cov = coverage(&report, n as f64);
-        assert!((cov.per_monitor[0] - 0.54).abs() < 0.03, "{:?}", cov.per_monitor);
-        assert!((cov.per_monitor[1] - 0.49).abs() < 0.03, "{:?}", cov.per_monitor);
+        assert!(
+            (cov.per_monitor[0] - 0.54).abs() < 0.03,
+            "{:?}",
+            cov.per_monitor
+        );
+        assert!(
+            (cov.per_monitor[1] - 0.49).abs() < 0.03,
+            "{:?}",
+            cov.per_monitor
+        );
         let expected_joint = 1.0 - (1.0 - 0.54) * (1.0 - 0.49);
-        assert!((cov.joint - expected_joint).abs() < 0.03, "joint {}", cov.joint);
+        assert!(
+            (cov.joint - expected_joint).abs() < 0.03,
+            "joint {}",
+            cov.joint
+        );
     }
 
     #[test]
@@ -320,12 +330,8 @@ mod tests {
     #[should_panic(expected = "reference size must be positive")]
     fn coverage_rejects_zero_reference() {
         let ds = synthetic_dataset(10, 0.5, 0.5);
-        let report = estimate_network_size(
-            &ds,
-            SimTime::ZERO,
-            SimTime::ZERO,
-            SimDuration::from_secs(1),
-        );
+        let report =
+            estimate_network_size(&ds, SimTime::ZERO, SimTime::ZERO, SimDuration::from_secs(1));
         coverage(&report, 0.0);
     }
 }

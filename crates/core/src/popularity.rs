@@ -64,23 +64,55 @@ impl PopularityScores {
     }
 }
 
+/// Incremental per-CID score aggregation shared by the in-memory and
+/// streaming entry points.
+#[derive(Debug, Default)]
+struct ScoreAccumulator {
+    rrp: HashMap<Cid, u64>,
+    requesters: HashMap<Cid, HashSet<PeerId>>,
+}
+
+impl ScoreAccumulator {
+    fn add(&mut self, cid: &Cid, peer: PeerId) {
+        *self.rrp.entry(cid.clone()).or_insert(0) += 1;
+        self.requesters.entry(cid.clone()).or_default().insert(peer);
+    }
+
+    fn finish(self) -> PopularityScores {
+        let urp = self
+            .requesters
+            .into_iter()
+            .map(|(cid, peers)| (cid, peers.len() as u64))
+            .collect();
+        PopularityScores { rrp: self.rrp, urp }
+    }
+}
+
 /// Computes RRP and URP from the primary (deduplicated, re-broadcast-free)
 /// requests of a unified trace.
 pub fn popularity_scores(trace: &UnifiedTrace) -> PopularityScores {
-    let mut rrp: HashMap<Cid, u64> = HashMap::new();
-    let mut requesters: HashMap<Cid, HashSet<PeerId>> = HashMap::new();
+    let mut accumulator = ScoreAccumulator::default();
     for entry in trace.primary_requests() {
-        *rrp.entry(entry.cid.clone()).or_insert(0) += 1;
-        requesters
-            .entry(entry.cid.clone())
-            .or_default()
-            .insert(entry.peer);
+        accumulator.add(&entry.cid, entry.peer);
     }
-    let urp = requesters
-        .into_iter()
-        .map(|(cid, peers)| (cid, peers.len() as u64))
-        .collect();
-    PopularityScores { rrp, urp }
+    accumulator.finish()
+}
+
+/// Streaming counterpart of [`popularity_scores`]: consumes any entry stream
+/// — typically [`crate::preprocess::flag_segment`] over a tracestore segment
+/// — holding only the per-CID aggregates in memory, never the trace itself.
+/// Non-primary and cancel entries are filtered out, matching the in-memory
+/// path.
+pub fn popularity_scores_stream<I: IntoIterator<Item = crate::trace::TraceEntry>>(
+    entries: I,
+) -> PopularityScores {
+    let mut accumulator = ScoreAccumulator::default();
+    for entry in entries {
+        if entry.flags.is_primary() && entry.is_request() {
+            accumulator.add(&entry.cid, entry.peer);
+        }
+    }
+    accumulator.finish()
 }
 
 /// Full popularity analysis: scores, ECDF curves and power-law tests for both
@@ -189,7 +221,12 @@ mod tests {
             entries.push(entry(peer, 1, RequestType::WantHave, EntryFlags::default()));
         }
         for peer in 0..3u64 {
-            entries.push(entry(peer + 100, 2, RequestType::WantHave, EntryFlags::default()));
+            entries.push(entry(
+                peer + 100,
+                2,
+                RequestType::WantHave,
+                EntryFlags::default(),
+            ));
         }
         let scores = popularity_scores(&UnifiedTrace { entries });
         let top = scores.top_k(2, true);
@@ -212,7 +249,7 @@ mod tests {
             rng_state
         };
         for cid in 0..200u8 {
-            let requesters = 20 + (next() % 30) as u64;
+            let requesters = 20 + next() % 30;
             for peer in 0..requesters {
                 entries.push(entry(
                     peer * 1000 + cid as u64,

@@ -13,10 +13,24 @@
 //! As in the paper, the flags are kept (rather than entries being dropped) so
 //! that each analysis can decide which view it needs; the standard analyses
 //! filter both out via [`crate::trace::UnifiedTrace::primary_entries`].
+//!
+//! Two execution modes share one engine, [`StreamingPreprocessor`]:
+//!
+//! * [`unify_and_flag`] — the in-memory path: merge-sorts a whole
+//!   [`MonitoringDataset`] and returns a flagged [`UnifiedTrace`];
+//! * [`unify_and_flag_stream`] / [`flag_segment`] — the streaming path: flags
+//!   a time-ordered entry stream (typically a tracestore segment's k-way
+//!   merged stream) without materializing the trace, in memory bounded by the
+//!   number of *active* `(peer, request type, CID)` keys inside the dedup
+//!   windows (stale keys are evicted as time advances).
+//!
+//! Both paths produce bit-identical flags because they are the same code.
 
 use crate::trace::{MonitoringDataset, TraceEntry, UnifiedTrace};
 use ipfs_mon_bitswap::RequestType;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_tracestore::reader::{ChunkSource, MergedEntryStream, TraceReader};
+use ipfs_mon_tracestore::SegmentError;
 use ipfs_mon_types::{Cid, PeerId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -68,6 +82,108 @@ impl PreprocessStats {
 /// Key identifying "the same logical entry" for both windows.
 type EntryKey = (PeerId, RequestType, Cid);
 
+/// Entries processed between evictions of stale window state.
+const EVICTION_PERIOD: usize = 8192;
+
+/// The window-flagging engine shared by the in-memory and streaming paths.
+///
+/// Feed entries in `(timestamp, monitor)` order via
+/// [`StreamingPreprocessor::flag`]. State is one last-seen timestamp per
+/// monitor per active key; keys whose last activity has fallen outside the
+/// larger window are evicted periodically, so memory tracks the *rate* of
+/// distinct keys, not the length of the trace.
+#[derive(Debug, Clone)]
+pub struct StreamingPreprocessor {
+    config: PreprocessConfig,
+    monitors: usize,
+    last_seen: HashMap<EntryKey, Vec<Option<SimTime>>>,
+    stats: PreprocessStats,
+    since_eviction: usize,
+}
+
+impl StreamingPreprocessor {
+    /// Creates an engine for traces of `monitors` monitors.
+    pub fn new(monitors: usize, config: PreprocessConfig) -> Self {
+        Self {
+            config,
+            monitors: monitors.max(1),
+            last_seen: HashMap::new(),
+            stats: PreprocessStats::default(),
+            since_eviction: 0,
+        }
+    }
+
+    /// Sets the duplicate/re-broadcast flags of `entry` and updates the
+    /// window state. Entries must arrive in `(timestamp, monitor)` order.
+    pub fn flag(&mut self, entry: &mut TraceEntry) {
+        let key: EntryKey = (entry.peer, entry.request_type, entry.cid.clone());
+        let per_monitor = self
+            .last_seen
+            .entry(key)
+            .or_insert_with(|| vec![None; self.monitors]);
+
+        // Inter-monitor duplicate: some other monitor saw it recently.
+        let is_duplicate = per_monitor.iter().enumerate().any(|(m, seen)| {
+            m != entry.monitor
+                && seen
+                    .map(|t| entry.timestamp.since(t) <= self.config.duplicate_window)
+                    .unwrap_or(false)
+        });
+        // Re-broadcast: the same monitor saw it within the larger window.
+        let is_rebroadcast = per_monitor[entry.monitor]
+            .map(|t| entry.timestamp.since(t) <= self.config.rebroadcast_window)
+            .unwrap_or(false);
+
+        entry.flags.inter_monitor_duplicate = is_duplicate;
+        entry.flags.rebroadcast = is_rebroadcast;
+        per_monitor[entry.monitor] = Some(entry.timestamp);
+
+        self.stats.total += 1;
+        if is_duplicate {
+            self.stats.inter_monitor_duplicates += 1;
+        }
+        if is_rebroadcast {
+            self.stats.rebroadcasts += 1;
+        }
+        if !is_duplicate && !is_rebroadcast {
+            self.stats.primary += 1;
+        }
+
+        self.since_eviction += 1;
+        if self.since_eviction >= EVICTION_PERIOD {
+            self.evict_stale(entry.timestamp);
+            self.since_eviction = 0;
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PreprocessStats {
+        self.stats
+    }
+
+    /// Number of keys currently tracked (exposed for memory diagnostics).
+    pub fn tracked_keys(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Drops keys that can no longer influence any future entry: input is
+    /// time-ordered, so a key whose every last-seen timestamp lies further
+    /// than the larger window before `now` is dead state.
+    fn evict_stale(&mut self, now: SimTime) {
+        let horizon = self
+            .config
+            .duplicate_window
+            .as_millis()
+            .max(self.config.rebroadcast_window.as_millis());
+        self.last_seen.retain(|_, per_monitor| {
+            per_monitor
+                .iter()
+                .flatten()
+                .any(|&t| now.since(t).as_millis() <= horizon)
+        });
+    }
+}
+
 /// Unifies the per-monitor traces of `dataset` into one time-ordered trace
 /// and sets the duplicate/re-broadcast flags.
 pub fn unify_and_flag(
@@ -79,54 +195,97 @@ pub fn unify_and_flag(
     let mut entries: Vec<TraceEntry> = dataset.entries.iter().flatten().cloned().collect();
     entries.sort_by_key(|e| (e.timestamp, e.monitor));
 
-    // For the duplicate window we remember, per key, the last time each
-    // monitor saw the entry. An entry is an inter-monitor duplicate if any
-    // *other* monitor saw the same key within the window before it.
-    let mut last_seen: HashMap<EntryKey, Vec<Option<SimTime>>> = HashMap::new();
-    let monitors = dataset.monitor_count().max(1);
-
-    let mut stats = PreprocessStats::default();
+    let mut preprocessor = StreamingPreprocessor::new(dataset.monitor_count(), config);
     for entry in entries.iter_mut() {
-        let key: EntryKey = (entry.peer, entry.request_type, entry.cid.clone());
-        let per_monitor = last_seen
-            .entry(key)
-            .or_insert_with(|| vec![None; monitors]);
+        preprocessor.flag(entry);
+    }
+    (UnifiedTrace { entries }, preprocessor.stats())
+}
 
-        // Inter-monitor duplicate: some other monitor saw it recently.
-        let is_duplicate = per_monitor.iter().enumerate().any(|(m, seen)| {
-            m != entry.monitor
-                && seen
-                    .map(|t| entry.timestamp.since(t) <= config.duplicate_window)
-                    .unwrap_or(false)
-        });
-        // Re-broadcast: the same monitor saw it within the larger window.
-        let is_rebroadcast = per_monitor[entry.monitor]
-            .map(|t| entry.timestamp.since(t) <= config.rebroadcast_window)
-            .unwrap_or(false);
+/// Lazily flags a time-ordered entry stream. See [`unify_and_flag_stream`].
+pub struct FlaggedStream<I> {
+    inner: I,
+    preprocessor: StreamingPreprocessor,
+}
 
-        entry.flags.inter_monitor_duplicate = is_duplicate;
-        entry.flags.rebroadcast = is_rebroadcast;
-        per_monitor[entry.monitor] = Some(entry.timestamp);
-
-        stats.total += 1;
-        if is_duplicate {
-            stats.inter_monitor_duplicates += 1;
-        }
-        if is_rebroadcast {
-            stats.rebroadcasts += 1;
-        }
-        if !is_duplicate && !is_rebroadcast {
-            stats.primary += 1;
-        }
+impl<I> FlaggedStream<I> {
+    /// Statistics over the entries yielded so far (complete once the stream
+    /// is exhausted).
+    pub fn stats(&self) -> PreprocessStats {
+        self.preprocessor.stats()
     }
 
-    (UnifiedTrace { entries }, stats)
+    /// Number of window keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.preprocessor.tracked_keys()
+    }
+}
+
+impl<'a, S: ChunkSource> FlaggedStream<MergedEntryStream<'a, S>> {
+    /// Takes the segment read error that ended the stream early, if any.
+    ///
+    /// A segment-backed stream ends silently when a chunk fails its CRC or
+    /// decode; check this after exhausting a [`flag_segment`] stream, or the
+    /// statistics cover a truncated trace with no indication anything is
+    /// wrong. ([`unify_and_flag_segment`] does this for you.)
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.inner.take_error()
+    }
+}
+
+impl<I: Iterator<Item = TraceEntry>> Iterator for FlaggedStream<I> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        let mut entry = self.inner.next()?;
+        self.preprocessor.flag(&mut entry);
+        Some(entry)
+    }
+}
+
+/// Streaming counterpart of [`unify_and_flag`]: wraps a `(timestamp,
+/// monitor)`-ordered entry stream (e.g.
+/// [`TraceReader::stream_merged`]) and yields the same entries with flags
+/// set, without materializing the trace.
+pub fn unify_and_flag_stream<I: Iterator<Item = TraceEntry>>(
+    merged: I,
+    monitors: usize,
+    config: PreprocessConfig,
+) -> FlaggedStream<I> {
+    FlaggedStream {
+        inner: merged,
+        preprocessor: StreamingPreprocessor::new(monitors, config),
+    }
+}
+
+/// Opens a flagged stream over everything stored in a tracestore segment.
+pub fn flag_segment<'a, S: ChunkSource>(
+    reader: &'a TraceReader<S>,
+    config: PreprocessConfig,
+) -> FlaggedStream<MergedEntryStream<'a, S>> {
+    unify_and_flag_stream(reader.stream_merged(), reader.monitor_count(), config)
+}
+
+/// Convenience: streams a segment through preprocessing into an in-memory
+/// [`UnifiedTrace`] — the segment-backed equivalent of [`unify_and_flag`].
+pub fn unify_and_flag_segment<S: ChunkSource>(
+    reader: &TraceReader<S>,
+    config: PreprocessConfig,
+) -> Result<(UnifiedTrace, PreprocessStats), SegmentError> {
+    let mut stream = flag_segment(reader, config);
+    let entries: Vec<TraceEntry> = (&mut stream).collect();
+    let stats = stream.stats();
+    if let Some(error) = stream.take_error() {
+        return Err(error);
+    }
+    Ok((UnifiedTrace { entries }, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::EntryFlags;
+    use ipfs_mon_tracestore::{SegmentConfig, SliceSource};
     use ipfs_mon_types::{Country, Multiaddr, Multicodec, Transport};
 
     fn entry(millis: u64, peer: u64, cid: u8, monitor: usize, rtype: RequestType) -> TraceEntry {
@@ -194,9 +353,9 @@ mod tests {
     fn different_cids_or_types_are_never_repeats() {
         let ds = dataset(vec![
             entry(0, 1, 1, 0, RequestType::WantHave),
-            entry(100, 1, 2, 0, RequestType::WantHave),        // other CID
-            entry(200, 1, 1, 0, RequestType::Cancel),          // other type
-            entry(300, 2, 1, 0, RequestType::WantHave),        // other peer
+            entry(100, 1, 2, 0, RequestType::WantHave), // other CID
+            entry(200, 1, 1, 0, RequestType::Cancel),   // other type
+            entry(300, 2, 1, 0, RequestType::WantHave), // other peer
         ]);
         let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
         assert!(trace.entries.iter().all(|e| e.flags.is_primary()));
@@ -261,5 +420,74 @@ mod tests {
         let (_, s2) = unify_and_flag(&ds, relaxed);
         assert_eq!(s1.inter_monitor_duplicates, 0);
         assert_eq!(s2.inter_monitor_duplicates, 1);
+    }
+
+    #[test]
+    fn streaming_over_segment_matches_in_memory_path() {
+        // Interleaved duplicates, re-broadcasts and noise across two
+        // monitors, then: flags from the streaming path over a segment must
+        // equal flags from unify_and_flag exactly.
+        let mut raw = Vec::new();
+        for i in 0..200u64 {
+            let peer = i % 11;
+            let cid = (i % 7) as u8;
+            raw.push(entry(i * 700, peer, cid, 0, RequestType::WantHave));
+            if i % 3 == 0 {
+                raw.push(entry(i * 700 + 900, peer, cid, 1, RequestType::WantHave));
+            }
+            if i % 5 == 0 {
+                raw.push(entry(i * 700 + 30_000, peer, cid, 0, RequestType::WantHave));
+            }
+        }
+        // Per-monitor arrival order (the streaming path's precondition).
+        let mut ds = dataset(Vec::new());
+        let mut sorted = raw.clone();
+        sorted.sort_by_key(|e| (e.timestamp, e.monitor));
+        for e in &sorted {
+            ds.entries[e.monitor].push(e.clone());
+        }
+
+        let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
+
+        let bytes = ds
+            .to_segment_bytes(SegmentConfig { chunk_capacity: 16 })
+            .unwrap();
+        let reader = ipfs_mon_tracestore::TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        let (streamed_trace, streamed_stats) =
+            unify_and_flag_segment(&reader, PreprocessConfig::default()).unwrap();
+
+        assert_eq!(streamed_trace.entries, trace.entries);
+        assert_eq!(streamed_stats, stats);
+    }
+
+    #[test]
+    fn eviction_keeps_state_bounded_without_changing_flags() {
+        // Far more distinct keys than the eviction period, spread over a long
+        // time span: tracked state must stay close to the active-window
+        // population instead of the total key count.
+        let config = PreprocessConfig::default();
+        let mut preprocessor = StreamingPreprocessor::new(1, config);
+        let total_keys = 3 * EVICTION_PERIOD as u64;
+        for i in 0..total_keys {
+            let mut e = entry(i * 1_000, i, (i % 251) as u8, 0, RequestType::WantHave);
+            preprocessor.flag(&mut e);
+            assert!(e.flags.is_primary());
+        }
+        assert!(
+            preprocessor.tracked_keys() < EVICTION_PERIOD + 64,
+            "tracked {} keys",
+            preprocessor.tracked_keys()
+        );
+        // A repeat inside the window is still caught after evictions.
+        let last = total_keys - 1;
+        let mut repeat = entry(
+            (last * 1_000) + 20_000,
+            last,
+            (last % 251) as u8,
+            0,
+            RequestType::WantHave,
+        );
+        preprocessor.flag(&mut repeat);
+        assert!(repeat.flags.rebroadcast);
     }
 }

@@ -164,8 +164,7 @@ mod tests {
     fn result_is_sorted_by_distance() {
         let (view, ids) = build_network(150, 20);
         let target = pid(42_000);
-        let result =
-            iterative_find_node(&view, &target, &ids[..3], LookupConfig::default());
+        let result = iterative_find_node(&view, &target, &ids[..3], LookupConfig::default());
         for pair in result.closest.windows(2) {
             assert!(pair[0].distance(&target) <= pair[1].distance(&target));
         }

@@ -106,7 +106,10 @@ mod tests {
         assert_eq!(NodeConfig::client().dht_mode, DhtMode::Client);
         assert!(NodeConfig::gateway().role.is_gateway());
         assert!(NodeConfig::monitor().role.is_monitor());
-        assert!(!NodeConfig::monitor().reprovide, "monitors never provide data");
+        assert!(
+            !NodeConfig::monitor().reprovide,
+            "monitors never provide data"
+        );
         assert_eq!(NodeConfig::monitor().connection_target, u32::MAX);
     }
 

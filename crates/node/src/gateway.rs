@@ -193,14 +193,23 @@ mod tests {
     #[test]
     fn miss_then_hit_then_revalidate() {
         let mut cache = cache_with_ttl(100);
-        assert_eq!(cache.request(&cid(1), SimTime::from_secs(0)), CacheOutcome::Miss);
-        assert_eq!(cache.request(&cid(1), SimTime::from_secs(50)), CacheOutcome::Hit);
+        assert_eq!(
+            cache.request(&cid(1), SimTime::from_secs(0)),
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            cache.request(&cid(1), SimTime::from_secs(50)),
+            CacheOutcome::Hit
+        );
         assert_eq!(
             cache.request(&cid(1), SimTime::from_secs(150)),
             CacheOutcome::Revalidate
         );
         // Revalidation refreshes the TTL.
-        assert_eq!(cache.request(&cid(1), SimTime::from_secs(200)), CacheOutcome::Hit);
+        assert_eq!(
+            cache.request(&cid(1), SimTime::from_secs(200)),
+            CacheOutcome::Hit
+        );
         assert_eq!(cache.counters(), (2, 1, 1));
     }
 

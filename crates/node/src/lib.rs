@@ -25,7 +25,9 @@ pub mod version;
 
 pub use config::{NodeConfig, NodeRole};
 pub use gateway::{CacheOutcome, GatewayCache, GatewayCacheConfig, GatewayOperator};
-pub use network::{BitswapObservation, MonitorSink, Network, NetworkDhtView, RecordingSink, RunReport};
+pub use network::{
+    BitswapObservation, MonitorSink, Network, NetworkDhtView, RecordingSink, RunReport,
+};
 pub use spec::{
     ContentSpec, GatewayRequestEvent, MonitorSpec, NodeSpec, RequestEvent, Scenario, ScenarioParams,
 };

@@ -74,15 +74,18 @@ pub trait MonitorSink {
     }
 }
 
+/// One recorded connection event: `(peer, address, connect time, disconnect
+/// time if any)`.
+pub type ConnectionEvent = (PeerId, Multiaddr, SimTime, Option<SimTime>);
+
 /// A [`MonitorSink`] that keeps everything in memory. Useful for tests and
 /// small experiments.
 #[derive(Debug, Default, Clone)]
 pub struct RecordingSink {
     /// Observations per monitor index.
     pub observations: Vec<Vec<BitswapObservation>>,
-    /// Connection events per monitor index: `(peer, address, connect time,
-    /// disconnect time if any)`.
-    pub connections: Vec<Vec<(PeerId, Multiaddr, SimTime, Option<SimTime>)>>,
+    /// Connection events per monitor index.
+    pub connections: Vec<Vec<ConnectionEvent>>,
 }
 
 impl RecordingSink {
@@ -155,10 +158,23 @@ struct NodeState {
 enum NetEvent {
     NodeOnline(usize),
     NodeOffline(usize),
-    UserRequest { node: usize, content: usize },
-    GatewayHttp { operator: usize, content: usize },
-    Rebroadcast { node: usize, content: usize },
-    RetrievalComplete { node: usize, content: usize, resolution: Resolution },
+    UserRequest {
+        node: usize,
+        content: usize,
+    },
+    GatewayHttp {
+        operator: usize,
+        content: usize,
+    },
+    Rebroadcast {
+        node: usize,
+        content: usize,
+    },
+    RetrievalComplete {
+        node: usize,
+        content: usize,
+        resolution: Resolution,
+    },
 }
 
 /// Summary of a completed run.
@@ -406,7 +422,10 @@ impl Network {
             .map(|op| {
                 (
                     op.name.clone(),
-                    op.node_indices.iter().map(|&i| self.nodes[i].peer_id).collect(),
+                    op.node_indices
+                        .iter()
+                        .map(|&i| self.nodes[i].peer_id)
+                        .collect(),
                 )
             })
             .collect()
@@ -461,7 +480,11 @@ impl Network {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(i, s)| s.config.dht_mode.is_server() && s.schedule.online_at(at) && self.routing_tables.contains_key(i))
+            .filter(|(i, s)| {
+                s.config.dht_mode.is_server()
+                    && s.schedule.online_at(at)
+                    && self.routing_tables.contains_key(i)
+            })
             .map(|(i, _)| self.nodes[i].peer_id)
             .take(limit)
             .collect()
@@ -560,11 +583,11 @@ impl Network {
             if !self.nodes[node].monitor_links[m] {
                 continue;
             }
-            let latency =
-                self.scenario
-                    .params
-                    .latency
-                    .sample(&mut self.rng, country, self.scenario.monitors[m].country);
+            let latency = self.scenario.params.latency.sample(
+                &mut self.rng,
+                country,
+                self.scenario.monitors[m].country,
+            );
             sink.record(
                 m,
                 BitswapObservation {
@@ -599,7 +622,12 @@ impl Network {
         // Connecting to the provider also makes the requester a monitor peer.
         if !self.nodes[node].monitor_links[monitor] {
             self.nodes[node].monitor_links[monitor] = true;
-            sink.peer_connected(monitor, self.nodes[node].peer_id, self.nodes[node].address, now);
+            sink.peer_connected(
+                monitor,
+                self.nodes[node].peer_id,
+                self.nodes[node].address,
+                now,
+            );
         }
         sink.record(
             monitor,
@@ -898,10 +926,7 @@ impl DhtView for NetworkDhtView<'_> {
             return None;
         }
         let index = self.network.node_of_peer(peer)?;
-        self.network
-            .routing_tables
-            .get(&index)
-            .map(|t| t.peers())
+        self.network.routing_tables.get(&index).map(|t| t.peers())
     }
 }
 
@@ -981,7 +1006,10 @@ mod tests {
         assert_eq!(wants[0].peer, requester);
         assert_eq!(wants[0].cid, *network.content_root(0));
         assert!(cancels[0].timestamp > wants[0].timestamp);
-        assert_eq!(report.counters.get("resolved_via_neighbour") + report.counters.get("resolved_via_dht"), 1);
+        assert_eq!(
+            report.counters.get("resolved_via_neighbour") + report.counters.get("resolved_via_dht"),
+            1
+        );
     }
 
     #[test]
@@ -1108,7 +1136,9 @@ mod tests {
         // Always-online schedule ends at the horizon, which is outside
         // pop_until's range only if equal — the offline event fires exactly at
         // the horizon, so disconnects are recorded.
-        assert!(sink.connections[0].iter().all(|(_, _, _, end)| end.is_some()));
+        assert!(sink.connections[0]
+            .iter()
+            .all(|(_, _, _, end)| end.is_some()));
     }
 
     #[test]
@@ -1154,11 +1184,13 @@ mod tests {
         // Three HTTP requests for the same content in quick succession: one
         // miss (Bitswap visible) followed by cache hits (invisible).
         for secs in [100, 200, 300] {
-            scenario.gateway_requests.push(crate::spec::GatewayRequestEvent {
-                at: SimTime::from_secs(secs),
-                operator: 0,
-                content: 0,
-            });
+            scenario
+                .gateway_requests
+                .push(crate::spec::GatewayRequestEvent {
+                    at: SimTime::from_secs(secs),
+                    operator: 0,
+                    content: 0,
+                });
         }
         let mut network = Network::new(scenario);
         let mut sink = RecordingSink::new(1);

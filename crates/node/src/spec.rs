@@ -176,7 +176,10 @@ impl Scenario {
         let horizon_end = SimTime::ZERO + self.horizon;
         for (i, r) in self.requests.iter().enumerate() {
             if r.node >= self.nodes.len() {
-                problems.push(format!("request {i} references node {} out of range", r.node));
+                problems.push(format!(
+                    "request {i} references node {} out of range",
+                    r.node
+                ));
             }
             if r.content >= self.content.len() {
                 problems.push(format!(
@@ -255,7 +258,9 @@ mod tests {
             upgrade: UpgradeSchedule::always_modern(),
             connections: 700,
         });
-        scenario.monitors.push(MonitorSpec::new("us", Country::Us, 0.8));
+        scenario
+            .monitors
+            .push(MonitorSpec::new("us", Country::Us, 0.8));
         scenario.content.push(ContentSpec {
             dag: build_file(1, 1000, 256 * 1024, 174),
             initial_providers: vec![0],
@@ -313,6 +318,9 @@ mod tests {
     fn monitor_probability_validation() {
         let mut s = tiny_scenario();
         s.monitors.push(MonitorSpec::new("bad", Country::De, 1.5));
-        assert!(s.validate().iter().any(|p| p.contains("attach probability")));
+        assert!(s
+            .validate()
+            .iter()
+            .any(|p| p.contains("attach probability")));
     }
 }

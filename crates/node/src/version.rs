@@ -121,10 +121,22 @@ mod tests {
         let s = UpgradeSchedule {
             upgrade_at: Some(SimTime::from_secs(100)),
         };
-        assert_eq!(s.protocol_at(SimTime::from_secs(99)), ProtocolVersion::Legacy);
-        assert_eq!(s.protocol_at(SimTime::from_secs(100)), ProtocolVersion::Modern);
-        assert_eq!(UpgradeSchedule::never().protocol_at(SimTime::from_secs(1_000_000)), ProtocolVersion::Legacy);
-        assert_eq!(UpgradeSchedule::always_modern().protocol_at(SimTime::ZERO), ProtocolVersion::Modern);
+        assert_eq!(
+            s.protocol_at(SimTime::from_secs(99)),
+            ProtocolVersion::Legacy
+        );
+        assert_eq!(
+            s.protocol_at(SimTime::from_secs(100)),
+            ProtocolVersion::Modern
+        );
+        assert_eq!(
+            UpgradeSchedule::never().protocol_at(SimTime::from_secs(1_000_000)),
+            ProtocolVersion::Legacy
+        );
+        assert_eq!(
+            UpgradeSchedule::always_modern().protocol_at(SimTime::ZERO),
+            ProtocolVersion::Modern
+        );
     }
 
     #[test]
@@ -138,7 +150,10 @@ mod tests {
             assert!((0.0..=1.0).contains(&f));
             last = f;
         }
-        assert_eq!(curve.expected_adoption_at(SimTime::ZERO + SimDuration::from_days(44)), 0.0);
+        assert_eq!(
+            curve.expected_adoption_at(SimTime::ZERO + SimDuration::from_days(44)),
+            0.0
+        );
         assert!(curve.expected_adoption_at(SimTime::ZERO + SimDuration::from_days(170)) > 0.85);
     }
 

@@ -205,15 +205,27 @@ mod tests {
 
     #[test]
     fn stable_fraction_extremes() {
-        let mut all_stable = ChurnModel::default();
-        all_stable.stable_fraction = 1.0;
+        let all_stable = ChurnModel {
+            stable_fraction: 1.0,
+            ..ChurnModel::default()
+        };
         let mut rng = SimRng::new(3);
-        assert!(all_stable.schedule(&mut rng, SimDuration::from_days(1)).stable);
+        assert!(
+            all_stable
+                .schedule(&mut rng, SimDuration::from_days(1))
+                .stable
+        );
 
-        let mut none_stable = ChurnModel::default();
-        none_stable.stable_fraction = 0.0;
+        let none_stable = ChurnModel {
+            stable_fraction: 0.0,
+            ..ChurnModel::default()
+        };
         let mut rng = SimRng::new(4);
-        assert!(!none_stable.schedule(&mut rng, SimDuration::from_days(1)).stable);
+        assert!(
+            !none_stable
+                .schedule(&mut rng, SimDuration::from_days(1))
+                .stable
+        );
     }
 
     #[test]

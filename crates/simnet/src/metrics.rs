@@ -63,7 +63,10 @@ impl BucketedSeries {
     ///
     /// Panics if the bucket width is zero.
     pub fn new(bucket_width: SimDuration) -> Self {
-        assert!(bucket_width.as_millis() > 0, "bucket width must be positive");
+        assert!(
+            bucket_width.as_millis() > 0,
+            "bucket width must be positive"
+        );
         Self {
             bucket_width,
             buckets: BTreeMap::new(),
@@ -92,7 +95,10 @@ impl BucketedSeries {
 
     /// Records `n` observations at time `t`.
     pub fn record_n(&mut self, t: SimTime, n: u64) {
-        *self.buckets.entry(t.bucket_index(self.bucket_width)).or_insert(0) += n;
+        *self
+            .buckets
+            .entry(t.bucket_index(self.bucket_width))
+            .or_insert(0) += n;
     }
 
     /// Count in the bucket containing `t`.
@@ -111,9 +117,12 @@ impl BucketedSeries {
     /// Iterates over `(bucket_start_time, count)` pairs in time order,
     /// including only buckets that received at least one observation.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
-        self.buckets
-            .iter()
-            .map(move |(&idx, &count)| (SimTime::from_millis(idx * self.bucket_width.as_millis()), count))
+        self.buckets.iter().map(move |(&idx, &count)| {
+            (
+                SimTime::from_millis(idx * self.bucket_width.as_millis()),
+                count,
+            )
+        })
     }
 
     /// Dense series from bucket 0 to the last non-empty bucket, filling gaps

@@ -111,7 +111,7 @@ impl Default for LatencyModel {
 /// Coarse region groups for latency purposes.
 fn region_group(country: Country) -> u8 {
     match country {
-        Country::Us | Country::Ca => 0,           // North America
+        Country::Us | Country::Ca => 0, // North America
         Country::Nl | Country::De | Country::Fr | Country::Gb | Country::Pl => 1, // Europe
         Country::Cn | Country::Sg | Country::Jp => 2, // Asia
         Country::Other => 3,

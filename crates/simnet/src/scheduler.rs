@@ -114,7 +114,8 @@ impl<E> Scheduler<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(ScheduledEvent { at, seq, payload }));
+        self.queue
+            .push(Reverse(ScheduledEvent { at, seq, payload }));
         EventId(seq)
     }
 
@@ -240,9 +241,15 @@ mod tests {
         let mut sched = Scheduler::new();
         sched.schedule_at(SimTime::from_secs(1), 1);
         sched.schedule_at(SimTime::from_secs(5), 5);
-        assert_eq!(sched.pop_until(SimTime::from_secs(2)), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(
+            sched.pop_until(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), 1))
+        );
         assert_eq!(sched.pop_until(SimTime::from_secs(2)), None);
-        assert_eq!(sched.pop_until(SimTime::from_secs(10)), Some((SimTime::from_secs(5), 5)));
+        assert_eq!(
+            sched.pop_until(SimTime::from_secs(10)),
+            Some((SimTime::from_secs(5), 5))
+        );
     }
 
     #[test]

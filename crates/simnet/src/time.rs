@@ -95,7 +95,10 @@ impl SimDuration {
 
     /// Creates a duration from fractional seconds (rounded to milliseconds).
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be non-negative"
+        );
         SimDuration((secs * 1000.0).round() as u64)
     }
 
@@ -187,7 +190,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
         // Saturating subtraction.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         assert_eq!(
             SimTime::from_secs(5).since(SimTime::from_secs(1)),
             SimDuration::from_secs(4)
@@ -200,7 +206,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(10).bucket_index(hour), 0);
         assert_eq!(SimTime::from_secs(3600).bucket_index(hour), 1);
         assert_eq!(SimTime::from_secs(3599).bucket_index(hour), 0);
-        assert_eq!((SimTime::ZERO + SimDuration::from_days(2)).bucket_index(hour), 48);
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_days(2)).bucket_index(hour),
+            48
+        );
     }
 
     #[test]
@@ -217,8 +226,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let t = SimTime::ZERO + SimDuration::from_days(1) + SimDuration::from_hours(2)
-            + SimDuration::from_mins(3) + SimDuration::from_secs(4);
+        let t = SimTime::ZERO
+            + SimDuration::from_days(1)
+            + SimDuration::from_hours(2)
+            + SimDuration::from_mins(3)
+            + SimDuration::from_secs(4);
         assert_eq!(t.to_string(), "1d 02:03:04");
         assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
     }

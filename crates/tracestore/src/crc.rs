@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), used as the per-chunk and footer checksum
+//! of the segment format.
+
+/// Reflected polynomial of CRC-32/IEEE.
+const POLY: u32 = 0xedb8_8320;
+
+/// Computes the CRC-32 of `data` (table-free, bitwise; plenty fast for the
+/// chunk sizes involved and free of global state).
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// Incremental form: feed successive slices, starting from
+/// [`crc32_begin`]'s state, and close with [`crc32_end`].
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (POLY & mask);
+        }
+    }
+    state
+}
+
+/// Initial state for incremental CRC computation.
+pub fn crc32_begin() -> u32 {
+    0xffff_ffff
+}
+
+/// Finalizes an incremental CRC state.
+pub fn crc32_end(state: u32) -> u32 {
+    state ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut state = crc32_begin();
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(crc32_end(state), crc32(data));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut data = b"some chunk payload".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x40;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,43 @@
+//! Columnar trace storage for the monitoring pipeline.
+//!
+//! The paper's real deployment logged hundreds of millions of Bitswap
+//! wantlist entries over ten days. Keeping every [`record::TraceEntry`] in
+//! memory (and persisting JSON) caps experiments far below that scale; this
+//! crate provides the storage layer that removes the cap:
+//!
+//! * [`record`] — the trace data model (`TraceEntry`, `ConnectionRecord`,
+//!   `MonitoringDataset`, `UnifiedTrace`), moved here from `ipfs-mon-core`
+//!   (which re-exports it) so storage and methodology layers stay acyclic.
+//!   JSON persistence remains available as a debug format.
+//! * [`segment`] — an append-only, chunked, columnar segment format:
+//!   dictionary-interned peer/address/CID columns, delta+varint-encoded
+//!   timestamps, bit-packed request types and flags, a CRC32 per chunk, and a
+//!   footer index describing every chunk for random and streaming access.
+//! * [`writer`] — [`writer::TraceWriter`], a sharded encoder (one shard per
+//!   monitor) that spills fixed-size chunks to any `io::Write` sink as
+//!   entries arrive, so collection runs in constant memory.
+//! * [`reader`] — [`reader::TraceReader`], a constant-memory streaming reader
+//!   (one decoded chunk per active monitor stream) plus a k-way merged stream
+//!   that yields all entries ordered by `(timestamp, monitor)` — exactly the
+//!   order the preprocessing windows of `ipfs-mon-core` expect.
+//!
+//! A round-trip through a segment is lossless, and measured segments are a
+//! fraction of the size of the equivalent JSON (see the `tracestore_bench`
+//! binary in `ipfs-mon-bench`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod reader;
+pub mod record;
+pub mod segment;
+pub mod writer;
+
+pub use reader::{
+    ChunkSource, EntryStream, FileSource, MergedEntryStream, SliceSource, SortedEntryStream,
+    TraceReader,
+};
+pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
+pub use segment::{ChunkInfo, SegmentConfig, SegmentError, SegmentSummary};
+pub use writer::TraceWriter;

@@ -1,0 +1,606 @@
+//! Streaming segment readers.
+
+use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
+use crate::segment::{
+    decode_chunk, decode_footer, ChunkInfo, Footer, SegmentError, FOOTER_MAGIC, FORMAT_VERSION,
+    HEADER_MAGIC, TRAILER_LEN,
+};
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+/// Random-access byte source a segment is read from.
+///
+/// Implementations exist for in-memory slices ([`SliceSource`]) and files
+/// ([`FileSource`]); both hand out independent reads from a shared `&self`,
+/// which is what lets several monitor streams walk one segment concurrently
+/// during a k-way merge.
+// `len` is fallible (file metadata) — a paired `is_empty` would be too, and a
+// zero-length source is just a corrupt segment, so the lint buys nothing here.
+#[allow(clippy::len_without_is_empty)]
+pub trait ChunkSource {
+    /// Reads exactly `len` bytes starting at `offset`.
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError>;
+
+    /// Total length of the segment in bytes.
+    fn len(&self) -> Result<u64, SegmentError>;
+}
+
+/// A segment held in memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+}
+
+impl ChunkSource for SliceSource<'_> {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| SegmentError::Corrupt("read past end of segment".into()))?;
+        Ok(self.bytes[start..end].to_vec())
+    }
+
+    fn len(&self) -> Result<u64, SegmentError> {
+        Ok(self.bytes.len() as u64)
+    }
+}
+
+/// A segment stored in a file. Reads are positioned (`pread`-style), so the
+/// source can serve multiple concurrent streams from `&self`.
+#[derive(Debug)]
+pub struct FileSource {
+    file: std::fs::File,
+}
+
+impl FileSource {
+    /// Opens a segment file for reading.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, SegmentError> {
+        Ok(Self {
+            file: std::fs::File::open(path)?,
+        })
+    }
+
+    /// Wraps an already-open file.
+    pub fn from_file(file: std::fs::File) -> Self {
+        Self { file }
+    }
+}
+
+impl ChunkSource for FileSource {
+    #[cfg(unix)]
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = vec![0u8; len];
+        self.file.read_exact_at(&mut buf, offset)?;
+        Ok(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+        // Fallback: clone the handle so `&self` suffices; each clone seeks
+        // independently on platforms where handles share a cursor this is
+        // still correct because the clone is short-lived and exclusive here.
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.try_clone()?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self) -> Result<u64, SegmentError> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// A segment opened for reading.
+///
+/// Opening costs one footer read; entry data is only touched when streamed,
+/// one chunk at a time, so memory stays bounded by the chunk size times the
+/// number of concurrently active streams.
+pub struct TraceReader<S: ChunkSource> {
+    source: S,
+    footer: Footer,
+}
+
+impl<S: ChunkSource> TraceReader<S> {
+    /// Opens a segment: validates the header, locates and checks the footer.
+    pub fn new(source: S) -> Result<Self, SegmentError> {
+        let total_len = source.len()?;
+        let header_len = (HEADER_MAGIC.len() + 1) as u64;
+        if total_len < header_len + TRAILER_LEN as u64 {
+            return Err(SegmentError::Corrupt("segment too short".into()));
+        }
+        let header = source.read_at(0, HEADER_MAGIC.len() + 1)?;
+        if &header[..4] != HEADER_MAGIC {
+            return Err(SegmentError::Corrupt("missing segment header magic".into()));
+        }
+        if header[4] != FORMAT_VERSION {
+            return Err(SegmentError::UnsupportedVersion(header[4]));
+        }
+
+        // Fixed-size trailer: footer CRC, footer payload length, magic.
+        let trailer = source.read_at(total_len - TRAILER_LEN as u64, TRAILER_LEN)?;
+        if &trailer[12..16] != FOOTER_MAGIC {
+            return Err(SegmentError::Corrupt("missing footer magic".into()));
+        }
+        let stored_crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(trailer[4..12].try_into().unwrap());
+        let footer_start = total_len
+            .checked_sub(TRAILER_LEN as u64 + payload_len)
+            .ok_or_else(|| SegmentError::Corrupt("footer length out of range".into()))?;
+        if footer_start < header_len {
+            return Err(SegmentError::Corrupt("footer overlaps header".into()));
+        }
+        let payload = source.read_at(footer_start, payload_len as usize)?;
+        if crate::crc::crc32(&payload) != stored_crc {
+            return Err(SegmentError::ChecksumMismatch {
+                location: "footer".into(),
+            });
+        }
+        let footer = decode_footer(&payload)?;
+        Ok(Self { source, footer })
+    }
+
+    /// The monitor labels recorded in the segment.
+    pub fn monitor_labels(&self) -> &[String] {
+        &self.footer.monitor_labels
+    }
+
+    /// Number of monitors.
+    pub fn monitor_count(&self) -> usize {
+        self.footer.monitor_labels.len()
+    }
+
+    /// All connection records.
+    pub fn connections(&self) -> &[ConnectionRecord] {
+        &self.footer.connections
+    }
+
+    /// The chunk index.
+    pub fn chunks(&self) -> &[ChunkInfo] {
+        &self.footer.chunks
+    }
+
+    /// Total entries across all chunks.
+    pub fn total_entries(&self) -> u64 {
+        self.footer.total_entries
+    }
+
+    /// Streams one monitor's entries in storage (arrival) order, decoding one
+    /// chunk at a time.
+    pub fn stream_monitor(&self, monitor: usize) -> EntryStream<'_, S> {
+        let chunks = self
+            .footer
+            .chunks
+            .iter()
+            .filter(|c| c.monitor == monitor)
+            .copied()
+            .collect();
+        EntryStream {
+            source: &self.source,
+            chunks,
+            next_chunk: 0,
+            current: Vec::new().into_iter(),
+            error: None,
+        }
+    }
+
+    /// The maximum backward timestamp jump recorded for `monitor`'s stream,
+    /// in milliseconds. Zero means the stream is already time-sorted.
+    pub fn max_lateness_ms(&self, monitor: usize) -> u64 {
+        self.footer
+            .max_lateness_ms
+            .get(monitor)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Streams one monitor's entries sorted by timestamp (stable: equal
+    /// timestamps keep arrival order). Arrival streams carry send-side
+    /// timestamps and are only locally out of order; a reorder buffer sized
+    /// by the lateness bound recorded at write time restores exact order with
+    /// memory proportional to the disorder window, not the trace.
+    pub fn stream_monitor_sorted(&self, monitor: usize) -> SortedEntryStream<'_, S> {
+        SortedEntryStream {
+            inner: self.stream_monitor(monitor),
+            lateness: SimDuration::from_millis(self.max_lateness_ms(monitor)),
+            buffer: BinaryHeap::new(),
+            next_seq: 0,
+            high_water: None,
+            drained: false,
+        }
+    }
+
+    /// Streams all entries of all monitors merged by `(timestamp, monitor)`
+    /// — the exact order `ipfs_mon_core::preprocess` expects, bit-identical
+    /// to globally stable-sorting the dataset by `(timestamp, monitor)`.
+    pub fn stream_merged(&self) -> MergedEntryStream<'_, S> {
+        let mut streams = Vec::with_capacity(self.monitor_count());
+        let mut heads = Vec::with_capacity(self.monitor_count());
+        for monitor in 0..self.monitor_count() {
+            let mut stream = self.stream_monitor_sorted(monitor);
+            heads.push(stream.next());
+            streams.push(stream);
+        }
+        MergedEntryStream { streams, heads }
+    }
+
+    /// Reconstructs the full in-memory dataset (lossless inverse of writing).
+    pub fn to_dataset(&self) -> Result<MonitoringDataset, SegmentError> {
+        let mut dataset = MonitoringDataset::new(self.footer.monitor_labels.clone());
+        for monitor in 0..self.monitor_count() {
+            let mut stream = self.stream_monitor(monitor);
+            dataset.entries[monitor].extend(&mut stream);
+            if let Some(error) = stream.take_error() {
+                return Err(error);
+            }
+        }
+        dataset.connections = self.footer.connections.clone();
+        Ok(dataset)
+    }
+}
+
+/// Iterator over one monitor's entries, decoding chunk by chunk.
+///
+/// Decode failures (which chunk CRCs make vanishingly unlikely short of
+/// actual corruption) end the stream early; check [`EntryStream::take_error`]
+/// after exhaustion when the distinction matters.
+pub struct EntryStream<'a, S: ChunkSource> {
+    source: &'a S,
+    chunks: Vec<ChunkInfo>,
+    next_chunk: usize,
+    current: std::vec::IntoIter<TraceEntry>,
+    error: Option<SegmentError>,
+}
+
+impl<S: ChunkSource> EntryStream<'_, S> {
+    /// Returns the error that ended the stream early, if any.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.error.take()
+    }
+
+    fn load_next_chunk(&mut self) -> bool {
+        let Some(info) = self.chunks.get(self.next_chunk) else {
+            return false;
+        };
+        self.next_chunk += 1;
+        let frame = match self.source.read_at(info.offset, info.len as usize) {
+            Ok(frame) => frame,
+            Err(error) => {
+                self.error = Some(error);
+                return false;
+            }
+        };
+        match decode_chunk(&frame) {
+            Ok(entries) => {
+                self.current = entries.into_iter();
+                true
+            }
+            Err(error) => {
+                self.error = Some(error);
+                false
+            }
+        }
+    }
+}
+
+impl<S: ChunkSource> Iterator for EntryStream<'_, S> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        loop {
+            if let Some(entry) = self.current.next() {
+                return Some(entry);
+            }
+            if self.error.is_some() || !self.load_next_chunk() {
+                return None;
+            }
+        }
+    }
+}
+
+/// An entry waiting in a [`SortedEntryStream`]'s reorder buffer, ordered for
+/// a min-heap: earliest timestamp first, arrival sequence breaking ties.
+struct Pending {
+    entry: TraceEntry,
+    seq: u64,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.entry.timestamp, other.seq).cmp(&(self.entry.timestamp, self.seq))
+    }
+}
+
+/// One monitor's entries delivered in exact `(timestamp, arrival)` order via
+/// a bounded reorder buffer (see [`TraceReader::stream_monitor_sorted`]).
+pub struct SortedEntryStream<'a, S: ChunkSource> {
+    inner: EntryStream<'a, S>,
+    lateness: SimDuration,
+    buffer: BinaryHeap<Pending>,
+    next_seq: u64,
+    /// Highest timestamp pulled from the arrival stream so far.
+    high_water: Option<SimTime>,
+    drained: bool,
+}
+
+impl<S: ChunkSource> SortedEntryStream<'_, S> {
+    /// Returns the error that ended the underlying stream early, if any.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.inner.take_error()
+    }
+
+    /// Entries currently held in the reorder buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl<S: ChunkSource> Iterator for SortedEntryStream<'_, S> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        loop {
+            // An entry is safe to emit once the arrival stream has advanced
+            // past its timestamp by more than the recorded lateness bound:
+            // every future arrival then has a strictly later timestamp.
+            if let (Some(peek), Some(high)) = (self.buffer.peek(), self.high_water) {
+                if self.drained || high.since(peek.entry.timestamp) > self.lateness {
+                    return self.buffer.pop().map(|p| p.entry);
+                }
+            } else if self.drained {
+                return self.buffer.pop().map(|p| p.entry);
+            }
+
+            match self.inner.next() {
+                Some(entry) => {
+                    self.high_water = Some(match self.high_water {
+                        Some(high) if high >= entry.timestamp => high,
+                        _ => entry.timestamp,
+                    });
+                    self.buffer.push(Pending {
+                        entry,
+                        seq: self.next_seq,
+                    });
+                    self.next_seq += 1;
+                }
+                None => {
+                    self.drained = true;
+                    if self.buffer.is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// K-way merge of all monitor streams by `(timestamp, monitor)`.
+///
+/// Holds one decoded chunk, a lateness-bounded reorder buffer, and one
+/// lookahead entry per monitor — constant memory in the trace length.
+pub struct MergedEntryStream<'a, S: ChunkSource> {
+    streams: Vec<SortedEntryStream<'a, S>>,
+    heads: Vec<Option<TraceEntry>>,
+}
+
+impl<S: ChunkSource> MergedEntryStream<'_, S> {
+    /// Returns the first error any underlying stream hit, if one did.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.streams
+            .iter_mut()
+            .find_map(SortedEntryStream::take_error)
+    }
+}
+
+impl<S: ChunkSource> Iterator for MergedEntryStream<'_, S> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        // With one candidate per monitor, a linear scan beats a heap for the
+        // monitor counts deployments use (the paper ran two).
+        let best = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(m, head)| head.as_ref().map(|e| (e.timestamp, m)))
+            .min()?
+            .1;
+        let entry = self.heads[best].take();
+        self.heads[best] = self.streams[best].next();
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EntryFlags;
+    use crate::segment::SegmentConfig;
+    use crate::writer::TraceWriter;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, peer: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(2, peer),
+            address: Multiaddr::new(1, 1, Transport::Tcp, Country::Nl),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[peer as u8]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    fn build_segment(entries: &[TraceEntry], monitors: usize, capacity: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let labels = (0..monitors).map(|m| format!("m{m}")).collect();
+        let mut writer = TraceWriter::new(
+            &mut bytes,
+            labels,
+            SegmentConfig {
+                chunk_capacity: capacity,
+            },
+        )
+        .unwrap();
+        for entry in entries {
+            writer.append(entry).unwrap();
+        }
+        writer.finish().unwrap();
+        bytes
+    }
+
+    #[test]
+    fn merged_stream_orders_by_timestamp_then_monitor() {
+        // Interleaved timestamps across two monitors, including a tie at
+        // t=300 that must resolve to the lower monitor index.
+        let entries = vec![
+            entry(100, 1, 0),
+            entry(300, 2, 0),
+            entry(500, 3, 0),
+            entry(200, 4, 1),
+            entry(300, 5, 1),
+            entry(400, 6, 1),
+        ];
+        let bytes = build_segment(&entries, 2, 2);
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        let merged: Vec<(u64, usize)> = reader
+            .stream_merged()
+            .map(|e| (e.timestamp.as_millis(), e.monitor))
+            .collect();
+        assert_eq!(
+            merged,
+            vec![(100, 0), (200, 1), (300, 0), (300, 1), (400, 1), (500, 0)]
+        );
+    }
+
+    #[test]
+    fn streaming_crosses_chunk_boundaries() {
+        let entries: Vec<TraceEntry> = (0..97).map(|i| entry(i * 10, i, 0)).collect();
+        let bytes = build_segment(&entries, 1, 8);
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        assert!(reader.chunks().len() > 10);
+        let streamed: Vec<TraceEntry> = reader.stream_monitor(0).collect();
+        assert_eq!(streamed, entries);
+    }
+
+    #[test]
+    fn corrupt_body_is_detected_on_stream() {
+        let entries: Vec<TraceEntry> = (0..20).map(|i| entry(i * 10, i, 0)).collect();
+        let mut bytes = build_segment(&entries, 1, 8);
+        // Flip a byte inside the first chunk's payload (after the 5-byte
+        // header), leaving the footer intact.
+        bytes[10] ^= 0x55;
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        let mut stream = reader.stream_monitor(0);
+        let streamed: Vec<TraceEntry> = (&mut stream).collect();
+        assert!(streamed.len() < entries.len());
+        assert!(matches!(
+            stream.take_error(),
+            Some(SegmentError::ChecksumMismatch { .. }) | Some(SegmentError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_or_garbage_segments_are_rejected() {
+        assert!(TraceReader::new(SliceSource::new(b"")).is_err());
+        assert!(TraceReader::new(SliceSource::new(b"IPMT\x01")).is_err());
+        assert!(TraceReader::new(SliceSource::new(&[0u8; 64])).is_err());
+        let entries = vec![entry(1, 1, 0)];
+        let bytes = build_segment(&entries, 1, 8);
+        assert!(TraceReader::new(SliceSource::new(&bytes[..bytes.len() - 3])).is_err());
+    }
+
+    #[test]
+    fn sorted_stream_restores_order_of_jittered_arrivals() {
+        // Arrival order with bounded local disorder (send-side timestamps):
+        // the sorted stream must equal a stable sort by timestamp.
+        let arrival = vec![
+            entry(100, 1, 0),
+            entry(250, 2, 0),
+            entry(180, 3, 0), // 70 ms late
+            entry(250, 4, 0), // tie with seq 1 entry — must stay after it
+            entry(400, 5, 0),
+            entry(330, 6, 0), // 70 ms late again
+            entry(500, 7, 0),
+        ];
+        let bytes = build_segment(&arrival, 1, 3);
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        assert_eq!(reader.max_lateness_ms(0), 70);
+
+        // Raw stream preserves arrival order (lossless round-trip)...
+        let raw: Vec<TraceEntry> = reader.stream_monitor(0).collect();
+        assert_eq!(raw, arrival);
+
+        // ...sorted stream delivers the stable time order.
+        let mut expected = arrival.clone();
+        expected.sort_by_key(|e| e.timestamp);
+        let sorted: Vec<TraceEntry> = reader.stream_monitor_sorted(0).collect();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn merged_stream_equals_global_stable_sort_with_jitter() {
+        let mut arrival = Vec::new();
+        // Deterministic pseudo-jitter across two monitors.
+        for i in 0..500u64 {
+            let jitter = (i * 37) % 90;
+            arrival.push(entry(
+                1_000 + i * 50 - jitter.min(40),
+                i % 13,
+                (i % 2) as usize,
+            ));
+        }
+        let bytes = build_segment(&arrival, 2, 16);
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+
+        // Reference: the in-memory unification order (monitor-major concat,
+        // stable sort by (timestamp, monitor)).
+        let mut reference: Vec<TraceEntry> = Vec::new();
+        for monitor in 0..2 {
+            reference.extend(arrival.iter().filter(|e| e.monitor == monitor).cloned());
+        }
+        reference.sort_by_key(|e| (e.timestamp, e.monitor));
+
+        let merged: Vec<TraceEntry> = reader.stream_merged().collect();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn file_source_roundtrip() {
+        let entries: Vec<TraceEntry> = (0..50).map(|i| entry(i * 7, i % 5, 0)).collect();
+        let bytes = build_segment(&entries, 1, 16);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tracestore-test-{}.seg", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let reader = TraceReader::new(FileSource::open(&path).unwrap()).unwrap();
+        let streamed: Vec<TraceEntry> = reader.stream_monitor(0).collect();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, entries);
+    }
+}

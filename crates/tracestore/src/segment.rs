@@ -1,0 +1,824 @@
+//! The on-disk segment format.
+//!
+//! A segment is an append-only sequence of self-contained columnar chunks
+//! followed by a footer index:
+//!
+//! ```text
+//! segment := header chunk* footer
+//! header  := "IPMT" version:u8
+//! chunk   := payload_len:varint payload crc32(payload):u32le
+//! footer  := payload crc32(payload):u32le payload_len:u64le "TSFT"
+//! ```
+//!
+//! Each chunk holds up to [`SegmentConfig::chunk_capacity`] entries of one
+//! monitor, stored column-wise:
+//!
+//! * timestamps as a varint base plus zigzag-varint deltas,
+//! * peers, addresses, and CIDs as per-chunk dictionaries (first-appearance
+//!   order) plus varint index columns,
+//! * request types and entry flags bit-packed at two bits per entry.
+//!
+//! The footer carries the monitor labels, all connection records, the chunk
+//! index (offset, length, monitor, entry count, timestamp bounds), and the
+//! total entry count. Readers locate it via the fixed-size trailer — the
+//! trailing `payload_len` and magic — so segments stream in append-only
+//! fashion and still open in O(footer).
+
+use crate::crc::crc32;
+use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
+use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_types::{varint, Cid, Country, Multiaddr, PeerId, Transport};
+
+/// Magic bytes opening every segment.
+pub const HEADER_MAGIC: &[u8; 4] = b"IPMT";
+/// Magic bytes closing every segment (after the footer).
+pub const FOOTER_MAGIC: &[u8; 4] = b"TSFT";
+/// Current format version.
+pub const FORMAT_VERSION: u8 = 1;
+/// Size of the fixed trailer: footer CRC + footer length + magic.
+pub const TRAILER_LEN: usize = 4 + 8 + 4;
+
+/// Tuning knobs of the segment writer.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Maximum number of entries per chunk. Larger chunks compress better
+    /// (dictionaries amortize); smaller chunks bound reader memory tighter.
+    pub chunk_capacity: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            chunk_capacity: 4096,
+        }
+    }
+}
+
+/// Statistics reported when a writer finishes a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Total bytes of the finished segment, header to trailer.
+    pub bytes_written: u64,
+    /// Total trace entries across all chunks.
+    pub total_entries: u64,
+    /// Number of chunks written.
+    pub chunks: usize,
+    /// Number of connection records stored in the footer.
+    pub connections: usize,
+}
+
+/// One chunk's entry in the footer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Byte offset of the chunk frame (its leading length varint).
+    pub offset: u64,
+    /// Total frame length in bytes (length prefix + payload + CRC).
+    pub len: u64,
+    /// Monitor whose entries the chunk holds.
+    pub monitor: usize,
+    /// Number of entries in the chunk.
+    pub entries: u64,
+    /// Timestamp of the first entry.
+    pub first_timestamp: SimTime,
+    /// Timestamp of the last entry.
+    pub last_timestamp: SimTime,
+}
+
+/// Errors raised while encoding or decoding segments.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// The byte stream is not a segment or is structurally damaged.
+    Corrupt(String),
+    /// A chunk or footer checksum did not match.
+    ChecksumMismatch {
+        /// Where the mismatch was detected ("chunk N" or "footer").
+        location: String,
+    },
+    /// The segment uses a format version this build does not understand.
+    UnsupportedVersion(u8),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(err) => write!(f, "segment I/O error: {err}"),
+            SegmentError::Corrupt(what) => write!(f, "corrupt segment: {what}"),
+            SegmentError::ChecksumMismatch { location } => {
+                write!(f, "checksum mismatch in {location}")
+            }
+            SegmentError::UnsupportedVersion(v) => {
+                write!(f, "unsupported segment format version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(err: std::io::Error) -> Self {
+        SegmentError::Io(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive column codecs
+// ---------------------------------------------------------------------------
+
+/// Zigzag-encodes a signed delta so small magnitudes stay small as varints.
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+fn transport_code(transport: Transport) -> u8 {
+    match transport {
+        Transport::Tcp => 0,
+        Transport::Quic => 1,
+        Transport::WebSocket => 2,
+    }
+}
+
+fn transport_from_code(code: u8) -> Result<Transport, SegmentError> {
+    Ok(match code {
+        0 => Transport::Tcp,
+        1 => Transport::Quic,
+        2 => Transport::WebSocket,
+        other => {
+            return Err(SegmentError::Corrupt(format!(
+                "invalid transport code {other}"
+            )))
+        }
+    })
+}
+
+fn country_code(country: Country) -> u8 {
+    Country::all()
+        .iter()
+        .position(|&c| c == country)
+        .expect("Country::all covers every variant") as u8
+}
+
+fn country_from_code(code: u8) -> Result<Country, SegmentError> {
+    Country::all()
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| SegmentError::Corrupt(format!("invalid country code {code}")))
+}
+
+fn request_type_code(request_type: RequestType) -> u8 {
+    match request_type {
+        RequestType::WantHave => 0,
+        RequestType::WantBlock => 1,
+        RequestType::Cancel => 2,
+    }
+}
+
+fn request_type_from_code(code: u8) -> Result<RequestType, SegmentError> {
+    Ok(match code {
+        0 => RequestType::WantHave,
+        1 => RequestType::WantBlock,
+        2 => RequestType::Cancel,
+        other => {
+            return Err(SegmentError::Corrupt(format!(
+                "invalid request type code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_multiaddr(addr: &Multiaddr, out: &mut Vec<u8>) {
+    out.extend_from_slice(&addr.ip.to_be_bytes());
+    out.extend_from_slice(&addr.port.to_be_bytes());
+    out.push(transport_code(addr.transport));
+    out.push(country_code(addr.country));
+}
+
+const MULTIADDR_LEN: usize = 8;
+
+fn decode_multiaddr(bytes: &[u8]) -> Result<Multiaddr, SegmentError> {
+    if bytes.len() < MULTIADDR_LEN {
+        return Err(SegmentError::Corrupt("truncated multiaddr".into()));
+    }
+    Ok(Multiaddr {
+        ip: u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
+        port: u16::from_be_bytes(bytes[4..6].try_into().unwrap()),
+        transport: transport_from_code(bytes[6])?,
+        country: country_from_code(bytes[7])?,
+    })
+}
+
+/// A forward-only cursor over a decoded byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn varint(&mut self) -> Result<u64, SegmentError> {
+        let (value, used) = varint::decode(&self.bytes[self.pos..])
+            .map_err(|e| SegmentError::Corrupt(format!("bad varint: {e:?}")))?;
+        self.pos += used;
+        Ok(value)
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SegmentError> {
+        if self.bytes.len() - self.pos < len {
+            return Err(SegmentError::Corrupt("unexpected end of payload".into()));
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, SegmentError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn is_at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Validates an element count decoded from untrusted input against the bytes
+/// actually remaining (each element costs at least `min_bytes` to encode), so
+/// a crafted count fails as [`SegmentError::Corrupt`] instead of panicking or
+/// aborting inside `Vec::with_capacity`.
+fn checked_count(
+    cursor: &mut Cursor<'_>,
+    min_bytes: usize,
+    what: &str,
+) -> Result<usize, SegmentError> {
+    let count = cursor.varint()?;
+    let needed = count.checked_mul(min_bytes.max(1) as u64);
+    if needed.is_none_or(|needed| needed > cursor.remaining() as u64) {
+        return Err(SegmentError::Corrupt(format!(
+            "{what} count {count} exceeds remaining payload"
+        )));
+    }
+    Ok(count as usize)
+}
+
+/// Packs values of two bits each, little-endian within bytes.
+fn pack_2bit(values: impl ExactSizeIterator<Item = u8>, out: &mut Vec<u8>) {
+    let mut current = 0u8;
+    let mut filled = 0;
+    for value in values {
+        debug_assert!(value < 4);
+        current |= (value & 0b11) << (filled * 2);
+        filled += 1;
+        if filled == 4 {
+            out.push(current);
+            current = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        out.push(current);
+    }
+}
+
+fn unpack_2bit(bytes: &[u8], count: usize) -> Vec<u8> {
+    (0..count)
+        .map(|i| (bytes[i / 4] >> ((i % 4) * 2)) & 0b11)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Chunk encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one monitor's buffered entries as a framed columnar chunk,
+/// appending the frame to `out`. Returns the frame's [`ChunkInfo`] (with
+/// `offset` left at 0 for the caller to fill in).
+pub(crate) fn encode_chunk(monitor: usize, entries: &[TraceEntry], out: &mut Vec<u8>) -> ChunkInfo {
+    assert!(!entries.is_empty(), "chunks must hold at least one entry");
+    let mut payload = Vec::with_capacity(entries.len() * 8);
+
+    varint::encode(monitor as u64, &mut payload);
+    varint::encode(entries.len() as u64, &mut payload);
+
+    // Timestamp column: base + zigzag deltas.
+    let base = entries[0].timestamp.as_millis();
+    varint::encode(base, &mut payload);
+    let mut previous = base;
+    for entry in &entries[1..] {
+        let ms = entry.timestamp.as_millis();
+        varint::encode(zigzag(ms as i64 - previous as i64), &mut payload);
+        previous = ms;
+    }
+
+    // Dictionary columns. Dictionaries are in first-appearance order so the
+    // index column is decodable with nothing but this chunk.
+    let mut peer_dict: Interner<PeerId> = Interner::default();
+    let mut peer_indexes = Vec::with_capacity(entries.len());
+    let mut addr_dict: Interner<Multiaddr> = Interner::default();
+    let mut addr_indexes = Vec::with_capacity(entries.len());
+    let mut cid_dict: Interner<&Cid> = Interner::default();
+    let mut cid_indexes = Vec::with_capacity(entries.len());
+    for entry in entries {
+        peer_indexes.push(peer_dict.intern(&entry.peer));
+        addr_indexes.push(addr_dict.intern(&entry.address));
+        cid_indexes.push(cid_dict.intern(&&entry.cid));
+    }
+    let (peer_dict, addr_dict, cid_dict) = (peer_dict.values, addr_dict.values, cid_dict.values);
+
+    varint::encode(peer_dict.len() as u64, &mut payload);
+    for peer in &peer_dict {
+        payload.extend_from_slice(peer.as_bytes());
+    }
+    for &index in &peer_indexes {
+        varint::encode(index, &mut payload);
+    }
+
+    varint::encode(addr_dict.len() as u64, &mut payload);
+    for addr in &addr_dict {
+        encode_multiaddr(addr, &mut payload);
+    }
+    for &index in &addr_indexes {
+        varint::encode(index, &mut payload);
+    }
+
+    varint::encode(cid_dict.len() as u64, &mut payload);
+    for cid in &cid_dict {
+        let bytes = cid.to_bytes();
+        varint::encode(bytes.len() as u64, &mut payload);
+        payload.extend_from_slice(&bytes);
+    }
+    for &index in &cid_indexes {
+        varint::encode(index, &mut payload);
+    }
+
+    // Bit-packed request types and flags.
+    pack_2bit(
+        entries.iter().map(|e| request_type_code(e.request_type)),
+        &mut payload,
+    );
+    pack_2bit(
+        entries.iter().map(|e| {
+            u8::from(e.flags.inter_monitor_duplicate) | (u8::from(e.flags.rebroadcast) << 1)
+        }),
+        &mut payload,
+    );
+
+    // Frame: length prefix, payload, CRC.
+    let frame_start = out.len();
+    varint::encode(payload.len() as u64, out);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+
+    ChunkInfo {
+        offset: 0,
+        len: (out.len() - frame_start) as u64,
+        monitor,
+        entries: entries.len() as u64,
+        first_timestamp: entries[0].timestamp,
+        last_timestamp: entries[entries.len() - 1].timestamp,
+    }
+}
+
+/// A first-appearance-order dictionary with O(1) lookup: `values` is the
+/// serialized dictionary, `indexes` maps a value back to its slot.
+struct Interner<T> {
+    values: Vec<T>,
+    indexes: std::collections::HashMap<T, u64>,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Self {
+            values: Vec::new(),
+            indexes: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + std::hash::Hash> Interner<T> {
+    fn intern(&mut self, value: &T) -> u64 {
+        if let Some(&index) = self.indexes.get(value) {
+            return index;
+        }
+        let index = self.values.len() as u64;
+        self.values.push(value.clone());
+        self.indexes.insert(value.clone(), index);
+        index
+    }
+}
+
+/// Decodes a framed chunk (starting at the length prefix) into entries.
+pub(crate) fn decode_chunk(frame: &[u8]) -> Result<Vec<TraceEntry>, SegmentError> {
+    let mut cursor = Cursor::new(frame);
+    let payload_len = cursor.varint()? as usize;
+    let payload = cursor.take(payload_len)?;
+    let stored_crc = u32::from_le_bytes(cursor.take(4)?.try_into().unwrap());
+    if crc32(payload) != stored_crc {
+        return Err(SegmentError::ChecksumMismatch {
+            location: "chunk".into(),
+        });
+    }
+    if !cursor.is_at_end() {
+        return Err(SegmentError::Corrupt("trailing bytes after chunk".into()));
+    }
+
+    let mut cursor = Cursor::new(payload);
+    let monitor = cursor.varint()? as usize;
+    let count = checked_count(&mut cursor, 1, "entry")?;
+
+    let mut timestamps = Vec::with_capacity(count);
+    let base = cursor.varint()?;
+    timestamps.push(base);
+    let mut previous = base as i64;
+    for _ in 1..count {
+        previous += unzigzag(cursor.varint()?);
+        if previous < 0 {
+            return Err(SegmentError::Corrupt("negative timestamp".into()));
+        }
+        timestamps.push(previous as u64);
+    }
+
+    let peer_count = checked_count(&mut cursor, 32, "peer dictionary")?;
+    let mut peer_dict = Vec::with_capacity(peer_count);
+    for _ in 0..peer_count {
+        let bytes: [u8; 32] = cursor
+            .take(32)?
+            .try_into()
+            .expect("take returned exactly 32 bytes");
+        peer_dict.push(PeerId::from_bytes(bytes));
+    }
+    let peer_indexes = read_indexes(&mut cursor, count, peer_count, "peer")?;
+
+    let addr_count = checked_count(&mut cursor, MULTIADDR_LEN, "address dictionary")?;
+    let mut addr_dict = Vec::with_capacity(addr_count);
+    for _ in 0..addr_count {
+        addr_dict.push(decode_multiaddr(cursor.take(MULTIADDR_LEN)?)?);
+    }
+    let addr_indexes = read_indexes(&mut cursor, count, addr_count, "address")?;
+
+    let cid_count = checked_count(&mut cursor, 2, "CID dictionary")?;
+    let mut cid_dict = Vec::with_capacity(cid_count);
+    for _ in 0..cid_count {
+        let len = cursor.varint()? as usize;
+        let cid = Cid::from_bytes(cursor.take(len)?)
+            .map_err(|e| SegmentError::Corrupt(format!("bad CID in dictionary: {e:?}")))?;
+        cid_dict.push(cid);
+    }
+    let cid_indexes = read_indexes(&mut cursor, count, cid_count, "CID")?;
+
+    let type_bytes = cursor.take(count.div_ceil(4))?;
+    let type_codes = unpack_2bit(type_bytes, count);
+    let flag_bytes = cursor.take(count.div_ceil(4))?;
+    let flag_codes = unpack_2bit(flag_bytes, count);
+    if !cursor.is_at_end() {
+        return Err(SegmentError::Corrupt("trailing bytes in payload".into()));
+    }
+
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        entries.push(TraceEntry {
+            timestamp: SimTime::from_millis(timestamps[i]),
+            peer: peer_dict[peer_indexes[i]],
+            address: addr_dict[addr_indexes[i]],
+            request_type: request_type_from_code(type_codes[i])?,
+            cid: cid_dict[cid_indexes[i]].clone(),
+            monitor,
+            flags: crate::record::EntryFlags {
+                inter_monitor_duplicate: flag_codes[i] & 0b01 != 0,
+                rebroadcast: flag_codes[i] & 0b10 != 0,
+            },
+        });
+    }
+    Ok(entries)
+}
+
+fn read_indexes(
+    cursor: &mut Cursor<'_>,
+    count: usize,
+    dict_len: usize,
+    what: &str,
+) -> Result<Vec<usize>, SegmentError> {
+    let mut indexes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let index = cursor.varint()? as usize;
+        if index >= dict_len {
+            return Err(SegmentError::Corrupt(format!(
+                "{what} index {index} out of range (dictionary holds {dict_len})"
+            )));
+        }
+        indexes.push(index);
+    }
+    Ok(indexes)
+}
+
+// ---------------------------------------------------------------------------
+// Footer encoding
+// ---------------------------------------------------------------------------
+
+/// Everything a reader needs to navigate a segment.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Footer {
+    pub monitor_labels: Vec<String>,
+    /// Per monitor, the maximum backward timestamp jump (milliseconds)
+    /// observed in its entry stream. Monitors log in arrival order, but
+    /// entries carry send-side timestamps, so bounded local disorder occurs;
+    /// readers size their reorder buffers from this to deliver exactly
+    /// time-sorted streams.
+    pub max_lateness_ms: Vec<u64>,
+    pub connections: Vec<ConnectionRecord>,
+    pub chunks: Vec<ChunkInfo>,
+    pub total_entries: u64,
+}
+
+pub(crate) fn encode_footer(footer: &Footer, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    varint::encode(footer.monitor_labels.len() as u64, &mut payload);
+    for label in &footer.monitor_labels {
+        varint::encode(label.len() as u64, &mut payload);
+        payload.extend_from_slice(label.as_bytes());
+    }
+    debug_assert_eq!(footer.max_lateness_ms.len(), footer.monitor_labels.len());
+    for &lateness in &footer.max_lateness_ms {
+        varint::encode(lateness, &mut payload);
+    }
+
+    varint::encode(footer.connections.len() as u64, &mut payload);
+    for connection in &footer.connections {
+        varint::encode(connection.monitor as u64, &mut payload);
+        payload.extend_from_slice(connection.peer.as_bytes());
+        encode_multiaddr(&connection.address, &mut payload);
+        varint::encode(connection.connected_at.as_millis(), &mut payload);
+        match connection.disconnected_at {
+            Some(at) => {
+                payload.push(1);
+                varint::encode(at.as_millis(), &mut payload);
+            }
+            None => payload.push(0),
+        }
+    }
+
+    varint::encode(footer.chunks.len() as u64, &mut payload);
+    for chunk in &footer.chunks {
+        varint::encode(chunk.offset, &mut payload);
+        varint::encode(chunk.len, &mut payload);
+        varint::encode(chunk.monitor as u64, &mut payload);
+        varint::encode(chunk.entries, &mut payload);
+        varint::encode(chunk.first_timestamp.as_millis(), &mut payload);
+        varint::encode(chunk.last_timestamp.as_millis(), &mut payload);
+    }
+
+    varint::encode(footer.total_entries, &mut payload);
+
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+}
+
+pub(crate) fn decode_footer(payload: &[u8]) -> Result<Footer, SegmentError> {
+    let mut cursor = Cursor::new(payload);
+
+    let label_count = checked_count(&mut cursor, 1, "monitor label")?;
+    let mut monitor_labels = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        let len = cursor.varint()? as usize;
+        let label = std::str::from_utf8(cursor.take(len)?)
+            .map_err(|_| SegmentError::Corrupt("label is not UTF-8".into()))?;
+        monitor_labels.push(label.to_string());
+    }
+    let mut max_lateness_ms = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        max_lateness_ms.push(cursor.varint()?);
+    }
+
+    // Minimum encoded connection: monitor varint + 32-byte peer + multiaddr +
+    // connect-time varint + disconnect marker.
+    let connection_count = checked_count(&mut cursor, 35 + MULTIADDR_LEN, "connection")?;
+    let mut connections = Vec::with_capacity(connection_count);
+    for _ in 0..connection_count {
+        let monitor = cursor.varint()? as usize;
+        let peer_bytes: [u8; 32] = cursor.take(32)?.try_into().unwrap();
+        let address = decode_multiaddr(cursor.take(MULTIADDR_LEN)?)?;
+        let connected_at = SimTime::from_millis(cursor.varint()?);
+        let disconnected_at = match cursor.byte()? {
+            0 => None,
+            1 => Some(SimTime::from_millis(cursor.varint()?)),
+            other => {
+                return Err(SegmentError::Corrupt(format!(
+                    "invalid disconnect marker {other}"
+                )))
+            }
+        };
+        connections.push(ConnectionRecord {
+            monitor,
+            peer: PeerId::from_bytes(peer_bytes),
+            address,
+            connected_at,
+            disconnected_at,
+        });
+    }
+
+    let chunk_count = checked_count(&mut cursor, 6, "chunk index")?;
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        chunks.push(ChunkInfo {
+            offset: cursor.varint()?,
+            len: cursor.varint()?,
+            monitor: cursor.varint()? as usize,
+            entries: cursor.varint()?,
+            first_timestamp: SimTime::from_millis(cursor.varint()?),
+            last_timestamp: SimTime::from_millis(cursor.varint()?),
+        });
+    }
+
+    let total_entries = cursor.varint()?;
+    if !cursor.is_at_end() {
+        return Err(SegmentError::Corrupt("trailing bytes in footer".into()));
+    }
+    Ok(Footer {
+        monitor_labels,
+        max_lateness_ms,
+        connections,
+        chunks,
+        total_entries,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Whole-dataset conversion
+// ---------------------------------------------------------------------------
+
+impl MonitoringDataset {
+    /// Serializes the whole dataset as a segment into a byte vector. Lossless
+    /// counterpart of [`MonitoringDataset::from_segment_bytes`]; for
+    /// incremental writing use [`crate::writer::TraceWriter`].
+    pub fn to_segment_bytes(&self, config: SegmentConfig) -> Result<Vec<u8>, SegmentError> {
+        let mut out = Vec::new();
+        let mut writer =
+            crate::writer::TraceWriter::new(&mut out, self.monitor_labels.clone(), config)?;
+        for per_monitor in &self.entries {
+            for entry in per_monitor {
+                writer.append(entry)?;
+            }
+        }
+        for connection in &self.connections {
+            writer.record_connection(connection.clone());
+        }
+        writer.finish()?;
+        Ok(out)
+    }
+
+    /// Reconstructs a dataset from segment bytes.
+    pub fn from_segment_bytes(bytes: &[u8]) -> Result<Self, SegmentError> {
+        let reader = crate::reader::TraceReader::new(crate::reader::SliceSource::new(bytes))?;
+        reader.to_dataset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EntryFlags;
+    use ipfs_mon_types::Multicodec;
+
+    fn entry(ms: u64, peer: u64, cid: u8, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(5, peer),
+            address: Multiaddr::new(0x0a00_0001 + peer as u32, 4001, Transport::Tcp, Country::De),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[cid]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    #[test]
+    fn chunk_roundtrip_preserves_entries() {
+        let entries: Vec<TraceEntry> = (0..100)
+            .map(|i| entry(1_000 + i * 37, i % 7, (i % 5) as u8, 1))
+            .collect();
+        let mut frame = Vec::new();
+        let info = encode_chunk(1, &entries, &mut frame);
+        assert_eq!(info.entries, 100);
+        assert_eq!(info.monitor, 1);
+        assert_eq!(info.first_timestamp, entries[0].timestamp);
+        assert_eq!(info.last_timestamp, entries[99].timestamp);
+        let decoded = decode_chunk(&frame).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn chunk_roundtrip_with_flags_and_backward_timestamps() {
+        let mut entries = vec![entry(5_000, 1, 1, 0), entry(4_000, 2, 2, 0)];
+        entries[0].flags.rebroadcast = true;
+        entries[1].flags.inter_monitor_duplicate = true;
+        entries[1].request_type = RequestType::Cancel;
+        let mut frame = Vec::new();
+        encode_chunk(0, &entries, &mut frame);
+        assert_eq!(decode_chunk(&frame).unwrap(), entries);
+    }
+
+    #[test]
+    fn chunk_detects_corruption() {
+        let entries = vec![entry(1, 1, 1, 0)];
+        let mut frame = Vec::new();
+        encode_chunk(0, &entries, &mut frame);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0xff;
+        assert!(decode_chunk(&frame).is_err());
+    }
+
+    #[test]
+    fn dictionaries_deduplicate() {
+        // 1000 entries over 3 peers/addresses/CIDs: the chunk must be far
+        // smaller than count × full-record size (32B peer + 8B addr + ~36B
+        // CID ≈ 76B/entry uncompressed).
+        let entries: Vec<TraceEntry> = (0..1000)
+            .map(|i| entry(i * 10, i % 3, (i % 3) as u8, 0))
+            .collect();
+        let mut frame = Vec::new();
+        encode_chunk(0, &entries, &mut frame);
+        assert!(
+            frame.len() < 1000 * 8,
+            "chunk unexpectedly large: {} bytes",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let footer = Footer {
+            monitor_labels: vec!["us".into(), "de".into()],
+            max_lateness_ms: vec![250, 0],
+            connections: vec![ConnectionRecord {
+                monitor: 1,
+                peer: PeerId::derived(1, 2),
+                address: Multiaddr::new(1, 2, Transport::Quic, Country::Jp),
+                connected_at: SimTime::from_secs(3),
+                disconnected_at: Some(SimTime::from_secs(9)),
+            }],
+            chunks: vec![ChunkInfo {
+                offset: 5,
+                len: 100,
+                monitor: 0,
+                entries: 42,
+                first_timestamp: SimTime::from_millis(7),
+                last_timestamp: SimTime::from_millis(900),
+            }],
+            total_entries: 42,
+        };
+        let mut bytes = Vec::new();
+        encode_footer(&footer, &mut bytes);
+        assert_eq!(&bytes[bytes.len() - 4..], FOOTER_MAGIC);
+        let payload_len =
+            u64::from_le_bytes(bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap())
+                as usize;
+        let payload = &bytes[..payload_len];
+        let decoded = decode_footer(payload).unwrap();
+        assert_eq!(decoded.monitor_labels, footer.monitor_labels);
+        assert_eq!(decoded.max_lateness_ms, footer.max_lateness_ms);
+        assert_eq!(decoded.connections, footer.connections);
+        assert_eq!(decoded.chunks, footer.chunks);
+        assert_eq!(decoded.total_entries, 42);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for value in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 40,
+            -(1 << 40),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+    }
+
+    #[test]
+    fn two_bit_packing_roundtrip() {
+        let values = [0u8, 1, 2, 3, 3, 2, 1, 0, 1];
+        let mut packed = Vec::new();
+        pack_2bit(values.iter().copied(), &mut packed);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_2bit(&packed, values.len()), values);
+    }
+}

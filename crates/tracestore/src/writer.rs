@@ -1,0 +1,202 @@
+//! The sharded, spill-as-you-go segment writer.
+
+use crate::record::{ConnectionRecord, TraceEntry};
+use crate::segment::{
+    encode_chunk, encode_footer, ChunkInfo, Footer, SegmentConfig, SegmentError, SegmentSummary,
+    FORMAT_VERSION, HEADER_MAGIC,
+};
+use std::io::Write;
+
+/// Writes a segment incrementally: entries are buffered per monitor (one
+/// shard each) and spilled to the sink as framed columnar chunks whenever a
+/// shard reaches the configured capacity. Memory use is bounded by
+/// `monitors × chunk_capacity` entries regardless of trace length.
+///
+/// Connection records are rare relative to entries and are kept for the
+/// footer. Call [`TraceWriter::finish`] to flush the remaining shard buffers
+/// and write the footer index; a segment without its footer is unreadable.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    /// Bytes written so far (chunk offsets are tracked manually so the sink
+    /// only needs `Write`, not `Seek`).
+    offset: u64,
+    shards: Vec<Vec<TraceEntry>>,
+    /// Highest timestamp appended so far, per monitor (for lateness
+    /// tracking).
+    high_water: Vec<Option<ipfs_mon_simnet::time::SimTime>>,
+    footer: Footer,
+    config: SegmentConfig,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer for monitors with the given labels and writes the
+    /// segment header.
+    pub fn new(
+        mut sink: W,
+        monitor_labels: Vec<String>,
+        config: SegmentConfig,
+    ) -> Result<Self, SegmentError> {
+        assert!(config.chunk_capacity > 0, "chunk capacity must be positive");
+        sink.write_all(HEADER_MAGIC)?;
+        sink.write_all(&[FORMAT_VERSION])?;
+        let monitors = monitor_labels.len();
+        Ok(Self {
+            sink,
+            offset: (HEADER_MAGIC.len() + 1) as u64,
+            shards: vec![Vec::new(); monitors],
+            high_water: vec![None; monitors],
+            footer: Footer {
+                monitor_labels,
+                max_lateness_ms: vec![0; monitors],
+                ..Footer::default()
+            },
+            config,
+        })
+    }
+
+    /// Number of monitors (shards).
+    pub fn monitor_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries accepted so far (buffered or spilled).
+    pub fn total_entries(&self) -> u64 {
+        self.footer.total_entries + self.shards.iter().map(|s| s.len() as u64).sum::<u64>()
+    }
+
+    /// Appends one entry to its monitor's shard, spilling a chunk when the
+    /// shard is full. The entry's `monitor` field selects the shard.
+    pub fn append(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
+        let monitor = entry.monitor;
+        assert!(
+            monitor < self.shards.len(),
+            "entry for monitor {monitor} but the segment has {} monitors",
+            self.shards.len()
+        );
+        // Monitors log in arrival order but entries carry send-side
+        // timestamps, so streams can be locally out of order; record the
+        // worst backward jump so readers can size exact reorder buffers.
+        match self.high_water[monitor] {
+            Some(high) if entry.timestamp < high => {
+                let lateness = high.since(entry.timestamp).as_millis();
+                let slot = &mut self.footer.max_lateness_ms[monitor];
+                *slot = (*slot).max(lateness);
+            }
+            Some(high) if entry.timestamp <= high => {}
+            _ => self.high_water[monitor] = Some(entry.timestamp),
+        }
+        self.shards[monitor].push(entry.clone());
+        if self.shards[monitor].len() >= self.config.chunk_capacity {
+            self.flush_shard(monitor)?;
+        }
+        Ok(())
+    }
+
+    /// Stores a connection record in the footer.
+    pub fn record_connection(&mut self, record: ConnectionRecord) {
+        self.footer.connections.push(record);
+    }
+
+    /// Encodes and spills the shard's buffered entries as one chunk.
+    fn flush_shard(&mut self, monitor: usize) -> Result<(), SegmentError> {
+        if self.shards[monitor].is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut self.shards[monitor]);
+        let mut frame = Vec::new();
+        let mut info: ChunkInfo = encode_chunk(monitor, &entries, &mut frame);
+        info.offset = self.offset;
+        self.sink.write_all(&frame)?;
+        self.offset += frame.len() as u64;
+        self.footer.total_entries += info.entries;
+        self.footer.chunks.push(info);
+        Ok(())
+    }
+
+    /// Flushes all shards, writes the footer, and returns segment statistics.
+    pub fn finish(mut self) -> Result<SegmentSummary, SegmentError> {
+        for monitor in 0..self.shards.len() {
+            self.flush_shard(monitor)?;
+        }
+        let mut footer_bytes = Vec::new();
+        encode_footer(&self.footer, &mut footer_bytes);
+        self.sink.write_all(&footer_bytes)?;
+        self.offset += footer_bytes.len() as u64;
+        self.sink.flush()?;
+        Ok(SegmentSummary {
+            bytes_written: self.offset,
+            total_entries: self.footer.total_entries,
+            chunks: self.footer.chunks.len(),
+            connections: self.footer.connections.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{SliceSource, TraceReader};
+    use crate::record::EntryFlags;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, peer: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(9, peer),
+            address: Multiaddr::new(7, 4001, Transport::Quic, Country::Us),
+            request_type: RequestType::WantBlock,
+            cid: Cid::new_v1(Multicodec::Raw, &peer.to_be_bytes()),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    #[test]
+    fn spills_chunks_at_capacity() {
+        let mut bytes = Vec::new();
+        let config = SegmentConfig { chunk_capacity: 10 };
+        let mut writer =
+            TraceWriter::new(&mut bytes, vec!["us".into(), "de".into()], config).unwrap();
+        for i in 0..25 {
+            writer.append(&entry(i * 100, i, 0)).unwrap();
+        }
+        for i in 0..5 {
+            writer.append(&entry(i * 100, i, 1)).unwrap();
+        }
+        assert_eq!(writer.total_entries(), 30);
+        let summary = writer.finish().unwrap();
+        // Monitor 0: two full chunks + remainder; monitor 1: one chunk.
+        assert_eq!(summary.chunks, 4);
+        assert_eq!(summary.total_entries, 30);
+        assert_eq!(summary.bytes_written, bytes.len() as u64);
+
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        assert_eq!(reader.total_entries(), 30);
+        assert_eq!(reader.stream_monitor(0).count(), 25);
+        assert_eq!(reader.stream_monitor(1).count(), 5);
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let mut bytes = Vec::new();
+        let writer =
+            TraceWriter::new(&mut bytes, vec!["only".into()], SegmentConfig::default()).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_entries, 0);
+        assert_eq!(summary.chunks, 0);
+        let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+        assert_eq!(reader.monitor_labels(), ["only".to_string()]);
+        assert_eq!(reader.stream_monitor(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor 3")]
+    fn append_rejects_unknown_monitor() {
+        let mut bytes = Vec::new();
+        let mut writer =
+            TraceWriter::new(&mut bytes, vec!["a".into()], SegmentConfig::default()).unwrap();
+        let _ = writer.append(&entry(0, 0, 3));
+    }
+}

@@ -62,7 +62,11 @@ impl Cid {
     }
 
     /// Builds a CID from already-computed parts.
-    pub fn from_parts(version: CidVersion, codec: Multicodec, hash: Multihash) -> Result<Self, TypesError> {
+    pub fn from_parts(
+        version: CidVersion,
+        codec: Multicodec,
+        hash: Multihash,
+    ) -> Result<Self, TypesError> {
         if version == CidVersion::V0 && codec != Multicodec::DagProtobuf {
             return Err(TypesError::InvalidCid(
                 "CIDv0 must use the dag-pb codec".into(),

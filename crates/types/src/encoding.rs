@@ -123,7 +123,10 @@ mod tests {
     fn base58_known_vectors() {
         assert_eq!(base58btc_encode(b""), "");
         assert_eq!(base58btc_encode(b"hello world"), "StV1DL6CwTryKyV");
-        assert_eq!(base58btc_encode(&[0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]), "11233QC4");
+        assert_eq!(
+            base58btc_encode(&[0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]),
+            "11233QC4"
+        );
         assert_eq!(base58btc_encode(&[0x61]), "2g");
         assert_eq!(base58btc_encode(&[0x62, 0x62, 0x62]), "a3gV");
     }

@@ -49,7 +49,10 @@ impl fmt::Display for TypesError {
             TypesError::InvalidBasePadding => write!(f, "non-zero base32 padding bits"),
             TypesError::UnknownHashCode(code) => write!(f, "unknown multihash code {code:#x}"),
             TypesError::InvalidDigestLength { expected, actual } => {
-                write!(f, "invalid digest length: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "invalid digest length: expected {expected}, got {actual}"
+                )
             }
             TypesError::UnknownCodec(code) => write!(f, "unknown multicodec {code:#x}"),
             TypesError::InvalidCid(msg) => write!(f, "invalid CID: {msg}"),
@@ -73,7 +76,9 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 32"));
         assert!(TypesError::UnknownCodec(0x99).to_string().contains("0x99"));
-        assert!(TypesError::InvalidBaseCharacter('!').to_string().contains('!'));
+        assert!(TypesError::InvalidBaseCharacter('!')
+            .to_string()
+            .contains('!'));
     }
 
     #[test]

@@ -232,7 +232,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "/ip6/::1/tcp/1", "/ip4/1.2.3/tcp/1", "/ip4/1.2.3.4/sctp/1", "/ip4/1.2.3.400/tcp/1"] {
+        for bad in [
+            "",
+            "/ip6/::1/tcp/1",
+            "/ip4/1.2.3/tcp/1",
+            "/ip4/1.2.3.4/sctp/1",
+            "/ip4/1.2.3.400/tcp/1",
+        ] {
             assert!(Multiaddr::parse(bad).is_err(), "{bad}");
         }
     }

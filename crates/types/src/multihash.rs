@@ -125,7 +125,9 @@ impl Multihash {
     pub fn from_bytes(input: &[u8]) -> Result<Self, TypesError> {
         let (mh, used) = Self::from_bytes_prefix(input)?;
         if used != input.len() {
-            return Err(TypesError::InvalidCid("trailing bytes after multihash".into()));
+            return Err(TypesError::InvalidCid(
+                "trailing bytes after multihash".into(),
+            ));
         }
         Ok(mh)
     }

@@ -58,8 +58,8 @@ impl PeerId {
     /// XOR distance to another peer ID.
     pub fn distance(&self, other: &PeerId) -> Distance {
         let mut out = [0u8; PEER_ID_LEN];
-        for i in 0..PEER_ID_LEN {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
         }
         Distance(out)
     }
@@ -110,7 +110,11 @@ impl std::fmt::Display for PeerId {
 impl std::fmt::Debug for PeerId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Short prefix keeps simulation logs readable.
-        write!(f, "PeerId({}…)", &self.to_base58()[..8.min(self.to_base58().len())])
+        write!(
+            f,
+            "PeerId({}…)",
+            &self.to_base58()[..8.min(self.to_base58().len())]
+        )
     }
 }
 

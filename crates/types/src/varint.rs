@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn decode_unterminated_is_eof() {
-        assert!(matches!(decode(&[0x80, 0x80]), Err(TypesError::UnexpectedEof)));
+        assert!(matches!(
+            decode(&[0x80, 0x80]),
+            Err(TypesError::UnexpectedEof)
+        ));
     }
 
     #[test]

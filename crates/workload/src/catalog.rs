@@ -98,7 +98,9 @@ pub fn generate_catalog(
                 // codecs of Table I arise naturally.
                 let shape = 1.3;
                 let x_min = config.mean_file_size as f64 * (shape - 1.0) / shape;
-                let size = rng.sample_pareto(x_min.max(1024.0), shape).min(64.0 * 1024.0 * 1024.0);
+                let size = rng
+                    .sample_pareto(x_min.max(1024.0), shape)
+                    .min(64.0 * 1024.0 * 1024.0);
                 let mut dag = build_file(seed, size as u64, 256 * 1024, 174);
                 match codec {
                     Multicodec::Raw if dag.root.codec() != Multicodec::Raw => {

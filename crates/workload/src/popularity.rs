@@ -195,7 +195,8 @@ mod tests {
     #[test]
     fn sample_indices_in_range() {
         let mut rng = SimRng::new(5);
-        let sampler = PopularitySampler::new(PopularityModel::LogNormal { sigma: 2.0 }, 37, &mut rng);
+        let sampler =
+            PopularitySampler::new(PopularityModel::LogNormal { sigma: 2.0 }, 37, &mut rng);
         for _ in 0..1000 {
             assert!(sampler.sample(&mut rng) < 37);
         }

@@ -72,7 +72,7 @@ pub fn generate_node_requests(
             let mut t = session.start;
             loop {
                 let gap = node_rng.sample_exponential(mean_gap_secs);
-                t = t + SimDuration::from_secs_f64(gap);
+                t += SimDuration::from_secs_f64(gap);
                 if t >= session.end {
                     break;
                 }
@@ -102,8 +102,7 @@ pub fn generate_gateway_requests(
         return Vec::new();
     }
     let mut sampler_rng = rng.derive("gateway-popularity");
-    let sampler =
-        PopularitySampler::new(config.gateway_popularity, catalog_size, &mut sampler_rng);
+    let sampler = PopularitySampler::new(config.gateway_popularity, catalog_size, &mut sampler_rng);
     let mut stream_rng = rng.derive("gateway-arrivals");
     let mean_gap_secs = 3600.0 / config.gateway_requests_per_hour;
     let horizon_end = SimTime::ZERO + horizon;
@@ -111,7 +110,7 @@ pub fn generate_gateway_requests(
     let mut t = SimTime::ZERO;
     loop {
         let gap = stream_rng.sample_exponential(mean_gap_secs);
-        t = t + SimDuration::from_secs_f64(gap);
+        t += SimDuration::from_secs_f64(gap);
         if t >= horizon_end {
             break;
         }
@@ -234,8 +233,14 @@ mod tests {
             ..Default::default()
         };
         let mut rng = SimRng::new(6);
-        assert!(generate_gateway_requests(&config, &[1.0], 10, SimDuration::from_hours(1), &mut rng)
-            .is_empty());
+        assert!(generate_gateway_requests(
+            &config,
+            &[1.0],
+            10,
+            SimDuration::from_hours(1),
+            &mut rng
+        )
+        .is_empty());
     }
 
     #[test]

@@ -112,8 +112,12 @@ pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
     let catalog = generate_catalog(&config.catalog, population.nodes.len(), &mut catalog_rng);
 
     let mut request_rng = rng.derive("requests");
-    let requests =
-        generate_node_requests(&config.workload, &population.nodes, catalog.len(), &mut request_rng);
+    let requests = generate_node_requests(
+        &config.workload,
+        &population.nodes,
+        catalog.len(),
+        &mut request_rng,
+    );
 
     let operator_shares: Vec<f64> = population
         .operators

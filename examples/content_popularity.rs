@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run --release --example content_popularity`.
 
-use ipfs_monitoring::core::{popularity_report, unify_and_flag, MonitorCollector, PreprocessConfig};
+use ipfs_monitoring::core::{
+    popularity_report, unify_and_flag, MonitorCollector, PreprocessConfig,
+};
 use ipfs_monitoring::node::Network;
 use ipfs_monitoring::simnet::time::SimDuration;
 use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
@@ -20,15 +22,20 @@ fn main() {
 
     let report = popularity_report(&trace, 50, 11);
     println!("distinct CIDs observed: {}", report.cid_count);
-    println!("share of CIDs requested by exactly one peer: {:.1}%",
-        report.single_requester_fraction * 100.0);
+    println!(
+        "share of CIDs requested by exactly one peer: {:.1}%",
+        report.single_requester_fraction * 100.0
+    );
 
     println!("\nURP ECDF quantile points (unique requesters → cum. prob.):");
     for (score, prob) in report.urp_curve.iter().take(10) {
         println!("  {score:>6.0} → {prob:.3}");
     }
 
-    for (label, fit) in [("RRP", &report.rrp_power_law), ("URP", &report.urp_power_law)] {
+    for (label, fit) in [
+        ("RRP", &report.rrp_power_law),
+        ("URP", &report.urp_power_law),
+    ] {
         match fit {
             Some(f) => println!(
                 "{label}: power-law fit alpha={:.2}, xmin={:.0}, KS={:.3}, p={:.3} → {}",
@@ -36,7 +43,11 @@ fn main() {
                 f.fit.xmin,
                 f.fit.ks_distance,
                 f.p_value,
-                if f.rejected { "REJECTED (as in the paper)" } else { "not rejected" }
+                if f.rejected {
+                    "REJECTED (as in the paper)"
+                } else {
+                    "not rejected"
+                }
             ),
             None => println!("{label}: not enough samples for a fit"),
         }

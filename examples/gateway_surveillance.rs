@@ -4,8 +4,8 @@
 //! Run with `cargo run --release --example gateway_surveillance`.
 
 use ipfs_monitoring::core::{
-    gateway_nodes_by_operator, origin_group_rates, unify_and_flag, GatewayProber,
-    MonitorCollector, PreprocessConfig,
+    gateway_nodes_by_operator, origin_group_rates, unify_and_flag, GatewayProber, MonitorCollector,
+    PreprocessConfig,
 };
 use ipfs_monitoring::node::Network;
 use ipfs_monitoring::simnet::rng::SimRng;
@@ -24,7 +24,13 @@ fn main() {
     // as the only DHT provider, HTTP request through the gateway.
     let mut prober = GatewayProber::new();
     let mut rng = SimRng::new(99);
-    prober.probe_all_operators(&mut network, 0, SimTime::ZERO + SimDuration::from_hours(3), 60, &mut rng);
+    prober.probe_all_operators(
+        &mut network,
+        0,
+        SimTime::ZERO + SimDuration::from_hours(3),
+        60,
+        &mut rng,
+    );
 
     let ground_truth = network.gateway_ground_truth();
     let mut collector = MonitorCollector::us_de();
@@ -36,12 +42,23 @@ fn main() {
     println!("gateway probing results:");
     for (operator, peers) in &discovered {
         let truth = ground_truth.get(operator).map(Vec::len).unwrap_or(0);
-        println!("  {operator}: discovered {} node ID(s), operator actually runs {truth}", peers.len());
+        println!(
+            "  {operator}: discovered {} node ID(s), operator actually runs {truth}",
+            peers.len()
+        );
     }
 
     // Step 2 (TNW on gateways): compare gateway vs non-gateway request rates.
     let gateway_peers: HashSet<_> = discovered.values().flatten().copied().collect();
-    let rates = origin_group_rates(&trace, &gateway_peers, &gateway_peers, SimDuration::from_hours(1));
-    println!("\nrequests attributed to discovered gateway nodes: {}", rates.totals.0);
+    let rates = origin_group_rates(
+        &trace,
+        &gateway_peers,
+        &gateway_peers,
+        SimDuration::from_hours(1),
+    );
+    println!(
+        "\nrequests attributed to discovered gateway nodes: {}",
+        rates.totals.0
+    );
     println!("requests from everyone else: {}", rates.totals.2);
 }

@@ -1,14 +1,17 @@
 //! Quickstart: simulate a small IPFS-like network, attach two passive
 //! monitors, collect Bitswap traces, preprocess them and print headline
-//! statistics.
+//! statistics — then do it again at constant memory, spilling the trace to a
+//! tracestore segment on disk and streaming it back for analysis.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use ipfs_monitoring::core::{
-    estimate_network_size, popularity_scores, unify_and_flag, MonitorCollector, PreprocessConfig,
+    estimate_network_size, flag_segment, popularity_scores, popularity_scores_stream,
+    unify_and_flag, MonitorCollector, PreprocessConfig, SpillingCollector,
 };
 use ipfs_monitoring::node::Network;
 use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
+use ipfs_monitoring::tracestore::{FileSource, SegmentConfig, TraceReader};
 use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
 
 fn main() {
@@ -16,8 +19,12 @@ fn main() {
     //    a content catalog and six hours of user activity.
     let config = ScenarioConfig::small_test(2024);
     let scenario = build_scenario(&config);
-    println!("scenario: {} nodes, {} content items, {} user requests",
-        scenario.nodes.len(), scenario.content.len(), scenario.requests.len());
+    println!(
+        "scenario: {} nodes, {} content items, {} user requests",
+        scenario.nodes.len(),
+        scenario.content.len(),
+        scenario.requests.len()
+    );
 
     // 2. Execute it with a trace collector attached to the monitors.
     let mut network = Network::new(scenario);
@@ -25,7 +32,10 @@ fn main() {
     let report = network.run(&mut collector);
     let dataset = collector.into_dataset();
     println!("simulation processed {} events", report.events_processed);
-    println!("monitors recorded {} raw Bitswap entries", dataset.total_entries());
+    println!(
+        "monitors recorded {} raw Bitswap entries",
+        dataset.total_entries()
+    );
 
     // 3. Preprocess: unify both monitors' traces, flag duplicates and 30 s
     //    re-broadcasts (Sec. IV-B of the paper).
@@ -43,7 +53,10 @@ fn main() {
         SimDuration::from_hours(1),
     );
     if let Some(estimate) = netsize.capture_recapture {
-        println!("estimated network size (capture-recapture): {:.0}", estimate.mean);
+        println!(
+            "estimated network size (capture-recapture): {:.0}",
+            estimate.mean
+        );
     }
     let scores = popularity_scores(&trace);
     println!(
@@ -51,4 +64,50 @@ fn main() {
         scores.cid_count(),
         scores.single_requester_fraction() * 100.0
     );
+
+    // 5. The same pipeline at production scale: instead of accumulating the
+    //    trace in memory, spill it to a columnar tracestore segment as it is
+    //    collected. Memory stays bounded by one chunk per monitor no matter
+    //    how long the deployment runs.
+    let segment_path = std::env::temp_dir().join("quickstart_trace.seg");
+    let sink = std::fs::File::create(&segment_path).expect("create segment file");
+    let mut spilling =
+        SpillingCollector::us_de(sink, SegmentConfig::default()).expect("open segment writer");
+    let mut network = Network::new(build_scenario(&config));
+    network.run(&mut spilling);
+    let summary = spilling.finish().expect("finish segment");
+    println!(
+        "spilled {} entries to {} ({} bytes, {:.1} bytes/entry, {} chunks)",
+        summary.total_entries,
+        segment_path.display(),
+        summary.bytes_written,
+        summary.bytes_written as f64 / summary.total_entries.max(1) as f64,
+        summary.chunks,
+    );
+
+    // 6. Re-open the segment and re-run the analysis without ever holding the
+    //    full trace: the reader k-way merges the per-monitor chunk streams in
+    //    timestamp order and the preprocessor flags entries on the fly.
+    let reader = TraceReader::new(FileSource::open(&segment_path).expect("open segment"))
+        .expect("read footer");
+    let mut stream = flag_segment(&reader, PreprocessConfig::default());
+    let streamed_scores = popularity_scores_stream(&mut stream);
+    let streamed_stats = stream.stats();
+    // A segment-backed stream ends silently on a bad chunk — always check.
+    if let Some(error) = stream.take_error() {
+        panic!("segment read failed mid-stream: {error}");
+    }
+    println!(
+        "streamed from segment: {} entries, {} primary, {} distinct CIDs (window state: {} keys)",
+        streamed_stats.total,
+        streamed_stats.primary,
+        streamed_scores.cid_count(),
+        stream.tracked_keys(),
+    );
+    assert_eq!(
+        streamed_stats, stats,
+        "streaming must match the in-memory pipeline"
+    );
+    assert_eq!(streamed_scores.cid_count(), scores.cid_count());
+    std::fs::remove_file(&segment_path).ok();
 }

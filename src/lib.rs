@@ -15,6 +15,8 @@
 //!   observation stream),
 //! * [`workload`] — scenario/workload generation,
 //! * [`analysis`] — statistics (ECDF, power-law tests, size estimators),
+//! * [`tracestore`] — the trace data model plus append-only columnar segment
+//!   storage with a sharded writer and constant-memory streaming readers,
 //! * [`core`] — the monitoring methodology itself: trace collection,
 //!   preprocessing, analyses and privacy attacks.
 //!
@@ -27,5 +29,6 @@ pub use ipfs_mon_core as core;
 pub use ipfs_mon_kad as kad;
 pub use ipfs_mon_node as node;
 pub use ipfs_mon_simnet as simnet;
+pub use ipfs_mon_tracestore as tracestore;
 pub use ipfs_mon_types as types;
 pub use ipfs_mon_workload as workload;

@@ -39,7 +39,10 @@ fn run_pipeline(seed: u64, nodes: usize, days: u64) -> Pipeline {
 #[test]
 fn monitors_observe_traffic_and_preprocessing_flags_repeats() {
     let p = run_pipeline(900, 400, 1);
-    assert!(p.dataset.total_entries() > 500, "monitors saw substantial traffic");
+    assert!(
+        p.dataset.total_entries() > 500,
+        "monitors saw substantial traffic"
+    );
     assert_eq!(p.trace.len(), p.dataset.total_entries());
     assert_eq!(
         p.stats.total,
@@ -99,7 +102,11 @@ fn activity_analyses_reproduce_expected_structure() {
     assert!(file_share > 0.9, "file codecs dominate: {file_share}");
 
     // Table II shape: US is the top origin country.
-    let countries = country_shares(&p.trace, SimTime::ZERO, SimTime::ZERO + SimDuration::from_days(1));
+    let countries = country_shares(
+        &p.trace,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_days(1),
+    );
     assert!(!countries.is_empty());
     assert_eq!(countries[0].0, Country::Us);
     assert!(countries[0].2 > 0.25 && countries[0].2 < 0.75);
@@ -109,7 +116,10 @@ fn activity_analyses_reproduce_expected_structure() {
     let total_have: u64 = series.rows.iter().map(|r| r.1).sum();
     let total_block: u64 = series.rows.iter().map(|r| r.2).sum();
     assert!(total_have > 0);
-    assert_eq!(total_block, 0, "fully adopted population sends no WANT_BLOCK");
+    assert_eq!(
+        total_block, 0,
+        "fully adopted population sends no WANT_BLOCK"
+    );
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Integration tests of the network-size estimators and the crawler
 //! comparison under controlled conditions.
 
-use ipfs_monitoring::core::{coverage, estimate_network_size, peer_id_positions, MonitorCollector};
 use ipfs_monitoring::analysis::qq_uniform_deviation;
+use ipfs_monitoring::core::{coverage, estimate_network_size, peer_id_positions, MonitorCollector};
 use ipfs_monitoring::kad::Crawler;
 use ipfs_monitoring::node::Network;
 use ipfs_monitoring::simnet::churn::ChurnModel;
@@ -37,8 +37,14 @@ fn estimators_recover_population_without_churn() {
     let truth = network.node_count() as f64;
     let capture = report.capture_recapture.unwrap().mean;
     let committee = report.committee.unwrap().mean;
-    assert!((capture - truth).abs() / truth < 0.10, "capture {capture} vs {truth}");
-    assert!((committee - truth).abs() / truth < 0.10, "committee {committee} vs {truth}");
+    assert!(
+        (capture - truth).abs() / truth < 0.10,
+        "capture {capture} vs {truth}"
+    );
+    assert!(
+        (committee - truth).abs() / truth < 0.10,
+        "committee {committee} vs {truth}"
+    );
 
     let cov = coverage(&report, truth);
     assert!((cov.per_monitor[0] - 0.6).abs() < 0.06);
@@ -68,7 +74,10 @@ fn crawler_sees_servers_but_not_clients_while_monitors_see_both() {
     let dataset = collector.into_dataset();
 
     let at = SimTime::ZERO + SimDuration::from_hours(6);
-    let crawl = Crawler::new().crawl(&network.dht_view_at(at), &network.online_server_peers(at, 5));
+    let crawl = Crawler::new().crawl(
+        &network.dht_view_at(at),
+        &network.online_server_peers(at, 5),
+    );
     let monitor_uniques: std::collections::HashSet<_> = (0..2)
         .flat_map(|m| dataset.peers_connected_to(m).into_iter())
         .collect();
@@ -79,7 +88,10 @@ fn crawler_sees_servers_but_not_clients_while_monitors_see_both() {
         .iter()
         .filter(|n| n.config.dht_mode.is_server())
         .count();
-    assert!(crawl.discovered_count() <= servers, "crawler cannot see clients");
+    assert!(
+        crawl.discovered_count() <= servers,
+        "crawler cannot see clients"
+    );
     assert!(
         monitor_uniques.len() > crawl.discovered_count(),
         "monitors ({}) should see more peers than the crawler ({})",

@@ -25,8 +25,20 @@ fn gateway_probing_discovers_only_true_gateway_nodes() {
     let mut prober = GatewayProber::new();
     let mut rng = SimRng::new(1);
     // Two probing rounds over all operators.
-    prober.probe_all_operators(&mut network, 0, SimTime::ZERO + SimDuration::from_hours(4), 60, &mut rng);
-    prober.probe_all_operators(&mut network, 0, SimTime::ZERO + SimDuration::from_hours(12), 60, &mut rng);
+    prober.probe_all_operators(
+        &mut network,
+        0,
+        SimTime::ZERO + SimDuration::from_hours(4),
+        60,
+        &mut rng,
+    );
+    prober.probe_all_operators(
+        &mut network,
+        0,
+        SimTime::ZERO + SimDuration::from_hours(12),
+        60,
+        &mut rng,
+    );
 
     let truth = network.gateway_ground_truth();
     let mut collector = MonitorCollector::us_de();
@@ -57,7 +69,10 @@ fn gateway_probing_discovers_only_true_gateway_nodes() {
         .collect();
     for name in functional {
         assert!(
-            discovered.get(&name).map(|s| !s.is_empty()).unwrap_or(false),
+            discovered
+                .get(&name)
+                .map(|s| !s.is_empty())
+                .unwrap_or(false),
             "functional gateway {name} was not identified"
         );
     }

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace is built in an environment without access to crates.io, so
+//! the handful of external dependencies are vendored as minimal
+//! re-implementations of exactly the API surface the workspace uses. This
+//! crate covers [`BytesMut`] as a growable byte buffer plus the [`Buf`] /
+//! [`BufMut`] cursor traits for `&[u8]` readers.
+
+/// A growable byte buffer, backed by a plain `Vec<u8>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns true if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Read-cursor operations over a byte source. Implemented for `&[u8]`, where
+/// consuming advances the slice in place.
+pub trait Buf {
+    /// Number of bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let byte = self[0];
+        *self = &self[1..];
+        byte
+    }
+}
+
+/// Write operations appending to a byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.inner.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_mut_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_slice(&[1, 2, 3]);
+        assert_eq!(buf.to_vec(), vec![7, 1, 2, 3]);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn slice_cursor() {
+        let data = [9u8, 8, 7, 6];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u8(), 9);
+        cursor.advance(2);
+        assert_eq!(cursor.remaining(), 1);
+        assert_eq!(cursor.get_u8(), 6);
+        assert!(cursor.is_empty());
+    }
+}

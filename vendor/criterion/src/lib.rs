@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal but functional benchmark harness exposing the API surface this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical machinery
+//! it runs a short warm-up, then reports the median iteration time.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies a benchmark within a group, typically by a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the median iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fits the
+        // budget, then sample individual iteration times.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+
+        let samples = if first >= MEASURE_BUDGET {
+            vec![first]
+        } else {
+            let target =
+                (MEASURE_BUDGET.as_nanos() / first.as_nanos().max(1)).clamp(3, 1_000) as usize;
+            let mut samples = Vec::with_capacity(target);
+            for _ in 0..target {
+                let start = Instant::now();
+                black_box(routine());
+                samples.push(start.elapsed());
+            }
+            samples
+        };
+        let mut nanos: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        nanos.sort_by(f64::total_cmp);
+        self.median_ns = Some(nanos[nanos.len() / 2]);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of parameterized benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark of the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Runs one un-parameterized benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, &mut f);
+    }
+
+    /// Finishes the group (formatting no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { median_ns: None };
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) => println!("bench {label:<50} median {}", format_ns(ns)),
+        None => println!("bench {label:<50} (no measurement: iter was not called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::from_parameter(42u32), &42u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

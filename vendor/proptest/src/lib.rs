@@ -1,0 +1,540 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro with `pat in strategy` and `pat: Type` parameters,
+//! [`any`], integer/float range strategies, tuple strategies,
+//! [`collection::vec`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed number
+//! of random cases from a deterministic seed and reports the failing inputs
+//! verbatim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of random cases each property runs.
+pub const CASES: usize = 128;
+
+/// Panic message used by [`prop_assume!`] to signal a discarded case.
+pub const ASSUME_MARKER: &str = "__proptest_stub_assume_failed__";
+
+/// Per-test driver: owns the RNG and the discard budget.
+pub struct Runner {
+    rng: StdRng,
+}
+
+impl Runner {
+    /// Creates a runner with a seed derived from the test name, so separate
+    /// properties explore different parts of the input space but every run of
+    /// one property is deterministic.
+    pub fn new(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The random source for strategy generation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Classifies a caught panic payload: discarded assumption vs. failure.
+    pub fn panic_is_assume(payload: &(dyn std::any::Any + Send)) -> bool {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            return s.contains(ASSUME_MARKER);
+        }
+        if let Some(s) = payload.downcast_ref::<String>() {
+            return s.contains(ASSUME_MARKER);
+        }
+        false
+    }
+
+    /// Extracts a human-readable message from a caught panic payload.
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic>".to_string()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for generating random values.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut StdRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut StdRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String strategies from a small regex subset: literal characters,
+    /// character classes like `[a-z0-9]`, and the quantifiers `{m,n}`, `{n}`,
+    /// `*`, `+`, `?` (unbounded repetition capped at 8).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut idx = 0;
+            while idx < chars.len() {
+                let alphabet: Vec<char> = if chars[idx] == '[' {
+                    let close = chars[idx..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|o| idx + o)
+                        .unwrap_or_else(|| panic!("unterminated class in regex {self:?}"));
+                    let mut set = Vec::new();
+                    let mut i = idx + 1;
+                    while i < close {
+                        if i + 2 < close && chars[i + 1] == '-' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    idx = close + 1;
+                    set
+                } else {
+                    let c = chars[idx];
+                    idx += 1;
+                    vec![c]
+                };
+                // Optional quantifier after the atom.
+                let (min, max) = match chars.get(idx) {
+                    Some('{') => {
+                        let close = chars[idx..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|o| idx + o)
+                            .unwrap_or_else(|| panic!("unterminated quantifier in {self:?}"));
+                        let body: String = chars[idx + 1..close].iter().collect();
+                        idx = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.parse().expect("quantifier lower bound"),
+                                hi.parse().expect("quantifier upper bound"),
+                            ),
+                            None => {
+                                let n: usize = body.parse().expect("quantifier count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        idx += 1;
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        idx += 1;
+                        (1, 8)
+                    }
+                    Some('?') => {
+                        idx += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                };
+                let count = rng.gen_range(min..=max);
+                for _ in 0..count {
+                    out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident/$index:tt),+))*) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                        ($(self.$index.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, used by [`crate::any`] and `pat: Type`
+    //! parameters.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained random value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<f32>()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Biased towards ASCII, occasionally wider code points.
+            if rng.gen_bool(0.9) {
+                rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                char::from_u32(rng.gen_range(0u32..0xd800)).unwrap_or('?')
+            }
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($name:ident),+))*) => {
+            $(
+                impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                    fn arbitrary(rng: &mut StdRng) -> Self {
+                        ($($name::arbitrary(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arbitrary_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` runs [`CASES`] random cases.
+///
+/// Parameters are either `name in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_impl!(@munch [] {$body} $($params)*);
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+/// Internal parameter-munching helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    // `name in strategy, rest...`
+    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_impl!(@munch [$($acc)* ($pat, $strat)] $bodyb $($rest)*)
+    };
+    // `name in strategy` (final)
+    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr) => {
+        $crate::__proptest_impl!(@run [$($acc)* ($pat, $strat)] $bodyb)
+    };
+    // `name: Type, rest...`
+    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_impl!(@munch [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb $($rest)*)
+    };
+    // `name: Type` (final)
+    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty) => {
+        $crate::__proptest_impl!(@run [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb)
+    };
+    // Trailing comma already consumed; nothing left.
+    (@munch [$($acc:tt)*] $bodyb:tt) => {
+        $crate::__proptest_impl!(@run [$($acc)*] $bodyb)
+    };
+    (@run [$(($pat:ident, $strat:expr))*] {$body:block}) => {{
+        let mut runner = $crate::Runner::new(concat!(module_path!(), "::", stringify!($($pat),*)));
+        let mut ran = 0usize;
+        let mut attempts = 0usize;
+        while ran < $crate::CASES {
+            attempts += 1;
+            if attempts > $crate::CASES * 20 {
+                panic!("proptest stub: too many discarded cases (prop_assume)");
+            }
+            $(let $pat = $crate::strategy::Strategy::generate(&$strat, runner.rng());)*
+            let __case_desc = format!(
+                concat!("(", stringify!($($pat),*), ") = {:?}"),
+                ($(&$pat,)*)
+            );
+            let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                $body
+            }));
+            match __result {
+                Ok(()) => { ran += 1; }
+                Err(payload) if $crate::Runner::panic_is_assume(payload.as_ref()) => {}
+                Err(payload) => {
+                    panic!(
+                        "property failed after {} passing case(s) with inputs {}: {}",
+                        ran,
+                        __case_desc,
+                        $crate::Runner::panic_message(payload.as_ref())
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("{}", $crate::ASSUME_MARKER);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_generate(value: u64, flag: bool, bytes: [u8; 32]) {
+            let _ = (value, flag);
+            prop_assert_eq!(bytes.len(), 32);
+        }
+
+        #[test]
+        fn strategy_params_respect_ranges(x in 10u64..20, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            items in crate::collection::vec((0u8..5, any::<bool>()), 0..10),
+        ) {
+            prop_assert!(items.len() < 10);
+            for (n, _) in &items {
+                prop_assert!(*n < 5);
+            }
+        }
+
+        #[test]
+        fn assume_discards(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl!(@munch [] {{ prop_assert!(false, "boom"); }} x in 0u64..5);
+        });
+        let message = crate::Runner::panic_message(result.unwrap_err().as_ref());
+        assert!(message.contains("boom"), "{message}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The concrete data model values are serialized into.
+
+use crate::DeError;
+
+/// A serialized value: the stub equivalent of serde's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / absent value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence of values.
+    Seq(Vec<Content>),
+    /// Map with string keys: struct fields and enum variant payloads.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Interprets the value as an unsigned integer if possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a signed integer if possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float if possible (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The map entries of a struct-shaped value.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a struct field by name, for derived `Deserialize` impls.
+pub fn struct_field<'a>(
+    entries: &'a [(String, Content)],
+    name: &str,
+) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
+}
+
+/// Decodes the `(variant name, payload)` of an enum-shaped value, for derived
+/// `Deserialize` impls. Unit variants are encoded as bare strings and yield no
+/// payload.
+pub fn enum_parts(content: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match content {
+        Content::Str(name) => Ok((name, None)),
+        Content::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        _ => Err(DeError::msg("expected enum variant")),
+    }
+}
+
+/// The elements of a tuple-shaped payload with an exact arity, for derived
+/// `Deserialize` impls of tuple structs and tuple variants.
+pub fn tuple_elements(content: &Content, arity: usize) -> Result<&[Content], DeError> {
+    match content {
+        Content::Seq(items) if items.len() == arity => Ok(items),
+        _ => Err(DeError::msg(format!("expected tuple of arity {arity}"))),
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without crates.io access, so this crate provides the
+//! serialization framework the rest of the code expects: [`Serialize`] /
+//! [`Deserialize`] traits plus `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the sibling `serde_derive` stub).
+//!
+//! Unlike real serde, the data model is a concrete tree, [`content::Content`]:
+//! serializing builds a `Content`, deserializing reads one. Formats such as
+//! the vendored `serde_json` translate between `Content` and text. This is
+//! slower than real serde but API-compatible with the derive-plus-JSON usage
+//! in this workspace, and entirely self-contained.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content;
+
+use content::Content;
+
+/// Error produced when a [`Content`] tree cannot be decoded into a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value serializable into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts the value to a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a content tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_content(&self) -> Content {
+                    Content::U64(*self as u64)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_content(content: &Content) -> Result<Self, DeError> {
+                    let value = content
+                        .as_u64()
+                        .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(value)
+                        .map_err(|_| DeError::msg(concat!(stringify!($t), " out of range")))
+                }
+            }
+        )*
+    };
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_content(&self) -> Content {
+                    Content::I64(*self as i64)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_content(content: &Content) -> Result<Self, DeError> {
+                    let value = content
+                        .as_i64()
+                        .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(value)
+                        .map_err(|_| DeError::msg(concat!(stringify!($t), " out of range")))
+                }
+            }
+        )*
+    };
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().ok_or_else(|| DeError::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::msg("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(value) => value.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(content)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences, arrays, tuples
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_content(content)?;
+        vec.try_into()
+            .map_err(|_| DeError::msg(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident/$index:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_content(&self) -> Content {
+                    Content::Seq(vec![$(self.$index.to_content()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_content(content: &Content) -> Result<Self, DeError> {
+                    match content {
+                        Content::Seq(items) => {
+                            let expected = [$($index,)+].len();
+                            if items.len() != expected {
+                                return Err(DeError::msg("tuple length mismatch"));
+                            }
+                            Ok(($($name::from_content(&items[$index])?,)+))
+                        }
+                        _ => Err(DeError::msg("expected tuple sequence")),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_serde_tuple! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// ---------------------------------------------------------------------------
+// Maps and sets — serialized as sequences of entries so that non-string keys
+// survive text formats.
+// ---------------------------------------------------------------------------
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        map_entries(content)?.collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        map_entries(content)?.collect()
+    }
+}
+
+/// Iterates the `[key, value]` entry pairs of a serialized map.
+fn map_entries<'a, K: Deserialize, V: Deserialize>(
+    content: &'a Content,
+) -> Result<impl Iterator<Item = Result<(K, V), DeError>> + 'a, DeError> {
+    match content {
+        Content::Seq(items) => Ok(items.iter().map(|item| match item {
+            Content::Seq(pair) if pair.len() == 2 => {
+                Ok((K::from_content(&pair[0])?, V::from_content(&pair[1])?))
+            }
+            _ => Err(DeError::msg("expected [key, value] entry")),
+        })),
+        _ => Err(DeError::msg("expected map entry sequence")),
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&None::<u32>.to_content()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_content(&v.to_content()).unwrap(), v);
+        let arr = [9u64, 8];
+        assert_eq!(<[u64; 2]>::from_content(&arr.to_content()).unwrap(), arr);
+        let mut map = BTreeMap::new();
+        map.insert(3u64, "x".to_string());
+        assert_eq!(
+            BTreeMap::<u64, String>::from_content(&map.to_content()).unwrap(),
+            map
+        );
+        let tup = (1u8, true, 2.5f64);
+        assert_eq!(
+            <(u8, bool, f64)>::from_content(&tup.to_content()).unwrap(),
+            tup
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` stub's `Content` data model. The parser is hand-rolled
+//! over `proc_macro::TokenStream` (no `syn`/`quote` available offline) and
+//! supports the shapes this workspace uses: non-generic structs with named
+//! fields, tuple structs, unit structs, and enums with unit, tuple, and
+//! struct variants. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::content::Content::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::content::Content::Seq(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "::serde::content::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::content::Content {{ {body} }}\n\
+         }}"
+    );
+    output.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (stub data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content::struct_field(entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected struct `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::content::tuple_elements(content, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| deserialize_variant_arm(&name, v))
+                .collect();
+            format!(
+                "let (variant, payload) = ::serde::content::enum_parts(content)?;\n\
+                 match variant {{ {} _ => ::std::result::Result::Err(\
+                 ::serde::DeError::msg(::std::format!(\
+                 \"unknown variant `{{variant}}` of `{name}`\"))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::content::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    output.parse().expect("generated Deserialize impl parses")
+}
+
+fn serialize_variant_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.shape {
+        Shape::Unit => format!(
+            "{name}::{vname} => ::serde::content::Content::Str(\
+             ::std::string::String::from(\"{vname}\")),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_content(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!(
+                    "::serde::content::Content::Seq(::std::vec![{}])",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "{name}::{vname}({}) => ::serde::content::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::content::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::content::Content::Map(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_variant_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.shape {
+        Shape::Unit => format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"),
+        Shape::Tuple(n) => {
+            let payload = format!(
+                "payload.ok_or_else(|| ::serde::DeError::msg(\
+                 \"variant `{vname}` expects a payload\"))?"
+            );
+            if *n == 1 {
+                format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content({payload})?)),"
+                )
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{ let items = \
+                     ::serde::content::tuple_elements({payload}, {n})?;\n\
+                     ::std::result::Result::Ok({name}::{vname}({})) }},",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content::struct_field(entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{ let entries = payload\
+                 .and_then(|p| p.as_map())\
+                 .ok_or_else(|| ::serde::DeError::msg(\
+                 \"variant `{vname}` expects named fields\"))?;\n\
+                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Kind) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    skip_attributes_and_visibility(&tokens, &mut idx);
+
+    let keyword = match &tokens[idx] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    idx += 1;
+    let name = match &tokens[idx] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    idx += 1;
+    if matches!(&tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    (name, kind)
+}
+
+/// Skips `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    loop {
+        match tokens.get(*idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *idx += 2; // `#` plus the `[...]` group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *idx += 1;
+                if matches!(tokens.get(*idx), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *idx += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type (or discriminant expression), stopping at a comma
+/// outside all `<...>` nesting. Bracketed constructs (`[u8; N]`, tuples,
+/// `fn(...)`) arrive as single groups, so only angle brackets need counting.
+fn skip_to_field_end(tokens: &[TokenTree], idx: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*idx) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *idx += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut idx);
+        let Some(TokenTree::Ident(ident)) = tokens.get(idx) else {
+            break;
+        };
+        fields.push(ident.to_string());
+        idx += 1; // field name
+        idx += 1; // `:`
+        skip_to_field_end(&tokens, &mut idx);
+        idx += 1; // `,`
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_end(&tokens, &mut idx);
+        idx += 1; // `,`
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut idx);
+        let Some(TokenTree::Ident(ident)) = tokens.get(idx) else {
+            break;
+        };
+        let name = ident.to_string();
+        idx += 1;
+        let shape = match tokens.get(idx) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                Shape::Named(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                Shape::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_field_end(&tokens, &mut idx);
+        idx += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
