@@ -1,12 +1,13 @@
 //! Experiment E10 (Sec. VI-A): the three privacy attacks — IDW, TNW, TPI —
 //! evaluated against simulation ground truth.
 
-use ipfs_mon_bench::{pct, print_header, print_row, run_experiment, scaled};
+use ipfs_mon_bench::{pct, print_header, print_row, run_experiment, scaled, spill_to_manifest};
 use ipfs_mon_core::{
-    identify_data_wanters, per_peer_request_counts, test_past_interest, track_node_wants,
-    TpiOutcome,
+    identify_data_wanters, per_peer_request_counts, run_attacks_source, track_node_wants,
+    AttackTargets, PreprocessConfig, TpiOutcome,
 };
 use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_tracestore::ManifestReader;
 use ipfs_mon_workload::ScenarioConfig;
 use std::collections::{HashMap, HashSet};
 
@@ -16,6 +17,16 @@ fn main() {
     config.workload.mean_node_requests_per_hour = 1.5;
     let run = run_experiment(&config);
     let scenario = run.network.scenario().clone();
+
+    // All trace-driven attacks run from a multi-segment manifest in one
+    // constant-memory pass; the in-memory results below only cross-check it.
+    let dir = std::env::temp_dir().join(format!("sec6a-manifest-{}", std::process::id()));
+    let summary = spill_to_manifest(
+        &run.dataset,
+        &dir,
+        (run.dataset.total_entries() as u64 / 5).max(1),
+    );
+    let reader = ManifestReader::open(&summary.manifest_path).expect("open manifest");
 
     // Ground truth: which nodes issued a user request for which content.
     let mut truth_by_content: HashMap<usize, HashSet<_>> = HashMap::new();
@@ -31,17 +42,55 @@ fn main() {
             .insert(request.content);
     }
 
-    // --- IDW: pick the content item with the most ground-truth requesters.
+    // --- Attack targets: the content item with the most ground-truth
+    // requesters (IDW), the most active observed node (TNW), and up to 200
+    // (node, content) pairs (TPI).
     let (&target_content, truth_wanters) = truth_by_content
         .iter()
         .max_by_key(|(_, peers)| peers.len())
         .expect("workload has requests");
     let cid = run.network.content_root(target_content).clone();
-    let wanters = identify_data_wanters(&run.trace, &cid);
+    let per_peer = per_peer_request_counts(&run.trace);
+    let (target_peer, observed_count) = per_peer.first().expect("trace has requests");
+    let mut tpi_probes = Vec::new();
+    for (node, contents) in truth_by_node.iter().take(100) {
+        for &content in contents.iter().take(2) {
+            tpi_probes.push((*node, run.network.content_root(content).clone()));
+        }
+    }
+
+    // One streaming pass over the manifest evaluates IDW and TNW together;
+    // TPI probes query the live network.
+    let suite = run_attacks_source(
+        &reader,
+        PreprocessConfig::default(),
+        &AttackTargets {
+            idw_cids: vec![cid.clone()],
+            tnw_peers: vec![*target_peer],
+            tpi_probes: tpi_probes.clone(),
+        },
+        Some(&run.network),
+    )
+    .expect("streaming attack suite");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let wanters = &suite.idw[&cid];
+    assert_eq!(
+        wanters,
+        &identify_data_wanters(&run.trace, &cid),
+        "streaming IDW must equal the in-memory path"
+    );
     let identified: HashSet<_> = wanters.iter().map(|w| w.peer).collect();
     let true_positives = identified.intersection(truth_wanters).count();
 
-    print_header("IDW — Identifying Data Wanters");
+    print_header("IDW — Identifying Data Wanters (streamed from manifest)");
+    print_row(
+        "manifest",
+        format!(
+            "{} segments, {} entries",
+            summary.segment_count, summary.total_entries
+        ),
+    );
     print_row("target CID", &cid);
     print_row("ground-truth requesters", truth_wanters.len());
     print_row("identified by the attack", identified.len());
@@ -59,9 +108,12 @@ fn main() {
     );
 
     // --- TNW: track the most active observed node.
-    let per_peer = per_peer_request_counts(&run.trace);
-    let (target_peer, observed_count) = per_peer.first().expect("trace has requests");
-    let profile = track_node_wants(&run.trace, target_peer);
+    let profile = &suite.tnw[target_peer];
+    assert_eq!(
+        profile,
+        &track_node_wants(&run.trace, target_peer),
+        "streaming TNW must equal the in-memory path"
+    );
     let target_node = run.network.node_of_peer(target_peer);
     let truth_cids = target_node
         .and_then(|n| truth_by_node.get(&n))
@@ -79,18 +131,14 @@ fn main() {
     let mut correct = 0usize;
     let mut probes = 0usize;
     let mut cached_found = 0usize;
-    for (node, contents) in truth_by_node.iter().take(100) {
-        for &content in contents.iter().take(2) {
-            let cid = run.network.content_root(content);
-            let outcome = test_past_interest(&run.network, *node, cid);
-            let truly_cached = run.network.node_has_block(*node, cid);
-            probes += 1;
-            if (outcome == TpiOutcome::CachedRecently) == truly_cached {
-                correct += 1;
-            }
-            if outcome == TpiOutcome::CachedRecently {
-                cached_found += 1;
-            }
+    for ((node, cid), outcome) in &suite.tpi {
+        let truly_cached = run.network.node_has_block(*node, cid);
+        probes += 1;
+        if (*outcome == TpiOutcome::CachedRecently) == truly_cached {
+            correct += 1;
+        }
+        if *outcome == TpiOutcome::CachedRecently {
+            cached_found += 1;
         }
     }
     print_row("probes issued", probes);

@@ -2,14 +2,18 @@
 //!
 //! Generates a realistic two-monitor trace with the standard scenario
 //! machinery, then measures encode/decode throughput and bytes-per-entry of
-//! the segment format against the JSON debug format, plus the streaming
-//! preprocessing path against the in-memory one. The acceptance bar of the
+//! the segment format against the JSON debug format, the streaming
+//! preprocessing path against the in-memory one, and single-threaded vs
+//! per-monitor-parallel manifest ingestion. The acceptance bar of the
 //! tracestore subsystem is a segment under 50 % of the equivalent JSON.
 
 use ipfs_mon_bench::{print_header, run_experiment, scaled};
 use ipfs_mon_core::{flag_segment, unify_and_flag, unify_and_flag_segment, PreprocessConfig};
 use ipfs_mon_simnet::time::SimDuration;
-use ipfs_mon_tracestore::{MonitoringDataset, SegmentConfig, SliceSource, TraceReader};
+use ipfs_mon_tracestore::{
+    DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, SegmentConfig, SliceSource,
+    TraceEntry, TraceReader,
+};
 use ipfs_mon_workload::ScenarioConfig;
 use std::time::Instant;
 
@@ -130,6 +134,96 @@ fn main() {
         primary,
         tracked
     );
+
+    // Per-monitor parallel manifest ingestion vs the single-threaded writer.
+    // Split each of the two monitors round-robin into two shards (preserving
+    // per-monitor arrival order) to model the ≥4-monitor deployments where
+    // parallel ingestion pays off.
+    let fan_out = 4usize;
+    let mut shards: Vec<Vec<TraceEntry>> = vec![Vec::new(); fan_out];
+    let labels: Vec<String> = (0..fan_out).map(|m| format!("m{m}")).collect();
+    for (monitor, entries) in dataset.entries.iter().enumerate() {
+        for (i, entry) in entries.iter().enumerate() {
+            let shard = monitor * 2 + (i % 2);
+            let mut entry = entry.clone();
+            entry.monitor = shard;
+            shards[shard].push(entry);
+        }
+    }
+    let per_shard: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let dataset_config = DatasetConfig {
+        rotate_after_entries: (total_entries as u64 / (fan_out as u64 * 2)).max(1),
+        ..DatasetConfig::default()
+    };
+
+    let dir_single = std::env::temp_dir().join(format!("ts-bench-single-{}", std::process::id()));
+    let start = Instant::now();
+    let mut writer =
+        DatasetWriter::create(&dir_single, labels.clone(), dataset_config).expect("create");
+    for shard in &shards {
+        for entry in shard {
+            writer.append(entry).expect("append");
+        }
+    }
+    let single_summary = writer.finish().expect("finish");
+    let single_s = start.elapsed().as_secs_f64();
+
+    let dir_parallel =
+        std::env::temp_dir().join(format!("ts-bench-parallel-{}", std::process::id()));
+    let start = Instant::now();
+    let writer =
+        DatasetWriter::create(&dir_parallel, labels.clone(), dataset_config).expect("create");
+    let (builder, monitor_writers) = writer.into_parts();
+    let handles: Vec<_> = monitor_writers
+        .into_iter()
+        .zip(std::mem::take(&mut shards))
+        .map(|(mut monitor_writer, shard)| {
+            std::thread::spawn(move || {
+                for entry in &shard {
+                    monitor_writer.append(entry).expect("append");
+                }
+                monitor_writer.finish().expect("finish monitor")
+            })
+        })
+        .collect();
+    let parts = handles
+        .into_iter()
+        .map(|h| h.join().expect("ingest thread"))
+        .collect();
+    let parallel_summary = builder.finish(parts).expect("finish manifest");
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(single_summary.total_entries, total_entries as u64);
+    assert_eq!(parallel_summary.total_entries, total_entries as u64);
+    let reader = ManifestReader::open(&parallel_summary.manifest_path).expect("open manifest");
+    assert_eq!(reader.total_entries(), total_entries as u64);
+
+    let speedup = single_s / parallel_s.max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\n  manifest ingestion ({} monitors, {:?} entries/monitor, {} segments):",
+        fan_out, per_shard, parallel_summary.segment_count
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "single-thread",
+        entries_per_s(total_entries, single_s)
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "per-monitor parallel",
+        entries_per_s(total_entries, parallel_s)
+    );
+    println!(
+        "  parallel ingest speedup: {speedup:.2}x ({fan_out} monitors, {cores} cores available)"
+    );
+    if cores < 2 {
+        println!("  note: single-core host — parallel ingestion needs >= 2 cores to win");
+    }
+    std::fs::remove_dir_all(&dir_single).ok();
+    std::fs::remove_dir_all(&dir_parallel).ok();
 
     if ratio < 0.5 {
         println!("\n  PASS: segment is {:.1}x smaller than JSON", 1.0 / ratio);

@@ -99,6 +99,40 @@ pub fn gateway_peer_sets(network: &Network) -> (HashSet<PeerId>, HashSet<PeerId>
     (all, dominant)
 }
 
+/// Spills a dataset into a fresh multi-segment manifest directory (per-monitor
+/// segment chains rotated every `rotate_after_entries` entries) and returns
+/// the summary. Experiments use this to re-run their analyses from a
+/// [`ipfs_mon_tracestore::ManifestReader`]-backed
+/// [`ipfs_mon_tracestore::TraceSource`] and assert streaming/in-memory
+/// equivalence; the caller owns (and should remove) the directory.
+pub fn spill_to_manifest(
+    dataset: &MonitoringDataset,
+    dir: &std::path::Path,
+    rotate_after_entries: u64,
+) -> ipfs_mon_tracestore::DatasetSummary {
+    use ipfs_mon_tracestore::{DatasetConfig, DatasetWriter};
+    let mut writer = DatasetWriter::create(
+        dir,
+        dataset.monitor_labels.clone(),
+        DatasetConfig {
+            rotate_after_entries,
+            ..DatasetConfig::default()
+        },
+    )
+    .expect("create dataset dir");
+    for per_monitor in &dataset.entries {
+        for entry in per_monitor {
+            writer.append(entry).expect("append entry");
+        }
+    }
+    for connection in &dataset.connections {
+        writer
+            .record_connection(connection.clone())
+            .expect("record connection");
+    }
+    writer.finish().expect("finish manifest")
+}
+
 /// Scale factor from the `IPFS_MON_SCALE` environment variable (default 1.0).
 pub fn scale_factor() -> f64 {
     std::env::var("IPFS_MON_SCALE")

@@ -15,16 +15,26 @@
 //!   for a freshly generated random block and requesting that block through
 //!   the gateway's HTTP side; the Bitswap request that arrives at the monitor
 //!   carries the gateway node's peer ID.
+//!
+//! Every trace-driven attack is a single-pass streaming scan: the `_stream`
+//! variants consume any flagged entry iterator at constant memory, the
+//! [`run_attacks_source`] harness evaluates IDW, TNW and TPI together in one
+//! pass over any [`TraceSource`] (in-memory dataset, segment, or
+//! multi-segment manifest), and the historical [`UnifiedTrace`] entry points
+//! are thin wrappers over the streaming scans.
 
-use crate::trace::UnifiedTrace;
+use crate::preprocess::{flag_source, PreprocessConfig};
+use crate::trace::{TraceEntry, UnifiedTrace};
 use ipfs_mon_blockstore::{Block, BuiltDag};
 use ipfs_mon_node::{ContentSpec, GatewayRequestEvent, Network};
 use ipfs_mon_simnet::rng::SimRng;
 use ipfs_mon_simnet::time::SimTime;
+use ipfs_mon_tracestore::{SegmentError, TraceSource};
 use ipfs_mon_types::{Cid, Multicodec, PeerId};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 // ---------------------------------------------------------------------------
 // IDW
@@ -39,19 +49,33 @@ pub struct WanterObservation {
     pub at: SimTime,
 }
 
-/// Runs the IDW attack: all peers observed requesting `cid`, with their
-/// request times (primary requests only — repeats don't add information).
-pub fn identify_data_wanters(trace: &UnifiedTrace, cid: &Cid) -> Vec<WanterObservation> {
-    let mut observations: Vec<WanterObservation> = trace
-        .primary_requests()
-        .filter(|e| e.cid == *cid)
-        .map(|e| WanterObservation {
-            peer: e.peer,
-            at: e.timestamp,
+/// Runs the IDW attack over a flagged entry stream in one pass: all peers
+/// observed requesting `cid`, with their request times (primary requests
+/// only — repeats don't add information). Accepts owned entries or
+/// references, so materialized traces scan without cloning.
+pub fn identify_data_wanters_stream<I>(entries: I, cid: &Cid) -> Vec<WanterObservation>
+where
+    I: IntoIterator,
+    I::Item: Borrow<TraceEntry>,
+{
+    let mut observations: Vec<WanterObservation> = entries
+        .into_iter()
+        .filter_map(|entry| {
+            let e = entry.borrow();
+            (e.flags.is_primary() && e.is_request() && e.cid == *cid).then_some(WanterObservation {
+                peer: e.peer,
+                at: e.timestamp,
+            })
         })
         .collect();
     observations.sort_by_key(|o| (o.at, o.peer));
     observations
+}
+
+/// Runs the IDW attack against a materialized trace. Thin wrapper over
+/// [`identify_data_wanters_stream`].
+pub fn identify_data_wanters(trace: &UnifiedTrace, cid: &Cid) -> Vec<WanterObservation> {
+    identify_data_wanters_stream(&trace.entries, cid)
 }
 
 // ---------------------------------------------------------------------------
@@ -59,7 +83,7 @@ pub fn identify_data_wanters(trace: &UnifiedTrace, cid: &Cid) -> Vec<WanterObser
 // ---------------------------------------------------------------------------
 
 /// The request profile of one tracked node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeWantProfile {
     /// CIDs the node requested, with all observed request times.
     pub wants: BTreeMap<Cid, Vec<SimTime>>,
@@ -77,17 +101,32 @@ impl NodeWantProfile {
     }
 }
 
-/// Runs the TNW attack: everything the target peer was observed requesting.
-pub fn track_node_wants(trace: &UnifiedTrace, target: &PeerId) -> NodeWantProfile {
+/// Runs the TNW attack over a flagged entry stream in one pass: everything
+/// the target peer was observed requesting. Accepts owned entries or
+/// references, so materialized traces scan without cloning.
+pub fn track_node_wants_stream<I>(entries: I, target: &PeerId) -> NodeWantProfile
+where
+    I: IntoIterator,
+    I::Item: Borrow<TraceEntry>,
+{
     let mut profile = NodeWantProfile::default();
-    for entry in trace.primary_requests().filter(|e| e.peer == *target) {
-        profile
-            .wants
-            .entry(entry.cid.clone())
-            .or_default()
-            .push(entry.timestamp);
+    for entry in entries.into_iter() {
+        let e = entry.borrow();
+        if e.flags.is_primary() && e.is_request() && e.peer == *target {
+            profile
+                .wants
+                .entry(e.cid.clone())
+                .or_default()
+                .push(e.timestamp);
+        }
     }
     profile
+}
+
+/// Runs the TNW attack against a materialized trace. Thin wrapper over
+/// [`track_node_wants_stream`].
+pub fn track_node_wants(trace: &UnifiedTrace, target: &PeerId) -> NodeWantProfile {
+    track_node_wants_stream(&trace.entries, target)
 }
 
 // ---------------------------------------------------------------------------
@@ -115,6 +154,132 @@ pub fn test_past_interest(network: &Network, target_node: usize, cid: &Cid) -> T
     } else {
         TpiOutcome::NotCached
     }
+}
+
+// ---------------------------------------------------------------------------
+// One-pass attack suite over a TraceSource
+// ---------------------------------------------------------------------------
+
+/// The targets of one combined attack evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct AttackTargets {
+    /// CIDs to run IDW against.
+    pub idw_cids: Vec<Cid>,
+    /// Peers to run TNW against.
+    pub tnw_peers: Vec<PeerId>,
+    /// `(node index, CID)` pairs to probe with TPI.
+    pub tpi_probes: Vec<(usize, Cid)>,
+}
+
+/// Results of a combined attack evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttackSuiteReport {
+    /// IDW observations per target CID (same contents as
+    /// [`identify_data_wanters`] per CID).
+    pub idw: BTreeMap<Cid, Vec<WanterObservation>>,
+    /// TNW profiles per target peer (same contents as [`track_node_wants`]
+    /// per peer).
+    pub tnw: BTreeMap<PeerId, NodeWantProfile>,
+    /// TPI outcomes, in probe order.
+    pub tpi: Vec<((usize, Cid), TpiOutcome)>,
+}
+
+/// Accumulates IDW and TNW results for many targets in a single scan.
+#[derive(Debug, Clone, Default)]
+pub struct AttackScan {
+    idw: BTreeMap<Cid, Vec<WanterObservation>>,
+    tnw: BTreeMap<PeerId, NodeWantProfile>,
+}
+
+impl AttackScan {
+    /// Creates a scan for the given IDW and TNW targets.
+    pub fn new(idw_cids: &[Cid], tnw_peers: &[PeerId]) -> Self {
+        Self {
+            idw: idw_cids.iter().map(|c| (c.clone(), Vec::new())).collect(),
+            tnw: tnw_peers
+                .iter()
+                .map(|p| (*p, NodeWantProfile::default()))
+                .collect(),
+        }
+    }
+
+    /// Feeds one flagged entry through every trace-driven attack at once.
+    pub fn observe(&mut self, entry: &TraceEntry) {
+        if !entry.flags.is_primary() || !entry.is_request() {
+            return;
+        }
+        if let Some(observations) = self.idw.get_mut(&entry.cid) {
+            observations.push(WanterObservation {
+                peer: entry.peer,
+                at: entry.timestamp,
+            });
+        }
+        if let Some(profile) = self.tnw.get_mut(&entry.peer) {
+            profile
+                .wants
+                .entry(entry.cid.clone())
+                .or_default()
+                .push(entry.timestamp);
+        }
+    }
+
+    /// Finalizes the per-target results (IDW observations sorted exactly as
+    /// [`identify_data_wanters`] sorts them).
+    pub fn finish(
+        mut self,
+    ) -> (
+        BTreeMap<Cid, Vec<WanterObservation>>,
+        BTreeMap<PeerId, NodeWantProfile>,
+    ) {
+        for observations in self.idw.values_mut() {
+            observations.sort_by_key(|o| (o.at, o.peer));
+        }
+        (self.idw, self.tnw)
+    }
+}
+
+/// Runs all three privacy attacks in one constant-memory pass over any
+/// [`TraceSource`]: the source's merged stream is flagged on the fly and
+/// scanned once for every IDW/TNW target simultaneously; TPI probes are
+/// evaluated against the live network (they query node caches, not traces).
+/// Per-target results are identical to the single-target entry points.
+///
+/// TPI probes without a network are an error — an archived-trace analysis
+/// must not silently report zero probe outcomes as if none were requested.
+pub fn run_attacks_source<T: TraceSource>(
+    source: &T,
+    config: PreprocessConfig,
+    targets: &AttackTargets,
+    network: Option<&Network>,
+) -> Result<AttackSuiteReport, SegmentError> {
+    if network.is_none() && !targets.tpi_probes.is_empty() {
+        return Err(SegmentError::InvalidConfig(
+            "TPI probes require a live network to query".into(),
+        ));
+    }
+    let mut scan = AttackScan::new(&targets.idw_cids, &targets.tnw_peers);
+    let mut stream = flag_source(source, config);
+    for entry in &mut stream {
+        scan.observe(&entry);
+    }
+    if let Some(error) = stream.take_source_error() {
+        return Err(error);
+    }
+    let (idw, tnw) = scan.finish();
+    let tpi = match network {
+        Some(network) => targets
+            .tpi_probes
+            .iter()
+            .map(|(node, cid)| {
+                (
+                    (*node, cid.clone()),
+                    test_past_interest(network, *node, cid),
+                )
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    Ok(AttackSuiteReport { idw, tnw, tpi })
 }
 
 // ---------------------------------------------------------------------------
@@ -219,19 +384,36 @@ impl GatewayProber {
         &self.probes
     }
 
-    /// After the simulation ran, evaluates every probe against the unified
-    /// trace: any peer that requested the probe CID is (part of) the gateway's
-    /// IPFS side.
-    pub fn evaluate(&self, trace: &UnifiedTrace) -> Vec<GatewayProbeResult> {
+    /// After the simulation ran, evaluates every probe against a raw entry
+    /// stream in one pass: any peer that requested a probe CID is (part of)
+    /// the gateway's IPFS side. Probe CIDs are unique random blocks, so raw
+    /// (unflagged) entries are the right input. Accepts owned entries or
+    /// references, so materialized traces scan without cloning.
+    pub fn evaluate_stream<I>(&self, entries: I) -> Vec<GatewayProbeResult>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<TraceEntry>,
+    {
+        let mut by_cid: HashMap<&Cid, Vec<usize>> = HashMap::new();
+        for (index, probe) in self.probes.iter().enumerate() {
+            by_cid.entry(&probe.cid).or_default().push(index);
+        }
+        let mut discovered: Vec<HashSet<PeerId>> = vec![HashSet::new(); self.probes.len()];
+        for entry in entries.into_iter() {
+            let e = entry.borrow();
+            if !e.is_request() {
+                continue;
+            }
+            if let Some(indexes) = by_cid.get(&e.cid) {
+                for &index in indexes {
+                    discovered[index].insert(e.peer);
+                }
+            }
+        }
         self.probes
             .iter()
-            .map(|probe| {
-                let peers: HashSet<PeerId> = trace
-                    .entries
-                    .iter()
-                    .filter(|e| e.is_request() && e.cid == probe.cid)
-                    .map(|e| e.peer)
-                    .collect();
+            .zip(discovered)
+            .map(|(probe, peers)| {
                 let mut discovered: Vec<PeerId> = peers.into_iter().collect();
                 discovered.sort();
                 GatewayProbeResult {
@@ -240,6 +422,26 @@ impl GatewayProber {
                 }
             })
             .collect()
+    }
+
+    /// Evaluates every probe against any [`TraceSource`] without
+    /// materializing the trace.
+    pub fn evaluate_source<T: TraceSource>(
+        &self,
+        source: &T,
+    ) -> Result<Vec<GatewayProbeResult>, SegmentError> {
+        let mut entries = source.merged_entries();
+        let results = self.evaluate_stream(&mut entries);
+        if let Some(error) = entries.take_error() {
+            return Err(error);
+        }
+        Ok(results)
+    }
+
+    /// Evaluates every probe against a materialized trace. Thin wrapper over
+    /// [`GatewayProber::evaluate_stream`].
+    pub fn evaluate(&self, trace: &UnifiedTrace) -> Vec<GatewayProbeResult> {
+        self.evaluate_stream(&trace.entries)
     }
 }
 

@@ -145,12 +145,16 @@ fn apply_cover_traffic(
         fake_per_real >= 0.0,
         "cover traffic rate must be non-negative"
     );
-    let cids: Vec<Cid> = trace
+    // Sort after dedup: HashSet iteration order is randomized per process,
+    // and the fake-CID draws below must be deterministic for a fixed RNG
+    // seed (identical runs, non-flaky seeded tests).
+    let mut cids: Vec<Cid> = trace
         .primary_requests()
         .map(|e| e.cid.clone())
         .collect::<HashSet<_>>()
         .into_iter()
         .collect();
+    cids.sort();
     let peers: Vec<&TraceEntry> = trace.primary_requests().collect();
     let mut entries = trace.entries.clone();
     let mut added = 0u64;
@@ -298,9 +302,12 @@ pub fn evaluate(original: &UnifiedTrace, mitigated: &MitigatedTrace) -> Counterm
     for entry in original.primary_requests() {
         truth.entry(&entry.cid).or_default().insert(entry.peer);
     }
+    // Tie-break by CID: `truth` is a HashMap, and with equally-requested
+    // CIDs `max_by_key` alone would pick a process-random winner, making
+    // the reported precision nondeterministic across identical runs.
     let idw_precision = truth
         .iter()
-        .max_by_key(|(_, peers)| peers.len())
+        .max_by_key(|(cid, peers)| (peers.len(), *cid))
         .map(|(cid, peers)| {
             let identified: HashSet<PeerId> = mitigated
                 .trace

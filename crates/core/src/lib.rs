@@ -42,25 +42,28 @@ pub use activity::{
     OriginGroupRates, RequestTypeSeries,
 };
 pub use attacks::{
-    gateway_nodes_by_operator, identify_data_wanters, test_past_interest, track_node_wants,
-    GatewayProbe, GatewayProbeResult, GatewayProber, NodeWantProfile, TpiOutcome,
-    WanterObservation,
+    gateway_nodes_by_operator, identify_data_wanters, identify_data_wanters_stream,
+    run_attacks_source, test_past_interest, track_node_wants, track_node_wants_stream, AttackScan,
+    AttackSuiteReport, AttackTargets, GatewayProbe, GatewayProbeResult, GatewayProber,
+    NodeWantProfile, TpiOutcome, WanterObservation,
 };
 pub use countermeasures::{
     apply as apply_countermeasure, evaluate as evaluate_countermeasure, Countermeasure,
     CountermeasureEvaluation, MitigatedTrace,
 };
-pub use monitor::{MonitorCollector, SpillingCollector};
+pub use monitor::{ManifestCollector, MonitorCollector, SpillingCollector};
 pub use netsize::{
-    coverage, estimate_network_size, peer_id_positions, CoverageReport, NetworkSizeReport,
-    PeerSetSnapshot,
+    coverage, estimate_network_size, estimate_network_size_source, peer_id_positions,
+    CoverageReport, NetworkSizeReport, PeerSetSnapshot, SnapshotBuilder,
 };
 pub use popularity::{
     popularity_report, popularity_scores, popularity_scores_stream, PopularityReport,
     PopularityScores,
 };
 pub use preprocess::{
-    flag_segment, unify_and_flag, unify_and_flag_segment, unify_and_flag_stream, FlaggedStream,
-    PreprocessConfig, PreprocessStats, StreamingPreprocessor,
+    flag_segment, flag_source, unify_and_flag, unify_and_flag_segment, unify_and_flag_source,
+    unify_and_flag_stream, FlaggedStream, PreprocessConfig, PreprocessStats, StreamingPreprocessor,
 };
-pub use trace::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
+pub use trace::{
+    ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, TraceSource, UnifiedTrace,
+};

@@ -11,9 +11,13 @@
 use crate::trace::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry};
 use ipfs_mon_node::{BitswapObservation, MonitorSink};
 use ipfs_mon_simnet::time::SimTime;
-use ipfs_mon_tracestore::{SegmentConfig, SegmentError, SegmentSummary, TraceWriter};
+use ipfs_mon_tracestore::{
+    DatasetConfig, DatasetSummary, DatasetWriter, SegmentConfig, SegmentError, SegmentSummary,
+    TraceWriter,
+};
 use ipfs_mon_types::{Multiaddr, PeerId};
 use std::io::Write;
+use std::path::Path;
 
 /// Collects the observations of all monitoring nodes of a deployment.
 #[derive(Debug, Clone)]
@@ -91,6 +95,72 @@ impl MonitorSink for MonitorCollector {
     }
 }
 
+/// Per-monitor open-connection bookkeeping shared by the spilling sinks.
+///
+/// Encapsulates the two subtle rules both must agree on with
+/// [`MonitorCollector`]: a reconnect without an observed disconnect flushes
+/// the displaced record still open-ended, and records left open at the end
+/// drain in a deterministic order so identical runs produce byte-identical
+/// storage (HashMap iteration order is randomized per process).
+struct OpenConnections {
+    per_monitor: Vec<std::collections::HashMap<PeerId, ConnectionRecord>>,
+}
+
+impl OpenConnections {
+    fn new(monitors: usize) -> Self {
+        Self {
+            per_monitor: vec![std::collections::HashMap::new(); monitors],
+        }
+    }
+
+    /// Registers a connect; returns a displaced, still-open record (reconnect
+    /// without observed disconnect) the caller must flush to storage.
+    fn connect(
+        &mut self,
+        monitor: usize,
+        peer: PeerId,
+        address: Multiaddr,
+        at: SimTime,
+    ) -> Option<ConnectionRecord> {
+        self.per_monitor[monitor].insert(
+            peer,
+            ConnectionRecord {
+                monitor,
+                peer,
+                address,
+                connected_at: at,
+                disconnected_at: None,
+            },
+        )
+    }
+
+    /// Registers a disconnect; returns the closed record to flush, if the
+    /// peer was known.
+    fn disconnect(
+        &mut self,
+        monitor: usize,
+        peer: PeerId,
+        at: SimTime,
+    ) -> Option<ConnectionRecord> {
+        self.per_monitor[monitor].remove(&peer).map(|mut record| {
+            record.disconnected_at = Some(at);
+            record
+        })
+    }
+
+    /// Drains every still-open record (no disconnect time, as
+    /// [`MonitorCollector`] leaves them) in deterministic order.
+    fn drain_sorted(&mut self) -> Vec<ConnectionRecord> {
+        let mut records = Vec::new();
+        for per_monitor in &mut self.per_monitor {
+            let start = records.len();
+            records.extend(per_monitor.drain().map(|(_, record)| record));
+            records[start..].sort_by_key(|r| (r.connected_at, r.peer));
+        }
+        records
+    }
+}
+
 /// A [`MonitorSink`] that spills every observation straight into a tracestore
 /// segment instead of accumulating it in memory.
 ///
@@ -103,8 +173,7 @@ impl MonitorSink for MonitorCollector {
 /// [`crate::preprocess::flag_segment`] without ever holding the full trace.
 pub struct SpillingCollector<W: Write> {
     writer: TraceWriter<W>,
-    /// Connections currently open, per monitor.
-    open: Vec<std::collections::HashMap<PeerId, ConnectionRecord>>,
+    open: OpenConnections,
     /// First write error, if any (the [`MonitorSink`] interface is
     /// infallible; errors surface in [`SpillingCollector::finish`]).
     error: Option<SegmentError>,
@@ -120,7 +189,7 @@ impl<W: Write> SpillingCollector<W> {
         let monitors = monitor_labels.len();
         Ok(Self {
             writer: TraceWriter::new(sink, monitor_labels, config)?,
-            open: vec![std::collections::HashMap::new(); monitors],
+            open: OpenConnections::new(monitors),
             error: None,
         })
     }
@@ -147,15 +216,8 @@ impl<W: Write> SpillingCollector<W> {
         if let Some(error) = self.error {
             return Err(error);
         }
-        for per_monitor in &mut self.open {
-            // Sort the drained map so identical runs produce byte-identical
-            // segments (HashMap iteration order is randomized per process).
-            let mut records: Vec<ConnectionRecord> =
-                per_monitor.drain().map(|(_, record)| record).collect();
-            records.sort_by_key(|r| (r.connected_at, r.peer));
-            for record in records {
-                self.writer.record_connection(record);
-            }
+        for record in self.open.drain_sorted() {
+            self.writer.record_connection(record);
         }
         self.writer.finish()
     }
@@ -181,27 +243,117 @@ impl<W: Write> MonitorSink for SpillingCollector<W> {
     }
 
     fn peer_connected(&mut self, monitor: usize, peer: PeerId, address: Multiaddr, at: SimTime) {
-        let displaced = self.open[monitor].insert(
-            peer,
-            ConnectionRecord {
-                monitor,
-                peer,
-                address,
-                connected_at: at,
-                disconnected_at: None,
-            },
-        );
-        // A reconnect without an observed disconnect keeps the earlier record
-        // open-ended, matching [`MonitorCollector`].
-        if let Some(record) = displaced {
+        if let Some(record) = self.open.connect(monitor, peer, address, at) {
             self.writer.record_connection(record);
         }
     }
 
     fn peer_disconnected(&mut self, monitor: usize, peer: PeerId, at: SimTime) {
-        if let Some(mut record) = self.open[monitor].remove(&peer) {
-            record.disconnected_at = Some(at);
+        if let Some(record) = self.open.disconnect(monitor, peer, at) {
             self.writer.record_connection(record);
+        }
+    }
+}
+
+/// A [`MonitorSink`] that spills observations into a multi-segment dataset —
+/// one rotating segment chain per monitor plus a manifest, the collection
+/// mode for long-horizon deployments where even one segment file per monitor
+/// would grow unwieldy.
+///
+/// Open-connection bookkeeping matches [`SpillingCollector`]; entries and
+/// closed connections go straight to the monitor's current segment. Call
+/// [`ManifestCollector::finish`] to close all chains and write the manifest;
+/// re-read everything with [`ipfs_mon_tracestore::ManifestReader`] and run
+/// the analyses through [`ipfs_mon_tracestore::TraceSource`] without ever
+/// materializing the trace.
+pub struct ManifestCollector {
+    writer: DatasetWriter,
+    open: OpenConnections,
+    /// First write error, if any (surfaced in [`ManifestCollector::finish`]).
+    error: Option<SegmentError>,
+}
+
+impl ManifestCollector {
+    /// Creates a collector writing a multi-segment dataset into `dir`.
+    pub fn new(
+        monitor_labels: Vec<String>,
+        dir: impl AsRef<Path>,
+        config: DatasetConfig,
+    ) -> Result<Self, SegmentError> {
+        let monitors = monitor_labels.len();
+        Ok(Self {
+            writer: DatasetWriter::create(dir, monitor_labels, config)?,
+            open: OpenConnections::new(monitors),
+            error: None,
+        })
+    }
+
+    /// Convenience constructor matching the paper's two-monitor setup.
+    pub fn us_de(dir: impl AsRef<Path>, config: DatasetConfig) -> Result<Self, SegmentError> {
+        Self::new(vec!["us".into(), "de".into()], dir, config)
+    }
+
+    /// Number of monitors.
+    pub fn monitor_count(&self) -> usize {
+        self.writer.monitor_count()
+    }
+
+    /// Entries spilled or buffered so far.
+    pub fn total_entries(&self) -> u64 {
+        self.writer.total_entries()
+    }
+
+    /// Closes still-open connections (with no disconnect time, as
+    /// [`MonitorCollector`] does), finishes every segment chain, and writes
+    /// the manifest.
+    pub fn finish(mut self) -> Result<DatasetSummary, SegmentError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        for record in self.open.drain_sorted() {
+            self.writer.record_connection(record)?;
+        }
+        self.writer.finish()
+    }
+
+    /// Stores a closed/displaced connection record, latching the first error.
+    fn flush_record(&mut self, record: ConnectionRecord) {
+        if self.error.is_none() {
+            if let Err(error) = self.writer.record_connection(record) {
+                self.error = Some(error);
+            }
+        }
+    }
+}
+
+impl MonitorSink for ManifestCollector {
+    fn record(&mut self, monitor: usize, observation: BitswapObservation) {
+        if self.error.is_some() {
+            return;
+        }
+        let entry = TraceEntry {
+            timestamp: observation.timestamp,
+            peer: observation.peer,
+            address: observation.address,
+            request_type: observation.request_type,
+            cid: observation.cid,
+            monitor,
+            flags: EntryFlags::default(),
+        };
+        if let Err(error) = self.writer.append(&entry) {
+            self.error = Some(error);
+        }
+    }
+
+    fn peer_connected(&mut self, monitor: usize, peer: PeerId, address: Multiaddr, at: SimTime) {
+        if let Some(record) = self.open.connect(monitor, peer, address, at) {
+            self.flush_record(record);
+        }
+    }
+
+    fn peer_disconnected(&mut self, monitor: usize, peer: PeerId, at: SimTime) {
+        if let Some(record) = self.open.disconnect(monitor, peer, at) {
+            self.flush_record(record);
         }
     }
 }

@@ -5,13 +5,23 @@
 //! compares against a DHT crawl, and computes the monitoring coverage — the
 //! fraction of the network each monitor (and the joint deployment) receives
 //! Bitswap messages from.
+//!
+//! Estimation is incremental: [`SnapshotBuilder`] consumes connection events
+//! and entries one at a time and never materializes the trace — its state is
+//! the connection endpoints (footer metadata, orders of magnitude rarer than
+//! entries), the sweep's per-monitor *active-connection* multisets, and the
+//! unique-peer sets the report itself needs. It works over any
+//! [`TraceSource`] via [`estimate_network_size_source`] — an in-memory
+//! dataset, a single segment, or a multi-segment manifest all produce
+//! identical reports.
 
 use crate::trace::MonitoringDataset;
 use ipfs_mon_analysis::{committee_estimate, summarize, two_monitor_estimate, Summary};
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use ipfs_mon_tracestore::{ConnectionRecord, SegmentError, TraceEntry, TraceSource};
 use ipfs_mon_types::PeerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One peer-set snapshot: what each monitor was connected to at an instant.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,79 +63,200 @@ pub struct NetworkSizeReport {
     pub bitswap_active_union: usize,
 }
 
+/// Incrementally builds a [`NetworkSizeReport`] from connection events and
+/// trace entries — no materialized dataset required.
+///
+/// Feed every [`ConnectionRecord`] through
+/// [`SnapshotBuilder::observe_connection`] and every trace entry through
+/// [`SnapshotBuilder::observe_entry`] (order does not matter), then call
+/// [`SnapshotBuilder::finish`]: the builder turns the records into
+/// connect/disconnect events, sweeps the snapshot grid once in event-time
+/// order, and runs both estimators on each snapshot. Memory holds the
+/// buffered connection endpoints (connection records are footer metadata —
+/// orders of magnitude rarer than entries), the sweep's *currently active*
+/// connections per monitor, and the unique-peer sets reported per monitor;
+/// entries themselves are never retained.
+#[derive(Debug, Clone)]
+pub struct SnapshotBuilder {
+    monitors: usize,
+    start: SimTime,
+    end: SimTime,
+    interval: SimDuration,
+    /// `(time, is_disconnect, monitor, peer)` — connection endpoints.
+    events: Vec<(SimTime, bool, usize, PeerId)>,
+    weekly_unique: Vec<HashSet<PeerId>>,
+    bitswap_active: Vec<HashSet<PeerId>>,
+}
+
+impl SnapshotBuilder {
+    /// Creates a builder for snapshots every `interval` over `[start, end]`.
+    pub fn new(monitors: usize, start: SimTime, end: SimTime, interval: SimDuration) -> Self {
+        assert!(interval.as_millis() > 0, "interval must be positive");
+        Self {
+            monitors,
+            start,
+            end,
+            interval,
+            events: Vec::new(),
+            weekly_unique: vec![HashSet::new(); monitors],
+            bitswap_active: vec![HashSet::new(); monitors],
+        }
+    }
+
+    /// Accounts one connection record: its endpoints become sweep events and
+    /// its peer counts toward the whole-window uniques of its monitor.
+    pub fn observe_connection(&mut self, record: &ConnectionRecord) {
+        debug_assert!(record.monitor < self.monitors);
+        self.weekly_unique[record.monitor].insert(record.peer);
+        self.events
+            .push((record.connected_at, false, record.monitor, record.peer));
+        if let Some(at) = record.disconnected_at {
+            self.events.push((at, true, record.monitor, record.peer));
+        }
+    }
+
+    /// Accounts one trace entry (flags and request type are irrelevant here:
+    /// any observed entry makes its sender Bitswap-active, as in the paper).
+    pub fn observe_entry(&mut self, entry: &TraceEntry) {
+        debug_assert!(entry.monitor < self.monitors);
+        self.bitswap_active[entry.monitor].insert(entry.peer);
+    }
+
+    /// Sweeps the snapshot grid and assembles the report.
+    pub fn finish(self) -> NetworkSizeReport {
+        let monitors = self.monitors;
+        let mut events = self.events;
+        // Connects sort before disconnects at equal times so an active count
+        // never dips negative; membership at a snapshot is unaffected either
+        // way (both endpoints with time <= t are applied before reading).
+        events.sort_by_key(|&(t, is_disconnect, monitor, peer)| (t, is_disconnect, monitor, peer));
+
+        // Per monitor: multiset of active connections per peer (overlapping
+        // records for the same peer each count once until their disconnect).
+        let mut active: Vec<HashMap<PeerId, u32>> = vec![HashMap::new(); monitors];
+        let mut next_event = 0usize;
+        let mut snapshots = Vec::new();
+        let mut t = self.start;
+        while t <= self.end {
+            while let Some(&(at, is_disconnect, monitor, peer)) = events.get(next_event) {
+                // `active_at` semantics: connected_at <= t && t < disconnected_at,
+                // so both endpoint kinds apply once their time is <= t.
+                if at > t {
+                    break;
+                }
+                next_event += 1;
+                if is_disconnect {
+                    if let Some(count) = active[monitor].get_mut(&peer) {
+                        *count -= 1;
+                        if *count == 0 {
+                            active[monitor].remove(&peer);
+                        }
+                    }
+                } else {
+                    *active[monitor].entry(peer).or_insert(0) += 1;
+                }
+            }
+
+            let sizes: Vec<usize> = active.iter().map(HashMap::len).collect();
+            let union: HashSet<PeerId> = active.iter().flat_map(HashMap::keys).copied().collect();
+            let intersection_01 = if monitors >= 2 {
+                let (small, large) = if active[0].len() <= active[1].len() {
+                    (&active[0], &active[1])
+                } else {
+                    (&active[1], &active[0])
+                };
+                Some(small.keys().filter(|p| large.contains_key(*p)).count())
+            } else {
+                None
+            };
+            let estimate_capture_recapture =
+                intersection_01.and_then(|k| two_monitor_estimate(sizes[0], sizes[1], k).ok());
+            let mean_w = if monitors > 0 {
+                sizes.iter().sum::<usize>() as f64 / monitors as f64
+            } else {
+                0.0
+            };
+            let estimate_committee = committee_estimate(union.len(), monitors, mean_w).ok();
+            snapshots.push(PeerSetSnapshot {
+                at: t,
+                sizes,
+                union_size: union.len(),
+                intersection_01,
+                estimate_capture_recapture,
+                estimate_committee,
+            });
+            t += self.interval;
+        }
+
+        let capture: Vec<f64> = snapshots
+            .iter()
+            .filter_map(|s| s.estimate_capture_recapture)
+            .collect();
+        let committee: Vec<f64> = snapshots
+            .iter()
+            .filter_map(|s| s.estimate_committee)
+            .collect();
+        let unions: Vec<f64> = snapshots.iter().map(|s| s.union_size as f64).collect();
+
+        let weekly_union: HashSet<PeerId> = self.weekly_unique.iter().flatten().copied().collect();
+        let bitswap_union: HashSet<PeerId> =
+            self.bitswap_active.iter().flatten().copied().collect();
+
+        NetworkSizeReport {
+            snapshots,
+            capture_recapture: summarize(&capture),
+            committee: summarize(&committee),
+            union_sizes: summarize(&unions),
+            weekly_unique_per_monitor: self.weekly_unique.iter().map(HashSet::len).collect(),
+            weekly_unique_union: weekly_union.len(),
+            bitswap_active_per_monitor: self.bitswap_active.iter().map(HashSet::len).collect(),
+            bitswap_active_union: bitswap_union.len(),
+        }
+    }
+}
+
 /// Computes peer-set snapshots every `interval` over `[start, end]` and runs
-/// both estimators on each.
+/// both estimators on each, streaming from any [`TraceSource`] — the trace is
+/// never materialized, so this runs at constant memory over a multi-segment
+/// manifest just as over an in-memory dataset, with identical output.
+pub fn estimate_network_size_source<T: TraceSource>(
+    source: &T,
+    start: SimTime,
+    end: SimTime,
+    interval: SimDuration,
+) -> Result<NetworkSizeReport, SegmentError> {
+    let mut builder = SnapshotBuilder::new(source.monitor_count(), start, end, interval);
+    let mut entries = source.merged_entries();
+    for entry in &mut entries {
+        builder.observe_entry(&entry);
+    }
+    if let Some(error) = entries.take_error() {
+        return Err(error);
+    }
+    for record in source.connection_records() {
+        builder.observe_connection(&record);
+    }
+    Ok(builder.finish())
+}
+
+/// Computes peer-set snapshots every `interval` over `[start, end]` and runs
+/// both estimators on each. Thin wrapper over [`SnapshotBuilder`] for the
+/// in-memory dataset; the builder is order-insensitive, so the dataset is
+/// fed by reference without the merged stream's clone-and-sort.
 pub fn estimate_network_size(
     dataset: &MonitoringDataset,
     start: SimTime,
     end: SimTime,
     interval: SimDuration,
 ) -> NetworkSizeReport {
-    assert!(interval.as_millis() > 0, "interval must be positive");
-    let monitors = dataset.monitor_count();
-    let mut snapshots = Vec::new();
-    let mut t = start;
-    while t <= end {
-        let sets: Vec<HashSet<PeerId>> = (0..monitors).map(|m| dataset.peer_set_at(m, t)).collect();
-        let sizes: Vec<usize> = sets.iter().map(HashSet::len).collect();
-        let union: HashSet<PeerId> = sets.iter().flatten().copied().collect();
-        let intersection_01 = if monitors >= 2 {
-            Some(sets[0].intersection(&sets[1]).count())
-        } else {
-            None
-        };
-        let estimate_capture_recapture =
-            intersection_01.and_then(|k| two_monitor_estimate(sizes[0], sizes[1], k).ok());
-        let mean_w = if monitors > 0 {
-            sizes.iter().sum::<usize>() as f64 / monitors as f64
-        } else {
-            0.0
-        };
-        let estimate_committee = committee_estimate(union.len(), monitors, mean_w).ok();
-        snapshots.push(PeerSetSnapshot {
-            at: t,
-            sizes,
-            union_size: union.len(),
-            intersection_01,
-            estimate_capture_recapture,
-            estimate_committee,
-        });
-        t += interval;
+    let mut builder = SnapshotBuilder::new(dataset.monitor_count(), start, end, interval);
+    for entry in dataset.entries.iter().flatten() {
+        builder.observe_entry(entry);
     }
-
-    let capture: Vec<f64> = snapshots
-        .iter()
-        .filter_map(|s| s.estimate_capture_recapture)
-        .collect();
-    let committee: Vec<f64> = snapshots
-        .iter()
-        .filter_map(|s| s.estimate_committee)
-        .collect();
-    let unions: Vec<f64> = snapshots.iter().map(|s| s.union_size as f64).collect();
-
-    let weekly_unique_per_monitor: Vec<usize> = (0..monitors)
-        .map(|m| dataset.peers_connected_to(m).len())
-        .collect();
-    let weekly_union: HashSet<PeerId> = (0..monitors)
-        .flat_map(|m| dataset.peers_connected_to(m).into_iter())
-        .collect();
-    let bitswap_active_per_monitor: Vec<usize> = (0..monitors)
-        .map(|m| dataset.peers_seen_by(m).len())
-        .collect();
-    let bitswap_union: HashSet<PeerId> = (0..monitors)
-        .flat_map(|m| dataset.peers_seen_by(m).into_iter())
-        .collect();
-
-    NetworkSizeReport {
-        snapshots,
-        capture_recapture: summarize(&capture),
-        committee: summarize(&committee),
-        union_sizes: summarize(&unions),
-        weekly_unique_per_monitor,
-        weekly_unique_union: weekly_union.len(),
-        bitswap_active_per_monitor,
-        bitswap_active_union: bitswap_union.len(),
+    for record in &dataset.connections {
+        builder.observe_connection(record);
     }
+    builder.finish()
 }
 
 /// Monitoring coverage relative to a reference network size (the paper uses

@@ -14,23 +14,26 @@
 //! that each analysis can decide which view it needs; the standard analyses
 //! filter both out via [`crate::trace::UnifiedTrace::primary_entries`].
 //!
-//! Two execution modes share one engine, [`StreamingPreprocessor`]:
+//! All execution modes share one engine, [`StreamingPreprocessor`], driven
+//! through the [`TraceSource`] abstraction:
 //!
-//! * [`unify_and_flag`] — the in-memory path: merge-sorts a whole
-//!   [`MonitoringDataset`] and returns a flagged [`UnifiedTrace`];
-//! * [`unify_and_flag_stream`] / [`flag_segment`] — the streaming path: flags
-//!   a time-ordered entry stream (typically a tracestore segment's k-way
-//!   merged stream) without materializing the trace, in memory bounded by the
+//! * [`flag_source`] / [`unify_and_flag_source`] — flag the merged stream of
+//!   *any* trace source (in-memory dataset, single segment, multi-segment
+//!   manifest) without materializing the trace, in memory bounded by the
 //!   number of *active* `(peer, request type, CID)` keys inside the dedup
-//!   windows (stale keys are evicted as time advances).
+//!   windows (stale keys are evicted as time advances);
+//! * [`unify_and_flag`] — the historical in-memory entry point, now a thin
+//!   wrapper over the streaming engine fed from the dataset source;
+//! * [`unify_and_flag_stream`] / [`flag_segment`] — lower-level variants for
+//!   callers that already hold a merged stream or a single segment reader.
 //!
-//! Both paths produce bit-identical flags because they are the same code.
+//! Every path produces bit-identical flags because it is the same code.
 
 use crate::trace::{MonitoringDataset, TraceEntry, UnifiedTrace};
 use ipfs_mon_bitswap::RequestType;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use ipfs_mon_tracestore::reader::{ChunkSource, MergedEntryStream, TraceReader};
-use ipfs_mon_tracestore::SegmentError;
+use ipfs_mon_tracestore::{SegmentError, SourceEntries, TraceSource};
 use ipfs_mon_types::{Cid, PeerId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -185,21 +188,14 @@ impl StreamingPreprocessor {
 }
 
 /// Unifies the per-monitor traces of `dataset` into one time-ordered trace
-/// and sets the duplicate/re-broadcast flags.
+/// and sets the duplicate/re-broadcast flags. Thin wrapper over the
+/// streaming engine: the dataset's [`TraceSource`] merged stream is the
+/// time-ordered view the flagging windows expect.
 pub fn unify_and_flag(
     dataset: &MonitoringDataset,
     config: PreprocessConfig,
 ) -> (UnifiedTrace, PreprocessStats) {
-    // Merge and sort by timestamp (stable tie-break by monitor index keeps the
-    // result deterministic).
-    let mut entries: Vec<TraceEntry> = dataset.entries.iter().flatten().cloned().collect();
-    entries.sort_by_key(|e| (e.timestamp, e.monitor));
-
-    let mut preprocessor = StreamingPreprocessor::new(dataset.monitor_count(), config);
-    for entry in entries.iter_mut() {
-        preprocessor.flag(entry);
-    }
-    (UnifiedTrace { entries }, preprocessor.stats())
+    unify_and_flag_source(dataset, config).expect("in-memory sources cannot fail")
 }
 
 /// Lazily flags a time-ordered entry stream. See [`unify_and_flag_stream`].
@@ -264,6 +260,41 @@ pub fn flag_segment<'a, S: ChunkSource>(
     config: PreprocessConfig,
 ) -> FlaggedStream<MergedEntryStream<'a, S>> {
     unify_and_flag_stream(reader.stream_merged(), reader.monitor_count(), config)
+}
+
+impl FlaggedStream<SourceEntries<'_>> {
+    /// Takes the storage error that ended a source-backed stream early, if
+    /// any. See [`FlaggedStream::take_error`] on the segment variant for why
+    /// checking matters. ([`unify_and_flag_source`] does this for you.)
+    pub fn take_source_error(&mut self) -> Option<SegmentError> {
+        self.inner.take_error()
+    }
+}
+
+/// Opens a flagged stream over any [`TraceSource`] — the universal
+/// preprocessing entry point: the same call handles an in-memory dataset, a
+/// single segment, or a multi-segment manifest.
+pub fn flag_source<T: TraceSource>(
+    source: &T,
+    config: PreprocessConfig,
+) -> FlaggedStream<SourceEntries<'_>> {
+    unify_and_flag_stream(source.merged_entries(), source.monitor_count(), config)
+}
+
+/// Streams any [`TraceSource`] through preprocessing into an in-memory
+/// [`UnifiedTrace`]. For analyses that can consume the stream directly,
+/// prefer [`flag_source`] — it never materializes the trace.
+pub fn unify_and_flag_source<T: TraceSource>(
+    source: &T,
+    config: PreprocessConfig,
+) -> Result<(UnifiedTrace, PreprocessStats), SegmentError> {
+    let mut stream = flag_source(source, config);
+    let entries: Vec<TraceEntry> = (&mut stream).collect();
+    let stats = stream.stats();
+    if let Some(error) = stream.take_source_error() {
+        return Err(error);
+    }
+    Ok((UnifiedTrace { entries }, stats))
 }
 
 /// Convenience: streams a segment through preprocessing into an in-memory

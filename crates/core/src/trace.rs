@@ -10,3 +10,7 @@
 pub use ipfs_mon_tracestore::record::{
     ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace,
 };
+// The streaming abstraction over every trace representation lives with the
+// record types it yields; re-exported here so methodology code and its
+// consumers name one module for "a readable trace".
+pub use ipfs_mon_tracestore::source::{SourceConnections, SourceEntries, TraceSource};

@@ -16,10 +16,20 @@
 //! * [`writer`] — [`writer::TraceWriter`], a sharded encoder (one shard per
 //!   monitor) that spills fixed-size chunks to any `io::Write` sink as
 //!   entries arrive, so collection runs in constant memory.
+//! * [`manifest`] — multi-segment datasets: one rotating segment chain per
+//!   monitor (each chain writable from its own thread via
+//!   [`manifest::MonitorWriter`]) tied together by a CRC-framed
+//!   [`manifest::Manifest`] index, written by [`manifest::DatasetWriter`].
 //! * [`reader`] — [`reader::TraceReader`], a constant-memory streaming reader
 //!   (one decoded chunk per active monitor stream) plus a k-way merged stream
 //!   that yields all entries ordered by `(timestamp, monitor)` — exactly the
-//!   order the preprocessing windows of `ipfs-mon-core` expect.
+//!   order the preprocessing windows of `ipfs-mon-core` expect — and
+//!   [`reader::ManifestReader`], the same merged view over a manifest
+//!   spanning many segments.
+//! * [`source`] — the [`source::TraceSource`] trait: one streaming interface
+//!   (labels + merged entries + connection records) over the in-memory
+//!   dataset, a single segment, and a multi-segment manifest, so every
+//!   analysis runs unchanged against any of them.
 //!
 //! A round-trip through a segment is lossless, and measured segments are a
 //! fraction of the size of the equivalent JSON (see the `tracestore_bench`
@@ -29,15 +39,22 @@
 #![forbid(unsafe_code)]
 
 pub mod crc;
+pub mod manifest;
 pub mod reader;
 pub mod record;
 pub mod segment;
+pub mod source;
 pub mod writer;
 
+pub use manifest::{
+    DatasetConfig, DatasetSummary, DatasetWriter, Manifest, ManifestBuilder, MonitorSummary,
+    MonitorWriter, SegmentMeta, MANIFEST_FILE_NAME,
+};
 pub use reader::{
-    ChunkSource, EntryStream, FileSource, MergedEntryStream, SliceSource, SortedEntryStream,
-    TraceReader,
+    ChainedMonitorStream, ChunkSource, EntryStream, FileSource, ManifestMergedStream,
+    ManifestReader, MergedEntryStream, SliceSource, SortedEntryStream, TraceReader,
 };
 pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
 pub use segment::{ChunkInfo, SegmentConfig, SegmentError, SegmentSummary};
+pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};
 pub use writer::TraceWriter;

@@ -1,0 +1,608 @@
+//! Multi-segment datasets: the manifest format and the per-monitor,
+//! rotation-capable dataset writer.
+//!
+//! A single [`crate::writer::TraceWriter`] shards entries per monitor but
+//! appends from one thread into one segment — fine for a day, wrong for the
+//! paper's ten-day deployment. This module scales the write side in both
+//! directions:
+//!
+//! * **per-monitor segments** — every monitor writes its own segment files,
+//!   so each monitor can ingest from its own thread with no shared state
+//!   (a [`MonitorWriter`] is `Send` and owns everything it touches);
+//! * **segment rotation** — a monitor's segment is finished and a new one
+//!   opened every [`DatasetConfig::rotate_after_entries`] entries, keeping
+//!   individual files bounded over arbitrarily long horizons;
+//! * **the manifest** — a small index file tying the segment files of one
+//!   dataset together: monitor labels, and for every segment its file name,
+//!   owning monitor, rotation sequence number and entry count. Readers open
+//!   the manifest and get the same merged, time-ordered view a single
+//!   segment provides (see [`crate::reader::ManifestReader`]).
+//!
+//! ```text
+//! manifest := "IPMM" version:u8 payload crc32(payload):u32le
+//! payload  := label_count:varint (len:varint label)*
+//!             segment_count:varint segment*
+//! segment  := name_len:varint name monitor:varint sequence:varint
+//!             entries:varint
+//! ```
+//!
+//! Inside a per-monitor segment file, entries and connection records carry
+//! monitor index 0 (the segment knows only its own monitor); the manifest
+//! maps each segment back to its global monitor index, and the reader
+//! restores it on every yielded record.
+
+use crate::crc::crc32;
+use crate::record::{ConnectionRecord, TraceEntry};
+use crate::segment::{SegmentConfig, SegmentError, SegmentSummary};
+use crate::writer::TraceWriter;
+use ipfs_mon_types::varint;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every manifest file.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"IPMM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u8 = 1;
+/// File name of the manifest inside a dataset directory.
+pub const MANIFEST_FILE_NAME: &str = "manifest.ipmm";
+
+/// One segment file of a multi-segment dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name of the segment, relative to the manifest's directory.
+    pub file_name: String,
+    /// Global index of the monitor whose entries the segment holds.
+    pub monitor: usize,
+    /// Rotation sequence of the segment within its monitor (0, 1, 2, …).
+    pub sequence: u64,
+    /// Number of trace entries stored in the segment.
+    pub entries: u64,
+}
+
+/// The index of a multi-segment dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Human-readable monitor labels; indices are the global monitor indices.
+    pub monitor_labels: Vec<String>,
+    /// All segments, ordered by `(monitor, sequence)`.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Total trace entries across all segments.
+    pub fn total_entries(&self) -> u64 {
+        self.segments.iter().map(|s| s.entries).sum()
+    }
+
+    /// The segments of one monitor, in rotation order.
+    pub fn segments_of(&self, monitor: usize) -> impl Iterator<Item = &SegmentMeta> {
+        self.segments.iter().filter(move |s| s.monitor == monitor)
+    }
+
+    /// Serializes the manifest to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        varint::encode(self.monitor_labels.len() as u64, &mut payload);
+        for label in &self.monitor_labels {
+            varint::encode(label.len() as u64, &mut payload);
+            payload.extend_from_slice(label.as_bytes());
+        }
+        varint::encode(self.segments.len() as u64, &mut payload);
+        for segment in &self.segments {
+            varint::encode(segment.file_name.len() as u64, &mut payload);
+            payload.extend_from_slice(segment.file_name.as_bytes());
+            varint::encode(segment.monitor as u64, &mut payload);
+            varint::encode(segment.sequence, &mut payload);
+            varint::encode(segment.entries, &mut payload);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 9);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parses a manifest from bytes, verifying magic, version and CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SegmentError> {
+        if bytes.len() < 9 {
+            return Err(SegmentError::Corrupt("manifest too short".into()));
+        }
+        if &bytes[..4] != MANIFEST_MAGIC {
+            return Err(SegmentError::Corrupt("missing manifest magic".into()));
+        }
+        if bytes[4] != MANIFEST_VERSION {
+            return Err(SegmentError::UnsupportedVersion(bytes[4]));
+        }
+        let payload = &bytes[5..bytes.len() - 4];
+        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crc32(payload) != stored_crc {
+            return Err(SegmentError::ChecksumMismatch {
+                location: "manifest".into(),
+            });
+        }
+
+        let mut pos = 0usize;
+        let take_varint = |pos: &mut usize| -> Result<u64, SegmentError> {
+            let (value, used) = varint::decode(&payload[*pos..])
+                .map_err(|e| SegmentError::Corrupt(format!("bad varint in manifest: {e:?}")))?;
+            *pos += used;
+            Ok(value)
+        };
+        let take_str = |pos: &mut usize, len: usize| -> Result<String, SegmentError> {
+            if payload.len() - *pos < len {
+                return Err(SegmentError::Corrupt("manifest string truncated".into()));
+            }
+            let s = std::str::from_utf8(&payload[*pos..*pos + len])
+                .map_err(|_| SegmentError::Corrupt("manifest string is not UTF-8".into()))?;
+            *pos += len;
+            Ok(s.to_string())
+        };
+
+        let label_count = take_varint(&mut pos)? as usize;
+        if label_count > payload.len() {
+            return Err(SegmentError::Corrupt("label count out of range".into()));
+        }
+        let mut monitor_labels = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            let len = take_varint(&mut pos)? as usize;
+            monitor_labels.push(take_str(&mut pos, len)?);
+        }
+
+        let segment_count = take_varint(&mut pos)? as usize;
+        if segment_count > payload.len() {
+            return Err(SegmentError::Corrupt("segment count out of range".into()));
+        }
+        let mut segments = Vec::with_capacity(segment_count);
+        for _ in 0..segment_count {
+            let name_len = take_varint(&mut pos)? as usize;
+            let file_name = take_str(&mut pos, name_len)?;
+            let monitor = take_varint(&mut pos)? as usize;
+            if monitor >= monitor_labels.len() {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment references monitor {monitor} but the manifest has {} labels",
+                    monitor_labels.len()
+                )));
+            }
+            let sequence = take_varint(&mut pos)?;
+            let entries = take_varint(&mut pos)?;
+            segments.push(SegmentMeta {
+                file_name,
+                monitor,
+                sequence,
+                entries,
+            });
+        }
+        if pos != payload.len() {
+            return Err(SegmentError::Corrupt("trailing bytes in manifest".into()));
+        }
+        Ok(Manifest {
+            monitor_labels,
+            segments,
+        })
+    }
+
+    /// Writes the manifest into `dir` under [`MANIFEST_FILE_NAME`] and
+    /// returns the full path.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> Result<PathBuf, SegmentError> {
+        let path = dir.as_ref().join(MANIFEST_FILE_NAME);
+        std::fs::write(&path, self.encode())?;
+        Ok(path)
+    }
+
+    /// Loads a manifest from `path` — either the manifest file itself or a
+    /// dataset directory containing one.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        let path = path.as_ref();
+        let file = if path.is_dir() {
+            path.join(MANIFEST_FILE_NAME)
+        } else {
+            path.to_path_buf()
+        };
+        Self::decode(&std::fs::read(file)?)
+    }
+}
+
+/// Configuration of a multi-segment dataset writer.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Per-segment encoding configuration.
+    pub segment: SegmentConfig,
+    /// A monitor's current segment is finished and a fresh one opened once it
+    /// holds this many entries. `u64::MAX` disables rotation.
+    pub rotate_after_entries: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            segment: SegmentConfig::default(),
+            rotate_after_entries: 1_000_000,
+        }
+    }
+}
+
+/// The writer for one monitor's segment chain. Owns its open file and all
+/// rotation state, so it can live on its own ingestion thread; the handles of
+/// a dataset are tied back together by [`ManifestBuilder::finish`].
+pub struct MonitorWriter {
+    dir: PathBuf,
+    monitor: usize,
+    label: String,
+    config: DatasetConfig,
+    current: Option<TraceWriter<BufWriter<std::fs::File>>>,
+    current_entries: u64,
+    sequence: u64,
+    completed: Vec<SegmentMeta>,
+    bytes_written: u64,
+    total_entries: u64,
+}
+
+impl MonitorWriter {
+    fn new(dir: PathBuf, monitor: usize, label: String, config: DatasetConfig) -> Self {
+        Self {
+            dir,
+            monitor,
+            label,
+            config,
+            current: None,
+            current_entries: 0,
+            sequence: 0,
+            completed: Vec::new(),
+            bytes_written: 0,
+            total_entries: 0,
+        }
+    }
+
+    /// The global monitor index this writer ingests for.
+    pub fn monitor(&self) -> usize {
+        self.monitor
+    }
+
+    /// Entries appended so far (all segments).
+    pub fn total_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    fn current_file_name(&self) -> String {
+        format!("seg-{:03}-{:05}.seg", self.monitor, self.sequence)
+    }
+
+    fn writer(&mut self) -> Result<&mut TraceWriter<BufWriter<std::fs::File>>, SegmentError> {
+        if self.current.is_none() {
+            let file = std::fs::File::create(self.dir.join(self.current_file_name()))?;
+            self.current = Some(TraceWriter::new(
+                BufWriter::new(file),
+                vec![self.label.clone()],
+                self.config.segment,
+            )?);
+            self.current_entries = 0;
+        }
+        Ok(self.current.as_mut().expect("just opened"))
+    }
+
+    /// Appends one entry. The entry's `monitor` field must match this
+    /// writer's monitor; inside the segment it is stored as local index 0.
+    pub fn append(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
+        assert!(
+            entry.monitor == self.monitor,
+            "entry for monitor {} appended to the writer of monitor {}",
+            entry.monitor,
+            self.monitor
+        );
+        // Rotate lazily, only when another entry actually arrives: connection
+        // records trailing the last entry then land in the final segment
+        // instead of opening an empty one.
+        if self.current.is_some() && self.current_entries >= self.config.rotate_after_entries {
+            self.rotate()?;
+        }
+        let mut local = entry.clone();
+        local.monitor = 0;
+        self.writer()?.append_owned(local)?;
+        self.current_entries += 1;
+        self.total_entries += 1;
+        Ok(())
+    }
+
+    /// Stores a connection record in the current segment's footer.
+    pub fn record_connection(&mut self, record: ConnectionRecord) -> Result<(), SegmentError> {
+        let mut local = record;
+        local.monitor = 0;
+        self.writer()?.record_connection(local);
+        Ok(())
+    }
+
+    /// Finishes the current segment and arranges for the next append to open
+    /// a fresh one.
+    fn rotate(&mut self) -> Result<(), SegmentError> {
+        let Some(writer) = self.current.take() else {
+            return Ok(());
+        };
+        let file_name = self.current_file_name();
+        let summary: SegmentSummary = writer.finish()?;
+        self.bytes_written += summary.bytes_written;
+        self.completed.push(SegmentMeta {
+            file_name,
+            monitor: self.monitor,
+            sequence: self.sequence,
+            entries: summary.total_entries,
+        });
+        self.sequence += 1;
+        self.current_entries = 0;
+        Ok(())
+    }
+
+    /// Flushes and closes the segment chain, returning the metadata of every
+    /// segment written. A monitor that never received data returns no
+    /// segments.
+    pub fn finish(mut self) -> Result<MonitorSummary, SegmentError> {
+        self.rotate()?;
+        Ok(MonitorSummary {
+            segments: self.completed,
+            bytes_written: self.bytes_written,
+            total_entries: self.total_entries,
+        })
+    }
+}
+
+/// What one [`MonitorWriter`] produced.
+#[derive(Debug, Clone)]
+pub struct MonitorSummary {
+    /// Metadata of the segments written, in rotation order.
+    pub segments: Vec<SegmentMeta>,
+    /// Total segment bytes written by this monitor.
+    pub bytes_written: u64,
+    /// Total entries written by this monitor.
+    pub total_entries: u64,
+}
+
+/// Assembles the manifest once every [`MonitorWriter`] has finished.
+#[derive(Debug)]
+pub struct ManifestBuilder {
+    dir: PathBuf,
+    monitor_labels: Vec<String>,
+}
+
+impl ManifestBuilder {
+    /// Collects the per-monitor results, writes the manifest file, and
+    /// returns the dataset summary.
+    pub fn finish(self, parts: Vec<MonitorSummary>) -> Result<DatasetSummary, SegmentError> {
+        let mut segments: Vec<SegmentMeta> =
+            parts.iter().flat_map(|p| p.segments.clone()).collect();
+        segments.sort_by_key(|s| (s.monitor, s.sequence));
+        let manifest = Manifest {
+            monitor_labels: self.monitor_labels,
+            segments,
+        };
+        let manifest_path = manifest.write_to(&self.dir)?;
+        Ok(DatasetSummary {
+            segment_count: manifest.segments.len(),
+            total_entries: manifest.total_entries(),
+            bytes_written: parts.iter().map(|p| p.bytes_written).sum(),
+            manifest,
+            manifest_path,
+        })
+    }
+}
+
+/// Statistics of a finished multi-segment dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// The manifest that was written.
+    pub manifest: Manifest,
+    /// Where the manifest file lives.
+    pub manifest_path: PathBuf,
+    /// Number of segment files.
+    pub segment_count: usize,
+    /// Total entries across all segments.
+    pub total_entries: u64,
+    /// Total segment bytes written (excluding the manifest).
+    pub bytes_written: u64,
+}
+
+/// Writes a multi-segment dataset into a directory: one rotating segment
+/// chain per monitor plus a closing manifest.
+///
+/// Two usage modes:
+///
+/// * **single-threaded** — call [`DatasetWriter::append`] /
+///   [`DatasetWriter::record_connection`] and entries are routed to their
+///   monitor's chain; [`DatasetWriter::finish`] closes everything and writes
+///   the manifest.
+/// * **parallel** — [`DatasetWriter::into_parts`] splits the writer into one
+///   independent, `Send` [`MonitorWriter`] per monitor (move each onto its
+///   own ingestion thread) plus a [`ManifestBuilder`] that ties the results
+///   back together.
+pub struct DatasetWriter {
+    dir: PathBuf,
+    monitor_labels: Vec<String>,
+    writers: Vec<MonitorWriter>,
+}
+
+impl DatasetWriter {
+    /// Creates the dataset directory (if needed) and one segment-chain writer
+    /// per monitor.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        monitor_labels: Vec<String>,
+        config: DatasetConfig,
+    ) -> Result<Self, SegmentError> {
+        if config.segment.chunk_capacity == 0 {
+            return Err(SegmentError::InvalidConfig(
+                "chunk capacity must be positive".into(),
+            ));
+        }
+        if config.rotate_after_entries == 0 {
+            return Err(SegmentError::InvalidConfig(
+                "rotation threshold must be positive".into(),
+            ));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let writers = monitor_labels
+            .iter()
+            .enumerate()
+            .map(|(m, label)| MonitorWriter::new(dir.clone(), m, label.clone(), config))
+            .collect();
+        Ok(Self {
+            dir,
+            monitor_labels,
+            writers,
+        })
+    }
+
+    /// Number of monitors.
+    pub fn monitor_count(&self) -> usize {
+        self.monitor_labels.len()
+    }
+
+    /// Entries appended so far, across all monitors.
+    pub fn total_entries(&self) -> u64 {
+        self.writers.iter().map(MonitorWriter::total_entries).sum()
+    }
+
+    /// Appends one entry to its monitor's segment chain (routed by the
+    /// entry's `monitor` field).
+    pub fn append(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
+        assert!(
+            entry.monitor < self.writers.len(),
+            "entry for monitor {} but the dataset has {} monitors",
+            entry.monitor,
+            self.writers.len()
+        );
+        self.writers[entry.monitor].append(entry)
+    }
+
+    /// Stores a connection record in its monitor's current segment footer.
+    pub fn record_connection(&mut self, record: ConnectionRecord) -> Result<(), SegmentError> {
+        assert!(
+            record.monitor < self.writers.len(),
+            "connection for monitor {} but the dataset has {} monitors",
+            record.monitor,
+            self.writers.len()
+        );
+        self.writers[record.monitor].record_connection(record)
+    }
+
+    /// Splits into per-monitor writers (one per thread) and the manifest
+    /// builder that reassembles them.
+    pub fn into_parts(self) -> (ManifestBuilder, Vec<MonitorWriter>) {
+        (
+            ManifestBuilder {
+                dir: self.dir,
+                monitor_labels: self.monitor_labels,
+            },
+            self.writers,
+        )
+    }
+
+    /// Closes all segment chains and writes the manifest.
+    pub fn finish(self) -> Result<DatasetSummary, SegmentError> {
+        let (builder, writers) = self.into_parts();
+        let parts = writers
+            .into_iter()
+            .map(MonitorWriter::finish)
+            .collect::<Result<Vec<_>, _>>()?;
+        builder.finish(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips_through_bytes() {
+        let manifest = Manifest {
+            monitor_labels: vec!["us".into(), "de".into()],
+            segments: vec![
+                SegmentMeta {
+                    file_name: "seg-000-00000.seg".into(),
+                    monitor: 0,
+                    sequence: 0,
+                    entries: 1_000,
+                },
+                SegmentMeta {
+                    file_name: "seg-001-00000.seg".into(),
+                    monitor: 1,
+                    sequence: 0,
+                    entries: 250,
+                },
+            ],
+        };
+        let bytes = manifest.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), manifest);
+        assert_eq!(manifest.total_entries(), 1_250);
+        assert_eq!(manifest.segments_of(1).count(), 1);
+    }
+
+    #[test]
+    fn manifest_rejects_damage() {
+        let manifest = Manifest {
+            monitor_labels: vec!["m".into()],
+            segments: vec![],
+        };
+        let mut bytes = manifest.encode();
+        assert!(matches!(
+            Manifest::decode(&bytes[..3]),
+            Err(SegmentError::Corrupt(_))
+        ));
+        bytes[0] = b'X';
+        assert!(Manifest::decode(&bytes).is_err());
+
+        let mut bytes = manifest.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // CRC damage
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(SegmentError::ChecksumMismatch { .. })
+        ));
+
+        let mut bytes = manifest.encode();
+        bytes[4] = 99; // unsupported version
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(SegmentError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_out_of_range_monitor() {
+        let manifest = Manifest {
+            monitor_labels: vec!["only".into()],
+            segments: vec![SegmentMeta {
+                file_name: "s.seg".into(),
+                monitor: 3,
+                sequence: 0,
+                entries: 1,
+            }],
+        };
+        assert!(matches!(
+            Manifest::decode(&manifest.encode()),
+            Err(SegmentError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn dataset_writer_rejects_bad_config() {
+        let dir = std::env::temp_dir().join(format!("ipmm-cfg-{}", std::process::id()));
+        let bad_rotation = DatasetConfig {
+            rotate_after_entries: 0,
+            ..DatasetConfig::default()
+        };
+        assert!(matches!(
+            DatasetWriter::create(&dir, vec!["m".into()], bad_rotation),
+            Err(SegmentError::InvalidConfig(_))
+        ));
+        let bad_chunks = DatasetConfig {
+            segment: SegmentConfig { chunk_capacity: 0 },
+            ..DatasetConfig::default()
+        };
+        assert!(matches!(
+            DatasetWriter::create(&dir, vec!["m".into()], bad_chunks),
+            Err(SegmentError::InvalidConfig(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

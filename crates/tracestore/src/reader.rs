@@ -1,5 +1,7 @@
-//! Streaming segment readers.
+//! Streaming segment readers: single segments ([`TraceReader`]) and
+//! manifest-spanning multi-segment datasets ([`ManifestReader`]).
 
+use crate::manifest::Manifest;
 use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
 use crate::segment::{
     decode_chunk, decode_footer, ChunkInfo, Footer, SegmentError, FOOTER_MAGIC, FORMAT_VERSION,
@@ -7,6 +9,7 @@ use crate::segment::{
 };
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use std::collections::BinaryHeap;
+use std::path::Path;
 /// Random-access byte source a segment is read from.
 ///
 /// Implementations exist for in-memory slices ([`SliceSource`]) and files
@@ -398,6 +401,31 @@ impl<S: ChunkSource> Iterator for SortedEntryStream<'_, S> {
     }
 }
 
+/// Advances a linear-scan k-way merge one step: yields the head with the
+/// smallest `(timestamp, stream index)` and refills it from its stream.
+///
+/// The index tie-break is what makes every merge in this module *stable*:
+/// with time-sorted, arrival-stable input streams whose index order is
+/// arrival order (monitor index, or rotation sequence within a monitor), the
+/// merged output equals a stable sort of the concatenated input — the
+/// bit-identity guarantee the preprocessing equivalence tests pin down. With
+/// one candidate per stream, a linear scan beats a heap for the stream
+/// counts deployments use (the paper ran two monitors).
+fn merge_next<I: Iterator<Item = TraceEntry>>(
+    streams: &mut [I],
+    heads: &mut [Option<TraceEntry>],
+) -> Option<TraceEntry> {
+    let best = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, head)| head.as_ref().map(|e| (e.timestamp, i)))
+        .min()?
+        .1;
+    let entry = heads[best].take();
+    heads[best] = streams[best].next();
+    entry
+}
+
 /// K-way merge of all monitor streams by `(timestamp, monitor)`.
 ///
 /// Holds one decoded chunk, a lateness-bounded reorder buffer, and one
@@ -420,18 +448,341 @@ impl<S: ChunkSource> Iterator for MergedEntryStream<'_, S> {
     type Item = TraceEntry;
 
     fn next(&mut self) -> Option<TraceEntry> {
-        // With one candidate per monitor, a linear scan beats a heap for the
-        // monitor counts deployments use (the paper ran two).
-        let best = self
-            .heads
+        merge_next(&mut self.streams, &mut self.heads)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-segment datasets
+// ---------------------------------------------------------------------------
+
+/// A multi-segment dataset opened through its manifest.
+///
+/// Every segment of the manifest is opened and validated up front (one file
+/// handle and one footer read each — so the reader holds O(#segments) file
+/// descriptors for its lifetime; size [`crate::manifest::DatasetConfig::rotate_after_entries`]
+/// with the process fd limit in mind). Entry data streams chunk by chunk
+/// exactly as with a single [`TraceReader`], and merge state is bounded by
+/// the few segments overlapping the merge frontier, not the chain length.
+/// The merged view is identical to what one big segment would produce:
+/// rotation splits a monitor's arrival stream at arbitrary points, and the
+/// per-monitor chain merge re-establishes exact `(timestamp, arrival)` order
+/// across the rotation boundaries before the global `(timestamp, monitor)`
+/// merge.
+pub struct ManifestReader {
+    monitor_labels: Vec<String>,
+    /// Per global monitor: that monitor's segments in rotation order.
+    segments: Vec<Vec<TraceReader<FileSource>>>,
+    total_entries: u64,
+}
+
+impl ManifestReader {
+    /// Opens a dataset from `path` — the manifest file or the directory
+    /// holding it. Validates each segment's footer, label and entry count
+    /// against the manifest.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        let path = path.as_ref();
+        let manifest = Manifest::load(path)?;
+        let dir = if path.is_dir() {
+            path.to_path_buf()
+        } else {
+            path.parent().unwrap_or(Path::new(".")).to_path_buf()
+        };
+        Self::from_manifest(&manifest, dir)
+    }
+
+    /// Opens the segments of an already-loaded manifest relative to `dir`.
+    pub fn from_manifest(manifest: &Manifest, dir: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        let dir = dir.as_ref();
+        let mut keyed: Vec<Vec<(u64, TraceReader<FileSource>)>> =
+            (0..manifest.monitor_labels.len())
+                .map(|_| Vec::new())
+                .collect();
+        for meta in &manifest.segments {
+            if meta.monitor >= manifest.monitor_labels.len() {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment {} references monitor {} but the manifest has {} labels",
+                    meta.file_name,
+                    meta.monitor,
+                    manifest.monitor_labels.len()
+                )));
+            }
+            let reader = TraceReader::new(FileSource::open(dir.join(&meta.file_name))?)?;
+            if reader.monitor_count() != 1 {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment {} holds {} monitors, expected a per-monitor segment",
+                    meta.file_name,
+                    reader.monitor_count()
+                )));
+            }
+            if reader.monitor_labels()[0] != manifest.monitor_labels[meta.monitor] {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment {} is labelled '{}' but the manifest maps it to '{}'",
+                    meta.file_name,
+                    reader.monitor_labels()[0],
+                    manifest.monitor_labels[meta.monitor]
+                )));
+            }
+            if reader.total_entries() != meta.entries {
+                return Err(SegmentError::Corrupt(format!(
+                    "segment {} holds {} entries but the manifest records {}",
+                    meta.file_name,
+                    reader.total_entries(),
+                    meta.entries
+                )));
+            }
+            keyed[meta.monitor].push((meta.sequence, reader));
+        }
+        // The chain merge breaks timestamp ties by chain position, so the
+        // position must be rotation order regardless of manifest listing
+        // order; ambiguous (duplicate) sequences cannot be merged faithfully.
+        let mut segments = Vec::with_capacity(keyed.len());
+        for (monitor, mut chain) in keyed.into_iter().enumerate() {
+            chain.sort_by_key(|(sequence, _)| *sequence);
+            if chain.windows(2).any(|pair| pair[0].0 == pair[1].0) {
+                return Err(SegmentError::Corrupt(format!(
+                    "monitor {monitor} has segments with duplicate rotation sequences"
+                )));
+            }
+            segments.push(chain.into_iter().map(|(_, reader)| reader).collect());
+        }
+        Ok(Self {
+            monitor_labels: manifest.monitor_labels.clone(),
+            segments,
+            total_entries: manifest.total_entries(),
+        })
+    }
+
+    /// The monitor labels of the dataset.
+    pub fn monitor_labels(&self) -> &[String] {
+        &self.monitor_labels
+    }
+
+    /// Number of monitors.
+    pub fn monitor_count(&self) -> usize {
+        self.monitor_labels.len()
+    }
+
+    /// Total entries across all segments.
+    pub fn total_entries(&self) -> u64 {
+        self.total_entries
+    }
+
+    /// Number of segment files backing `monitor`.
+    pub fn segment_count(&self, monitor: usize) -> usize {
+        self.segments[monitor].len()
+    }
+
+    /// All connection records of the dataset, with global monitor indices
+    /// restored, in `(monitor, segment)` order.
+    pub fn connections(&self) -> impl Iterator<Item = ConnectionRecord> + '_ {
+        self.segments
             .iter()
             .enumerate()
-            .filter_map(|(m, head)| head.as_ref().map(|e| (e.timestamp, m)))
-            .min()?
-            .1;
-        let entry = self.heads[best].take();
-        self.heads[best] = self.streams[best].next();
-        entry
+            .flat_map(|(monitor, readers)| {
+                readers.iter().flat_map(move |reader| {
+                    reader
+                        .connections()
+                        .iter()
+                        .map(move |record| ConnectionRecord {
+                            monitor,
+                            ..record.clone()
+                        })
+                })
+            })
+    }
+
+    /// Streams one monitor's entries in exact `(timestamp, arrival)` order
+    /// across all its segments.
+    ///
+    /// Segments are admitted to the merge lazily: a later segment's stream
+    /// (one decoded chunk + reorder buffer) is only opened once the merge
+    /// frontier reaches a timestamp its entries could possibly precede, and
+    /// exhausted streams are retired immediately. Rotation makes segments
+    /// nearly time-disjoint, so the working set stays at the few segments
+    /// overlapping the frontier instead of the whole chain.
+    pub fn stream_monitor_sorted(&self, monitor: usize) -> ChainedMonitorStream<'_> {
+        let readers = &self.segments[monitor];
+        // floors[i] = a safe lower bound on every timestamp in segments i..:
+        // within a segment, an entry can precede its chunk's first timestamp
+        // by at most the recorded lateness bound, and a suffix-minimum makes
+        // the bound hold across arbitrary (even non-monotone) chain floors.
+        let mut floors: Vec<SimTime> = readers
+            .iter()
+            .map(|reader| {
+                let lateness = reader.max_lateness_ms(0);
+                reader
+                    .chunks()
+                    .iter()
+                    .map(|c| c.first_timestamp)
+                    .min()
+                    .map(|t| SimTime::from_millis(t.as_millis().saturating_sub(lateness)))
+                    .unwrap_or(SimTime::ZERO)
+            })
+            .collect();
+        for i in (0..floors.len().saturating_sub(1)).rev() {
+            floors[i] = floors[i].min(floors[i + 1]);
+        }
+        ChainedMonitorStream {
+            monitor,
+            readers,
+            floors,
+            next_pending: 0,
+            active: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Streams all entries of all monitors merged by `(timestamp, monitor)` —
+    /// the same order [`TraceReader::stream_merged`] delivers for a single
+    /// segment, and the order preprocessing expects.
+    pub fn stream_merged(&self) -> ManifestMergedStream<'_> {
+        let mut streams = Vec::with_capacity(self.monitor_count());
+        let mut heads = Vec::with_capacity(self.monitor_count());
+        for monitor in 0..self.monitor_count() {
+            let mut stream = self.stream_monitor_sorted(monitor);
+            heads.push(stream.next());
+            streams.push(stream);
+        }
+        ManifestMergedStream { streams, heads }
+    }
+}
+
+/// One segment admitted to a [`ChainedMonitorStream`] merge and not yet
+/// exhausted. The invariant that `head` is always populated is what lets the
+/// chain retire exhausted streams immediately.
+struct ActiveSegment<'a> {
+    /// Rotation index of the segment in its chain (the stable tie-break).
+    index: usize,
+    head: TraceEntry,
+    stream: SortedEntryStream<'a, FileSource>,
+}
+
+/// One monitor's entries across its segment chain, in exact
+/// `(timestamp, arrival)` order.
+///
+/// Each segment's [`SortedEntryStream`] is already stably time-sorted;
+/// rotation preserves arrival order, so a stable merge preferring the earlier
+/// segment on timestamp ties reproduces the order a single unrotated segment
+/// would yield. Segments are admitted lazily by their timestamp floor and
+/// retired when exhausted (see [`ManifestReader::stream_monitor_sorted`]), so
+/// merge state is bounded by the segments overlapping the frontier, not the
+/// chain length. Yielded entries carry the *global* monitor index.
+pub struct ChainedMonitorStream<'a> {
+    monitor: usize,
+    readers: &'a [TraceReader<FileSource>],
+    /// Suffix-minimum timestamp floor per rotation index: no entry in
+    /// segments `i..` can be earlier than `floors[i]`.
+    floors: Vec<SimTime>,
+    /// Next rotation index not yet admitted to the merge.
+    next_pending: usize,
+    active: Vec<ActiveSegment<'a>>,
+    /// First error from a retired stream (live streams keep their own).
+    error: Option<SegmentError>,
+}
+
+impl ChainedMonitorStream<'_> {
+    /// Returns the first error any underlying segment stream hit, if one did.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.error
+            .take()
+            .or_else(|| self.active.iter_mut().find_map(|a| a.stream.take_error()))
+    }
+
+    /// Segment streams currently open in the merge (exposed for memory
+    /// diagnostics: stays at the rotation-overlap window, not chain length).
+    pub fn active_segments(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Opens the next pending segment; an immediately-exhausted (empty or
+    /// broken) stream is retired on the spot.
+    fn admit_next(&mut self) {
+        let index = self.next_pending;
+        self.next_pending += 1;
+        let mut stream = self.readers[index].stream_monitor_sorted(0);
+        match stream.next() {
+            Some(head) => self.active.push(ActiveSegment {
+                index,
+                head,
+                stream,
+            }),
+            None => {
+                if let Some(error) = stream.take_error() {
+                    self.error.get_or_insert(error);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ChainedMonitorStream<'_> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        loop {
+            // Min by (timestamp, rotation index): the earlier segment wins
+            // ties, which is exactly arrival order across a rotation
+            // boundary. The active window is tiny, so a linear scan wins.
+            let candidate = self
+                .active
+                .iter()
+                .enumerate()
+                .map(|(pos, a)| ((a.head.timestamp, a.index), pos))
+                .min();
+            let has_pending = self.next_pending < self.readers.len();
+            match candidate {
+                None if has_pending => {
+                    self.admit_next();
+                }
+                None => return None,
+                // A pending segment could still hold an entry preceding the
+                // candidate once its floor reaches the frontier — admit it
+                // before emitting. (`<=` is conservative: at equality the
+                // rotation-index tie-break would order the candidate first
+                // anyway, but admitting early is always correct.)
+                Some(((ts, _), _)) if has_pending && self.floors[self.next_pending] <= ts => {
+                    self.admit_next();
+                }
+                Some((_, pos)) => {
+                    let mut entry = match self.active[pos].stream.next() {
+                        Some(next_head) => std::mem::replace(&mut self.active[pos].head, next_head),
+                        None => {
+                            let mut retired = self.active.swap_remove(pos);
+                            if let Some(error) = retired.stream.take_error() {
+                                self.error.get_or_insert(error);
+                            }
+                            retired.head
+                        }
+                    };
+                    entry.monitor = self.monitor;
+                    return Some(entry);
+                }
+            }
+        }
+    }
+}
+
+/// K-way merge of all monitors' chained streams by `(timestamp, monitor)`.
+pub struct ManifestMergedStream<'a> {
+    streams: Vec<ChainedMonitorStream<'a>>,
+    heads: Vec<Option<TraceEntry>>,
+}
+
+impl ManifestMergedStream<'_> {
+    /// Returns the first error any underlying stream hit, if one did.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.streams
+            .iter_mut()
+            .find_map(ChainedMonitorStream::take_error)
+    }
+}
+
+impl Iterator for ManifestMergedStream<'_> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        merge_next(&mut self.streams, &mut self.heads)
     }
 }
 

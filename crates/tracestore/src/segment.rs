@@ -99,6 +99,9 @@ pub enum SegmentError {
     },
     /// The segment uses a format version this build does not understand.
     UnsupportedVersion(u8),
+    /// A writer or dataset configuration is unusable (library code reports
+    /// this instead of aborting the process).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for SegmentError {
@@ -112,6 +115,7 @@ impl std::fmt::Display for SegmentError {
             SegmentError::UnsupportedVersion(v) => {
                 write!(f, "unsupported segment format version {v}")
             }
+            SegmentError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }

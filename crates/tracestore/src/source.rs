@@ -1,0 +1,183 @@
+//! [`TraceSource`] — one streaming interface over every trace representation.
+//!
+//! The analyses of the methodology layer need exactly three things from a
+//! trace, none of which require it to be materialized: the monitor labels, a
+//! time-ordered merged entry stream, and the connection records. This module
+//! abstracts those behind one trait, implemented by
+//!
+//! * [`MonitoringDataset`] — the in-memory path (the reference semantics:
+//!   monitor-major concatenation, stable-sorted by `(timestamp, monitor)`),
+//! * [`TraceReader`] — a single on-disk segment, streamed chunk by chunk,
+//! * [`ManifestReader`] — a multi-segment dataset behind a manifest.
+//!
+//! Consumers written against `&impl TraceSource` run identically over all
+//! three, so an analysis validated in memory scales to a ten-day on-disk
+//! trace without touching its code. Segment-backed streams can fail
+//! mid-iteration (CRC damage); [`SourceEntries::take_error`] surfaces that
+//! uniformly — in-memory sources simply never report one.
+
+use crate::reader::{
+    ChunkSource, ManifestMergedStream, ManifestReader, MergedEntryStream, TraceReader,
+};
+use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
+use crate::segment::SegmentError;
+
+/// A merged entry stream that may end early with a storage error.
+///
+/// Implemented by every stream type a [`TraceSource`] can hand out; the
+/// default `take_error` (no error, ever) fits infallible in-memory streams.
+pub trait EntryStreamLike: Iterator<Item = TraceEntry> {
+    /// Returns the error that ended the stream early, if any.
+    fn take_error(&mut self) -> Option<SegmentError> {
+        None
+    }
+}
+
+impl EntryStreamLike for std::vec::IntoIter<TraceEntry> {}
+
+impl<S: ChunkSource> EntryStreamLike for MergedEntryStream<'_, S> {
+    fn take_error(&mut self) -> Option<SegmentError> {
+        MergedEntryStream::take_error(self)
+    }
+}
+
+impl EntryStreamLike for ManifestMergedStream<'_> {
+    fn take_error(&mut self) -> Option<SegmentError> {
+        ManifestMergedStream::take_error(self)
+    }
+}
+
+/// The merged, `(timestamp, monitor)`-ordered entry stream of a
+/// [`TraceSource`].
+pub struct SourceEntries<'a> {
+    inner: Box<dyn EntryStreamLike + 'a>,
+}
+
+impl<'a> SourceEntries<'a> {
+    /// Wraps a concrete stream.
+    pub fn new(stream: impl EntryStreamLike + 'a) -> Self {
+        Self {
+            inner: Box::new(stream),
+        }
+    }
+
+    /// Returns the storage error that ended the stream early, if any. Check
+    /// after exhausting the stream when analyzing untrusted segments.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.inner.take_error()
+    }
+}
+
+impl Iterator for SourceEntries<'_> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        self.inner.next()
+    }
+}
+
+/// The connection-record stream of a [`TraceSource`]. Connection records are
+/// footer metadata — orders of magnitude rarer than entries — so the stream
+/// is infallible: any damage already surfaced when the source was opened.
+pub struct SourceConnections<'a> {
+    inner: Box<dyn Iterator<Item = ConnectionRecord> + 'a>,
+}
+
+impl<'a> SourceConnections<'a> {
+    /// Wraps a concrete record iterator.
+    pub fn new(records: impl Iterator<Item = ConnectionRecord> + 'a) -> Self {
+        Self {
+            inner: Box::new(records),
+        }
+    }
+}
+
+impl Iterator for SourceConnections<'_> {
+    type Item = ConnectionRecord;
+
+    fn next(&mut self) -> Option<ConnectionRecord> {
+        self.inner.next()
+    }
+}
+
+/// A readable trace, wherever it lives.
+pub trait TraceSource {
+    /// The monitor labels of the dataset.
+    fn monitor_labels(&self) -> &[String];
+
+    /// Number of monitors.
+    fn monitor_count(&self) -> usize {
+        self.monitor_labels().len()
+    }
+
+    /// All entries of all monitors, merged by `(timestamp, monitor)` with
+    /// arrival order breaking ties — the order preprocessing expects, and
+    /// bit-identical across every implementation for the same data.
+    fn merged_entries(&self) -> SourceEntries<'_>;
+
+    /// All connection records of the dataset.
+    fn connection_records(&self) -> SourceConnections<'_>;
+
+    /// Total number of entries, when cheaply known (footer metadata).
+    fn entry_count(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl TraceSource for MonitoringDataset {
+    fn monitor_labels(&self) -> &[String] {
+        &self.monitor_labels
+    }
+
+    fn merged_entries(&self) -> SourceEntries<'_> {
+        // The reference order: monitor-major concatenation, stable-sorted by
+        // (timestamp, monitor) — what `unify_and_flag` has always produced.
+        let mut entries: Vec<TraceEntry> = self.entries.iter().flatten().cloned().collect();
+        entries.sort_by_key(|e| (e.timestamp, e.monitor));
+        SourceEntries::new(entries.into_iter())
+    }
+
+    fn connection_records(&self) -> SourceConnections<'_> {
+        SourceConnections::new(self.connections.iter().cloned())
+    }
+
+    fn entry_count(&self) -> Option<u64> {
+        Some(self.total_entries() as u64)
+    }
+}
+
+impl<S: ChunkSource> TraceSource for TraceReader<S> {
+    fn monitor_labels(&self) -> &[String] {
+        TraceReader::monitor_labels(self)
+    }
+
+    fn merged_entries(&self) -> SourceEntries<'_> {
+        SourceEntries::new(self.stream_merged())
+    }
+
+    fn connection_records(&self) -> SourceConnections<'_> {
+        SourceConnections::new(self.connections().iter().cloned())
+    }
+
+    fn entry_count(&self) -> Option<u64> {
+        Some(self.total_entries())
+    }
+}
+
+impl TraceSource for ManifestReader {
+    fn monitor_labels(&self) -> &[String] {
+        ManifestReader::monitor_labels(self)
+    }
+
+    fn merged_entries(&self) -> SourceEntries<'_> {
+        SourceEntries::new(self.stream_merged())
+    }
+
+    fn connection_records(&self) -> SourceConnections<'_> {
+        SourceConnections::new(self.connections())
+    }
+
+    fn entry_count(&self) -> Option<u64> {
+        Some(self.total_entries())
+    }
+}

@@ -36,7 +36,11 @@ impl<W: Write> TraceWriter<W> {
         monitor_labels: Vec<String>,
         config: SegmentConfig,
     ) -> Result<Self, SegmentError> {
-        assert!(config.chunk_capacity > 0, "chunk capacity must be positive");
+        if config.chunk_capacity == 0 {
+            return Err(SegmentError::InvalidConfig(
+                "chunk capacity must be positive".into(),
+            ));
+        }
         sink.write_all(HEADER_MAGIC)?;
         sink.write_all(&[FORMAT_VERSION])?;
         let monitors = monitor_labels.len();
@@ -67,6 +71,12 @@ impl<W: Write> TraceWriter<W> {
     /// Appends one entry to its monitor's shard, spilling a chunk when the
     /// shard is full. The entry's `monitor` field selects the shard.
     pub fn append(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
+        self.append_owned(entry.clone())
+    }
+
+    /// Like [`TraceWriter::append`], but takes ownership — callers that
+    /// already hold (or had to re-index) an owned entry skip a clone.
+    pub fn append_owned(&mut self, entry: TraceEntry) -> Result<(), SegmentError> {
         let monitor = entry.monitor;
         assert!(
             monitor < self.shards.len(),
@@ -85,7 +95,7 @@ impl<W: Write> TraceWriter<W> {
             Some(high) if entry.timestamp <= high => {}
             _ => self.high_water[monitor] = Some(entry.timestamp),
         }
-        self.shards[monitor].push(entry.clone());
+        self.shards[monitor].push(entry);
         if self.shards[monitor].len() >= self.config.chunk_capacity {
             self.flush_shard(monitor)?;
         }
@@ -189,6 +199,18 @@ mod tests {
         let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
         assert_eq!(reader.monitor_labels(), ["only".to_string()]);
         assert_eq!(reader.stream_monitor(0).count(), 0);
+    }
+
+    #[test]
+    fn zero_chunk_capacity_is_an_error_not_a_panic() {
+        let mut bytes = Vec::new();
+        let result = TraceWriter::new(
+            &mut bytes,
+            vec!["only".into()],
+            SegmentConfig { chunk_capacity: 0 },
+        );
+        assert!(matches!(result, Err(SegmentError::InvalidConfig(_))));
+        assert!(bytes.is_empty(), "nothing must be written on bad config");
     }
 
     #[test]

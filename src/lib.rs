@@ -16,7 +16,9 @@
 //! * [`workload`] — scenario/workload generation,
 //! * [`analysis`] — statistics (ECDF, power-law tests, size estimators),
 //! * [`tracestore`] — the trace data model plus append-only columnar segment
-//!   storage with a sharded writer and constant-memory streaming readers,
+//!   storage: a sharded writer, per-monitor rotating segment chains under a
+//!   manifest (thread-parallel ingestion), constant-memory streaming readers,
+//!   and the `TraceSource` trait unifying in-memory and on-disk traces,
 //! * [`core`] — the monitoring methodology itself: trace collection,
 //!   preprocessing, analyses and privacy attacks.
 //!
