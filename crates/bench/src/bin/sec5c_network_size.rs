@@ -6,14 +6,17 @@
 //! (paper: 54 % and 49 % per monitor, 67 % jointly, against the
 //! crawler-derived size).
 
-use ipfs_mon_bench::{pct, print_header, print_row, run_experiment, scaled, spill_to_manifest};
+use ipfs_mon_bench::{
+    pct, print_header, print_row, run_experiment, scaled, spill_to_manifest_with, StorageFlags,
+};
 use ipfs_mon_core::{coverage, estimate_network_size, estimate_network_size_source};
 use ipfs_mon_kad::Crawler;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
-use ipfs_mon_tracestore::ManifestReader;
+use ipfs_mon_tracestore::{DatasetConfig, ManifestReader, SegmentConfig};
 use ipfs_mon_workload::ScenarioConfig;
 
 fn main() {
+    let flags = StorageFlags::from_args();
     let mut config = ScenarioConfig::analysis_week(107, scaled(3_000));
     config.horizon = SimDuration::from_days(7);
     config.workload.mean_node_requests_per_hour = 0.3;
@@ -25,13 +28,19 @@ fn main() {
 
     // The analysis runs from a multi-segment manifest without materializing
     // the dataset — the constant-memory path a ten-day deployment needs.
+    // Codec, source, and merge mode come from the command line; whatever the
+    // choice, the result below is asserted equal to the in-memory reference.
     let dir = std::env::temp_dir().join(format!("sec5c-manifest-{}", std::process::id()));
-    let summary = spill_to_manifest(
+    let summary = spill_to_manifest_with(
         &run.dataset,
         &dir,
-        (run.dataset.total_entries() as u64 / 6).max(1),
+        DatasetConfig {
+            segment: SegmentConfig::with_codec(flags.codec),
+            rotate_after_entries: (run.dataset.total_entries() as u64 / 6).max(1),
+        },
     );
-    let reader = ManifestReader::open(&summary.manifest_path).expect("open manifest");
+    let reader =
+        ManifestReader::open_with(&summary.manifest_path, flags.options).expect("open manifest");
     let report = estimate_network_size_source(&reader, window_start, window_end, interval)
         .expect("streaming estimation");
 
@@ -48,8 +57,10 @@ fn main() {
     print_row(
         "manifest",
         format!(
-            "{} segments, {} entries",
-            summary.segment_count, summary.total_entries
+            "{} segments, {} entries, {}",
+            summary.segment_count,
+            summary.total_entries,
+            flags.describe()
         ),
     );
     print_row("streaming == in-memory", "verified (bit-identical report)");

@@ -1,17 +1,20 @@
 //! Experiment E10 (Sec. VI-A): the three privacy attacks — IDW, TNW, TPI —
 //! evaluated against simulation ground truth.
 
-use ipfs_mon_bench::{pct, print_header, print_row, run_experiment, scaled, spill_to_manifest};
+use ipfs_mon_bench::{
+    pct, print_header, print_row, run_experiment, scaled, spill_to_manifest_with, StorageFlags,
+};
 use ipfs_mon_core::{
     identify_data_wanters, per_peer_request_counts, run_attacks_source, track_node_wants,
     AttackTargets, PreprocessConfig, TpiOutcome,
 };
 use ipfs_mon_simnet::time::SimDuration;
-use ipfs_mon_tracestore::ManifestReader;
+use ipfs_mon_tracestore::{DatasetConfig, ManifestReader, SegmentConfig};
 use ipfs_mon_workload::ScenarioConfig;
 use std::collections::{HashMap, HashSet};
 
 fn main() {
+    let flags = StorageFlags::from_args();
     let mut config = ScenarioConfig::analysis_week(108, scaled(600));
     config.horizon = SimDuration::from_days(2);
     config.workload.mean_node_requests_per_hour = 1.5;
@@ -19,14 +22,19 @@ fn main() {
     let scenario = run.network.scenario().clone();
 
     // All trace-driven attacks run from a multi-segment manifest in one
-    // constant-memory pass; the in-memory results below only cross-check it.
+    // constant-memory pass; the in-memory results below only cross-check it,
+    // for whatever codec/source/merge combination the flags selected.
     let dir = std::env::temp_dir().join(format!("sec6a-manifest-{}", std::process::id()));
-    let summary = spill_to_manifest(
+    let summary = spill_to_manifest_with(
         &run.dataset,
         &dir,
-        (run.dataset.total_entries() as u64 / 5).max(1),
+        DatasetConfig {
+            segment: SegmentConfig::with_codec(flags.codec),
+            rotate_after_entries: (run.dataset.total_entries() as u64 / 5).max(1),
+        },
     );
-    let reader = ManifestReader::open(&summary.manifest_path).expect("open manifest");
+    let reader =
+        ManifestReader::open_with(&summary.manifest_path, flags.options).expect("open manifest");
 
     // Ground truth: which nodes issued a user request for which content.
     let mut truth_by_content: HashMap<usize, HashSet<_>> = HashMap::new();
@@ -87,8 +95,10 @@ fn main() {
     print_row(
         "manifest",
         format!(
-            "{} segments, {} entries",
-            summary.segment_count, summary.total_entries
+            "{} segments, {} entries, {}",
+            summary.segment_count,
+            summary.total_entries,
+            flags.describe()
         ),
     );
     print_row("target CID", &cid);

@@ -7,12 +7,12 @@
 //! per-monitor-parallel manifest ingestion. The acceptance bar of the
 //! tracestore subsystem is a segment under 50 % of the equivalent JSON.
 
-use ipfs_mon_bench::{print_header, run_experiment, scaled};
+use ipfs_mon_bench::{print_header, run_experiment, scaled, spill_to_manifest_with};
 use ipfs_mon_core::{flag_segment, unify_and_flag, unify_and_flag_segment, PreprocessConfig};
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_tracestore::{
-    DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, SegmentConfig, SliceSource,
-    TraceEntry, TraceReader,
+    Codec, DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, ReadOptions,
+    SegmentConfig, SliceSource, TraceEntry, TraceReader, TraceSource,
 };
 use ipfs_mon_workload::ScenarioConfig;
 use std::time::Instant;
@@ -224,6 +224,75 @@ fn main() {
     }
     std::fs::remove_dir_all(&dir_single).ok();
     std::fs::remove_dir_all(&dir_parallel).ok();
+
+    // Codec / source / merge matrix: the same dataset behind every
+    // combination of payload codec (raw vs lz), segment source (file vs
+    // mmap), and merge mode (serial vs decode-ahead), each verified
+    // bit-identical to the in-memory merged reference.
+    let reference: Vec<TraceEntry> = dataset.merged_entries().collect();
+    let rotate = (total_entries as u64 / 4).max(1);
+    println!("\n  codec matrix ({total_entries} entries):");
+    println!(
+        "  {:<6} {:<6} {:<13} {:>12} {:>13} {:>14}",
+        "codec", "source", "merge", "bytes/entry", "decode MB/s", "entries/s"
+    );
+    let mut on_disk = [0u64; 2];
+    for (c, codec) in [Codec::Raw, Codec::Lz].into_iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!(
+            "ts-bench-codec-{}-{}",
+            codec.name(),
+            std::process::id()
+        ));
+        spill_to_manifest_with(
+            dataset,
+            &dir,
+            DatasetConfig {
+                segment: SegmentConfig::with_codec(codec),
+                rotate_after_entries: rotate,
+            },
+        );
+        on_disk[c] = std::fs::read_dir(&dir)
+            .expect("read manifest dir")
+            .map(|e| e.expect("dir entry").metadata().expect("metadata").len())
+            .sum();
+        for mmap in [false, true] {
+            for decode_ahead in [false, true] {
+                let options = ReadOptions::default().mmap(mmap).decode_ahead(decode_ahead);
+                let reader = ManifestReader::open_with(&dir, options).expect("open manifest");
+                let start = Instant::now();
+                let mut stream = reader.merged_entries();
+                let merged: Vec<TraceEntry> = (&mut stream).collect();
+                let elapsed = start.elapsed().as_secs_f64();
+                assert!(stream.take_error().is_none(), "stream error in matrix");
+                assert_eq!(merged, reference, "matrix stream must match in-memory");
+                println!(
+                    "  {:<6} {:<6} {:<13} {:>12.1} {:>13.1} {:>14.0}",
+                    codec.name(),
+                    if mmap { "mmap" } else { "file" },
+                    if decode_ahead {
+                        "decode-ahead"
+                    } else {
+                        "serial"
+                    },
+                    on_disk[c] as f64 / total_entries.max(1) as f64,
+                    mib_per_s(on_disk[c] as usize, elapsed),
+                    entries_per_s(total_entries, elapsed),
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let codec_ratio = on_disk[1] as f64 / on_disk[0].max(1) as f64;
+    println!(
+        "  lz manifest = {:.1}% of raw on disk ({} vs {} bytes)",
+        codec_ratio * 100.0,
+        on_disk[1],
+        on_disk[0]
+    );
+    assert!(
+        on_disk[1] < on_disk[0],
+        "compressed manifest must be strictly smaller than raw"
+    );
 
     if ratio < 0.5 {
         println!("\n  PASS: segment is {:.1}x smaller than JSON", 1.0 / ratio);

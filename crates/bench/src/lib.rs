@@ -110,16 +110,26 @@ pub fn spill_to_manifest(
     dir: &std::path::Path,
     rotate_after_entries: u64,
 ) -> ipfs_mon_tracestore::DatasetSummary {
-    use ipfs_mon_tracestore::{DatasetConfig, DatasetWriter};
-    let mut writer = DatasetWriter::create(
+    spill_to_manifest_with(
+        dataset,
         dir,
-        dataset.monitor_labels.clone(),
-        DatasetConfig {
+        ipfs_mon_tracestore::DatasetConfig {
             rotate_after_entries,
-            ..DatasetConfig::default()
+            ..ipfs_mon_tracestore::DatasetConfig::default()
         },
     )
-    .expect("create dataset dir");
+}
+
+/// Like [`spill_to_manifest`], with full control over the dataset
+/// configuration (chunk codec included).
+pub fn spill_to_manifest_with(
+    dataset: &MonitoringDataset,
+    dir: &std::path::Path,
+    config: ipfs_mon_tracestore::DatasetConfig,
+) -> ipfs_mon_tracestore::DatasetSummary {
+    use ipfs_mon_tracestore::DatasetWriter;
+    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config)
+        .expect("create dataset dir");
     for per_monitor in &dataset.entries {
         for entry in per_monitor {
             writer.append(entry).expect("append entry");
@@ -131,6 +141,60 @@ pub fn spill_to_manifest(
             .expect("record connection");
     }
     writer.finish().expect("finish manifest")
+}
+
+/// Storage-path choices shared by the trace-driven experiment binaries,
+/// parsed from the common command-line flags:
+///
+/// * `--codec <raw|lz>` — chunk payload codec for the spilled manifest,
+/// * `--mmap` — read segments through zero-copy mapped buffers,
+/// * `--decode-ahead` — decode each monitor chain on its own prefetch worker.
+///
+/// Every binary that takes these flags asserts its streaming output equals
+/// the in-memory reference, so any combination is verified per run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageFlags {
+    /// Chunk payload codec for written segments.
+    pub codec: ipfs_mon_tracestore::Codec,
+    /// Segment source and merge-mode options for reading back.
+    pub options: ipfs_mon_tracestore::ReadOptions,
+}
+
+impl StorageFlags {
+    /// Parses the process arguments; panics with usage on unknown flags.
+    pub fn from_args() -> Self {
+        let mut flags = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--codec" => {
+                    let name = args.next().expect("--codec needs a value (raw|lz)");
+                    flags.codec =
+                        ipfs_mon_tracestore::Codec::parse(&name).expect("unknown codec name");
+                }
+                "--mmap" => flags.options.mmap = true,
+                "--decode-ahead" => flags.options.decode_ahead = true,
+                other => panic!(
+                    "unknown flag {other:?} (expected --codec <raw|lz>, --mmap, --decode-ahead)"
+                ),
+            }
+        }
+        flags
+    }
+
+    /// One-line description for experiment output.
+    pub fn describe(&self) -> String {
+        format!(
+            "codec={} source={} merge={}",
+            self.codec.name(),
+            if self.options.mmap { "mmap" } else { "file" },
+            if self.options.decode_ahead {
+                "decode-ahead"
+            } else {
+                "serial"
+            }
+        )
+    }
 }
 
 /// Scale factor from the `IPFS_MON_SCALE` environment variable (default 1.0).

@@ -425,7 +425,10 @@ mod tests {
         let mut bytes = Vec::new();
         let mut spilling = SpillingCollector::us_de(
             &mut bytes,
-            ipfs_mon_tracestore::SegmentConfig { chunk_capacity: 4 },
+            ipfs_mon_tracestore::SegmentConfig {
+                chunk_capacity: 4,
+                ..SegmentConfig::default()
+            },
         )
         .unwrap();
 

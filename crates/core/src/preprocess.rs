@@ -21,7 +21,12 @@
 //!   *any* trace source (in-memory dataset, single segment, multi-segment
 //!   manifest) without materializing the trace, in memory bounded by the
 //!   number of *active* `(peer, request type, CID)` keys inside the dedup
-//!   windows (stale keys are evicted as time advances);
+//!   windows (stale keys are evicted as time advances). Storage-level
+//!   choices — chunk payload codec, file vs mmap segment source, serial vs
+//!   decode-ahead merging (`ipfs_mon_tracestore::ReadOptions`) — are wholly
+//!   below this interface: every combination delivers the same merged
+//!   stream, so flags (and every analysis downstream of them) are
+//!   bit-identical across all of them;
 //! * [`unify_and_flag`] — the historical in-memory entry point, now a thin
 //!   wrapper over the streaming engine fed from the dataset source;
 //! * [`unify_and_flag_stream`] / [`flag_segment`] — lower-level variants for
@@ -481,7 +486,10 @@ mod tests {
         let (trace, stats) = unify_and_flag(&ds, PreprocessConfig::default());
 
         let bytes = ds
-            .to_segment_bytes(SegmentConfig { chunk_capacity: 16 })
+            .to_segment_bytes(SegmentConfig {
+                chunk_capacity: 16,
+                ..SegmentConfig::default()
+            })
             .unwrap();
         let reader = ipfs_mon_tracestore::TraceReader::new(SliceSource::new(&bytes)).unwrap();
         let (streamed_trace, streamed_stats) =

@@ -11,8 +11,15 @@
 //!   JSON persistence remains available as a debug format.
 //! * [`segment`] — an append-only, chunked, columnar segment format:
 //!   dictionary-interned peer/address/CID columns, delta+varint-encoded
-//!   timestamps, bit-packed request types and flags, a CRC32 per chunk, and a
-//!   footer index describing every chunk for random and streaming access.
+//!   timestamps, bit-packed request types and flags, a per-chunk codec byte
+//!   under a CRC32 per chunk, and a footer index describing every chunk for
+//!   random and streaming access. Decoding goes through the borrowed
+//!   [`segment::ChunkView`] (dictionary slices + column cursors); owned
+//!   entries are materialized only at the stream boundary.
+//! * [`codec`] — the pluggable chunk payload codecs behind the codec byte:
+//!   [`codec::RawCodec`] (verbatim planes) and [`codec::LzCodec`]
+//!   (back-reference compression with per-chunk raw fallback). Codecs mix
+//!   freely within a dataset, so migration is per-segment or even per-chunk.
 //! * [`writer`] — [`writer::TraceWriter`], a sharded encoder (one shard per
 //!   monitor) that spills fixed-size chunks to any `io::Write` sink as
 //!   entries arrive, so collection runs in constant memory.
@@ -21,11 +28,16 @@
 //!   [`manifest::MonitorWriter`]) tied together by a CRC-framed
 //!   [`manifest::Manifest`] index, written by [`manifest::DatasetWriter`].
 //! * [`reader`] — [`reader::TraceReader`], a constant-memory streaming reader
-//!   (one decoded chunk per active monitor stream) plus a k-way merged stream
-//!   that yields all entries ordered by `(timestamp, monitor)` — exactly the
-//!   order the preprocessing windows of `ipfs-mon-core` expect — and
-//!   [`reader::ManifestReader`], the same merged view over a manifest
-//!   spanning many segments.
+//!   (one decoded chunk per active monitor stream) over pluggable
+//!   [`reader::ChunkSource`]s (in-memory slice, block-cached file, mapped
+//!   buffer), plus a k-way merged stream that yields all entries ordered by
+//!   `(timestamp, monitor)` — exactly the order the preprocessing windows of
+//!   `ipfs-mon-core` expect — and [`reader::ManifestReader`], the same
+//!   merged view over a manifest spanning many segments, serially or with
+//!   one decode-ahead prefetch worker per monitor chain
+//!   ([`reader::ReadOptions`]).
+//! * [`mmap`] — [`mmap::MmapSource`], the whole-segment mapped buffer source
+//!   serving zero-copy borrowed reads.
 //! * [`source`] — the [`source::TraceSource`] trait: one streaming interface
 //!   (labels + merged entries + connection records) over the in-memory
 //!   dataset, a single segment, and a multi-segment manifest, so every
@@ -38,23 +50,30 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod crc;
 pub mod manifest;
+pub mod mmap;
 pub mod reader;
 pub mod record;
 pub mod segment;
 pub mod source;
 pub mod writer;
 
+pub use codec::{ChunkCodec, Codec, LzCodec, RawCodec};
 pub use manifest::{
     DatasetConfig, DatasetSummary, DatasetWriter, Manifest, ManifestBuilder, MonitorSummary,
     MonitorWriter, SegmentMeta, MANIFEST_FILE_NAME,
 };
+pub use mmap::MmapSource;
 pub use reader::{
     ChainedMonitorStream, ChunkSource, EntryStream, FileSource, ManifestMergedStream,
-    ManifestReader, MergedEntryStream, SliceSource, SortedEntryStream, TraceReader,
+    ManifestReader, MergedEntryStream, PrefetchedMonitorStream, ReadOptions, SegmentSource,
+    SliceSource, SortedEntryStream, TraceReader,
 };
 pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
-pub use segment::{ChunkInfo, SegmentConfig, SegmentError, SegmentSummary};
+pub use segment::{
+    ChunkEntries, ChunkInfo, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
+};
 pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};
 pub use writer::TraceWriter;

@@ -596,7 +596,10 @@ mod tests {
             Err(SegmentError::InvalidConfig(_))
         ));
         let bad_chunks = DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: 0 },
+            segment: SegmentConfig {
+                chunk_capacity: 0,
+                ..SegmentConfig::default()
+            },
             ..DatasetConfig::default()
         };
         assert!(matches!(

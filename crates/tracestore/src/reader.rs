@@ -2,29 +2,53 @@
 //! manifest-spanning multi-segment datasets ([`ManifestReader`]).
 
 use crate::manifest::Manifest;
+use crate::mmap::MmapSource;
 use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
 use crate::segment::{
-    decode_chunk, decode_footer, ChunkInfo, Footer, SegmentError, FOOTER_MAGIC, FORMAT_VERSION,
-    HEADER_MAGIC, TRAILER_LEN,
+    decode_footer, ChunkEntries, ChunkInfo, ChunkView, Footer, SegmentError, FOOTER_MAGIC,
+    FORMAT_VERSION, HEADER_MAGIC, TRAILER_LEN,
 };
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use std::borrow::Cow;
 use std::collections::BinaryHeap;
 use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
 /// Random-access byte source a segment is read from.
 ///
-/// Implementations exist for in-memory slices ([`SliceSource`]) and files
-/// ([`FileSource`]); both hand out independent reads from a shared `&self`,
-/// which is what lets several monitor streams walk one segment concurrently
-/// during a k-way merge.
+/// Implementations exist for in-memory slices ([`SliceSource`]), buffered
+/// files ([`FileSource`]), and mapped files ([`MmapSource`]); all hand out
+/// independent reads from a shared `&self`, which is what lets several
+/// monitor streams walk one segment concurrently during a k-way merge.
+///
+/// `read_at` returns a [`Cow`]: sources that already hold the segment in
+/// memory lend a borrowed slice (zero-copy — chunk decode then borrows
+/// dictionary bytes straight from the source buffer, see
+/// [`crate::segment::ChunkView`]); file-backed sources return an owned
+/// buffer.
 // `len` is fallible (file metadata) — a paired `is_empty` would be too, and a
 // zero-length source is just a corrupt segment, so the lint buys nothing here.
 #[allow(clippy::len_without_is_empty)]
 pub trait ChunkSource {
     /// Reads exactly `len` bytes starting at `offset`.
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError>;
+    fn read_at(&self, offset: u64, len: usize) -> Result<Cow<'_, [u8]>, SegmentError>;
 
     /// Total length of the segment in bytes.
     fn len(&self) -> Result<u64, SegmentError>;
+}
+
+/// Shared ownership composes: an `Arc`'d source is a source. This is what
+/// lets a [`ManifestReader`] and its decode-ahead workers read the same
+/// open file handles / mapped buffers instead of each opening their own.
+impl<S: ChunkSource> ChunkSource for std::sync::Arc<S> {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Cow<'_, [u8]>, SegmentError> {
+        (**self).read_at(offset, len)
+    }
+
+    fn len(&self) -> Result<u64, SegmentError> {
+        (**self).len()
+    }
 }
 
 /// A segment held in memory.
@@ -41,13 +65,13 @@ impl<'a> SliceSource<'a> {
 }
 
 impl ChunkSource for SliceSource<'_> {
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Cow<'_, [u8]>, SegmentError> {
         let start = offset as usize;
         let end = start
             .checked_add(len)
             .filter(|&end| end <= self.bytes.len())
             .ok_or_else(|| SegmentError::Corrupt("read past end of segment".into()))?;
-        Ok(self.bytes[start..end].to_vec())
+        Ok(Cow::Borrowed(&self.bytes[start..end]))
     }
 
     fn len(&self) -> Result<u64, SegmentError> {
@@ -55,41 +79,70 @@ impl ChunkSource for SliceSource<'_> {
     }
 }
 
-/// A segment stored in a file. Reads are positioned (`pread`-style), so the
-/// source can serve multiple concurrent streams from `&self`.
+/// Bytes per cached [`FileSource`] block.
+const FILE_BLOCK_SIZE: usize = 256 * 1024;
+/// Blocks kept per [`FileSource`] — one per concurrently walking stream is
+/// ideal. Manifest datasets hold one monitor (one stream) per file, so
+/// eight covers any realistic single-file multi-monitor segment; a merged
+/// read of a single file with *more* monitors than this degrades to one
+/// block-sized read per chunk (each stream evicts the others), still
+/// correct but with read amplification — shard such datasets into
+/// per-monitor segments instead.
+const FILE_CACHED_BLOCKS: usize = 8;
+
+/// A tiny LRU of file blocks (filled lazily, so idle sources hold nothing)
+/// that lets chunk-sized reads (typically tens of KiB) skip the syscall per
+/// chunk, and serves chunk revisits — a repeated scan of the same segment,
+/// or several streams walking interleaved chunk sequences — from memory
+/// instead of re-reading the file.
+#[derive(Debug, Default)]
+struct BlockCache {
+    /// `(block_index, bytes)`, most recently used last.
+    blocks: Vec<(u64, Vec<u8>)>,
+}
+
+/// A segment stored in a file. Reads are positioned (`pread`-style) and
+/// served through a small block cache, so the source can serve multiple
+/// concurrent streams from `&self` while issuing far fewer syscalls than
+/// one per chunk.
 #[derive(Debug)]
 pub struct FileSource {
     file: std::fs::File,
+    /// Segment files are immutable once finished; the length is fixed at
+    /// open time.
+    len: u64,
+    cache: Mutex<BlockCache>,
 }
 
 impl FileSource {
     /// Opens a segment file for reading.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, SegmentError> {
-        Ok(Self {
-            file: std::fs::File::open(path)?,
-        })
+        Self::from_file(std::fs::File::open(path)?)
     }
 
     /// Wraps an already-open file.
-    pub fn from_file(file: std::fs::File) -> Self {
-        Self { file }
+    pub fn from_file(file: std::fs::File) -> Result<Self, SegmentError> {
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            len,
+            cache: Mutex::new(BlockCache::default()),
+        })
     }
-}
 
-impl ChunkSource for FileSource {
+    /// One positioned read straight from the file, bypassing the cache.
     #[cfg(unix)]
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+    fn pread(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
         use std::os::unix::fs::FileExt;
         let mut buf = vec![0u8; len];
         self.file.read_exact_at(&mut buf, offset)?;
         Ok(buf)
     }
 
+    /// Fallback: clone the handle so `&self` suffices; the clone seeks
+    /// independently and is short-lived and exclusive here.
     #[cfg(not(unix))]
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
-        // Fallback: clone the handle so `&self` suffices; each clone seeks
-        // independently on platforms where handles share a cursor this is
-        // still correct because the clone is short-lived and exclusive here.
+    fn pread(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
         use std::io::{Read, Seek, SeekFrom};
         let mut file = self.file.try_clone()?;
         file.seek(SeekFrom::Start(offset))?;
@@ -98,8 +151,97 @@ impl ChunkSource for FileSource {
         Ok(buf)
     }
 
+    /// Copies `offset..offset + len` out of the block cache, faulting in
+    /// missing blocks with one block-sized read each.
+    fn read_cached(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+        let mut out = Vec::with_capacity(len);
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut position = offset;
+        let end = offset + len as u64;
+        while position < end {
+            let block_index = position / FILE_BLOCK_SIZE as u64;
+            let slot = match cache.blocks.iter().position(|(i, _)| *i == block_index) {
+                Some(found) => {
+                    // Refresh LRU position.
+                    let block = cache.blocks.remove(found);
+                    cache.blocks.push(block);
+                    cache.blocks.len() - 1
+                }
+                None => {
+                    let block_start = block_index * FILE_BLOCK_SIZE as u64;
+                    let block_len = (self.len - block_start).min(FILE_BLOCK_SIZE as u64) as usize;
+                    let bytes = self.pread(block_start, block_len)?;
+                    if cache.blocks.len() >= FILE_CACHED_BLOCKS {
+                        cache.blocks.remove(0);
+                    }
+                    cache.blocks.push((block_index, bytes));
+                    cache.blocks.len() - 1
+                }
+            };
+            let (_, block) = &cache.blocks[slot];
+            let in_block = (position % FILE_BLOCK_SIZE as u64) as usize;
+            let take = block.len().min(in_block + (end - position) as usize) - in_block;
+            out.extend_from_slice(&block[in_block..in_block + take]);
+            position += take as u64;
+        }
+        Ok(out)
+    }
+}
+
+impl ChunkSource for FileSource {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Cow<'_, [u8]>, SegmentError> {
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.len)
+        {
+            return Err(SegmentError::Corrupt("read past end of segment".into()));
+        }
+        // Oversized reads would only thrash the cache; go straight through.
+        if len >= FILE_BLOCK_SIZE {
+            return Ok(Cow::Owned(self.pread(offset, len)?));
+        }
+        Ok(Cow::Owned(self.read_cached(offset, len)?))
+    }
+
     fn len(&self) -> Result<u64, SegmentError> {
-        Ok(self.file.metadata()?.len())
+        Ok(self.len)
+    }
+}
+
+/// The source behind one segment of a [`ManifestReader`]: buffered file
+/// reads or an mmap-style mapped buffer, chosen by [`ReadOptions::mmap`].
+#[derive(Debug)]
+pub enum SegmentSource {
+    /// Positioned, block-cached file reads.
+    File(FileSource),
+    /// Whole-segment mapped buffer with zero-copy borrowed reads.
+    Mmap(MmapSource),
+}
+
+impl SegmentSource {
+    /// Opens `path` with the chosen strategy.
+    pub fn open(path: impl AsRef<Path>, mmap: bool) -> Result<Self, SegmentError> {
+        Ok(if mmap {
+            SegmentSource::Mmap(MmapSource::open(path)?)
+        } else {
+            SegmentSource::File(FileSource::open(path)?)
+        })
+    }
+}
+
+impl ChunkSource for SegmentSource {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Cow<'_, [u8]>, SegmentError> {
+        match self {
+            SegmentSource::File(source) => source.read_at(offset, len),
+            SegmentSource::Mmap(source) => source.read_at(offset, len),
+        }
+    }
+
+    fn len(&self) -> Result<u64, SegmentError> {
+        match self {
+            SegmentSource::File(source) => source.len(),
+            SegmentSource::Mmap(source) => source.len(),
+        }
     }
 }
 
@@ -148,8 +290,14 @@ impl<S: ChunkSource> TraceReader<S> {
                 location: "footer".into(),
             });
         }
-        let footer = decode_footer(&payload)?;
+        let footer = decode_footer(payload.as_ref())?;
+        drop(payload);
         Ok(Self { source, footer })
+    }
+
+    /// The byte source the reader opened.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// The monitor labels recorded in the segment.
@@ -191,7 +339,7 @@ impl<S: ChunkSource> TraceReader<S> {
             source: &self.source,
             chunks,
             next_chunk: 0,
-            current: Vec::new().into_iter(),
+            current: None,
             error: None,
         }
     }
@@ -253,6 +401,10 @@ impl<S: ChunkSource> TraceReader<S> {
 
 /// Iterator over one monitor's entries, decoding chunk by chunk.
 ///
+/// Each chunk is parsed into a validated, borrowed [`ChunkView`] and owned
+/// entries are materialized one by one as the iterator is advanced — the
+/// stream boundary is the only place an owned [`TraceEntry`] is built.
+///
 /// Decode failures (which chunk CRCs make vanishingly unlikely short of
 /// actual corruption) end the stream early; check [`EntryStream::take_error`]
 /// after exhaustion when the distinction matters.
@@ -260,7 +412,7 @@ pub struct EntryStream<'a, S: ChunkSource> {
     source: &'a S,
     chunks: Vec<ChunkInfo>,
     next_chunk: usize,
-    current: std::vec::IntoIter<TraceEntry>,
+    current: Option<ChunkEntries<'a>>,
     error: Option<SegmentError>,
 }
 
@@ -282,9 +434,9 @@ impl<S: ChunkSource> EntryStream<'_, S> {
                 return false;
             }
         };
-        match decode_chunk(&frame) {
-            Ok(entries) => {
-                self.current = entries.into_iter();
+        match ChunkView::parse(frame) {
+            Ok(view) => {
+                self.current = Some(view.into_entries());
                 true
             }
             Err(error) => {
@@ -300,7 +452,7 @@ impl<S: ChunkSource> Iterator for EntryStream<'_, S> {
 
     fn next(&mut self) -> Option<TraceEntry> {
         loop {
-            if let Some(entry) = self.current.next() {
+            if let Some(entry) = self.current.as_mut().and_then(Iterator::next) {
                 return Some(entry);
             }
             if self.error.is_some() || !self.load_next_chunk() {
@@ -456,6 +608,34 @@ impl<S: ChunkSource> Iterator for MergedEntryStream<'_, S> {
 // Multi-segment datasets
 // ---------------------------------------------------------------------------
 
+/// How a [`ManifestReader`] reads its segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Open segments through [`MmapSource`] (whole-segment buffers with
+    /// zero-copy borrowed chunk reads) instead of block-cached [`FileSource`]
+    /// reads.
+    pub mmap: bool,
+    /// Decode ahead: run one bounded prefetch worker per monitor chain, so
+    /// chunk decode overlaps the k-way merge and the monitors decode in
+    /// parallel. The merged order and bytes are identical to the serial
+    /// path — the workers run the very same per-monitor streams.
+    pub decode_ahead: bool,
+}
+
+impl ReadOptions {
+    /// Builder-style setter for [`ReadOptions::mmap`].
+    pub fn mmap(mut self, mmap: bool) -> Self {
+        self.mmap = mmap;
+        self
+    }
+
+    /// Builder-style setter for [`ReadOptions::decode_ahead`].
+    pub fn decode_ahead(mut self, decode_ahead: bool) -> Self {
+        self.decode_ahead = decode_ahead;
+        self
+    }
+}
+
 /// A multi-segment dataset opened through its manifest.
 ///
 /// Every segment of the manifest is opened and validated up front (one file
@@ -469,18 +649,33 @@ impl<S: ChunkSource> Iterator for MergedEntryStream<'_, S> {
 /// per-monitor chain merge re-establishes exact `(timestamp, arrival)` order
 /// across the rotation boundaries before the global `(timestamp, monitor)`
 /// merge.
+///
+/// Segments may freely mix payload codecs — each chunk carries its codec
+/// byte, so a dataset whose older segments are raw and newer ones compressed
+/// (per-segment codec migration) reads transparently.
 pub struct ManifestReader {
     monitor_labels: Vec<String>,
-    /// Per global monitor: that monitor's segments in rotation order.
-    segments: Vec<Vec<TraceReader<FileSource>>>,
+    /// Per global monitor: that monitor's segments in rotation order. The
+    /// sources are `Arc`-shared so decode-ahead workers stream from the
+    /// same open handles / mapped buffers instead of re-opening files.
+    segments: Vec<Vec<TraceReader<SharedSegmentSource>>>,
+    options: ReadOptions,
     total_entries: u64,
 }
+
+/// The `Arc`-shared source type behind every manifest segment.
+type SharedSegmentSource = std::sync::Arc<SegmentSource>;
 
 impl ManifestReader {
     /// Opens a dataset from `path` — the manifest file or the directory
     /// holding it. Validates each segment's footer, label and entry count
     /// against the manifest.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        Self::open_with(path, ReadOptions::default())
+    }
+
+    /// Like [`ManifestReader::open`], with explicit [`ReadOptions`].
+    pub fn open_with(path: impl AsRef<Path>, options: ReadOptions) -> Result<Self, SegmentError> {
         let path = path.as_ref();
         let manifest = Manifest::load(path)?;
         let dir = if path.is_dir() {
@@ -488,13 +683,22 @@ impl ManifestReader {
         } else {
             path.parent().unwrap_or(Path::new(".")).to_path_buf()
         };
-        Self::from_manifest(&manifest, dir)
+        Self::from_manifest_with(&manifest, dir, options)
     }
 
     /// Opens the segments of an already-loaded manifest relative to `dir`.
     pub fn from_manifest(manifest: &Manifest, dir: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        Self::from_manifest_with(manifest, dir, ReadOptions::default())
+    }
+
+    /// Like [`ManifestReader::from_manifest`], with explicit [`ReadOptions`].
+    pub fn from_manifest_with(
+        manifest: &Manifest,
+        dir: impl AsRef<Path>,
+        options: ReadOptions,
+    ) -> Result<Self, SegmentError> {
         let dir = dir.as_ref();
-        let mut keyed: Vec<Vec<(u64, TraceReader<FileSource>)>> =
+        let mut keyed: Vec<Vec<(u64, TraceReader<SharedSegmentSource>)>> =
             (0..manifest.monitor_labels.len())
                 .map(|_| Vec::new())
                 .collect();
@@ -507,7 +711,9 @@ impl ManifestReader {
                     manifest.monitor_labels.len()
                 )));
             }
-            let reader = TraceReader::new(FileSource::open(dir.join(&meta.file_name))?)?;
+            let path = dir.join(&meta.file_name);
+            let source = std::sync::Arc::new(SegmentSource::open(&path, options.mmap)?);
+            let reader = TraceReader::new(source)?;
             if reader.monitor_count() != 1 {
                 return Err(SegmentError::Corrupt(format!(
                     "segment {} holds {} monitors, expected a per-monitor segment",
@@ -549,8 +755,14 @@ impl ManifestReader {
         Ok(Self {
             monitor_labels: manifest.monitor_labels.clone(),
             segments,
+            options,
             total_entries: manifest.total_entries(),
         })
+    }
+
+    /// The options the reader was opened with.
+    pub fn options(&self) -> ReadOptions {
+        self.options
     }
 
     /// The monitor labels of the dataset.
@@ -602,49 +814,85 @@ impl ManifestReader {
     /// nearly time-disjoint, so the working set stays at the few segments
     /// overlapping the frontier instead of the whole chain.
     pub fn stream_monitor_sorted(&self, monitor: usize) -> ChainedMonitorStream<'_> {
-        let readers = &self.segments[monitor];
-        // floors[i] = a safe lower bound on every timestamp in segments i..:
-        // within a segment, an entry can precede its chunk's first timestamp
-        // by at most the recorded lateness bound, and a suffix-minimum makes
-        // the bound hold across arbitrary (even non-monotone) chain floors.
-        let mut floors: Vec<SimTime> = readers
-            .iter()
-            .map(|reader| {
-                let lateness = reader.max_lateness_ms(0);
-                reader
-                    .chunks()
-                    .iter()
-                    .map(|c| c.first_timestamp)
-                    .min()
-                    .map(|t| SimTime::from_millis(t.as_millis().saturating_sub(lateness)))
-                    .unwrap_or(SimTime::ZERO)
-            })
-            .collect();
-        for i in (0..floors.len().saturating_sub(1)).rev() {
-            floors[i] = floors[i].min(floors[i + 1]);
-        }
-        ChainedMonitorStream {
-            monitor,
-            readers,
-            floors,
-            next_pending: 0,
-            active: Vec::new(),
-            error: None,
-        }
+        chain_stream(&self.segments[monitor], monitor)
     }
 
     /// Streams all entries of all monitors merged by `(timestamp, monitor)` —
     /// the same order [`TraceReader::stream_merged`] delivers for a single
     /// segment, and the order preprocessing expects.
+    ///
+    /// With [`ReadOptions::decode_ahead`] set, each monitor chain is decoded
+    /// by its own bounded prefetch worker and the k-way merge consumes the
+    /// prefetched batches — same entries, same order, decode running on all
+    /// monitor chains concurrently.
     pub fn stream_merged(&self) -> ManifestMergedStream<'_> {
-        let mut streams = Vec::with_capacity(self.monitor_count());
-        let mut heads = Vec::with_capacity(self.monitor_count());
-        for monitor in 0..self.monitor_count() {
-            let mut stream = self.stream_monitor_sorted(monitor);
-            heads.push(stream.next());
-            streams.push(stream);
+        let monitors = self.monitor_count();
+        let mut heads = Vec::with_capacity(monitors);
+        if self.options.decode_ahead {
+            let mut streams = Vec::with_capacity(monitors);
+            for monitor in 0..monitors {
+                let sources = self.segments[monitor]
+                    .iter()
+                    .map(|reader| reader.source().clone())
+                    .collect();
+                let mut stream = spawn_prefetch(sources, monitor);
+                heads.push(stream.next());
+                streams.push(stream);
+            }
+            ManifestMergedStream {
+                inner: MergedInner::DecodeAhead(streams),
+                heads,
+            }
+        } else {
+            let mut streams = Vec::with_capacity(monitors);
+            for monitor in 0..monitors {
+                let mut stream = self.stream_monitor_sorted(monitor);
+                heads.push(stream.next());
+                streams.push(stream);
+            }
+            ManifestMergedStream {
+                inner: MergedInner::Serial(streams),
+                heads,
+            }
         }
-        ManifestMergedStream { streams, heads }
+    }
+}
+
+/// Builds the lazily-admitting chain merge over one monitor's segment
+/// readers. Free-standing so that decode-ahead workers, which own their
+/// readers on their own thread, run exactly the same code as the serial
+/// path — that sameness is the byte-identity argument.
+fn chain_stream(
+    readers: &[TraceReader<SharedSegmentSource>],
+    monitor: usize,
+) -> ChainedMonitorStream<'_> {
+    // floors[i] = a safe lower bound on every timestamp in segments i..:
+    // within a segment, an entry can precede its chunk's first timestamp
+    // by at most the recorded lateness bound, and a suffix-minimum makes
+    // the bound hold across arbitrary (even non-monotone) chain floors.
+    let mut floors: Vec<SimTime> = readers
+        .iter()
+        .map(|reader| {
+            let lateness = reader.max_lateness_ms(0);
+            reader
+                .chunks()
+                .iter()
+                .map(|c| c.first_timestamp)
+                .min()
+                .map(|t| SimTime::from_millis(t.as_millis().saturating_sub(lateness)))
+                .unwrap_or(SimTime::ZERO)
+        })
+        .collect();
+    for i in (0..floors.len().saturating_sub(1)).rev() {
+        floors[i] = floors[i].min(floors[i + 1]);
+    }
+    ChainedMonitorStream {
+        monitor,
+        readers,
+        floors,
+        next_pending: 0,
+        active: Vec::new(),
+        error: None,
     }
 }
 
@@ -655,7 +903,7 @@ struct ActiveSegment<'a> {
     /// Rotation index of the segment in its chain (the stable tie-break).
     index: usize,
     head: TraceEntry,
-    stream: SortedEntryStream<'a, FileSource>,
+    stream: SortedEntryStream<'a, SharedSegmentSource>,
 }
 
 /// One monitor's entries across its segment chain, in exact
@@ -670,7 +918,7 @@ struct ActiveSegment<'a> {
 /// chain length. Yielded entries carry the *global* monitor index.
 pub struct ChainedMonitorStream<'a> {
     monitor: usize,
-    readers: &'a [TraceReader<FileSource>],
+    readers: &'a [TraceReader<SharedSegmentSource>],
     /// Suffix-minimum timestamp floor per rotation index: no entry in
     /// segments `i..` can be earlier than `floors[i]`.
     floors: Vec<SimTime>,
@@ -763,18 +1011,164 @@ impl Iterator for ChainedMonitorStream<'_> {
     }
 }
 
+/// Entries per decode-ahead batch. Sized near one default chunk so a batch
+/// amortizes channel synchronization without holding much more memory than
+/// the serial path's one-decoded-chunk working set.
+const DECODE_AHEAD_BATCH: usize = 2048;
+/// Batches a prefetch worker may queue ahead of the merge: one being
+/// consumed, one ready — the classic double buffer (the worker builds a
+/// third while the channel is full, blocking once it finishes).
+const DECODE_AHEAD_DEPTH: usize = 2;
+
+/// What a decode-ahead worker ships to the merge.
+enum Prefetched {
+    /// The next batch of entries, in stream order.
+    Batch(Vec<TraceEntry>),
+    /// The chain ended cleanly; nothing follows.
+    Done,
+    /// The chain ended on a storage error; nothing follows.
+    Failed(SegmentError),
+}
+
+/// One monitor chain decoded ahead on its own worker thread.
+///
+/// The worker opens its own [`TraceReader`]s over the chain's `Arc`-shared
+/// sources (same file handles / mapped buffers as the serial path — one
+/// extra footer decode each, no extra opens and no duplicated buffers),
+/// runs the identical [`ChainedMonitorStream`] the serial path runs, and
+/// ships entries in bounded batches over a rendezvous-depth channel,
+/// closing with an explicit [`Prefetched::Done`] / [`Prefetched::Failed`].
+/// A hangup *without* that closing message means the worker died (panic);
+/// the consumer reports it as an error rather than a clean, silently
+/// truncated stream. Dropping the stream disconnects the channel; the
+/// worker notices on its next send and exits, and `Drop` joins it.
+pub struct PrefetchedMonitorStream {
+    receiver: Option<mpsc::Receiver<Prefetched>>,
+    current: std::vec::IntoIter<TraceEntry>,
+    error: Option<SegmentError>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+fn spawn_prefetch(sources: Vec<SharedSegmentSource>, monitor: usize) -> PrefetchedMonitorStream {
+    let (sender, receiver) = mpsc::sync_channel(DECODE_AHEAD_DEPTH);
+    let worker = std::thread::spawn(move || {
+        let mut readers = Vec::with_capacity(sources.len());
+        for source in sources {
+            match TraceReader::new(source) {
+                Ok(reader) => readers.push(reader),
+                Err(error) => {
+                    let _ = sender.send(Prefetched::Failed(error));
+                    return;
+                }
+            }
+        }
+        let mut stream = chain_stream(&readers, monitor);
+        loop {
+            let batch: Vec<TraceEntry> = stream.by_ref().take(DECODE_AHEAD_BATCH).collect();
+            if batch.is_empty() {
+                break;
+            }
+            if sender.send(Prefetched::Batch(batch)).is_err() {
+                // Consumer dropped the merge mid-stream; stop decoding.
+                return;
+            }
+        }
+        let closing = match stream.take_error() {
+            Some(error) => Prefetched::Failed(error),
+            None => Prefetched::Done,
+        };
+        let _ = sender.send(closing);
+    });
+    PrefetchedMonitorStream {
+        receiver: Some(receiver),
+        current: Vec::new().into_iter(),
+        error: None,
+        worker: Some(worker),
+    }
+}
+
+impl PrefetchedMonitorStream {
+    /// Returns the error that ended the worker's stream early, if any.
+    pub fn take_error(&mut self) -> Option<SegmentError> {
+        self.error.take()
+    }
+}
+
+impl Iterator for PrefetchedMonitorStream {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        loop {
+            if let Some(entry) = self.current.next() {
+                return Some(entry);
+            }
+            if self.error.is_some() {
+                return None;
+            }
+            let receiver = self.receiver.as_ref()?;
+            match receiver.recv() {
+                Ok(Prefetched::Batch(batch)) => self.current = batch.into_iter(),
+                Ok(Prefetched::Done) => {
+                    self.receiver = None;
+                    return None;
+                }
+                Ok(Prefetched::Failed(error)) => {
+                    self.error = Some(error);
+                    return None;
+                }
+                // Hangup without a closing message: the worker died mid-
+                // stream. Surface it as an error, not a clean end — a
+                // truncated trace must never pass for a complete one.
+                Err(mpsc::RecvError) => {
+                    self.receiver = None;
+                    self.error = Some(SegmentError::Corrupt(
+                        "decode-ahead worker terminated unexpectedly".into(),
+                    ));
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for PrefetchedMonitorStream {
+    fn drop(&mut self) {
+        // Disconnect first so a blocked worker wakes up, then reap it.
+        self.receiver = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The two execution modes behind [`ManifestMergedStream`].
+enum MergedInner<'a> {
+    /// Everything on the calling thread.
+    Serial(Vec<ChainedMonitorStream<'a>>),
+    /// One decode-ahead worker per monitor chain.
+    DecodeAhead(Vec<PrefetchedMonitorStream>),
+}
+
 /// K-way merge of all monitors' chained streams by `(timestamp, monitor)`.
+///
+/// Runs serially or in decode-ahead mode (see [`ReadOptions::decode_ahead`]);
+/// both modes yield byte-identical streams.
 pub struct ManifestMergedStream<'a> {
-    streams: Vec<ChainedMonitorStream<'a>>,
+    inner: MergedInner<'a>,
     heads: Vec<Option<TraceEntry>>,
 }
 
 impl ManifestMergedStream<'_> {
     /// Returns the first error any underlying stream hit, if one did.
     pub fn take_error(&mut self) -> Option<SegmentError> {
-        self.streams
-            .iter_mut()
-            .find_map(ChainedMonitorStream::take_error)
+        match &mut self.inner {
+            MergedInner::Serial(streams) => streams
+                .iter_mut()
+                .find_map(ChainedMonitorStream::take_error),
+            MergedInner::DecodeAhead(streams) => streams
+                .iter_mut()
+                .find_map(PrefetchedMonitorStream::take_error),
+        }
     }
 }
 
@@ -782,7 +1176,10 @@ impl Iterator for ManifestMergedStream<'_> {
     type Item = TraceEntry;
 
     fn next(&mut self) -> Option<TraceEntry> {
-        merge_next(&mut self.streams, &mut self.heads)
+        match &mut self.inner {
+            MergedInner::Serial(streams) => merge_next(streams, &mut self.heads),
+            MergedInner::DecodeAhead(streams) => merge_next(streams, &mut self.heads),
+        }
     }
 }
 
@@ -816,6 +1213,7 @@ mod tests {
             labels,
             SegmentConfig {
                 chunk_capacity: capacity,
+                ..SegmentConfig::default()
             },
         )
         .unwrap();

@@ -114,7 +114,7 @@ impl<W: Write> TraceWriter<W> {
         }
         let entries = std::mem::take(&mut self.shards[monitor]);
         let mut frame = Vec::new();
-        let mut info: ChunkInfo = encode_chunk(monitor, &entries, &mut frame);
+        let mut info: ChunkInfo = encode_chunk(monitor, &entries, self.config.codec, &mut frame);
         info.offset = self.offset;
         self.sink.write_all(&frame)?;
         self.offset += frame.len() as u64;
@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn spills_chunks_at_capacity() {
         let mut bytes = Vec::new();
-        let config = SegmentConfig { chunk_capacity: 10 };
+        let config = SegmentConfig {
+            chunk_capacity: 10,
+            ..SegmentConfig::default()
+        };
         let mut writer =
             TraceWriter::new(&mut bytes, vec!["us".into(), "de".into()], config).unwrap();
         for i in 0..25 {
@@ -207,7 +210,10 @@ mod tests {
         let result = TraceWriter::new(
             &mut bytes,
             vec!["only".into()],
-            SegmentConfig { chunk_capacity: 0 },
+            SegmentConfig {
+                chunk_capacity: 0,
+                ..SegmentConfig::default()
+            },
         );
         assert!(matches!(result, Err(SegmentError::InvalidConfig(_))));
         assert!(bytes.is_empty(), "nothing must be written on bad config");

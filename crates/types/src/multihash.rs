@@ -43,11 +43,95 @@ impl HashAlgorithm {
     }
 }
 
+/// Digests at most this long are stored inline in a [`Multihash`].
+const INLINE_DIGEST_CAPACITY: usize = 32;
+
+/// Digest storage with an inline fast path.
+///
+/// SHA-256 digests (32 bytes) — effectively every digest the monitoring
+/// pipeline handles — and short identity digests live inline, so cloning a
+/// `Multihash` (and therefore a `Cid`) is a flat copy with no heap
+/// allocation. The trace readers materialize an owned `Cid` per decoded
+/// entry from a per-chunk dictionary; inline storage is what makes that
+/// materialization allocation-free. Longer identity digests fall back to a
+/// heap vector.
+#[derive(Clone)]
+enum Digest {
+    Inline {
+        len: u8,
+        bytes: [u8; INLINE_DIGEST_CAPACITY],
+    },
+    Heap(Vec<u8>),
+}
+
+impl Digest {
+    fn new(digest: &[u8]) -> Self {
+        if digest.len() <= INLINE_DIGEST_CAPACITY {
+            let mut bytes = [0u8; INLINE_DIGEST_CAPACITY];
+            bytes[..digest.len()].copy_from_slice(digest);
+            Digest::Inline {
+                len: digest.len() as u8,
+                bytes,
+            }
+        } else {
+            Digest::Heap(digest.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Digest::Inline { len, bytes } => &bytes[..*len as usize],
+            Digest::Heap(vec) => vec,
+        }
+    }
+}
+
+// Equality, ordering and hashing follow the digest *bytes*, not the storage
+// strategy, so inline and heap representations of the same digest coincide.
+impl PartialEq for Digest {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Digest {}
+
+impl PartialOrd for Digest {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Digest {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Digest {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+// Wire-compatible with the previous `Vec<u8>` field: a sequence of bytes.
+impl Serialize for Digest {
+    fn to_content(&self) -> serde::content::Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl Deserialize for Digest {
+    fn from_content(content: &serde::content::Content) -> Result<Self, serde::DeError> {
+        Vec::<u8>::from_content(content).map(|bytes| Digest::new(&bytes))
+    }
+}
+
 /// A self-describing hash digest.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Multihash {
     code: u64,
-    digest: Vec<u8>,
+    digest: Digest,
 }
 
 impl Multihash {
@@ -55,7 +139,7 @@ impl Multihash {
     pub fn sha2_256(data: &[u8]) -> Self {
         Self {
             code: SHA2_256_CODE,
-            digest: sha256::sha256(data).to_vec(),
+            digest: Digest::new(&sha256::sha256(data)),
         }
     }
 
@@ -63,7 +147,7 @@ impl Multihash {
     pub fn identity(data: &[u8]) -> Self {
         Self {
             code: IDENTITY_CODE,
-            digest: data.to_vec(),
+            digest: Digest::new(data),
         }
     }
 
@@ -79,7 +163,10 @@ impl Multihash {
         // Reject codes we do not understand so that wire decoding surfaces
         // corruption early.
         HashAlgorithm::from_code(code)?;
-        Ok(Self { code, digest })
+        Ok(Self {
+            code,
+            digest: Digest::new(&digest),
+        })
     }
 
     /// The multihash function code.
@@ -94,15 +181,16 @@ impl Multihash {
 
     /// The raw digest bytes.
     pub fn digest(&self) -> &[u8] {
-        &self.digest
+        self.digest.as_slice()
     }
 
     /// Serializes to the canonical `<varint code><varint len><digest>` form.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 + self.digest.len());
+        let digest = self.digest.as_slice();
+        let mut out = Vec::with_capacity(2 + digest.len());
         varint::encode(self.code, &mut out);
-        varint::encode(self.digest.len() as u64, &mut out);
-        out.extend_from_slice(&self.digest);
+        varint::encode(digest.len() as u64, &mut out);
+        out.extend_from_slice(digest);
         out
     }
 
@@ -135,8 +223,8 @@ impl Multihash {
     /// Verifies that this multihash is the digest of `data`.
     pub fn verifies(&self, data: &[u8]) -> bool {
         match HashAlgorithm::from_code(self.code) {
-            Ok(HashAlgorithm::Sha2_256) => sha256::sha256(data)[..] == self.digest[..],
-            Ok(HashAlgorithm::Identity) => data == &self.digest[..],
+            Ok(HashAlgorithm::Sha2_256) => sha256::sha256(data)[..] == *self.digest.as_slice(),
+            Ok(HashAlgorithm::Identity) => data == self.digest.as_slice(),
             Err(_) => false,
         }
     }
@@ -148,7 +236,7 @@ impl std::fmt::Debug for Multihash {
             f,
             "Multihash(code={:#x}, digest={})",
             self.code,
-            sha256::to_hex(&self.digest)
+            sha256::to_hex(self.digest.as_slice())
         )
     }
 }

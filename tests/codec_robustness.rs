@@ -1,0 +1,381 @@
+//! Codec, source, and merge-mode robustness for the tracestore I/O path.
+//!
+//! Covers the three-layer read stack introduced with the pluggable codecs:
+//! typed errors for every kind of codec-level damage (unknown codec byte,
+//! corrupted compressed body, CRC-vs-codec corruption), mixed-codec
+//! manifests (per-segment codec migration) streaming identically to the
+//! in-memory path, equality of every `(codec, source, merge-mode)`
+//! combination, and the on-disk size win of the compressed codec.
+
+use ipfs_monitoring::bitswap::RequestType;
+use ipfs_monitoring::core::{
+    estimate_network_size, estimate_network_size_source, identify_data_wanters, run_attacks_source,
+    track_node_wants, unify_and_flag, unify_and_flag_source, AttackTargets, PreprocessConfig,
+};
+use ipfs_monitoring::simnet::time::SimDuration;
+use ipfs_monitoring::simnet::time::SimTime;
+use ipfs_monitoring::tracestore::{
+    Codec, ConnectionRecord, DatasetConfig, DatasetWriter, EntryFlags, Manifest, ManifestReader,
+    MonitoringDataset, ReadOptions, SegmentConfig, SegmentError, SegmentMeta, SliceSource,
+    TraceEntry, TraceReader, TraceSource, TraceWriter,
+};
+use ipfs_monitoring::types::{varint, Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Same dataset shape as `tests/manifest_streaming.rs`: low-cardinality
+/// peers/CIDs (so dictionaries and index columns dominate — the compressible
+/// case) with bounded arrival jitter (the hard case for merged streaming).
+fn random_dataset(
+    seed: u64,
+    monitors: usize,
+    per_monitor: usize,
+    jitter_ms: u64,
+) -> MonitoringDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let countries = [Country::Us, Country::De, Country::Nl, Country::Fr];
+    let transports = [Transport::Tcp, Transport::Quic, Transport::WebSocket];
+    let types = [
+        RequestType::WantHave,
+        RequestType::WantBlock,
+        RequestType::Cancel,
+    ];
+    let mut dataset = MonitoringDataset::new((0..monitors).map(|m| format!("m{m}")).collect());
+    for monitor in 0..monitors {
+        let mut clock: u64 = 0;
+        for _ in 0..per_monitor {
+            clock += rng.gen_range(0u64..2_000);
+            let timestamp = clock.saturating_sub(rng.gen_range(0u64..=jitter_ms.max(1)));
+            dataset.entries[monitor].push(TraceEntry {
+                timestamp: SimTime::from_millis(timestamp),
+                peer: PeerId::derived(29, rng.gen_range(0u64..16)),
+                address: Multiaddr::new(
+                    rng.gen_range(0u32..64),
+                    4001,
+                    transports[rng.gen_range(0usize..transports.len())],
+                    countries[rng.gen_range(0usize..countries.len())],
+                ),
+                request_type: types[rng.gen_range(0usize..types.len())],
+                cid: Cid::new_v1(Multicodec::Raw, &[rng.gen_range(0u8..24)]),
+                monitor,
+                flags: EntryFlags::default(),
+            });
+        }
+    }
+    for _ in 0..rng.gen_range(1usize..6) {
+        let connected_at = rng.gen_range(0u64..100_000);
+        dataset.connections.push(ConnectionRecord {
+            monitor: rng.gen_range(0usize..monitors),
+            peer: PeerId::derived(29, rng.gen_range(0u64..16)),
+            address: Multiaddr::new(rng.gen::<u32>(), 4001, Transport::Tcp, Country::Us),
+            connected_at: SimTime::from_millis(connected_at),
+            disconnected_at: rng
+                .gen_bool(0.5)
+                .then(|| SimTime::from_millis(connected_at + rng.gen_range(0u64..50_000))),
+        });
+    }
+    dataset
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("codec-it-{tag}-{}", std::process::id()))
+}
+
+fn write_manifest(dataset: &MonitoringDataset, dir: &Path, config: DatasetConfig) {
+    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
+    for per_monitor in &dataset.entries {
+        for entry in per_monitor {
+            writer.append(entry).unwrap();
+        }
+    }
+    for connection in &dataset.connections {
+        writer.record_connection(connection.clone()).unwrap();
+    }
+    writer.finish().unwrap();
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().metadata().unwrap().len())
+        .sum()
+}
+
+/// Writes one single-monitor segment with the given codec and returns its
+/// bytes (for hand-built mixed-codec manifests).
+fn monitor_segment(label: &str, entries: &[TraceEntry], codec: Codec, chunk: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut writer = TraceWriter::new(
+        &mut bytes,
+        vec![label.to_string()],
+        SegmentConfig {
+            chunk_capacity: chunk,
+            codec,
+        },
+    )
+    .unwrap();
+    for entry in entries {
+        let mut local = entry.clone();
+        local.monitor = 0;
+        writer.append_owned(local).unwrap();
+    }
+    writer.finish().unwrap();
+    bytes
+}
+
+/// Damages a written segment at the codec layer in three distinct ways and
+/// checks that each surfaces its own *typed* error — never a panic, and
+/// never a silent wrong answer.
+#[test]
+fn codec_damage_surfaces_typed_errors() {
+    let dataset = random_dataset(41, 1, 300, 400);
+    let bytes = monitor_segment("m0", &dataset.entries[0], Codec::Lz, 64);
+    let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+    let chunk = reader.chunks()[0];
+    // Locate the payload inside the first chunk frame: skip the length
+    // varint; the payload's first byte is the codec byte, then the body.
+    let frame_start = chunk.offset as usize;
+    let (payload_len, varint_len) = varint::decode(&bytes[frame_start..]).unwrap();
+    let payload_start = frame_start + varint_len;
+    let payload_end = payload_start + payload_len as usize;
+    let crc_range = payload_end..payload_end + 4;
+    assert_eq!(bytes[payload_start], Codec::Lz.byte(), "first chunk is lz");
+
+    let reopen = |bytes: &[u8]| -> SegmentError {
+        let reader = TraceReader::new(SliceSource::new(bytes)).unwrap();
+        let mut stream = reader.stream_monitor(0);
+        let _ = (&mut stream).count();
+        stream.take_error().expect("damaged chunk must error")
+    };
+    let fix_crc = |bytes: &mut [u8]| {
+        let crc = ipfs_monitoring::tracestore::crc::crc32(&bytes[payload_start..payload_end]);
+        bytes[crc_range.clone()].copy_from_slice(&crc.to_le_bytes());
+    };
+
+    // (1) Unknown codec byte under a *valid* CRC: a reader from the future,
+    // not damage — must be UnknownCodec.
+    let mut unknown = bytes.clone();
+    unknown[payload_start] = 9;
+    fix_crc(&mut unknown);
+    assert!(matches!(reopen(&unknown), SegmentError::UnknownCodec(9)));
+
+    // (2) Corrupted compressed body under a valid CRC (e.g. a buggy encoder
+    // or truncated-then-padded payload): the LZ decoder must reject with a
+    // typed Corrupt error.
+    let mut damaged = bytes.clone();
+    for byte in &mut damaged[payload_end - 6..payload_end] {
+        *byte = 0xff;
+    }
+    fix_crc(&mut damaged);
+    assert!(matches!(reopen(&damaged), SegmentError::Corrupt(_)));
+
+    // (3) CRC-vs-codec corruption: flipping the codec byte *without* fixing
+    // the CRC must fail the checksum before the codec is even consulted.
+    let mut flipped = bytes.clone();
+    flipped[payload_start] = Codec::Raw.byte();
+    assert!(matches!(
+        reopen(&flipped),
+        SegmentError::ChecksumMismatch { .. }
+    ));
+}
+
+proptest! {
+    /// Per-segment codec migration: a hand-assembled manifest whose segment
+    /// chains alternate raw and compressed segments must stream exactly the
+    /// in-memory reference, through every source and merge mode.
+    #[test]
+    fn mixed_codec_manifest_matches_in_memory(
+        seed in 0u64..1_000_000,
+        monitors in 1usize..3,
+        per_monitor in 20usize..150,
+        jitter in 0u64..1_500,
+        rotate in 16usize..60,
+        chunk in 4usize..32,
+    ) {
+        let dataset = random_dataset(seed, monitors, per_monitor, jitter);
+        let dir = temp_dir(&format!("mixed-{seed}-{monitors}-{per_monitor}"));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Build each monitor's chain by hand, alternating the codec per
+        // rotation sequence — the migration scenario where a deployment
+        // switches codecs mid-trace.
+        let mut metas = Vec::new();
+        for (monitor, entries) in dataset.entries.iter().enumerate() {
+            for (sequence, window) in entries.chunks(rotate).enumerate() {
+                let codec = if (monitor + sequence) % 2 == 0 { Codec::Raw } else { Codec::Lz };
+                let file_name = format!("seg-{monitor:03}-{sequence:05}.seg");
+                let bytes = monitor_segment(&format!("m{monitor}"), window, codec, chunk);
+                std::fs::write(dir.join(&file_name), &bytes).unwrap();
+                metas.push(SegmentMeta {
+                    file_name,
+                    monitor,
+                    sequence: sequence as u64,
+                    entries: window.len() as u64,
+                });
+            }
+        }
+        let manifest = Manifest {
+            monitor_labels: dataset.monitor_labels.clone(),
+            segments: metas,
+        };
+        manifest.write_to(&dir).unwrap();
+
+        let (trace, stats) = unify_and_flag(&dataset, PreprocessConfig::default());
+        for mmap in [false, true] {
+            for decode_ahead in [false, true] {
+                let options = ReadOptions::default().mmap(mmap).decode_ahead(decode_ahead);
+                let reader = ManifestReader::open_with(&dir, options).unwrap();
+                let (streamed, streamed_stats) =
+                    unify_and_flag_source(&reader, PreprocessConfig::default()).unwrap();
+                prop_assert_eq!(
+                    &streamed.entries, &trace.entries,
+                    "mmap={} decode_ahead={}", mmap, decode_ahead
+                );
+                prop_assert_eq!(streamed_stats, stats);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every `(codec, mmap, decode_ahead)` combination over a writer-produced
+    /// manifest yields the identical merged stream — the equality the
+    /// experiment binaries assert per run, property-tested across shapes.
+    #[test]
+    fn all_codec_source_merge_modes_agree(
+        seed in 0u64..1_000_000,
+        per_monitor in 10usize..120,
+        jitter in 0u64..1_200,
+    ) {
+        let dataset = random_dataset(seed, 2, per_monitor, jitter);
+        let reference: Vec<TraceEntry> = dataset.merged_entries().collect();
+
+        for codec in [Codec::Raw, Codec::Lz] {
+            let dir = temp_dir(&format!("modes-{seed}-{per_monitor}-{}", codec.name()));
+            write_manifest(&dataset, &dir, DatasetConfig {
+                segment: SegmentConfig { chunk_capacity: 16, codec },
+                rotate_after_entries: (per_monitor as u64 / 3).max(1),
+            });
+            for mmap in [false, true] {
+                for decode_ahead in [false, true] {
+                    let options = ReadOptions::default().mmap(mmap).decode_ahead(decode_ahead);
+                    let reader = ManifestReader::open_with(&dir, options).unwrap();
+                    let mut stream = reader.merged_entries();
+                    let merged: Vec<TraceEntry> = (&mut stream).collect();
+                    prop_assert!(stream.take_error().is_none());
+                    prop_assert_eq!(
+                        &merged, &reference,
+                        "codec={} mmap={} decode_ahead={}", codec.name(), mmap, decode_ahead
+                    );
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Network-size estimation and the IDW/TNW attacks — the analyses the
+/// experiment binaries run — must produce byte-identical reports whichever
+/// codec, segment source, and merge mode the manifest is read with.
+#[test]
+fn netsize_and_attacks_agree_across_all_modes() {
+    let dataset = random_dataset(97, 2, 600, 600);
+    let (trace, _) = unify_and_flag(&dataset, PreprocessConfig::default());
+    let target_cid = dataset.entries[0][0].cid.clone();
+    let target_peer = dataset.entries[0][0].peer;
+    let window_start = SimTime::ZERO;
+    let window_end = SimTime::from_millis(1 << 22);
+    let interval = SimDuration::from_hours(2);
+
+    let reference_report = estimate_network_size(&dataset, window_start, window_end, interval);
+    let reference_idw = identify_data_wanters(&trace, &target_cid);
+    let reference_tnw = track_node_wants(&trace, &target_peer);
+
+    for codec in [Codec::Raw, Codec::Lz] {
+        let dir = temp_dir(&format!("analyses-{}", codec.name()));
+        write_manifest(
+            &dataset,
+            &dir,
+            DatasetConfig {
+                segment: SegmentConfig {
+                    chunk_capacity: 32,
+                    codec,
+                },
+                rotate_after_entries: 200,
+            },
+        );
+        for mmap in [false, true] {
+            for decode_ahead in [false, true] {
+                let options = ReadOptions::default().mmap(mmap).decode_ahead(decode_ahead);
+                let reader = ManifestReader::open_with(&dir, options).unwrap();
+                let tag = format!(
+                    "codec={} mmap={mmap} decode_ahead={decode_ahead}",
+                    codec.name()
+                );
+
+                let report =
+                    estimate_network_size_source(&reader, window_start, window_end, interval)
+                        .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&report).unwrap(),
+                    serde_json::to_string(&reference_report).unwrap(),
+                    "netsize differs: {tag}"
+                );
+
+                let suite = run_attacks_source(
+                    &reader,
+                    PreprocessConfig::default(),
+                    &AttackTargets {
+                        idw_cids: vec![target_cid.clone()],
+                        tnw_peers: vec![target_peer],
+                        tpi_probes: Vec::new(),
+                    },
+                    None,
+                )
+                .unwrap();
+                assert_eq!(suite.idw[&target_cid], reference_idw, "IDW differs: {tag}");
+                assert_eq!(suite.tnw[&target_peer], reference_tnw, "TNW differs: {tag}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The compressed codec must make the dataset strictly smaller on disk for
+/// dictionary-heavy traces (the realistic shape: few distinct peers/CIDs per
+/// chunk, repetitive index columns).
+#[test]
+fn lz_manifest_is_strictly_smaller_on_disk() {
+    let dataset = random_dataset(7, 2, 4_000, 800);
+    let raw_dir = temp_dir("size-raw");
+    let lz_dir = temp_dir("size-lz");
+    for (dir, codec) in [(&raw_dir, Codec::Raw), (&lz_dir, Codec::Lz)] {
+        write_manifest(
+            &dataset,
+            dir,
+            DatasetConfig {
+                segment: SegmentConfig {
+                    chunk_capacity: 1024,
+                    codec,
+                },
+                rotate_after_entries: 2_000,
+            },
+        );
+    }
+    let raw_bytes = dir_bytes(&raw_dir);
+    let lz_bytes = dir_bytes(&lz_dir);
+    assert!(
+        lz_bytes < raw_bytes,
+        "lz manifest not smaller: {lz_bytes} vs {raw_bytes} raw"
+    );
+
+    // And it still reads back identically.
+    let reader = ManifestReader::open(&lz_dir).unwrap();
+    let (streamed, _) = unify_and_flag_source(&reader, PreprocessConfig::default()).unwrap();
+    let (trace, _) = unify_and_flag(&dataset, PreprocessConfig::default());
+    assert_eq!(streamed.entries, trace.entries);
+
+    std::fs::remove_dir_all(&raw_dir).ok();
+    std::fs::remove_dir_all(&lz_dir).ok();
+}

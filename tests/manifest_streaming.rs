@@ -120,7 +120,7 @@ proptest! {
         let dataset = random_dataset(seed, monitors, per_monitor, jitter);
         let dir = temp_dir(&format!("prop-{seed}-{monitors}-{per_monitor}"));
         write_manifest(&dataset, &dir, DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: chunk },
+            segment: SegmentConfig { chunk_capacity: chunk , ..SegmentConfig::default() },
             rotate_after_entries: rotate,
         });
 
@@ -157,7 +157,10 @@ fn corrupted_chunk_in_manifest_segment_is_detected() {
         &dataset,
         &dir,
         DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: 16 },
+            segment: SegmentConfig {
+                chunk_capacity: 16,
+                ..SegmentConfig::default()
+            },
             rotate_after_entries: 40,
         },
     );
@@ -201,7 +204,10 @@ fn corrupted_chunk_in_manifest_segment_is_detected() {
 fn parallel_ingestion_is_byte_identical_to_single_threaded() {
     let dataset = random_dataset(99, 4, 300, 800);
     let config = DatasetConfig {
-        segment: SegmentConfig { chunk_capacity: 64 },
+        segment: SegmentConfig {
+            chunk_capacity: 64,
+            ..SegmentConfig::default()
+        },
         rotate_after_entries: 90,
     };
 
@@ -272,6 +278,7 @@ fn scenario_analyses_from_manifest_match_in_memory() {
         DatasetConfig {
             segment: SegmentConfig {
                 chunk_capacity: 128,
+                ..SegmentConfig::default()
             },
             rotate_after_entries: (dataset.total_entries() as u64 / 5).max(1),
         },
@@ -350,7 +357,10 @@ fn chain_merge_keeps_bounded_active_window() {
         &dataset,
         &dir,
         DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: 32 },
+            segment: SegmentConfig {
+                chunk_capacity: 32,
+                ..SegmentConfig::default()
+            },
             rotate_after_entries: 100,
         },
     );
@@ -388,7 +398,10 @@ fn manifest_listing_order_is_normalized_and_duplicates_rejected() {
         &dataset,
         &dir,
         DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: 32 },
+            segment: SegmentConfig {
+                chunk_capacity: 32,
+                ..SegmentConfig::default()
+            },
             rotate_after_entries: 40,
         },
     );
@@ -439,7 +452,10 @@ fn all_trace_sources_yield_identical_merged_streams() {
     let dataset = random_dataset(55, 3, 250, 1_200);
 
     let bytes = dataset
-        .to_segment_bytes(SegmentConfig { chunk_capacity: 32 })
+        .to_segment_bytes(SegmentConfig {
+            chunk_capacity: 32,
+            ..SegmentConfig::default()
+        })
         .unwrap();
     let segment_reader =
         TraceReader::new(ipfs_monitoring::tracestore::SliceSource::new(&bytes)).unwrap();
@@ -449,7 +465,10 @@ fn all_trace_sources_yield_identical_merged_streams() {
         &dataset,
         &dir,
         DatasetConfig {
-            segment: SegmentConfig { chunk_capacity: 32 },
+            segment: SegmentConfig {
+                chunk_capacity: 32,
+                ..SegmentConfig::default()
+            },
             rotate_after_entries: 70,
         },
     );

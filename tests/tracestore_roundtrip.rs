@@ -87,7 +87,7 @@ proptest! {
     ) {
         let dataset = random_dataset(seed, monitors, per_monitor, jitter);
         let bytes = dataset
-            .to_segment_bytes(SegmentConfig { chunk_capacity: 64 })
+            .to_segment_bytes(SegmentConfig { chunk_capacity: 64 , ..SegmentConfig::default() })
             .unwrap();
         let back = MonitoringDataset::from_segment_bytes(&bytes).unwrap();
         prop_assert_eq!(&back.monitor_labels, &dataset.monitor_labels);
@@ -106,7 +106,7 @@ proptest! {
         let (trace, stats) = unify_and_flag(&dataset, PreprocessConfig::default());
 
         let bytes = dataset
-            .to_segment_bytes(SegmentConfig { chunk_capacity: 32 })
+            .to_segment_bytes(SegmentConfig { chunk_capacity: 32 , ..SegmentConfig::default() })
             .unwrap();
         let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
         let (streamed, streamed_stats) =
@@ -123,7 +123,7 @@ proptest! {
     ) {
         let dataset = random_dataset(seed, 2, 150, 500);
         let bytes = dataset
-            .to_segment_bytes(SegmentConfig { chunk_capacity: capacity })
+            .to_segment_bytes(SegmentConfig { chunk_capacity: capacity , ..SegmentConfig::default() })
             .unwrap();
         let back = MonitoringDataset::from_segment_bytes(&bytes).unwrap();
         prop_assert_eq!(&back.entries, &dataset.entries);
@@ -152,6 +152,7 @@ fn file_backed_segment_roundtrips() {
         dataset.monitor_labels.clone(),
         SegmentConfig {
             chunk_capacity: 128,
+            ..SegmentConfig::default()
         },
     )
     .unwrap();
@@ -184,7 +185,10 @@ fn file_backed_segment_roundtrips() {
 fn corrupted_chunk_is_detected() {
     let dataset = random_dataset(7, 2, 120, 0);
     let mut bytes = dataset
-        .to_segment_bytes(SegmentConfig { chunk_capacity: 64 })
+        .to_segment_bytes(SegmentConfig {
+            chunk_capacity: 64,
+            ..SegmentConfig::default()
+        })
         .unwrap();
 
     let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
@@ -231,6 +235,7 @@ fn scenario_spill_matches_in_memory_pipeline() {
         &mut bytes,
         SegmentConfig {
             chunk_capacity: 256,
+            ..SegmentConfig::default()
         },
     )
     .unwrap();
@@ -243,6 +248,7 @@ fn scenario_spill_matches_in_memory_pipeline() {
         &mut bytes_again,
         SegmentConfig {
             chunk_capacity: 256,
+            ..SegmentConfig::default()
         },
     )
     .unwrap();
@@ -278,7 +284,10 @@ fn streaming_analysis_variants_match_in_memory() {
     let dataset = random_dataset(99, 2, 400, 1_000);
     let (trace, _) = unify_and_flag(&dataset, PreprocessConfig::default());
     let bytes = dataset
-        .to_segment_bytes(SegmentConfig { chunk_capacity: 64 })
+        .to_segment_bytes(SegmentConfig {
+            chunk_capacity: 64,
+            ..SegmentConfig::default()
+        })
         .unwrap();
     let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
 
