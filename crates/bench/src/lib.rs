@@ -19,7 +19,7 @@ use ipfs_mon_core::{
 };
 use ipfs_mon_node::{Network, RunReport};
 use ipfs_mon_types::PeerId;
-use ipfs_mon_workload::{build_scenario, ScenarioConfig};
+use ipfs_mon_workload::{build_scenario, build_scenario_lazy, ScenarioConfig};
 use std::collections::HashSet;
 
 /// Everything an experiment typically needs after a simulation run.
@@ -42,6 +42,18 @@ pub fn run_experiment(config: &ScenarioConfig) -> ExperimentRun {
     let scenario = build_scenario(config);
     let labels: Vec<String> = scenario.monitors.iter().map(|m| m.label.clone()).collect();
     let network = Network::new(scenario);
+    run_network_with_labels(network, labels)
+}
+
+/// Like [`run_experiment`], but the request workload is generated lazily
+/// while the simulation runs (`build_scenario_lazy` +
+/// [`Network::with_sources`]): no request vector is ever materialized, so
+/// memory stays bounded by the population even for order-of-magnitude larger
+/// horizons. The monitor trace is byte-identical to [`run_experiment`].
+pub fn run_experiment_lazy(config: &ScenarioConfig) -> ExperimentRun {
+    let (scenario, sources) = build_scenario_lazy(config);
+    let labels: Vec<String> = scenario.monitors.iter().map(|m| m.label.clone()).collect();
+    let network = Network::with_sources(scenario, sources);
     run_network_with_labels(network, labels)
 }
 
@@ -194,6 +206,127 @@ impl StorageFlags {
                 "serial"
             }
         )
+    }
+}
+
+/// A [`MonitorSink`](ipfs_mon_node::MonitorSink) that folds everything it is
+/// fed into one order-sensitive digest instead of storing it. Lets benchmarks
+/// assert that two execution paths produced byte-identical monitor traces
+/// without holding millions of observations in memory (which would distort
+/// the measurement being taken).
+#[derive(Debug)]
+pub struct HashingSink {
+    hasher: std::collections::hash_map::DefaultHasher,
+    observations: u64,
+    connection_events: u64,
+}
+
+impl Default for HashingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self {
+            hasher: std::collections::hash_map::DefaultHasher::new(),
+            observations: 0,
+            connection_events: 0,
+        }
+    }
+
+    /// Order-sensitive digest over everything recorded so far.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        self.hasher.finish()
+    }
+
+    /// Number of wantlist observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of connect/disconnect events recorded.
+    pub fn connection_events(&self) -> u64 {
+        self.connection_events
+    }
+}
+
+impl ipfs_mon_node::MonitorSink for HashingSink {
+    fn record(&mut self, monitor: usize, observation: ipfs_mon_node::BitswapObservation) {
+        use std::hash::Hash;
+        (monitor, observation).hash(&mut self.hasher);
+        self.observations += 1;
+    }
+
+    fn peer_connected(
+        &mut self,
+        monitor: usize,
+        peer: ipfs_mon_types::PeerId,
+        address: ipfs_mon_types::Multiaddr,
+        at: ipfs_mon_simnet::time::SimTime,
+    ) {
+        use std::hash::Hash;
+        (0u8, monitor, peer, address, at).hash(&mut self.hasher);
+        self.connection_events += 1;
+    }
+
+    fn peer_disconnected(
+        &mut self,
+        monitor: usize,
+        peer: ipfs_mon_types::PeerId,
+        at: ipfs_mon_simnet::time::SimTime,
+    ) {
+        use std::hash::Hash;
+        (1u8, monitor, peer, at).hash(&mut self.hasher);
+        self.connection_events += 1;
+    }
+}
+
+/// Scenario-scale choices shared by the simulation-heavy binaries, parsed
+/// from the common command-line flags `--population <n>` and
+/// `--horizon-days <d>` (on top of the `IPFS_MON_SCALE` environment
+/// variable, which scales the population default).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleFlags {
+    /// Number of ordinary nodes in the scenario.
+    pub population: usize,
+    /// Simulated horizon in days.
+    pub horizon_days: u64,
+}
+
+impl ScaleFlags {
+    /// Parses the process arguments against the given defaults (the
+    /// population default is already `IPFS_MON_SCALE`-scaled by the caller);
+    /// panics with usage on unknown flags.
+    pub fn from_args(default_population: usize, default_horizon_days: u64) -> Self {
+        let mut flags = Self {
+            population: default_population,
+            horizon_days: default_horizon_days,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--population" => {
+                    flags.population = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--population needs a positive integer");
+                }
+                "--horizon-days" => {
+                    flags.horizon_days = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--horizon-days needs a positive integer");
+                }
+                other => {
+                    panic!("unknown flag {other:?} (expected --population <n>, --horizon-days <d>)")
+                }
+            }
+        }
+        flags
     }
 }
 

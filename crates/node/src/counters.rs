@@ -1,0 +1,105 @@
+//! Typed simulation counters.
+//!
+//! The simulator bumps several counters per event; the string-keyed
+//! [`Counters`](ipfs_mon_simnet::metrics::Counters) map paid a `String`
+//! allocation and a `BTreeMap` walk for each of those bumps. [`SimCounter`]
+//! enumerates every counter the network simulation emits so the hot path can
+//! index a fixed array instead; [`CounterId::name`] preserves the exact
+//! report keys, so `RunReport` output is byte-for-byte unchanged.
+
+use ipfs_mon_simnet::metrics::CounterId;
+
+macro_rules! sim_counters {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)*) => {
+        /// Every counter the network simulation emits. The `name()` of each
+        /// variant is the key the corresponding string-keyed counter always
+        /// used in reports.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum SimCounter {
+            $($(#[$meta])* $variant,)*
+        }
+
+        impl CounterId for SimCounter {
+            const ALL: &'static [Self] = &[$(Self::$variant,)*];
+
+            fn index(self) -> usize {
+                self as usize
+            }
+
+            fn name(self) -> &'static str {
+                match self {
+                    $(Self::$variant => $name,)*
+                }
+            }
+        }
+    };
+}
+
+sim_counters! {
+    /// A node came online.
+    NodeOnlineEvents => "node_online_events",
+    /// A node went offline.
+    NodeOfflineEvents => "node_offline_events",
+    /// A wantlist entry was recorded by a monitor.
+    MonitorEntriesRecorded => "monitor_entries_recorded",
+    /// A user request arrived while its node was offline.
+    RequestsWhileOffline => "requests_while_offline",
+    /// Total user requests processed.
+    RequestsTotal => "requests_total",
+    /// Requests answered from the local block store.
+    RequestsCacheHit => "requests_cache_hit",
+    /// Requests for content that was already being fetched.
+    RequestsAlreadyPending => "requests_already_pending",
+    /// Want broadcasts sent to connected monitors.
+    Broadcasts => "broadcasts",
+    /// Wants that timed out unresolved.
+    WantsTimedOut => "wants_timed_out",
+    /// 30 s re-broadcasts of unresolved wants.
+    Rebroadcasts => "rebroadcasts",
+    /// Retrievals served by a direct overlay neighbour.
+    ResolvedViaNeighbour => "resolved_via_neighbour",
+    /// Retrievals that needed a DHT provider lookup.
+    ResolvedViaDht => "resolved_via_dht",
+    /// Retrievals served by a monitor acting as DHT provider (probing).
+    ResolvedViaMonitorProvider => "resolved_via_monitor_provider",
+    /// CANCEL entries broadcast after successful retrievals.
+    Cancels => "cancels",
+    /// HTTP requests arriving at gateway operators.
+    GatewayHttpRequests => "gateway_http_requests",
+    /// HTTP requests to operators whose HTTP side is broken.
+    GatewayHttpFailed => "gateway_http_failed",
+    /// HTTP requests dropped because no operator node was online.
+    GatewayHttpNoNodeOnline => "gateway_http_no_node_online",
+    /// Gateway HTTP cache hits (no Bitswap traffic).
+    GatewayCacheHits => "gateway_cache_hits",
+    /// Gateway HTTP cache revalidations (brief Bitswap want + cancel).
+    GatewayCacheRevalidations => "gateway_cache_revalidations",
+    /// Gateway HTTP cache misses (full Bitswap retrieval).
+    GatewayCacheMisses => "gateway_cache_misses",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_mon_simnet::metrics::TypedCounters;
+
+    #[test]
+    fn names_are_unique_and_indices_dense() {
+        let mut seen = std::collections::HashSet::new();
+        for (expected, counter) in SimCounter::ALL.iter().enumerate() {
+            assert_eq!(counter.index(), expected, "dense index order");
+            assert!(seen.insert(counter.name()), "duplicate {}", counter.name());
+        }
+    }
+
+    #[test]
+    fn conversion_keeps_report_keys() {
+        let mut typed: TypedCounters<SimCounter> = TypedCounters::new();
+        typed.incr(SimCounter::Broadcasts);
+        typed.add(SimCounter::RequestsTotal, 3);
+        let counters = typed.to_counters();
+        assert_eq!(counters.get("broadcasts"), 1);
+        assert_eq!(counters.get("requests_total"), 3);
+        assert_eq!(counters.get("cancels"), 0);
+    }
+}

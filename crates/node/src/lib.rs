@@ -18,17 +18,21 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod counters;
 pub mod gateway;
 pub mod network;
 pub mod spec;
 pub mod version;
 
 pub use config::{NodeConfig, NodeRole};
+pub use counters::SimCounter;
 pub use gateway::{CacheOutcome, GatewayCache, GatewayCacheConfig, GatewayOperator};
 pub use network::{
-    BitswapObservation, MonitorSink, Network, NetworkDhtView, RecordingSink, RunReport,
+    BitswapObservation, DynWorkloadSource, ExecOptions, MonitorSink, Network, NetworkDhtView,
+    RecordingSink, RunReport,
 };
 pub use spec::{
-    ContentSpec, GatewayRequestEvent, MonitorSpec, NodeSpec, RequestEvent, Scenario, ScenarioParams,
+    ContentSpec, GatewayRequestEvent, MonitorSpec, NodeSpec, RequestEvent, Scenario,
+    ScenarioParams, WorkloadEvent,
 };
 pub use version::{AdoptionCurve, UpgradeSchedule};

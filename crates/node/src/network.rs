@@ -26,24 +26,45 @@
 //! monitor-visible message stream. The `ipfs-mon-bitswap` crate contains the
 //! full per-message protocol engine, which is exercised by its own tests and
 //! by the quickstart example.
+//!
+//! # Event loop
+//!
+//! By default the simulator runs **lazily**: churn schedules and the request
+//! vectors feed the run through per-process cursors ([`ScheduleCursor`] per
+//! node, one cursor per request vector, plus any external
+//! [`EventSource`]-backed processes registered via [`Network::with_sources`]),
+//! merged on demand by a small head-heap. Only *runtime* events
+//! (re-broadcasts, retrieval completions, attack injections) live in the
+//! scheduler — a hierarchical timer wheel — so the pending set scales with
+//! concurrency, not with `population × horizon`. Timestamp ties between
+//! sources are broken by source rank (node order, then user requests, then
+//! gateway requests, then external sources) and source events at an instant
+//! precede runtime events at the same instant, which reproduces bit for bit
+//! the FIFO sequence order of the seed's fully materialized scheduler. The
+//! materialized path (and the seed's binary-heap scheduler) remain available
+//! through [`ExecOptions`] as an equivalence oracle and benchmark baseline.
 
+use crate::counters::SimCounter;
 use crate::gateway::{CacheOutcome, GatewayCache, GatewayCacheConfig};
-use crate::spec::{ContentSpec, GatewayRequestEvent, RequestEvent, Scenario};
+use crate::spec::{ContentSpec, GatewayRequestEvent, RequestEvent, Scenario, WorkloadEvent};
 use ipfs_mon_bitswap::{ProtocolVersion, RequestType};
 use ipfs_mon_blockstore::{Blockstore, BlockstoreConfig};
 use ipfs_mon_kad::{DhtView, RoutingTable};
-use ipfs_mon_simnet::metrics::Counters;
+use ipfs_mon_simnet::churn::{ChurnEvent, ScheduleCursor};
+use ipfs_mon_simnet::metrics::{Counters, TypedCounters};
 use ipfs_mon_simnet::rng::SimRng;
-use ipfs_mon_simnet::scheduler::Scheduler;
+use ipfs_mon_simnet::scheduler::{BaselineScheduler, Scheduler};
+use ipfs_mon_simnet::source::EventSource;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use ipfs_mon_types::{Cid, Country, Multiaddr, PeerId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// One Bitswap wantlist entry as received by a monitor: the raw material of
 /// the paper's `(timestamp, node_ID, address, request_type, CID)` tuples.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitswapObservation {
     /// Arrival time at the monitor.
     pub timestamp: SimTime,
@@ -145,12 +166,52 @@ struct NodeState {
     peer_id: PeerId,
     address: Multiaddr,
     online: bool,
-    /// Which monitors this node is currently connected to.
-    monitor_links: Vec<bool>,
     blockstore: Blockstore,
     gateway_cache: Option<GatewayCache>,
     /// Outstanding wants: content index → when the want started.
     pending: HashMap<usize, SimTime>,
+}
+
+/// Which monitors each node is currently connected to, as one flat bit
+/// matrix: node `n`'s links live in `stride` consecutive words. Replaces the
+/// seed's per-node `Vec<bool>` (one heap allocation per node and a byte per
+/// flag) with two cache-friendly words-per-node in the common ≤128-monitor
+/// case.
+#[derive(Debug, Clone)]
+struct LinkMatrix {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl LinkMatrix {
+    fn new(nodes: usize, monitors: usize) -> Self {
+        let stride = monitors.div_ceil(64).max(1);
+        Self {
+            words: vec![0; nodes * stride],
+            stride,
+        }
+    }
+
+    #[inline]
+    fn test(&self, node: usize, monitor: usize) -> bool {
+        self.words[node * self.stride + monitor / 64] & (1 << (monitor % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, node: usize, monitor: usize) {
+        self.words[node * self.stride + monitor / 64] |= 1 << (monitor % 64);
+    }
+
+    /// One 64-monitor word of a node's link set.
+    #[inline]
+    fn word(&self, node: usize, word: usize) -> u64 {
+        self.words[node * self.stride + word]
+    }
+
+    fn clear_node(&mut self, node: usize) {
+        let base = node * self.stride;
+        self.words[base..base + self.stride].fill(0);
+    }
 }
 
 /// Events driving the simulation.
@@ -177,6 +238,129 @@ enum NetEvent {
     },
 }
 
+/// The scheduler behind a run: the timer wheel by default, or the seed's
+/// binary-heap implementation for baseline measurements.
+#[derive(Debug)]
+enum Queue {
+    Wheel(Scheduler<NetEvent>),
+    Baseline(BaselineScheduler<NetEvent>),
+}
+
+impl Queue {
+    fn schedule_at(&mut self, at: SimTime, event: NetEvent) {
+        match self {
+            Queue::Wheel(q) => {
+                q.schedule_at(at, event);
+            }
+            Queue::Baseline(q) => {
+                q.schedule_at(at, event);
+            }
+        }
+    }
+
+    fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, NetEvent)> {
+        match self {
+            Queue::Wheel(q) => q.pop_until(deadline),
+            Queue::Baseline(q) => q.pop_until(deadline),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Queue::Wheel(q) => q.peek_time(),
+            Queue::Baseline(q) => q.peek_time(),
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        match self {
+            Queue::Wheel(q) => q.advance_to(t),
+            Queue::Baseline(q) => q.advance_to(t),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Queue::Wheel(q) => q.pending(),
+            Queue::Baseline(q) => q.pending(),
+        }
+    }
+}
+
+/// How a [`Network`] executes its scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Pre-schedule every churn transition and request into the event queue
+    /// at construction (the seed behaviour, O(population × horizon) memory)
+    /// instead of pulling them lazily from per-process sources.
+    pub materialized: bool,
+    /// Drive the run with the seed's binary-heap scheduler instead of the
+    /// timer wheel. Delivery order is identical; only cost differs. Requires
+    /// `materialized` (the lazy merge loop peeks the queue per event, which
+    /// is O(pending) on the seed scheduler).
+    pub baseline_scheduler: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self::lazy()
+    }
+}
+
+impl ExecOptions {
+    /// Lazy event sourcing on the timer wheel — the default.
+    pub fn lazy() -> Self {
+        Self {
+            materialized: false,
+            baseline_scheduler: false,
+        }
+    }
+
+    /// The seed configuration: everything materialized up front, delivered
+    /// from the binary-heap scheduler. Used as the benchmark baseline and as
+    /// the equivalence oracle in tests.
+    pub fn seed_baseline() -> Self {
+        Self {
+            materialized: true,
+            baseline_scheduler: true,
+        }
+    }
+
+    /// Materialized scheduling on the timer wheel (isolates the scheduler
+    /// swap from the lazy-sourcing change).
+    pub fn materialized_wheel() -> Self {
+        Self {
+            materialized: true,
+            baseline_scheduler: false,
+        }
+    }
+}
+
+/// An external, boxed workload source (see [`Network::with_sources`]).
+pub type DynWorkloadSource = Box<dyn EventSource<Event = WorkloadEvent>>;
+
+/// One lazy initial-event process of a run. Ranks (vector order) break
+/// timestamp ties: churn sources come first in node order, then the two
+/// request vectors, then external sources — matching the order the
+/// materialized path assigned sequence numbers in.
+enum SourceState {
+    /// Churn transitions of one node, read straight off its schedule.
+    Churn { node: usize, cursor: ScheduleCursor },
+    /// Cursor over `scenario.requests`; `order` holds a stable-by-time
+    /// permutation when the vector is not already time-sorted.
+    Requests {
+        cursor: usize,
+        order: Option<Box<[u32]>>,
+    },
+    /// Cursor over `scenario.gateway_requests`.
+    GatewayRequests {
+        cursor: usize,
+        order: Option<Box<[u32]>>,
+    },
+    /// An external pull-based process (lazy workload generation).
+    External(DynWorkloadSource),
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -186,6 +370,11 @@ pub struct RunReport {
     pub events_processed: u64,
     /// Number of nodes that were online at least once.
     pub nodes_ever_online: usize,
+    /// Peak number of pending events observed during the run: scheduled
+    /// runtime events plus one head per live event source. In lazy mode this
+    /// tracks concurrency (O(active sources)); in materialized mode it is
+    /// O(population × horizon), the seed behaviour.
+    pub peak_pending: usize,
 }
 
 /// The executable network simulation built from a [`Scenario`].
@@ -194,6 +383,8 @@ pub struct Network {
     nodes: Vec<NodeState>,
     monitor_ids: Vec<PeerId>,
     monitor_addrs: Vec<Multiaddr>,
+    /// Which monitors each node is currently connected to.
+    monitor_links: LinkMatrix,
     /// Providers per content index.
     providers: Vec<HashSet<ProviderRef>>,
     /// Root CID → content index (for cache probes and attack tooling).
@@ -202,26 +393,72 @@ pub struct Network {
     routing_tables: HashMap<usize, RoutingTable>,
     /// Peer ID → node index.
     peer_index: HashMap<PeerId, usize>,
-    scheduler: Scheduler<NetEvent>,
+    queue: Queue,
+    /// Lazy initial-event processes, merged through `heads`.
+    sources: Vec<SourceState>,
+    /// Next event time per live source, keyed `(time, rank)` — min-heap via
+    /// `Reverse`. Rank ties reproduce materialized FIFO order.
+    heads: BinaryHeap<Reverse<(SimTime, u32)>>,
     rng: SimRng,
-    counters: Counters,
-    nodes_ever_online: HashSet<usize>,
+    counters: TypedCounters<SimCounter>,
+    ever_online: Vec<bool>,
+    ever_online_count: usize,
     /// Round-robin cursor per gateway operator.
     operator_cursor: Vec<usize>,
     online_count: usize,
+    peak_pending: usize,
 }
 
 impl Network {
-    /// Builds the runtime state for a scenario and schedules all its events.
+    /// Builds the runtime state for a scenario. Initial events (churn and the
+    /// request vectors) are pulled lazily during [`Network::run`]; memory
+    /// stays proportional to the population, not the horizon.
     ///
     /// # Panics
     ///
     /// Panics if [`Scenario::validate`] reports problems.
     pub fn new(scenario: Scenario) -> Self {
+        Self::build(scenario, ExecOptions::default(), Vec::new())
+    }
+
+    /// Builds a network with explicit execution options (lazy vs materialized
+    /// scheduling, wheel vs seed scheduler). All combinations produce
+    /// byte-identical monitor traces; they differ only in cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] reports problems.
+    pub fn with_options(scenario: Scenario, options: ExecOptions) -> Self {
+        Self::build(scenario, options, Vec::new())
+    }
+
+    /// Builds a lazy network fed by additional external event sources on top
+    /// of whatever the scenario's own vectors contain. Sources rank after
+    /// churn and the scenario vectors for timestamp tie-breaking, in the
+    /// order given — pass node-request sources first, then gateway streams,
+    /// to mirror the materialized layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] reports problems.
+    pub fn with_sources(scenario: Scenario, sources: Vec<DynWorkloadSource>) -> Self {
+        Self::build(scenario, ExecOptions::lazy(), sources)
+    }
+
+    fn build(scenario: Scenario, options: ExecOptions, external: Vec<DynWorkloadSource>) -> Self {
         let problems = scenario.validate();
         assert!(
             problems.is_empty(),
             "scenario is inconsistent: {problems:?}"
+        );
+        assert!(
+            !options.materialized || external.is_empty(),
+            "external sources require lazy execution"
+        );
+        assert!(
+            options.materialized || !options.baseline_scheduler,
+            "lazy execution requires the timer wheel: the source-merge loop peeks the queue \
+             once per event, which is O(pending) on the seed scheduler"
         );
         let rng = SimRng::new(scenario.seed);
         let mut id_rng = rng.derive("node-identities");
@@ -237,7 +474,6 @@ impl Network {
                 peer_id,
                 address,
                 online: false,
-                monitor_links: vec![false; scenario.monitors.len()],
                 blockstore: Blockstore::with_config(BlockstoreConfig {
                     capacity: spec.config.cache_capacity,
                     gc_enabled: true,
@@ -259,6 +495,7 @@ impl Network {
             .iter()
             .map(|m| Multiaddr::random_in_country(&mut id_rng, m.country))
             .collect();
+        let monitor_links = LinkMatrix::new(nodes.len(), monitor_ids.len());
 
         // Initial providers.
         let providers: Vec<HashSet<ProviderRef>> = scenario
@@ -304,51 +541,89 @@ impl Network {
             routing_tables.insert(i, table);
         }
 
-        let mut scheduler = Scheduler::new();
-        // Churn events.
-        for (i, spec) in scenario.nodes.iter().enumerate() {
-            for session in &spec.schedule.sessions {
-                scheduler.schedule_at(session.start, NetEvent::NodeOnline(i));
-                scheduler.schedule_at(session.end, NetEvent::NodeOffline(i));
+        let mut queue = if options.baseline_scheduler {
+            Queue::Baseline(BaselineScheduler::new())
+        } else {
+            Queue::Wheel(Scheduler::new())
+        };
+        let mut sources = Vec::new();
+        if options.materialized {
+            // The seed path: every initial event into the queue up front.
+            for (i, spec) in scenario.nodes.iter().enumerate() {
+                for session in &spec.schedule.sessions {
+                    queue.schedule_at(session.start, NetEvent::NodeOnline(i));
+                    queue.schedule_at(session.end, NetEvent::NodeOffline(i));
+                }
             }
-        }
-        // Workload events.
-        for r in &scenario.requests {
-            scheduler.schedule_at(
-                r.at,
-                NetEvent::UserRequest {
-                    node: r.node,
-                    content: r.content,
-                },
-            );
-        }
-        for r in &scenario.gateway_requests {
-            scheduler.schedule_at(
-                r.at,
-                NetEvent::GatewayHttp {
-                    operator: r.operator,
-                    content: r.content,
-                },
-            );
+            for r in &scenario.requests {
+                queue.schedule_at(
+                    r.at,
+                    NetEvent::UserRequest {
+                        node: r.node,
+                        content: r.content,
+                    },
+                );
+            }
+            for r in &scenario.gateway_requests {
+                queue.schedule_at(
+                    r.at,
+                    NetEvent::GatewayHttp {
+                        operator: r.operator,
+                        content: r.content,
+                    },
+                );
+            }
+        } else {
+            for (i, spec) in scenario.nodes.iter().enumerate() {
+                if !spec.schedule.sessions.is_empty() {
+                    sources.push(SourceState::Churn {
+                        node: i,
+                        cursor: ScheduleCursor::new(),
+                    });
+                }
+            }
+            if !scenario.requests.is_empty() {
+                sources.push(SourceState::Requests {
+                    cursor: 0,
+                    order: stable_time_order(&scenario.requests, |r| r.at),
+                });
+            }
+            if !scenario.gateway_requests.is_empty() {
+                sources.push(SourceState::GatewayRequests {
+                    cursor: 0,
+                    order: stable_time_order(&scenario.gateway_requests, |r| r.at),
+                });
+            }
+            sources.extend(external.into_iter().map(SourceState::External));
         }
 
         let operator_cursor = vec![0; scenario.operators.len()];
-        Self {
+        let ever_online = vec![false; nodes.len()];
+        let mut network = Self {
             nodes,
             monitor_ids,
             monitor_addrs,
+            monitor_links,
             providers,
             root_index,
             routing_tables,
             peer_index,
-            scheduler,
+            queue,
+            sources,
+            heads: BinaryHeap::new(),
             rng: rng.derive("runtime"),
-            counters: Counters::new(),
-            nodes_ever_online: HashSet::new(),
+            counters: TypedCounters::new(),
+            ever_online,
+            ever_online_count: 0,
             operator_cursor,
             online_count: 0,
+            peak_pending: 0,
             scenario,
-        }
+        };
+        network.heads = (0..network.sources.len())
+            .filter_map(|rank| network.source_peek(rank).map(|t| Reverse((t, rank as u32))))
+            .collect();
+        network
     }
 
     // ------------------------------------------------------------------
@@ -452,9 +727,10 @@ impl Network {
         self.providers[content].insert(ProviderRef::Monitor(monitor));
     }
 
-    /// Schedules an additional user request.
+    /// Schedules an additional user request (attack tooling; works identically
+    /// in lazy and materialized mode, before or during a run).
     pub fn schedule_request(&mut self, request: RequestEvent) {
-        self.scheduler.schedule_at(
+        self.queue.schedule_at(
             request.at,
             NetEvent::UserRequest {
                 node: request.node,
@@ -465,7 +741,7 @@ impl Network {
 
     /// Schedules an additional gateway HTTP request.
     pub fn schedule_gateway_request(&mut self, request: GatewayRequestEvent) {
-        self.scheduler.schedule_at(
+        self.queue.schedule_at(
             request.at,
             NetEvent::GatewayHttp {
                 operator: request.operator,
@@ -496,6 +772,97 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // Lazy source plumbing.
+    // ------------------------------------------------------------------
+
+    /// Timestamp of the next event of source `rank`, if any.
+    fn source_peek(&self, rank: usize) -> Option<SimTime> {
+        match &self.sources[rank] {
+            SourceState::Churn { node, cursor } => cursor
+                .peek(&self.scenario.nodes[*node].schedule)
+                .map(|(t, _)| t),
+            SourceState::Requests { cursor, order } => {
+                cursor_index(self.scenario.requests.len(), *cursor, order)
+                    .map(|i| self.scenario.requests[i].at)
+            }
+            SourceState::GatewayRequests { cursor, order } => {
+                cursor_index(self.scenario.gateway_requests.len(), *cursor, order)
+                    .map(|i| self.scenario.gateway_requests[i].at)
+            }
+            SourceState::External(source) => source.peek_time(),
+        }
+    }
+
+    /// Pulls the next event of source `rank`.
+    fn source_pop(&mut self, rank: usize) -> Option<(SimTime, NetEvent)> {
+        match &mut self.sources[rank] {
+            SourceState::Churn { node, cursor } => {
+                let (t, event) = cursor.peek(&self.scenario.nodes[*node].schedule)?;
+                cursor.advance();
+                let event = match event {
+                    ChurnEvent::Online => NetEvent::NodeOnline(*node),
+                    ChurnEvent::Offline => NetEvent::NodeOffline(*node),
+                };
+                Some((t, event))
+            }
+            SourceState::Requests { cursor, order } => {
+                let index = cursor_index(self.scenario.requests.len(), *cursor, order)?;
+                *cursor += 1;
+                let r = self.scenario.requests[index];
+                Some((
+                    r.at,
+                    NetEvent::UserRequest {
+                        node: r.node,
+                        content: r.content,
+                    },
+                ))
+            }
+            SourceState::GatewayRequests { cursor, order } => {
+                let index = cursor_index(self.scenario.gateway_requests.len(), *cursor, order)?;
+                *cursor += 1;
+                let r = self.scenario.gateway_requests[index];
+                Some((
+                    r.at,
+                    NetEvent::GatewayHttp {
+                        operator: r.operator,
+                        content: r.content,
+                    },
+                ))
+            }
+            SourceState::External(source) => {
+                let (t, event) = source.next_event()?;
+                let event = match event {
+                    WorkloadEvent::Request { node, content } => {
+                        NetEvent::UserRequest { node, content }
+                    }
+                    WorkloadEvent::Gateway { operator, content } => {
+                        NetEvent::GatewayHttp { operator, content }
+                    }
+                };
+                Some((t, event))
+            }
+        }
+    }
+
+    /// Takes the event of the source at the top of the head-heap, refreshes
+    /// the heap entry, and syncs the queue clock.
+    fn take_source_head(&mut self) -> (SimTime, NetEvent) {
+        let Reverse((t, rank)) = self.heads.pop().expect("head checked by caller");
+        let (at, event) = self
+            .source_pop(rank as usize)
+            .expect("a head entry implies a pending source event");
+        debug_assert_eq!(at, t, "head time must match the source peek");
+        if let Some(next) = self.source_peek(rank as usize) {
+            debug_assert!(next >= at, "sources must yield nondecreasing times");
+            self.heads.push(Reverse((next, rank)));
+        }
+        // Keep the queue clock in step so past-scheduling (attack tooling)
+        // clamps exactly as it does on the materialized path.
+        self.queue.advance_to(at);
+        (at, event)
+    }
+
+    // ------------------------------------------------------------------
     // Execution.
     // ------------------------------------------------------------------
 
@@ -504,14 +871,48 @@ impl Network {
     pub fn run<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
         let horizon_end = SimTime::ZERO + self.scenario.horizon;
         let mut events = 0u64;
-        while let Some((now, event)) = self.scheduler.pop_until(horizon_end) {
+        loop {
+            let pending = self.queue.pending() + self.heads.len();
+            if pending > self.peak_pending {
+                self.peak_pending = pending;
+            }
+            let (now, event) = match self.heads.peek() {
+                // No live sources (materialized mode, or all sources drained):
+                // drain the queue exactly as the seed loop did, without paying
+                // a peek per event.
+                None => match self.queue.pop_until(horizon_end) {
+                    Some(popped) => popped,
+                    None => break,
+                },
+                // Initial-event sources win timestamp ties against runtime
+                // events: their materialized counterparts carried the lowest
+                // sequence numbers.
+                Some(&Reverse((ts, _))) => {
+                    let take_source = match self.queue.peek_time() {
+                        Some(tq) => ts <= tq,
+                        None => true,
+                    };
+                    if take_source {
+                        if ts > horizon_end {
+                            break;
+                        }
+                        self.take_source_head()
+                    } else {
+                        match self.queue.pop_until(horizon_end) {
+                            Some(popped) => popped,
+                            None => break,
+                        }
+                    }
+                }
+            };
             events += 1;
             self.handle_event(now, event, sink);
         }
         RunReport {
-            counters: self.counters.clone(),
+            counters: self.counters.to_counters(),
             events_processed: events,
-            nodes_ever_online: self.nodes_ever_online.len(),
+            nodes_ever_online: self.ever_online_count,
+            peak_pending: self.peak_pending,
         }
     }
 
@@ -542,12 +943,15 @@ impl Network {
         }
         self.nodes[i].online = true;
         self.online_count += 1;
-        self.nodes_ever_online.insert(i);
-        self.counters.incr("node_online_events");
+        if !self.ever_online[i] {
+            self.ever_online[i] = true;
+            self.ever_online_count += 1;
+        }
+        self.counters.incr(SimCounter::NodeOnlineEvents);
         for m in 0..self.monitor_ids.len() {
             let p = self.scenario.monitors[m].attach_probability;
             if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
-                self.nodes[i].monitor_links[m] = true;
+                self.monitor_links.set(i, m);
                 sink.peer_connected(m, self.nodes[i].peer_id, self.nodes[i].address, now);
             }
         }
@@ -559,13 +963,14 @@ impl Network {
         }
         self.nodes[i].online = false;
         self.online_count = self.online_count.saturating_sub(1);
-        self.counters.incr("node_offline_events");
-        for m in 0..self.monitor_ids.len() {
-            if self.nodes[i].monitor_links[m] {
-                self.nodes[i].monitor_links[m] = false;
-                sink.peer_disconnected(m, self.nodes[i].peer_id, now);
+        self.counters.incr(SimCounter::NodeOfflineEvents);
+        let peer = self.nodes[i].peer_id;
+        for w in 0..self.monitor_links.stride {
+            for bit in set_bits(self.monitor_links.word(i, w)) {
+                sink.peer_disconnected(w * 64 + bit, peer, now);
             }
         }
+        self.monitor_links.clear_node(i);
         self.nodes[i].pending.clear();
     }
 
@@ -579,26 +984,28 @@ impl Network {
         sink: &mut S,
     ) {
         let country = self.scenario.nodes[node].country;
-        for m in 0..self.monitor_ids.len() {
-            if !self.nodes[node].monitor_links[m] {
-                continue;
+        let peer = self.nodes[node].peer_id;
+        let address = self.nodes[node].address;
+        for w in 0..self.monitor_links.stride {
+            for bit in set_bits(self.monitor_links.word(node, w)) {
+                let m = w * 64 + bit;
+                let latency = self.scenario.params.latency.sample(
+                    &mut self.rng,
+                    country,
+                    self.scenario.monitors[m].country,
+                );
+                sink.record(
+                    m,
+                    BitswapObservation {
+                        timestamp: now + latency,
+                        peer,
+                        address,
+                        request_type,
+                        cid: cid.clone(),
+                    },
+                );
+                self.counters.incr(SimCounter::MonitorEntriesRecorded);
             }
-            let latency = self.scenario.params.latency.sample(
-                &mut self.rng,
-                country,
-                self.scenario.monitors[m].country,
-            );
-            sink.record(
-                m,
-                BitswapObservation {
-                    timestamp: now + latency,
-                    peer: self.nodes[node].peer_id,
-                    address: self.nodes[node].address,
-                    request_type,
-                    cid: cid.clone(),
-                },
-            );
-            self.counters.incr("monitor_entries_recorded");
         }
     }
 
@@ -620,8 +1027,8 @@ impl Network {
             self.scenario.monitors[monitor].country,
         );
         // Connecting to the provider also makes the requester a monitor peer.
-        if !self.nodes[node].monitor_links[monitor] {
-            self.nodes[node].monitor_links[monitor] = true;
+        if !self.monitor_links.test(node, monitor) {
+            self.monitor_links.set(node, monitor);
             sink.peer_connected(
                 monitor,
                 self.nodes[node].peer_id,
@@ -639,7 +1046,7 @@ impl Network {
                 cid: cid.clone(),
             },
         );
-        self.counters.incr("monitor_entries_recorded");
+        self.counters.incr(SimCounter::MonitorEntriesRecorded);
     }
 
     fn want_request_type(&self, node: usize, now: SimTime) -> RequestType {
@@ -658,27 +1065,27 @@ impl Network {
         sink: &mut S,
     ) {
         if !self.nodes[node].online {
-            self.counters.incr("requests_while_offline");
+            self.counters.incr(SimCounter::RequestsWhileOffline);
             return;
         }
-        self.counters.incr("requests_total");
+        self.counters.incr(SimCounter::RequestsTotal);
         let root = self.scenario.content[content].dag.root.clone();
 
         // Local cache: no network activity at all (the monitor blind spot the
         // paper describes for repeated requests).
         if !via_gateway_revalidation && self.nodes[node].blockstore.contains(&root) {
-            self.counters.incr("requests_cache_hit");
+            self.counters.incr(SimCounter::RequestsCacheHit);
             return;
         }
         if self.nodes[node].pending.contains_key(&content) {
-            self.counters.incr("requests_already_pending");
+            self.counters.incr(SimCounter::RequestsAlreadyPending);
             return;
         }
 
         self.nodes[node].pending.insert(content, now);
         let rtype = self.want_request_type(node, now);
         self.broadcast_to_monitors(node, rtype, &root, now, sink);
-        self.counters.incr("broadcasts");
+        self.counters.incr(SimCounter::Broadcasts);
         self.resolve(node, content, now, sink);
     }
 
@@ -698,29 +1105,40 @@ impl Network {
         let timeout = self.scenario.nodes[node].config.want_timeout;
         if now.since(started) >= timeout {
             self.nodes[node].pending.remove(&content);
-            self.counters.incr("wants_timed_out");
+            self.counters.incr(SimCounter::WantsTimedOut);
             return;
         }
         let root = self.scenario.content[content].dag.root.clone();
         let rtype = self.want_request_type(node, now);
         self.broadcast_to_monitors(node, rtype, &root, now, sink);
-        self.counters.incr("rebroadcasts");
+        self.counters.incr(SimCounter::Rebroadcasts);
         self.resolve(node, content, now, sink);
     }
 
     /// Decides how (and whether) an outstanding want gets resolved, and
     /// schedules either the completion or the next re-broadcast.
     fn resolve<S: MonitorSink>(&mut self, node: usize, content: usize, now: SimTime, sink: &mut S) {
-        let online_providers: Vec<ProviderRef> = self.providers[content]
-            .iter()
-            .copied()
-            .filter(|p| match p {
-                ProviderRef::Node(i) => *i != node && self.nodes[*i].online,
-                ProviderRef::Monitor(_) => true,
-            })
-            .collect();
+        // One pass over the provider set: how many online provider *nodes*
+        // there are, and the first monitor-provider in iteration order —
+        // exactly what the seed's temporary Vec was collected to compute.
+        let mut provider_nodes = 0u32;
+        let mut monitor_provider = None;
+        for p in &self.providers[content] {
+            match *p {
+                ProviderRef::Node(i) => {
+                    if i != node && self.nodes[i].online {
+                        provider_nodes += 1;
+                    }
+                }
+                ProviderRef::Monitor(m) => {
+                    if monitor_provider.is_none() {
+                        monitor_provider = Some(m);
+                    }
+                }
+            }
+        }
 
-        let resolution = if online_providers.is_empty() {
+        let resolution = if provider_nodes == 0 && monitor_provider.is_none() {
             Resolution::Unresolved
         } else {
             // Probability that at least one provider is a direct neighbour of
@@ -728,18 +1146,10 @@ impl Network {
             let conn = self.scenario.nodes[node].connections as f64;
             let online_total = self.online_count.max(2) as f64;
             let p_single = (conn / online_total).min(1.0);
-            let provider_nodes = online_providers
-                .iter()
-                .filter(|p| matches!(p, ProviderRef::Node(_)))
-                .count() as u32;
             let p_any_neighbour = 1.0 - (1.0 - p_single).powi(provider_nodes as i32);
             if provider_nodes > 0 && self.rng.gen_bool(p_any_neighbour.clamp(0.0, 1.0)) {
                 Resolution::Neighbour
-            } else if let Some(ProviderRef::Monitor(m)) = online_providers
-                .iter()
-                .copied()
-                .find(|p| matches!(p, ProviderRef::Monitor(_)))
-            {
+            } else if let Some(m) = monitor_provider {
                 Resolution::MonitorProvider(m)
             } else {
                 Resolution::Dht
@@ -749,7 +1159,7 @@ impl Network {
         match resolution {
             Resolution::Unresolved => {
                 let interval = self.scenario.params.rebroadcast_interval;
-                self.scheduler
+                self.queue
                     .schedule_at(now + interval, NetEvent::Rebroadcast { node, content });
             }
             Resolution::MonitorProvider(m) => {
@@ -759,7 +1169,7 @@ impl Network {
                 let root = self.scenario.content[content].dag.root.clone();
                 self.send_to_monitor(node, m, RequestType::WantBlock, &root, now, sink);
                 let delay = self.sample_fetch_delay(self.scenario.params.dht_fetch_ms);
-                self.scheduler.schedule_at(
+                self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
                         node,
@@ -770,7 +1180,7 @@ impl Network {
             }
             Resolution::Neighbour => {
                 let delay = self.sample_fetch_delay(self.scenario.params.neighbour_fetch_ms);
-                self.scheduler.schedule_at(
+                self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
                         node,
@@ -781,7 +1191,7 @@ impl Network {
             }
             Resolution::Dht => {
                 let delay = self.sample_fetch_delay(self.scenario.params.dht_fetch_ms);
-                self.scheduler.schedule_at(
+                self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
                         node,
@@ -818,9 +1228,11 @@ impl Network {
             return;
         }
         match resolution {
-            Resolution::Neighbour => self.counters.incr("resolved_via_neighbour"),
-            Resolution::Dht => self.counters.incr("resolved_via_dht"),
-            Resolution::MonitorProvider(_) => self.counters.incr("resolved_via_monitor_provider"),
+            Resolution::Neighbour => self.counters.incr(SimCounter::ResolvedViaNeighbour),
+            Resolution::Dht => self.counters.incr(SimCounter::ResolvedViaDht),
+            Resolution::MonitorProvider(_) => {
+                self.counters.incr(SimCounter::ResolvedViaMonitorProvider)
+            }
             Resolution::Unresolved => {}
         }
 
@@ -837,7 +1249,7 @@ impl Network {
         // monitors included.
         let root = dag.root.clone();
         self.broadcast_to_monitors(node, RequestType::Cancel, &root, now, sink);
-        self.counters.incr("cancels");
+        self.counters.incr(SimCounter::Cancels);
     }
 
     fn handle_gateway_http<S: MonitorSink>(
@@ -847,26 +1259,32 @@ impl Network {
         now: SimTime,
         sink: &mut S,
     ) {
-        self.counters.incr("gateway_http_requests");
+        self.counters.incr(SimCounter::GatewayHttpRequests);
         let op = &self.scenario.operators[operator];
         if !op.http_functional {
-            self.counters.incr("gateway_http_failed");
+            self.counters.incr(SimCounter::GatewayHttpFailed);
             return;
         }
-        // Round-robin over the operator's online nodes.
-        let candidates: Vec<usize> = op
+        // Round-robin over the operator's online nodes, without materializing
+        // the candidate list.
+        let online = op
             .node_indices
             .iter()
-            .copied()
-            .filter(|&i| self.nodes[i].online)
-            .collect();
-        if candidates.is_empty() {
-            self.counters.incr("gateway_http_no_node_online");
+            .filter(|&&i| self.nodes[i].online)
+            .count();
+        if online == 0 {
+            self.counters.incr(SimCounter::GatewayHttpNoNodeOnline);
             return;
         }
         let cursor = self.operator_cursor[operator];
         self.operator_cursor[operator] = cursor.wrapping_add(1);
-        let node = candidates[cursor % candidates.len()];
+        let node = op
+            .node_indices
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].online)
+            .nth(cursor % online)
+            .expect("count checked above");
 
         let root = self.scenario.content[content].dag.root.clone();
         let outcome = self.nodes[node]
@@ -876,10 +1294,10 @@ impl Network {
             .request(&root, now);
         match outcome {
             CacheOutcome::Hit => {
-                self.counters.incr("gateway_cache_hits");
+                self.counters.incr(SimCounter::GatewayCacheHits);
             }
             CacheOutcome::Revalidate => {
-                self.counters.incr("gateway_cache_revalidations");
+                self.counters.incr(SimCounter::GatewayCacheRevalidations);
                 // Revalidation triggers a Bitswap want even though the bytes
                 // are (usually) still present locally; the want resolves
                 // almost immediately and is cancelled again.
@@ -889,11 +1307,51 @@ impl Network {
                 self.broadcast_to_monitors(node, RequestType::Cancel, &root, cancel_at, sink);
             }
             CacheOutcome::Miss => {
-                self.counters.incr("gateway_cache_misses");
+                self.counters.incr(SimCounter::GatewayCacheMisses);
                 self.handle_request(node, content, now, true, sink);
             }
         }
     }
+}
+
+/// Resolves a vector cursor to the element index it points at — through the
+/// stable time permutation when one exists — or `None` past the end. Both
+/// request-vector source kinds peek and pop through this one helper so their
+/// ordering logic cannot drift apart.
+fn cursor_index(len: usize, cursor: usize, order: &Option<Box<[u32]>>) -> Option<usize> {
+    match order {
+        Some(order) => order.get(cursor).map(|&i| i as usize),
+        None => (cursor < len).then_some(cursor),
+    }
+}
+
+/// Iterates the set bit positions of one link-matrix word.
+fn set_bits(mut word: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if word == 0 {
+            None
+        } else {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            Some(bit)
+        }
+    })
+}
+
+/// Stable permutation of `items` by timestamp, or `None` when they are
+/// already sorted (the generated workloads always are). Stable order on ties
+/// matches the sequence-number order the materialized path would use.
+fn stable_time_order<T>(items: &[T], at: impl Fn(&T) -> SimTime) -> Option<Box<[u32]>> {
+    assert!(
+        u32::try_from(items.len()).is_ok(),
+        "request vectors above u32::MAX entries are not supported"
+    );
+    if items.windows(2).all(|w| at(&w[0]) <= at(&w[1])) {
+        return None;
+    }
+    let mut order: Vec<u32> = (0..items.len() as u32).collect();
+    order.sort_by_key(|&i| at(&items[i as usize]));
+    Some(order.into_boxed_slice())
 }
 
 /// A [`DhtView`] over the network frozen at a particular instant, used by the
@@ -1244,5 +1702,199 @@ mod tests {
         Network::new(build()).run(&mut sink_a);
         Network::new(build()).run(&mut sink_b);
         assert_eq!(sink_a.observations, sink_b.observations);
+    }
+
+    /// Scenario with churn, user requests and gateway traffic — every event
+    /// kind at once — for the execution-mode equivalence tests.
+    fn busy_scenario(seed: u64) -> Scenario {
+        let horizon = SimDuration::from_hours(3);
+        let mut scenario = Scenario::new(seed, horizon);
+        for i in 0..12 {
+            // Mix always-online nodes with churning ones, including some
+            // whose sessions abut exactly (offline and online at the same
+            // instant) to exercise timestamp tie-breaking.
+            let schedule = if i % 3 == 0 {
+                always_online(horizon)
+            } else {
+                NodeSchedule {
+                    stable: false,
+                    sessions: vec![
+                        OnlineSession {
+                            start: SimTime::from_secs(40 * i as u64),
+                            end: SimTime::from_secs(3_000 + 40 * i as u64),
+                        },
+                        OnlineSession {
+                            start: SimTime::from_secs(3_000 + 40 * i as u64),
+                            end: SimTime::ZERO + horizon,
+                        },
+                    ],
+                }
+            };
+            scenario.nodes.push(NodeSpec {
+                config: NodeConfig::regular(),
+                country: Country::De,
+                schedule,
+                upgrade: UpgradeSchedule::always_modern(),
+                connections: 700,
+            });
+        }
+        scenario
+            .monitors
+            .push(MonitorSpec::new("us", Country::Us, 0.9));
+        scenario
+            .monitors
+            .push(MonitorSpec::new("de", Country::De, 0.7));
+        scenario.content.push(ContentSpec {
+            dag: build_file(100, 50_000, 256 * 1024, 174),
+            initial_providers: vec![0],
+        });
+        scenario.content.push(ContentSpec {
+            dag: build_file(200, 50_000, 256 * 1024, 174),
+            initial_providers: vec![],
+        });
+        // Requests, some at the exact instants of churn transitions.
+        for (i, secs) in [40, 80, 120, 3_040, 3_080, 5_000, 5_000].iter().enumerate() {
+            scenario.requests.push(RequestEvent {
+                at: SimTime::from_secs(*secs),
+                node: i % 12,
+                content: i % 2,
+            });
+        }
+        let horizon2 = scenario.horizon;
+        scenario.nodes.push(NodeSpec {
+            config: NodeConfig::gateway(),
+            country: Country::Us,
+            schedule: always_online(horizon2),
+            upgrade: UpgradeSchedule::always_modern(),
+            connections: 900,
+        });
+        let gw = scenario.nodes.len() - 1;
+        scenario
+            .operators
+            .push(GatewayOperator::new("gw.example", vec![gw], 1.0));
+        for secs in [100, 3_040, 6_000] {
+            scenario
+                .gateway_requests
+                .push(crate::spec::GatewayRequestEvent {
+                    at: SimTime::from_secs(secs),
+                    operator: 0,
+                    content: 0,
+                });
+        }
+        scenario
+    }
+
+    #[test]
+    fn all_execution_modes_produce_identical_traces() {
+        for seed in [7, 21, 99] {
+            let mut reference_sink = RecordingSink::new(2);
+            let reference =
+                Network::with_options(busy_scenario(seed), ExecOptions::seed_baseline())
+                    .run(&mut reference_sink);
+            for options in [ExecOptions::materialized_wheel(), ExecOptions::lazy()] {
+                let mut sink = RecordingSink::new(2);
+                let report = Network::with_options(busy_scenario(seed), options).run(&mut sink);
+                assert_eq!(
+                    sink.observations, reference_sink.observations,
+                    "observations diverge for seed {seed} under {options:?}"
+                );
+                assert_eq!(
+                    sink.connections, reference_sink.connections,
+                    "connections diverge for seed {seed} under {options:?}"
+                );
+                assert_eq!(report.events_processed, reference.events_processed);
+                assert_eq!(
+                    format!("{:?}", report.counters),
+                    format!("{:?}", reference.counters)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_mode_keeps_pending_set_small() {
+        let mut scenario = busy_scenario(5);
+        // Many more requests so materialized pending dwarfs concurrency.
+        for i in 0..2_000u64 {
+            scenario.requests.push(RequestEvent {
+                at: SimTime::from_secs(10 + i * 5),
+                node: (i % 12) as usize,
+                content: (i % 2) as usize,
+            });
+        }
+        let materialized =
+            Network::with_options(scenario.clone(), ExecOptions::materialized_wheel())
+                .run(&mut RecordingSink::new(2));
+        let lazy = Network::new(scenario).run(&mut RecordingSink::new(2));
+        assert_eq!(materialized.events_processed, lazy.events_processed);
+        assert!(
+            materialized.peak_pending >= 2_000,
+            "materialized peak {} should carry the whole horizon",
+            materialized.peak_pending
+        );
+        assert!(
+            lazy.peak_pending < materialized.peak_pending / 10,
+            "lazy peak {} should track concurrency, not horizon (materialized {})",
+            lazy.peak_pending,
+            materialized.peak_pending
+        );
+    }
+
+    #[test]
+    fn unsorted_request_vectors_replay_in_materialized_order() {
+        let mut scenario = base_scenario(6);
+        // Deliberately unsorted, with a timestamp tie: the materialized path
+        // delivers ties in vector order, and the lazy path must match.
+        scenario.requests = vec![
+            RequestEvent {
+                at: SimTime::from_secs(600),
+                node: 1,
+                content: 0,
+            },
+            RequestEvent {
+                at: SimTime::from_secs(60),
+                node: 2,
+                content: 0,
+            },
+            RequestEvent {
+                at: SimTime::from_secs(600),
+                node: 3,
+                content: 1,
+            },
+        ];
+        let mut lazy_sink = RecordingSink::new(1);
+        let mut materialized_sink = RecordingSink::new(1);
+        Network::new(scenario.clone()).run(&mut lazy_sink);
+        Network::with_options(scenario, ExecOptions::materialized_wheel())
+            .run(&mut materialized_sink);
+        assert_eq!(lazy_sink.observations, materialized_sink.observations);
+    }
+
+    #[test]
+    fn mid_run_request_injection_works_in_lazy_mode() {
+        // Attack tooling schedules extra requests against a built network;
+        // in lazy mode those go through the runtime queue and must interleave
+        // with source events exactly as on the materialized path.
+        let build = |options: ExecOptions| {
+            let mut network = Network::with_options(busy_scenario(3), options);
+            network.schedule_request(RequestEvent {
+                at: SimTime::from_secs(3_040), // ties a churn + request instant
+                node: 4,
+                content: 0,
+            });
+            network.schedule_request(RequestEvent {
+                at: SimTime::from_secs(9_000),
+                node: 5,
+                content: 0,
+            });
+            let mut sink = RecordingSink::new(2);
+            let report = network.run(&mut sink);
+            (sink, report)
+        };
+        let (lazy_sink, lazy_report) = build(ExecOptions::lazy());
+        let (seed_sink, seed_report) = build(ExecOptions::seed_baseline());
+        assert_eq!(lazy_sink.observations, seed_sink.observations);
+        assert_eq!(lazy_sink.connections, seed_sink.connections);
+        assert_eq!(lazy_report.events_processed, seed_report.events_processed);
     }
 }

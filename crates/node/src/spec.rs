@@ -96,6 +96,27 @@ pub struct GatewayRequestEvent {
     pub content: usize,
 }
 
+/// A workload event produced by an external lazy event source (see
+/// [`crate::network::Network::with_sources`]): the payload of a pull-based
+/// request process, with the timestamp supplied by the source itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadEvent {
+    /// A node-initiated ("homegrown") user request.
+    Request {
+        /// Index of the requesting node.
+        node: usize,
+        /// Index of the requested item in the content catalog.
+        content: usize,
+    },
+    /// An HTTP request arriving at a public gateway operator.
+    Gateway {
+        /// Index of the gateway operator.
+        operator: usize,
+        /// Index of the requested item in the content catalog.
+        content: usize,
+    },
+}
+
 /// Tunable global parameters of a scenario.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ScenarioParams {
@@ -228,6 +249,23 @@ impl Scenario {
                 problems.push(format!("monitor {i} attach probability out of [0,1]"));
             }
         }
+        // The lazy churn cursors read sessions in vector order, so the
+        // documented NodeSchedule invariant (increasing, non-overlapping)
+        // must actually hold.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.schedule.sessions.iter().any(|s| s.end < s.start) {
+                problems.push(format!("node {i} has a session ending before it starts"));
+            }
+            if n.schedule
+                .sessions
+                .windows(2)
+                .any(|pair| pair[1].start < pair[0].end)
+            {
+                problems.push(format!(
+                    "node {i} sessions overlap or are out of time order"
+                ));
+            }
+        }
         problems
     }
 }
@@ -312,6 +350,25 @@ mod tests {
             initial_providers: vec![],
         };
         assert!(spec.is_unresolvable());
+    }
+
+    #[test]
+    fn out_of_order_sessions_are_reported() {
+        let mut s = tiny_scenario();
+        s.nodes[0].schedule.sessions = vec![
+            OnlineSession {
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+            },
+            OnlineSession {
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+            },
+        ];
+        assert!(s
+            .validate()
+            .iter()
+            .any(|p| p.contains("overlap or are out of time order")));
     }
 
     #[test]

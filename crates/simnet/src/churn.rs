@@ -71,10 +71,16 @@ impl ChurnModel {
 
         let mut sessions = Vec::new();
         if stable {
-            sessions.push(OnlineSession {
-                start: first_join,
-                end: SimTime::ZERO + horizon,
-            });
+            // A stable node that would only arrive after the horizon has no
+            // session at all (the seed emitted an inverted start-after-end
+            // interval here, which the event loop merely happened to drop).
+            let horizon_end = SimTime::ZERO + horizon;
+            if first_join <= horizon_end {
+                sessions.push(OnlineSession {
+                    start: first_join,
+                    end: horizon_end,
+                });
+            }
             return NodeSchedule { stable, sessions };
         }
 
@@ -118,6 +124,85 @@ pub struct NodeSchedule {
     pub stable: bool,
     /// Online sessions in increasing time order, non-overlapping.
     pub sessions: Vec<OnlineSession>,
+}
+
+/// One churn transition of a node, as produced by a [`ScheduleCursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The node comes online (a session starts).
+    Online,
+    /// The node goes offline (a session ends).
+    Offline,
+}
+
+/// A pull-based cursor over a [`NodeSchedule`]: yields the alternating
+/// `Online`/`Offline` transitions of the node's sessions in time order,
+/// one at a time, without materializing them anywhere.
+///
+/// The schedule itself is passed to each call rather than borrowed, so the
+/// cursor is plain `Copy` state that a simulation driver can keep per node
+/// next to other runtime state. Combined with the scheduler this is the
+/// churn half of the lazy event-sourcing path: the driver holds one cursor
+/// per node and only ever sees each node's *next* transition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScheduleCursor {
+    /// Half-step position: transition `i` is session `i / 2`, with even
+    /// positions yielding `Online` (session start) and odd `Offline` (end).
+    pos: usize,
+}
+
+impl ScheduleCursor {
+    /// A cursor at the first transition of a schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next transition, or `None` when the schedule is exhausted.
+    pub fn peek(&self, schedule: &NodeSchedule) -> Option<(SimTime, ChurnEvent)> {
+        let session = schedule.sessions.get(self.pos / 2)?;
+        Some(if self.pos.is_multiple_of(2) {
+            (session.start, ChurnEvent::Online)
+        } else {
+            (session.end, ChurnEvent::Offline)
+        })
+    }
+
+    /// Steps past the transition returned by [`ScheduleCursor::peek`].
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+}
+
+/// An owning [`EventSource`](crate::source::EventSource) over one node's
+/// schedule, for drivers that prefer boxed sources over inline cursors.
+#[derive(Debug, Clone)]
+pub struct ScheduleSource {
+    schedule: NodeSchedule,
+    cursor: ScheduleCursor,
+}
+
+impl ScheduleSource {
+    /// Wraps a schedule.
+    pub fn new(schedule: NodeSchedule) -> Self {
+        Self {
+            schedule,
+            cursor: ScheduleCursor::new(),
+        }
+    }
+}
+
+impl crate::source::EventSource for ScheduleSource {
+    type Event = ChurnEvent;
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.cursor.peek(&self.schedule).map(|(t, _)| t)
+    }
+
+    fn next_event(&mut self) -> Option<(SimTime, ChurnEvent)> {
+        let out = self.cursor.peek(&self.schedule)?;
+        self.cursor.advance();
+        Some(out)
+    }
 }
 
 impl NodeSchedule {
@@ -164,16 +249,20 @@ mod tests {
     #[test]
     fn sessions_are_ordered_and_non_overlapping() {
         let model = ChurnModel::default();
-        let horizon = SimDuration::from_days(7);
-        for seed in 0..50 {
-            let mut rng = SimRng::new(seed);
-            let sched = model.schedule(&mut rng, horizon);
-            for pair in sched.sessions.windows(2) {
-                assert!(pair[0].end <= pair[1].start, "overlap in seed {seed}");
-            }
-            for s in &sched.sessions {
-                assert!(s.start <= s.end);
-                assert!(s.end <= SimTime::ZERO + horizon);
+        // Include horizons shorter than the arrival spread: stable nodes
+        // whose first join falls past the horizon must get no session, not
+        // an inverted one.
+        for horizon in [SimDuration::from_hours(2), SimDuration::from_days(7)] {
+            for seed in 0..50 {
+                let mut rng = SimRng::new(seed);
+                let sched = model.schedule(&mut rng, horizon);
+                for pair in sched.sessions.windows(2) {
+                    assert!(pair[0].end <= pair[1].start, "overlap in seed {seed}");
+                }
+                for s in &sched.sessions {
+                    assert!(s.start <= s.end);
+                    assert!(s.end <= SimTime::ZERO + horizon);
+                }
             }
         }
     }
@@ -226,6 +315,47 @@ mod tests {
                 .schedule(&mut rng, SimDuration::from_days(1))
                 .stable
         );
+    }
+
+    #[test]
+    fn schedule_cursor_yields_all_transitions_in_order() {
+        let model = ChurnModel::default();
+        let mut rng = SimRng::new(12);
+        let sched = model.schedule(&mut rng, SimDuration::from_days(7));
+        let mut cursor = ScheduleCursor::new();
+        let mut transitions = Vec::new();
+        while let Some((t, event)) = cursor.peek(&sched) {
+            cursor.advance();
+            transitions.push((t, event));
+        }
+        assert_eq!(transitions.len(), sched.sessions.len() * 2);
+        for (i, session) in sched.sessions.iter().enumerate() {
+            assert_eq!(transitions[i * 2], (session.start, ChurnEvent::Online));
+            assert_eq!(transitions[i * 2 + 1], (session.end, ChurnEvent::Offline));
+        }
+        for pair in transitions.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "nondecreasing transition times");
+        }
+    }
+
+    #[test]
+    fn schedule_source_matches_cursor() {
+        use crate::source::EventSource;
+        let model = ChurnModel::default();
+        let mut rng = SimRng::new(13);
+        let sched = model.schedule(&mut rng, SimDuration::from_days(2));
+        let mut source = ScheduleSource::new(sched.clone());
+        let mut cursor = ScheduleCursor::new();
+        loop {
+            assert_eq!(source.peek_time(), cursor.peek(&sched).map(|(t, _)| t));
+            let from_source = source.next_event();
+            let from_cursor = cursor.peek(&sched);
+            cursor.advance();
+            assert_eq!(from_source, from_cursor);
+            if from_source.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

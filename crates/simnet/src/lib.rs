@@ -5,7 +5,9 @@
 //! foundations of that simulation:
 //!
 //! * [`time`] — millisecond-resolution simulated clock and durations,
-//! * [`scheduler`] — a deterministic discrete-event queue,
+//! * [`scheduler`] — a deterministic discrete-event queue (a hierarchical
+//!   timer wheel, plus the seed heap implementation as a baseline/oracle),
+//! * [`source`] — pull-based event sources for lazy event generation,
 //! * [`rng`] — seeded randomness with labelled sub-streams,
 //! * [`region`] — country mixes (GeoIP substitute) and an inter-region
 //!   latency model,
@@ -24,13 +26,17 @@ pub mod metrics;
 pub mod region;
 pub mod rng;
 pub mod scheduler;
+pub mod source;
 pub mod time;
 
-pub use churn::{ChurnModel, NodeSchedule, OnlineSession};
-pub use metrics::{BucketedSeries, Counters};
+pub use churn::{
+    ChurnEvent, ChurnModel, NodeSchedule, OnlineSession, ScheduleCursor, ScheduleSource,
+};
+pub use metrics::{BucketedSeries, CounterId, Counters, TypedCounters};
 pub use region::{CountryMix, LatencyModel};
 pub use rng::SimRng;
-pub use scheduler::{EventId, Scheduler};
+pub use scheduler::{BaselineScheduler, EventId, Scheduler};
+pub use source::{EventSource, IterSource};
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]

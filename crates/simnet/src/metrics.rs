@@ -48,6 +48,86 @@ impl Counters {
     }
 }
 
+/// A member of a fixed, statically known counter set.
+///
+/// String-keyed [`Counters`] pay a `String` allocation plus a `BTreeMap`
+/// lookup on *every* increment — measurable overhead when several counters
+/// are bumped per simulation event. A `CounterId` enum instead indexes a
+/// flat array: increments are a single add. [`TypedCounters::to_counters`]
+/// converts back to the string-keyed form via [`CounterId::name`], so
+/// externally visible reports keep their exact shape.
+pub trait CounterId: Copy + 'static {
+    /// Every member of the set, in index order.
+    const ALL: &'static [Self];
+
+    /// Dense index of this counter in `[0, ALL.len())`.
+    fn index(self) -> usize;
+
+    /// Stable string name used in reports (the key the string-keyed
+    /// [`Counters`] representation uses).
+    fn name(self) -> &'static str;
+}
+
+/// A fixed array of counters indexed by a [`CounterId`] enum — the hot-path
+/// replacement for [`Counters`].
+#[derive(Debug, Clone)]
+pub struct TypedCounters<C: CounterId> {
+    values: Box<[u64]>,
+    _marker: std::marker::PhantomData<C>,
+}
+
+impl<C: CounterId> Default for TypedCounters<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: CounterId> TypedCounters<C> {
+    /// Creates a zeroed counter array.
+    pub fn new() -> Self {
+        Self {
+            values: vec![0; C::ALL.len()].into_boxed_slice(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Increments `counter` by 1.
+    #[inline]
+    pub fn incr(&mut self, counter: C) {
+        self.values[counter.index()] += 1;
+    }
+
+    /// Increments `counter` by `amount`.
+    #[inline]
+    pub fn add(&mut self, counter: C, amount: u64) {
+        self.values[counter.index()] += amount;
+    }
+
+    /// Current value of `counter`.
+    #[inline]
+    pub fn get(&self, counter: C) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// Iterates over all counters in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (C, u64)> + '_ {
+        C::ALL.iter().map(|&c| (c, self.values[c.index()]))
+    }
+
+    /// Converts to the string-keyed representation, preserving the exact
+    /// names reports have always used. Counters that never fired are
+    /// omitted, matching the lazy insertion of the string-keyed path.
+    pub fn to_counters(&self) -> Counters {
+        let mut out = Counters::new();
+        for (counter, value) in self.iter() {
+            if value > 0 {
+                out.add(counter.name(), value);
+            }
+        }
+        out
+    }
+}
+
 /// A time series of counts bucketed by a fixed-width window (e.g. requests per
 /// hour, as used for Fig. 6, or per day, as used for Fig. 4).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -185,6 +265,48 @@ mod tests {
         assert_eq!(a.get("msgs"), 15);
         let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["drops", "msgs"], "iteration is name-ordered");
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum TestCounter {
+        Alpha,
+        Beta,
+        Gamma,
+    }
+
+    impl CounterId for TestCounter {
+        const ALL: &'static [Self] = &[Self::Alpha, Self::Beta, Self::Gamma];
+
+        fn index(self) -> usize {
+            self as usize
+        }
+
+        fn name(self) -> &'static str {
+            match self {
+                Self::Alpha => "alpha",
+                Self::Beta => "beta",
+                Self::Gamma => "gamma",
+            }
+        }
+    }
+
+    #[test]
+    fn typed_counters_index_and_convert() {
+        let mut typed: TypedCounters<TestCounter> = TypedCounters::new();
+        typed.incr(TestCounter::Alpha);
+        typed.add(TestCounter::Gamma, 5);
+        typed.incr(TestCounter::Gamma);
+        assert_eq!(typed.get(TestCounter::Alpha), 1);
+        assert_eq!(typed.get(TestCounter::Beta), 0);
+        assert_eq!(typed.get(TestCounter::Gamma), 6);
+
+        let counters = typed.to_counters();
+        assert_eq!(counters.get("alpha"), 1);
+        assert_eq!(counters.get("gamma"), 6);
+        // Never-fired counters are omitted, like the lazily-inserted
+        // string-keyed map the reports always produced.
+        let names: Vec<&str> = counters.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "gamma"]);
     }
 
     #[test]

@@ -9,12 +9,24 @@
 //! * **gateway HTTP requests** — a Poisson stream per gateway operator,
 //!   weighted by the operator's traffic share, with its own (typically more
 //!   head-heavy) popularity profile.
+//!
+//! Each stream exists in two byte-identical forms: the eager generators
+//! ([`generate_node_requests`] / [`generate_gateway_requests`]) that
+//! materialize `Vec`s, and the pull-based sources
+//! ([`lazy_workload_sources`]) that replay the *same* RNG draw sequence one
+//! event at a time, so a simulation can run arbitrarily long horizons
+//! without ever holding the full request list in memory.
 
 use crate::popularity::{PopularityModel, PopularitySampler};
-use ipfs_mon_node::{GatewayRequestEvent, NodeSpec, RequestEvent};
+use ipfs_mon_node::{
+    DynWorkloadSource, GatewayRequestEvent, NodeSpec, RequestEvent, WorkloadEvent,
+};
+use ipfs_mon_simnet::churn::OnlineSession;
 use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::source::EventSource;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 
 /// Configuration of the request workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -122,6 +134,218 @@ pub fn generate_gateway_requests(
         });
     }
     requests
+}
+
+/// The Poisson request process of one node, pulled one event at a time.
+///
+/// Draw-for-draw identical to the per-node body of
+/// [`generate_node_requests`]: the per-node rate is sampled on first use,
+/// then gaps and content picks alternate exactly as the eager loop drew
+/// them, so merging these sources by `(time, node rank)` reproduces the
+/// eager, stably-time-sorted request vector byte for byte.
+struct NodeRequestSource {
+    node: usize,
+    sessions: Rc<[OnlineSession]>,
+    sampler: Rc<PopularitySampler>,
+    rng: SimRng,
+    mean_gap_secs: f64,
+    session_idx: usize,
+    t: SimTime,
+    head: Option<(SimTime, usize)>,
+}
+
+impl NodeRequestSource {
+    fn new(
+        node: usize,
+        sessions: Rc<[OnlineSession]>,
+        sampler: Rc<PopularitySampler>,
+        mut rng: SimRng,
+        rate_mean_per_hour: f64,
+        rate_shape: f64,
+    ) -> Self {
+        // Per-node rate: Pareto around the configured mean (the first draw
+        // the eager generator makes from this node's stream).
+        let x_min = rate_mean_per_hour * (rate_shape - 1.0) / rate_shape;
+        let rate_per_hour = rng.sample_pareto(x_min.max(1e-3), rate_shape);
+        let t = sessions.first().map(|s| s.start).unwrap_or(SimTime::ZERO);
+        let mut source = Self {
+            node,
+            sessions,
+            sampler,
+            rng,
+            mean_gap_secs: 3600.0 / rate_per_hour,
+            session_idx: 0,
+            t,
+            head: None,
+        };
+        source.advance_head();
+        source
+    }
+
+    /// Advances the Poisson walk to the next in-session arrival.
+    fn advance_head(&mut self) {
+        loop {
+            let Some(session) = self.sessions.get(self.session_idx) else {
+                self.head = None;
+                return;
+            };
+            let gap = self.rng.sample_exponential(self.mean_gap_secs);
+            self.t += SimDuration::from_secs_f64(gap);
+            if self.t >= session.end {
+                self.session_idx += 1;
+                if let Some(next) = self.sessions.get(self.session_idx) {
+                    self.t = next.start;
+                }
+                continue;
+            }
+            let content = self.sampler.sample(&mut self.rng);
+            self.head = Some((self.t, content));
+            return;
+        }
+    }
+}
+
+impl EventSource for NodeRequestSource {
+    type Event = WorkloadEvent;
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.head.map(|(t, _)| t)
+    }
+
+    fn next_event(&mut self) -> Option<(SimTime, WorkloadEvent)> {
+        let (t, content) = self.head?;
+        self.advance_head();
+        Some((
+            t,
+            WorkloadEvent::Request {
+                node: self.node,
+                content,
+            },
+        ))
+    }
+}
+
+/// The global gateway HTTP arrival stream, pulled one event at a time —
+/// draw-for-draw identical to [`generate_gateway_requests`].
+struct GatewayRequestSource {
+    shares: Vec<f64>,
+    sampler: Rc<PopularitySampler>,
+    rng: SimRng,
+    mean_gap_secs: f64,
+    horizon_end: SimTime,
+    t: SimTime,
+    head: Option<(SimTime, usize, usize)>,
+}
+
+impl GatewayRequestSource {
+    fn new(
+        shares: Vec<f64>,
+        sampler: Rc<PopularitySampler>,
+        rng: SimRng,
+        mean_gap_secs: f64,
+        horizon_end: SimTime,
+    ) -> Self {
+        let mut source = Self {
+            shares,
+            sampler,
+            rng,
+            mean_gap_secs,
+            horizon_end,
+            t: SimTime::ZERO,
+            head: None,
+        };
+        source.advance_head();
+        source
+    }
+
+    fn advance_head(&mut self) {
+        let gap = self.rng.sample_exponential(self.mean_gap_secs);
+        self.t += SimDuration::from_secs_f64(gap);
+        if self.t >= self.horizon_end {
+            self.head = None;
+            return;
+        }
+        let operator = self.rng.sample_weighted_index(&self.shares);
+        let content = self.sampler.sample(&mut self.rng);
+        self.head = Some((self.t, operator, content));
+    }
+}
+
+impl EventSource for GatewayRequestSource {
+    type Event = WorkloadEvent;
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.head.map(|(t, _, _)| t)
+    }
+
+    fn next_event(&mut self) -> Option<(SimTime, WorkloadEvent)> {
+        let (t, operator, content) = self.head?;
+        self.advance_head();
+        Some((t, WorkloadEvent::Gateway { operator, content }))
+    }
+}
+
+/// Builds the full set of lazy workload sources for a scenario: one
+/// [`NodeRequestSource`] per non-gateway node in index order, followed by
+/// the [`GatewayRequestSource`] — exactly the rank order
+/// [`ipfs_mon_node::Network::with_sources`] needs to reproduce the
+/// materialized delivery sequence.
+///
+/// `node_rng` must be the `"requests"`-derived stream and `gateway_rng` the
+/// `"gateway-requests"`-derived stream of the scenario seed, the same
+/// streams the eager generators receive in `build_scenario`.
+pub fn lazy_workload_sources(
+    config: &RequestWorkloadConfig,
+    nodes: &[NodeSpec],
+    operator_shares: &[f64],
+    catalog_size: usize,
+    horizon: SimDuration,
+    node_rng: &SimRng,
+    gateway_rng: &SimRng,
+) -> Vec<DynWorkloadSource> {
+    assert!(catalog_size > 0, "catalog must not be empty");
+    let mut sources: Vec<DynWorkloadSource> = Vec::new();
+
+    let mut sampler_rng = node_rng.derive("node-popularity");
+    let node_sampler = Rc::new(PopularitySampler::new(
+        config.node_popularity,
+        catalog_size,
+        &mut sampler_rng,
+    ));
+    let shape = config.rate_shape.max(1.05);
+    for (index, node) in nodes.iter().enumerate() {
+        // Gateway nodes are driven by the HTTP workload, not by local users.
+        if node.config.role.is_gateway() {
+            continue;
+        }
+        let rng = node_rng.derive_indexed("requests", index as u64);
+        sources.push(Box::new(NodeRequestSource::new(
+            index,
+            node.schedule.sessions.clone().into(),
+            Rc::clone(&node_sampler),
+            rng,
+            config.mean_node_requests_per_hour,
+            shape,
+        )));
+    }
+
+    if !operator_shares.is_empty() && config.gateway_requests_per_hour > 0.0 {
+        let mut sampler_rng = gateway_rng.derive("gateway-popularity");
+        let gateway_sampler = Rc::new(PopularitySampler::new(
+            config.gateway_popularity,
+            catalog_size,
+            &mut sampler_rng,
+        ));
+        let stream_rng = gateway_rng.derive("gateway-arrivals");
+        sources.push(Box::new(GatewayRequestSource::new(
+            operator_shares.to_vec(),
+            gateway_sampler,
+            stream_rng,
+            3600.0 / config.gateway_requests_per_hour,
+            SimTime::ZERO + horizon,
+        )));
+    }
+    sources
 }
 
 #[cfg(test)]
@@ -241,6 +465,118 @@ mod tests {
             &mut rng
         )
         .is_empty());
+    }
+
+    #[test]
+    fn lazy_sources_replay_eager_streams_exactly() {
+        use ipfs_mon_simnet::churn::ChurnModel;
+
+        let config = RequestWorkloadConfig {
+            gateway_requests_per_hour: 300.0,
+            ..Default::default()
+        };
+        let horizon = SimDuration::from_hours(24);
+        let churn = ChurnModel::default();
+        let parent = SimRng::new(41);
+        let mut nodes: Vec<NodeSpec> = (0..20)
+            .map(|i| {
+                let mut node_rng = parent.derive_indexed("churn", i);
+                NodeSpec {
+                    schedule: churn.schedule(&mut node_rng, horizon),
+                    ..node(24)
+                }
+            })
+            .collect();
+        nodes.push(gateway_node());
+        let shares = [0.7, 0.3];
+        let catalog = 60;
+
+        let rng = SimRng::new(17);
+        let mut eager_rng = rng.derive("requests");
+        let eager = generate_node_requests(&config, &nodes, catalog, &mut eager_rng);
+        let mut eager_gw_rng = rng.derive("gateway-requests");
+        let eager_gw =
+            generate_gateway_requests(&config, &shares, catalog, horizon, &mut eager_gw_rng);
+
+        let mut sources = lazy_workload_sources(
+            &config,
+            &nodes,
+            &shares,
+            catalog,
+            horizon,
+            &rng.derive("requests"),
+            &rng.derive("gateway-requests"),
+        );
+        // One source per non-gateway node, plus the gateway stream.
+        assert_eq!(sources.len(), 21);
+
+        // Drain each source; a rank-stable merge must reproduce the eager,
+        // stably time-sorted request vector byte for byte.
+        let mut merged: Vec<(SimTime, usize, WorkloadEvent)> = Vec::new();
+        for (rank, source) in sources.iter_mut().enumerate() {
+            let mut last = SimTime::ZERO;
+            while let Some(t) = source.peek_time() {
+                let (at, event) = source.next_event().expect("peek implies event");
+                assert_eq!(at, t);
+                assert!(at >= last, "nondecreasing within a source");
+                last = at;
+                merged.push((at, rank, event));
+            }
+            assert_eq!(source.next_event(), None);
+        }
+        merged.sort_by_key(|&(t, rank, _)| (t, rank));
+
+        let node_events: Vec<&(SimTime, usize, WorkloadEvent)> = merged
+            .iter()
+            .filter(|(_, _, e)| matches!(e, WorkloadEvent::Request { .. }))
+            .collect();
+        assert_eq!(node_events.len(), eager.len());
+        for (lazy, eager) in node_events.iter().zip(&eager) {
+            assert_eq!(lazy.0, eager.at);
+            assert_eq!(
+                lazy.2,
+                WorkloadEvent::Request {
+                    node: eager.node,
+                    content: eager.content
+                }
+            );
+        }
+
+        let gw_events: Vec<&(SimTime, usize, WorkloadEvent)> = merged
+            .iter()
+            .filter(|(_, _, e)| matches!(e, WorkloadEvent::Gateway { .. }))
+            .collect();
+        assert_eq!(gw_events.len(), eager_gw.len());
+        for (lazy, eager) in gw_events.iter().zip(&eager_gw) {
+            assert_eq!(lazy.0, eager.at);
+            assert_eq!(
+                lazy.2,
+                WorkloadEvent::Gateway {
+                    operator: eager.operator,
+                    content: eager.content
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gateway_rate_produces_no_gateway_source() {
+        let config = RequestWorkloadConfig {
+            gateway_requests_per_hour: 0.0,
+            ..Default::default()
+        };
+        let nodes = vec![node(2)];
+        let rng = SimRng::new(1);
+        let sources = lazy_workload_sources(
+            &config,
+            &nodes,
+            &[1.0],
+            10,
+            SimDuration::from_hours(1),
+            &rng.derive("requests"),
+            &rng.derive("gateway-requests"),
+        );
+        assert_eq!(sources.len(), 1, "only the node source remains");
     }
 
     #[test]

@@ -7,8 +7,10 @@
 
 use crate::catalog::{generate_catalog, CatalogConfig};
 use crate::population::{generate_population, PopulationConfig};
-use crate::requests::{generate_gateway_requests, generate_node_requests, RequestWorkloadConfig};
-use ipfs_mon_node::{MonitorSpec, Scenario, ScenarioParams};
+use crate::requests::{
+    generate_gateway_requests, generate_node_requests, lazy_workload_sources, RequestWorkloadConfig,
+};
+use ipfs_mon_node::{DynWorkloadSource, MonitorSpec, Scenario, ScenarioParams};
 use ipfs_mon_simnet::rng::SimRng;
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_types::Country;
@@ -101,8 +103,18 @@ impl ScenarioConfig {
     }
 }
 
-/// Builds an executable scenario from a configuration.
-pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
+/// Everything both scenario builders share before the request workload: the
+/// generated population, catalog, operator traffic shares, and an assembled
+/// scenario shell carrying them. Keeping this in one place guarantees the
+/// eager and lazy builders stay draw-identical on every stream except the
+/// request ones.
+struct ScenarioBase {
+    rng: SimRng,
+    scenario: Scenario,
+    operator_shares: Vec<f64>,
+}
+
+fn build_scenario_base(config: &ScenarioConfig) -> ScenarioBase {
     let rng = SimRng::new(config.seed);
 
     let mut population_rng = rng.derive("population");
@@ -111,41 +123,79 @@ pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
     let mut catalog_rng = rng.derive("catalog");
     let catalog = generate_catalog(&config.catalog, population.nodes.len(), &mut catalog_rng);
 
-    let mut request_rng = rng.derive("requests");
-    let requests = generate_node_requests(
-        &config.workload,
-        &population.nodes,
-        catalog.len(),
-        &mut request_rng,
-    );
-
     let operator_shares: Vec<f64> = population
         .operators
         .iter()
         .map(|op| op.traffic_share.max(0.0))
         .collect();
-    let mut gateway_rng = rng.derive("gateway-requests");
-    let gateway_requests = generate_gateway_requests(
-        &config.workload,
-        &operator_shares,
-        catalog.len(),
-        config.horizon,
-        &mut gateway_rng,
-    );
 
     let mut scenario = Scenario::new(config.seed, config.horizon);
     scenario.nodes = population.nodes;
     scenario.operators = population.operators;
     scenario.content = catalog;
-    scenario.requests = requests;
-    scenario.gateway_requests = gateway_requests;
     scenario.params = config.params;
     scenario.monitors = config
         .monitors
         .iter()
         .map(|m| MonitorSpec::new(m.label.clone(), m.country, m.attach_probability))
         .collect();
+    ScenarioBase {
+        rng,
+        scenario,
+        operator_shares,
+    }
+}
+
+/// Builds an executable scenario from a configuration.
+pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
+    let ScenarioBase {
+        rng,
+        mut scenario,
+        operator_shares,
+    } = build_scenario_base(config);
+
+    let mut request_rng = rng.derive("requests");
+    scenario.requests = generate_node_requests(
+        &config.workload,
+        &scenario.nodes,
+        scenario.content.len(),
+        &mut request_rng,
+    );
+    let mut gateway_rng = rng.derive("gateway-requests");
+    scenario.gateway_requests = generate_gateway_requests(
+        &config.workload,
+        &operator_shares,
+        scenario.content.len(),
+        config.horizon,
+        &mut gateway_rng,
+    );
     scenario
+}
+
+/// Builds a scenario whose request workload is generated *lazily*: the
+/// returned scenario carries empty request vectors, and the accompanying
+/// sources replay the exact RNG streams [`build_scenario`] would have drawn,
+/// one event at a time. Feeding them to
+/// [`ipfs_mon_node::Network::with_sources`] yields a monitor trace
+/// byte-identical to running the eagerly built scenario, with memory bounded
+/// by the population instead of `population × horizon`.
+pub fn build_scenario_lazy(config: &ScenarioConfig) -> (Scenario, Vec<DynWorkloadSource>) {
+    let ScenarioBase {
+        rng,
+        scenario,
+        operator_shares,
+    } = build_scenario_base(config);
+
+    let sources = lazy_workload_sources(
+        &config.workload,
+        &scenario.nodes,
+        &operator_shares,
+        scenario.content.len(),
+        config.horizon,
+        &rng.derive("requests"),
+        &rng.derive("gateway-requests"),
+    );
+    (scenario, sources)
 }
 
 #[cfg(test)]
@@ -183,6 +233,26 @@ mod tests {
             a.content.first().map(|c| c.dag.root.clone()),
             b.content.first().map(|c| c.dag.root.clone())
         );
+    }
+
+    #[test]
+    fn lazy_scenario_runs_byte_identical_to_eager() {
+        use ipfs_mon_node::{Network, RecordingSink};
+
+        let config = ScenarioConfig::small_test(23);
+        let eager = build_scenario(&config);
+        let monitor_count = eager.monitors.len();
+        let mut eager_sink = RecordingSink::new(monitor_count);
+        let eager_report = Network::new(eager).run(&mut eager_sink);
+
+        let (lazy, sources) = build_scenario_lazy(&config);
+        assert!(lazy.requests.is_empty() && lazy.gateway_requests.is_empty());
+        let mut lazy_sink = RecordingSink::new(monitor_count);
+        let lazy_report = Network::with_sources(lazy, sources).run(&mut lazy_sink);
+
+        assert_eq!(eager_sink.observations, lazy_sink.observations);
+        assert_eq!(eager_sink.connections, lazy_sink.connections);
+        assert_eq!(eager_report.events_processed, lazy_report.events_processed);
     }
 
     #[test]

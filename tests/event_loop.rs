@@ -1,0 +1,144 @@
+//! Integration tests for the simulator event loop rewrite: timer-wheel
+//! scheduling, lazy event sourcing, and their bit-identity with the seed's
+//! fully materialized execution path.
+
+use ipfs_monitoring::core::{GatewayProber, MonitorCollector};
+use ipfs_monitoring::node::{ExecOptions, Network, RecordingSink};
+use ipfs_monitoring::simnet::rng::SimRng;
+use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
+use ipfs_monitoring::workload::{build_scenario, build_scenario_lazy, ScenarioConfig};
+
+fn scenario_config(seed: u64, nodes: usize) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.population.nodes = nodes;
+    config
+}
+
+/// (a) Timer-wheel delivery on the full simulator is identical to the seed
+/// heap scheduler, materialized and lazy alike, across seeds.
+#[test]
+fn execution_modes_agree_across_seeds() {
+    for seed in [3, 17, 58] {
+        let config = scenario_config(seed, 150);
+        let monitor_count = config.monitors.len();
+        let mut runs = Vec::new();
+        for options in [
+            ExecOptions::seed_baseline(),
+            ExecOptions::materialized_wheel(),
+            ExecOptions::lazy(),
+        ] {
+            let mut sink = RecordingSink::new(monitor_count);
+            let report = Network::with_options(build_scenario(&config), options).run(&mut sink);
+            runs.push((sink, report));
+        }
+        let (reference_sink, reference_report) = &runs[0];
+        for (sink, report) in &runs[1..] {
+            assert_eq!(
+                sink.observations, reference_sink.observations,
+                "seed {seed}"
+            );
+            assert_eq!(sink.connections, reference_sink.connections, "seed {seed}");
+            assert_eq!(report.events_processed, reference_report.events_processed);
+        }
+    }
+}
+
+/// (b) Fully-lazy workload generation (no request vectors anywhere) yields a
+/// byte-identical monitor trace to the pre-materialized scenario, across
+/// seeds and churn models, including through the standard collector.
+#[test]
+fn lazy_generation_is_byte_identical_across_seeds_and_churn() {
+    for (seed, always_online) in [(5u64, false), (6, true), (91, false)] {
+        let mut config = scenario_config(seed, 120);
+        if always_online {
+            config.population.churn = ipfs_monitoring::simnet::ChurnModel::always_online();
+        }
+        let labels: Vec<String> = config.monitors.iter().map(|m| m.label.clone()).collect();
+
+        let mut eager_collector = MonitorCollector::new(labels.clone());
+        let eager_report = Network::new(build_scenario(&config)).run(&mut eager_collector);
+        let eager_dataset = eager_collector.into_dataset();
+
+        let (scenario, sources) = build_scenario_lazy(&config);
+        assert!(scenario.requests.is_empty());
+        assert!(scenario.gateway_requests.is_empty());
+        let mut lazy_collector = MonitorCollector::new(labels);
+        let lazy_report = Network::with_sources(scenario, sources).run(&mut lazy_collector);
+        let lazy_dataset = lazy_collector.into_dataset();
+
+        assert_eq!(eager_dataset.entries, lazy_dataset.entries, "seed {seed}");
+        assert_eq!(
+            eager_dataset.connections, lazy_dataset.connections,
+            "seed {seed}"
+        );
+        assert_eq!(eager_report.events_processed, lazy_report.events_processed);
+        // The serialized traces are byte-identical too.
+        assert_eq!(
+            eager_dataset.to_json().expect("encode"),
+            lazy_dataset.to_json().expect("encode")
+        );
+    }
+}
+
+/// Lazy execution keeps the pending set proportional to live sources, not to
+/// the number of scheduled events.
+#[test]
+fn lazy_pending_tracks_concurrency_not_horizon() {
+    let config = scenario_config(33, 250);
+    let materialized =
+        Network::with_options(build_scenario(&config), ExecOptions::materialized_wheel())
+            .run(&mut RecordingSink::new(config.monitors.len()));
+    let lazy =
+        Network::new(build_scenario(&config)).run(&mut RecordingSink::new(config.monitors.len()));
+    assert_eq!(materialized.events_processed, lazy.events_processed);
+    assert!(
+        materialized.peak_pending > lazy.peak_pending * 4,
+        "materialized {} vs lazy {}",
+        materialized.peak_pending,
+        lazy.peak_pending
+    );
+    assert!(
+        (lazy.peak_pending as u64) < materialized.events_processed / 10,
+        "lazy peak pending {} should be far below {} events",
+        lazy.peak_pending,
+        materialized.events_processed
+    );
+}
+
+/// (c) Mid-run request injection — the gateway-probing attack tooling — works
+/// identically in lazy mode: probes prepared against a lazy network land at
+/// the same instants and discover the same peers as on the seed path.
+#[test]
+fn gateway_probing_injection_matches_seed_path_in_lazy_mode() {
+    let run = |options: ExecOptions| {
+        let config = scenario_config(44, 150);
+        let mut network = Network::with_options(build_scenario(&config), options);
+        let mut prober = GatewayProber::new();
+        let mut rng = SimRng::new(9);
+        prober.probe_all_operators(
+            &mut network,
+            0,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            600,
+            &mut rng,
+        );
+        let mut sink = RecordingSink::new(network.monitor_count());
+        let report = network.run(&mut sink);
+        let flat: Vec<_> = sink.observations.concat();
+        let probe_hits: Vec<_> = prober
+            .probes()
+            .iter()
+            .map(|p| flat.iter().filter(|o| o.cid == p.cid).count())
+            .collect();
+        (sink, report, probe_hits)
+    };
+    let (lazy_sink, lazy_report, lazy_hits) = run(ExecOptions::lazy());
+    let (seed_sink, seed_report, seed_hits) = run(ExecOptions::seed_baseline());
+    assert_eq!(lazy_sink.observations, seed_sink.observations);
+    assert_eq!(lazy_report.events_processed, seed_report.events_processed);
+    assert_eq!(lazy_hits, seed_hits);
+    assert!(
+        lazy_hits.iter().any(|&h| h > 0),
+        "at least one probe must surface in the trace"
+    );
+}
