@@ -1,7 +1,7 @@
 //! Power-law hypothesis testing following Clauset, Shalizi & Newman (2009).
 //!
 //! Sec. V-E of the paper fits a power law to the measured popularity scores
-//! (RRP and URP) "as laid out in [30]" and rejects the hypothesis because the
+//! (RRP and URP) "as laid out in \[30\]" and rejects the hypothesis because the
 //! goodness-of-fit p-value stays below 0.1 for every choice of `x_min`. This
 //! module implements that procedure:
 //!

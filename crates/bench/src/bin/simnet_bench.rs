@@ -3,7 +3,7 @@
 //!
 //! Two sections, both on scenarios from the standard generator:
 //!
-//! **Full-simulation comparison** — runs the *same* scenario through four
+//! **Full-simulation comparison** — runs the *same* scenario through five
 //! execution configurations and verifies they produce byte-identical monitor
 //! traces (order-sensitive digest over every observation and connection
 //! event):
@@ -15,7 +15,10 @@
 //! 3. `lazy-vectors`    — scenario vectors pulled through per-process
 //!    cursors, wheel scheduler (the default `Network::new` path);
 //! 4. `lazy-generated`  — no request vectors at all: the workload is drawn
-//!    lazily from the same RNG streams while the simulation runs.
+//!    lazily from the same RNG streams while the simulation runs;
+//! 5. `lazy-parallel`   — lazy-generated sources partitioned into
+//!    independent regions advanced on worker threads between
+//!    synchronization barriers (`ExecOptions::lazy_parallel`).
 //!
 //! Reports the build/run wall-clock split, total events/sec and peak pending
 //! events per mode, and asserts the lazy pending set tracks concurrency
@@ -202,6 +205,10 @@ fn main() {
     print_header("simnet — event-loop scale-out");
     println!("  population {population}, horizon {horizon_days} d\n");
 
+    let regions = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
     let results = [
         measure("seed-baseline", &config, |c| {
             Network::with_options(build_scenario(c), ExecOptions::seed_baseline())
@@ -213,6 +220,10 @@ fn main() {
         measure("lazy-generated", &config, |c| {
             let (scenario, sources) = build_scenario_lazy(c);
             Network::with_sources(scenario, sources)
+        }),
+        measure("lazy-parallel", &config, move |c| {
+            let (scenario, sources) = build_scenario_lazy(c);
+            Network::with_sources_options(scenario, sources, ExecOptions::lazy_parallel(regions))
         }),
     ];
 
@@ -264,6 +275,16 @@ fn main() {
 
     let baseline = &results[0];
     let lazy = &results[3];
+    let lazy_parallel = &results[4];
+    let regions_speedup = lazy_parallel.events_per_sec() / lazy.events_per_sec().max(1e-9);
+    println!(
+        "  parallel regions speedup (lazy-parallel vs lazy-generated, {regions} regions): {regions_speedup:.2}x"
+    );
+    println!(
+        "BENCH_simnet.json {{\"mode\":\"parallel-regions\",\"regions\":{regions},\"lazy_events_per_sec\":{:.0},\"parallel_events_per_sec\":{:.0},\"speedup\":{regions_speedup:.2}}}",
+        lazy.events_per_sec(),
+        lazy_parallel.events_per_sec(),
+    );
     let full_speedup = lazy.events_per_sec() / baseline.events_per_sec().max(1e-9);
     let events = lazy.report.events_processed;
     let pending_ratio = lazy.report.peak_pending as f64 / events.max(1) as f64;

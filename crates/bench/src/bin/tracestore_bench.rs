@@ -8,10 +8,13 @@
 //! tracestore subsystem is a segment under 50 % of the equivalent JSON.
 
 use ipfs_mon_bench::{print_header, run_experiment, scaled, spill_to_manifest_with};
-use ipfs_mon_core::{flag_segment, unify_and_flag, unify_and_flag_segment, PreprocessConfig};
+use ipfs_mon_core::{
+    flag_segment, unify_and_flag, unify_and_flag_segment, ActivityCountsSink, EntryStatsSink,
+    PopularitySink, PreprocessConfig, RequestTypeSink,
+};
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_tracestore::{
-    Codec, DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, ReadOptions,
+    run_sink, Codec, DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, ReadOptions,
     SegmentConfig, SliceSource, TraceEntry, TraceReader, TraceSource,
 };
 use ipfs_mon_workload::ScenarioConfig;
@@ -223,6 +226,68 @@ fn main() {
         println!("  note: single-core host — parallel ingestion needs >= 2 cores to win");
     }
     std::fs::remove_dir_all(&dir_single).ok();
+
+    // Parallel analysis engine: the ported sinks (request-type series,
+    // popularity, activity counts, descriptive stats) in one composed pass
+    // over the 4-monitor manifest — merged serial stream vs one worker per
+    // monitor chain (`ManifestReader::run_parallel`, no k-way merge at all).
+    // Outputs are asserted identical; the speedup is hardware-dependent
+    // (needs >= 2 cores to win) and only reported.
+    let analysis_sink = || {
+        (
+            (
+                RequestTypeSink::new(SimDuration::from_hours(1)),
+                PopularitySink::new(),
+            ),
+            (ActivityCountsSink::new(), EntryStatsSink::new()),
+        )
+    };
+    let reader = ManifestReader::open(&dir_parallel).expect("open manifest");
+    let mut serial_best = f64::MAX;
+    let mut parallel_best = f64::MAX;
+    let mut outputs = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let serial = run_sink(&reader, analysis_sink()).expect("serial analysis");
+        serial_best = serial_best.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let parallel = reader
+            .run_parallel(analysis_sink())
+            .expect("parallel analysis");
+        parallel_best = parallel_best.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            serial, parallel,
+            "parallel analysis must equal the serial merged pass"
+        );
+        outputs = Some(parallel);
+    }
+    let ((series, scores), (counts, stats)) = outputs.expect("three repetitions ran");
+    assert_eq!(series.len(), fan_out);
+    assert_eq!(stats.len(), fan_out);
+    let analysis_speedup = serial_best / parallel_best.max(1e-9);
+    println!(
+        "\n  parallel analysis ({} entries, {} monitors, 4 sinks: series/popularity/activity/stats):",
+        total_entries, fan_out
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "serial merged pass",
+        entries_per_s(total_entries, serial_best)
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s  ({} CIDs, {} peers)",
+        "per-monitor workers",
+        entries_per_s(total_entries, parallel_best),
+        scores.cid_count(),
+        counts.per_peer.len(),
+    );
+    println!(
+        "  parallel analysis speedup: {analysis_speedup:.2}x ({fan_out} monitors, {cores} cores available)"
+    );
+    println!(
+        "BENCH_tracestore.json {{\"mode\":\"parallel-analysis\",\"entries\":{total_entries},\"monitors\":{fan_out},\"serial_s\":{serial_best:.4},\"parallel_s\":{parallel_best:.4},\"speedup\":{analysis_speedup:.2},\"cores\":{cores}}}"
+    );
+    drop(reader);
     std::fs::remove_dir_all(&dir_parallel).ok();
 
     // Codec / source / merge matrix: the same dataset behind every

@@ -21,13 +21,55 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Requests per time bucket, per request type (Fig. 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestTypeSeries {
     /// Bucket width used.
     pub bucket: SimDuration,
     /// `(bucket start, WANT_HAVE count, WANT_BLOCK count)` rows, dense from
     /// the first to the last non-empty bucket.
     pub rows: Vec<(SimTime, u64, u64)>,
+}
+
+/// The per-stream accumulator behind every Fig. 4 entry point (in-memory,
+/// streaming, and the per-monitor [`crate::sinks::RequestTypeSink`]): two
+/// bucketed counters, one per want type, raw (no deduplication) and without
+/// cancels. Keeping all entry points on this one type is what makes their
+/// equivalence an identity rather than a proof obligation.
+#[derive(Debug, Clone)]
+pub(crate) struct TypeSeriesAccum {
+    bucket: SimDuration,
+    want_have: BucketedSeries,
+    want_block: BucketedSeries,
+}
+
+impl TypeSeriesAccum {
+    pub(crate) fn new(bucket: SimDuration) -> Self {
+        Self {
+            bucket,
+            want_have: BucketedSeries::new(bucket),
+            want_block: BucketedSeries::new(bucket),
+        }
+    }
+
+    pub(crate) fn record(&mut self, entry: &crate::trace::TraceEntry) {
+        match entry.request_type {
+            RequestType::WantHave => self.want_have.record(entry.timestamp),
+            RequestType::WantBlock => self.want_block.record(entry.timestamp),
+            RequestType::Cancel => {}
+        }
+    }
+
+    /// Merges another accumulator over the same bucket width (bucket counts
+    /// are plain sums, so merging partials of any partition of a stream
+    /// equals accumulating the whole stream).
+    pub(crate) fn merge(&mut self, other: Self) {
+        self.want_have.merge(&other.want_have);
+        self.want_block.merge(&other.want_block);
+    }
+
+    pub(crate) fn finish(self) -> RequestTypeSeries {
+        assemble_request_type_series(self.want_have, self.want_block, self.bucket)
+    }
 }
 
 /// Computes the Fig. 4 series from a single monitor's raw entries (the paper
@@ -38,16 +80,11 @@ pub fn request_type_series(
     monitor: usize,
     bucket: SimDuration,
 ) -> RequestTypeSeries {
-    let mut want_have = BucketedSeries::new(bucket);
-    let mut want_block = BucketedSeries::new(bucket);
+    let mut accum = TypeSeriesAccum::new(bucket);
     for entry in &dataset.entries[monitor] {
-        match entry.request_type {
-            RequestType::WantHave => want_have.record(entry.timestamp),
-            RequestType::WantBlock => want_block.record(entry.timestamp),
-            RequestType::Cancel => {}
-        }
+        accum.record(entry);
     }
-    assemble_request_type_series(want_have, want_block, bucket)
+    accum.finish()
 }
 
 /// Densifies the two per-type series into aligned rows.
@@ -218,15 +255,12 @@ pub fn per_peer_request_counts(trace: &UnifiedTrace) -> Vec<(PeerId, u64)> {
 pub fn per_peer_request_counts_stream<I: IntoIterator<Item = crate::trace::TraceEntry>>(
     entries: I,
 ) -> Vec<(PeerId, u64)> {
-    let mut counts: BTreeMap<PeerId, u64> = BTreeMap::new();
+    use ipfs_mon_tracestore::AnalysisSink;
+    let mut sink = crate::sinks::ActivityCountsSink::new();
     for entry in entries {
-        if entry.flags.is_primary() && entry.is_request() {
-            *counts.entry(entry.peer).or_insert(0) += 1;
-        }
+        sink.consume(entry);
     }
-    let mut rows: Vec<(PeerId, u64)> = counts.into_iter().collect();
-    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
-    rows
+    sink.finish().per_peer
 }
 
 /// Streaming counterpart of [`request_type_series`]: builds the Fig. 4 series
@@ -236,16 +270,11 @@ pub fn request_type_series_stream<I: IntoIterator<Item = crate::trace::TraceEntr
     entries: I,
     bucket: SimDuration,
 ) -> RequestTypeSeries {
-    let mut want_have = BucketedSeries::new(bucket);
-    let mut want_block = BucketedSeries::new(bucket);
+    let mut accum = TypeSeriesAccum::new(bucket);
     for entry in entries {
-        match entry.request_type {
-            RequestType::WantHave => want_have.record(entry.timestamp),
-            RequestType::WantBlock => want_block.record(entry.timestamp),
-            RequestType::Cancel => {}
-        }
+        accum.record(&entry);
     }
-    assemble_request_type_series(want_have, want_block, bucket)
+    accum.finish()
 }
 
 #[cfg(test)]

@@ -16,7 +16,11 @@
 //!    estimation and monitoring coverage (Sec. V-C), content-popularity
 //!    distributions with the power-law test (Sec. V-E), request-type /
 //!    multicodec / geography breakdowns (Fig. 4, Tables I and II), and
-//!    origin-group rate series (Fig. 6).
+//!    origin-group rate series (Fig. 6). The merge-order-independent
+//!    analyses are additionally ported to the parallel analysis engine as
+//!    [`sinks`] (one worker per monitor chain, no k-way merge; see
+//!    [`AnalysisSink`]), with the single-stream entry points kept as thin
+//!    wrappers over the same accumulators.
 //! 4. **Privacy attacks** ([`attacks`]) — IDW, TNW, TPI and the gateway
 //!    probing methodology of Sec. VI.
 //!
@@ -25,6 +29,7 @@
 //! traces.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
 pub mod activity;
@@ -34,6 +39,7 @@ pub mod monitor;
 pub mod netsize;
 pub mod popularity;
 pub mod preprocess;
+pub mod sinks;
 pub mod trace;
 
 pub use activity::{
@@ -64,6 +70,16 @@ pub use preprocess::{
     flag_segment, flag_source, unify_and_flag, unify_and_flag_segment, unify_and_flag_source,
     unify_and_flag_stream, FlaggedStream, PreprocessConfig, PreprocessStats, StreamingPreprocessor,
 };
+pub use sinks::{
+    activity_counts_source, entry_stats_source, popularity_scores_source,
+    request_type_series_source, ActivityCounts, ActivityCountsSink, EntryStatsSink,
+    MonitorEntryStats, PopularitySink, RequestTypeSink,
+};
 pub use trace::{
     ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, TraceSource, UnifiedTrace,
 };
+// The parallel-analysis engine primitives live in `ipfs-mon-tracestore`
+// (below this crate in the dependency order, so that
+// `ManifestReader::run_parallel` can name the trait); this crate re-exports
+// them as the methodology-layer API next to the sinks implementing them.
+pub use ipfs_mon_tracestore::{run_sink, AnalysisSink};

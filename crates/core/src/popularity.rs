@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Popularity scores for every CID observed in a trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PopularityScores {
     /// Raw request popularity per CID.
     pub rrp: HashMap<Cid, u64>,
@@ -65,20 +65,32 @@ impl PopularityScores {
 }
 
 /// Incremental per-CID score aggregation shared by the in-memory and
-/// streaming entry points.
-#[derive(Debug, Default)]
-struct ScoreAccumulator {
+/// streaming entry points and by [`crate::sinks::PopularitySink`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScoreAccumulator {
     rrp: HashMap<Cid, u64>,
     requesters: HashMap<Cid, HashSet<PeerId>>,
 }
 
 impl ScoreAccumulator {
-    fn add(&mut self, cid: &Cid, peer: PeerId) {
+    pub(crate) fn add(&mut self, cid: &Cid, peer: PeerId) {
         *self.rrp.entry(cid.clone()).or_insert(0) += 1;
         self.requesters.entry(cid.clone()).or_default().insert(peer);
     }
 
-    fn finish(self) -> PopularityScores {
+    /// Merges another accumulator: request counts add, requester sets union —
+    /// both independent of how the entries were partitioned, which is what
+    /// makes the popularity scores safe to compute per monitor and combine.
+    pub(crate) fn merge(&mut self, other: Self) {
+        for (cid, count) in other.rrp {
+            *self.rrp.entry(cid).or_insert(0) += count;
+        }
+        for (cid, peers) in other.requesters {
+            self.requesters.entry(cid).or_default().extend(peers);
+        }
+    }
+
+    pub(crate) fn finish(self) -> PopularityScores {
         let urp = self
             .requesters
             .into_iter()
@@ -106,13 +118,12 @@ pub fn popularity_scores(trace: &UnifiedTrace) -> PopularityScores {
 pub fn popularity_scores_stream<I: IntoIterator<Item = crate::trace::TraceEntry>>(
     entries: I,
 ) -> PopularityScores {
-    let mut accumulator = ScoreAccumulator::default();
+    use ipfs_mon_tracestore::AnalysisSink;
+    let mut sink = crate::sinks::PopularitySink::new();
     for entry in entries {
-        if entry.flags.is_primary() && entry.is_request() {
-            accumulator.add(&entry.cid, entry.peer);
-        }
+        sink.consume(entry);
     }
-    accumulator.finish()
+    sink.finish()
 }
 
 /// Full popularity analysis: scores, ECDF curves and power-law tests for both

@@ -15,6 +15,7 @@
 //! stream produced here.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
 pub mod config;

@@ -299,6 +299,16 @@ pub struct ExecOptions {
     /// `materialized` (the lazy merge loop peeks the queue per event, which
     /// is O(pending) on the seed scheduler).
     pub baseline_scheduler: bool,
+    /// Advance the lazy event-source processes on this many worker threads,
+    /// partitioned into independent regions that run ahead of the main loop
+    /// between monitor-visible synchronization barriers (fixed-width time
+    /// windows). `0` or `1` keeps source advancement on the main thread.
+    /// Requires lazy execution; the merged event order — and therefore the
+    /// monitor trace — is bit-identical to the serial lazy mode (the
+    /// per-process event streams do not depend on simulation state, so
+    /// *when* they are pulled cannot change *what* they yield; the barrier
+    /// merge re-establishes the exact `(time, source rank)` order).
+    pub parallel_regions: usize,
 }
 
 impl Default for ExecOptions {
@@ -313,6 +323,18 @@ impl ExecOptions {
         Self {
             materialized: false,
             baseline_scheduler: false,
+            parallel_regions: 0,
+        }
+    }
+
+    /// Lazy event sourcing with the source processes partitioned into
+    /// `regions` independent regions advanced on worker threads. Digest-
+    /// identical to [`ExecOptions::lazy`]; see
+    /// [`ExecOptions::parallel_regions`].
+    pub fn lazy_parallel(regions: usize) -> Self {
+        Self {
+            parallel_regions: regions,
+            ..Self::lazy()
         }
     }
 
@@ -323,6 +345,7 @@ impl ExecOptions {
         Self {
             materialized: true,
             baseline_scheduler: true,
+            parallel_regions: 0,
         }
     }
 
@@ -332,12 +355,15 @@ impl ExecOptions {
         Self {
             materialized: true,
             baseline_scheduler: false,
+            parallel_regions: 0,
         }
     }
 }
 
 /// An external, boxed workload source (see [`Network::with_sources`]).
-pub type DynWorkloadSource = Box<dyn EventSource<Event = WorkloadEvent>>;
+/// `Send` so that [`ExecOptions::parallel_regions`] can move a region's
+/// sources onto a worker thread.
+pub type DynWorkloadSource = Box<dyn EventSource<Event = WorkloadEvent> + Send>;
 
 /// One lazy initial-event process of a run. Ranks (vector order) break
 /// timestamp ties: churn sources come first in node order, then the two
@@ -407,6 +433,7 @@ pub struct Network {
     operator_cursor: Vec<usize>,
     online_count: usize,
     peak_pending: usize,
+    options: ExecOptions,
 }
 
 impl Network {
@@ -445,6 +472,22 @@ impl Network {
         Self::build(scenario, ExecOptions::lazy(), sources)
     }
 
+    /// Like [`Network::with_sources`], with explicit execution options
+    /// (e.g. [`ExecOptions::lazy_parallel`]). The options must be a lazy
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::validate`] reports problems or the options are
+    /// inconsistent with external sources.
+    pub fn with_sources_options(
+        scenario: Scenario,
+        sources: Vec<DynWorkloadSource>,
+        options: ExecOptions,
+    ) -> Self {
+        Self::build(scenario, options, sources)
+    }
+
     fn build(scenario: Scenario, options: ExecOptions, external: Vec<DynWorkloadSource>) -> Self {
         let problems = scenario.validate();
         assert!(
@@ -459,6 +502,10 @@ impl Network {
             options.materialized || !options.baseline_scheduler,
             "lazy execution requires the timer wheel: the source-merge loop peeks the queue \
              once per event, which is O(pending) on the seed scheduler"
+        );
+        assert!(
+            !options.materialized || options.parallel_regions <= 1,
+            "parallel regions advance lazy sources; the materialized path has none"
         );
         let rng = SimRng::new(scenario.seed);
         let mut id_rng = rng.derive("node-identities");
@@ -618,6 +665,7 @@ impl Network {
             operator_cursor,
             online_count: 0,
             peak_pending: 0,
+            options,
             scenario,
         };
         network.heads = (0..network.sources.len())
@@ -777,71 +825,12 @@ impl Network {
 
     /// Timestamp of the next event of source `rank`, if any.
     fn source_peek(&self, rank: usize) -> Option<SimTime> {
-        match &self.sources[rank] {
-            SourceState::Churn { node, cursor } => cursor
-                .peek(&self.scenario.nodes[*node].schedule)
-                .map(|(t, _)| t),
-            SourceState::Requests { cursor, order } => {
-                cursor_index(self.scenario.requests.len(), *cursor, order)
-                    .map(|i| self.scenario.requests[i].at)
-            }
-            SourceState::GatewayRequests { cursor, order } => {
-                cursor_index(self.scenario.gateway_requests.len(), *cursor, order)
-                    .map(|i| self.scenario.gateway_requests[i].at)
-            }
-            SourceState::External(source) => source.peek_time(),
-        }
+        source_state_peek(&self.sources[rank], &self.scenario)
     }
 
     /// Pulls the next event of source `rank`.
     fn source_pop(&mut self, rank: usize) -> Option<(SimTime, NetEvent)> {
-        match &mut self.sources[rank] {
-            SourceState::Churn { node, cursor } => {
-                let (t, event) = cursor.peek(&self.scenario.nodes[*node].schedule)?;
-                cursor.advance();
-                let event = match event {
-                    ChurnEvent::Online => NetEvent::NodeOnline(*node),
-                    ChurnEvent::Offline => NetEvent::NodeOffline(*node),
-                };
-                Some((t, event))
-            }
-            SourceState::Requests { cursor, order } => {
-                let index = cursor_index(self.scenario.requests.len(), *cursor, order)?;
-                *cursor += 1;
-                let r = self.scenario.requests[index];
-                Some((
-                    r.at,
-                    NetEvent::UserRequest {
-                        node: r.node,
-                        content: r.content,
-                    },
-                ))
-            }
-            SourceState::GatewayRequests { cursor, order } => {
-                let index = cursor_index(self.scenario.gateway_requests.len(), *cursor, order)?;
-                *cursor += 1;
-                let r = self.scenario.gateway_requests[index];
-                Some((
-                    r.at,
-                    NetEvent::GatewayHttp {
-                        operator: r.operator,
-                        content: r.content,
-                    },
-                ))
-            }
-            SourceState::External(source) => {
-                let (t, event) = source.next_event()?;
-                let event = match event {
-                    WorkloadEvent::Request { node, content } => {
-                        NetEvent::UserRequest { node, content }
-                    }
-                    WorkloadEvent::Gateway { operator, content } => {
-                        NetEvent::GatewayHttp { operator, content }
-                    }
-                };
-                Some((t, event))
-            }
-        }
+        source_state_pop(&mut self.sources[rank], &self.scenario)
     }
 
     /// Takes the event of the source at the top of the head-heap, refreshes
@@ -869,6 +858,13 @@ impl Network {
     /// Runs the simulation to completion, feeding `sink` with everything the
     /// monitors observe.
     pub fn run<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
+        if self.options.parallel_regions >= 2 && self.sources.len() >= 2 {
+            return self.run_parallel_regions(sink);
+        }
+        self.run_serial(sink)
+    }
+
+    fn run_serial<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
         let horizon_end = SimTime::ZERO + self.scenario.horizon;
         let mut events = 0u64;
         loop {
@@ -897,6 +893,154 @@ impl Network {
                             break;
                         }
                         self.take_source_head()
+                    } else {
+                        match self.queue.pop_until(horizon_end) {
+                            Some(popped) => popped,
+                            None => break,
+                        }
+                    }
+                }
+            };
+            events += 1;
+            self.handle_event(now, event, sink);
+        }
+        RunReport {
+            counters: self.counters.to_counters(),
+            events_processed: events,
+            nodes_ever_online: self.ever_online_count,
+            peak_pending: self.peak_pending,
+        }
+    }
+
+    /// The parallel-regions event loop (see
+    /// [`ExecOptions::parallel_regions`]).
+    ///
+    /// The lazy source processes are partitioned round-robin into
+    /// independent regions, *keeping their global ranks*. The run then
+    /// alternates between two phases separated by monitor-visible
+    /// synchronization barriers (fixed-width time windows):
+    ///
+    /// 1. **advance** — every region, on its own worker thread, pulls all of
+    ///    its sources' events up to the barrier and sorts them by
+    ///    `(time, rank)`. Source processes are pure functions of the
+    ///    scenario and their own RNG streams — never of simulation state —
+    ///    so running them ahead of the main loop yields exactly the events
+    ///    the serial merge would have pulled one at a time.
+    /// 2. **apply** — the main thread merges the region batches (a k-way
+    ///    merge by `(time, rank)`, reproducing the head-heap's order
+    ///    exactly) and interleaves them with the runtime queue under the
+    ///    serial loop's tie rule: a source event at `t` precedes queue
+    ///    events at `t` and follows queue events before `t`.
+    ///
+    /// The handler side stays sequential, so the monitor trace, counters and
+    /// event count are bit-identical to the serial lazy mode — asserted by
+    /// the digest checks in `simnet_bench` and the equivalence tests.
+    /// `peak_pending` additionally counts the buffered window (bounded by
+    /// window width × aggregate event rate, not by the horizon).
+    fn run_parallel_regions<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
+        /// Barrier spacing: long enough to amortize the per-window thread
+        /// fan-out, short enough that a window's event buffer stays a small
+        /// slice of the horizon.
+        const REGION_WINDOW: SimDuration = SimDuration::from_hours(1);
+
+        let horizon_end = SimTime::ZERO + self.scenario.horizon;
+        let regions = self.options.parallel_regions.min(self.sources.len());
+        // Partition the sources round-robin, keeping each one's global rank
+        // (the merge key that reproduces serial order). The head-heap is not
+        // used in this mode.
+        let mut partitions: Vec<Vec<(u32, SourceState)>> =
+            (0..regions).map(|_| Vec::new()).collect();
+        for (rank, source) in std::mem::take(&mut self.sources).into_iter().enumerate() {
+            partitions[rank % regions].push((rank as u32, source));
+        }
+        self.heads.clear();
+
+        let mut events = 0u64;
+        let mut buffer: Vec<(SimTime, u32, NetEvent)> = Vec::new();
+        let mut next = 0usize;
+        let mut barrier = SimTime::ZERO;
+        loop {
+            // Advance phase: refill the buffer from the regions, window by
+            // window, until something is buffered or the horizon is reached.
+            while next >= buffer.len() && barrier < horizon_end {
+                barrier = (barrier + REGION_WINDOW).min(horizon_end);
+                let deadline = barrier;
+                let scenario = &self.scenario;
+                let batches: Vec<Vec<(SimTime, u32, NetEvent)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = partitions
+                        .iter_mut()
+                        .map(|partition| {
+                            scope.spawn(move || {
+                                let mut batch = Vec::new();
+                                for (rank, source) in partition.iter_mut() {
+                                    while source_state_peek(source, scenario)
+                                        .is_some_and(|t| t <= deadline)
+                                    {
+                                        let (at, event) = source_state_pop(source, scenario)
+                                            .expect("peek implies a pending event");
+                                        batch.push((at, *rank, event));
+                                    }
+                                }
+                                // Stable by (time, rank): equal keys only
+                                // arise within one source, whose pull order
+                                // is preserved.
+                                batch.sort_by_key(|&(t, rank, _)| (t, rank));
+                                batch
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("region worker panicked"))
+                        .collect()
+                });
+                buffer.clear();
+                next = 0;
+                for batch in batches {
+                    buffer.extend(batch);
+                }
+                // Merge of the per-region sorted batches; stability keeps
+                // intra-source order on (unreachable) full-key ties.
+                buffer.sort_by_key(|&(t, rank, _)| (t, rank));
+                if buffer.is_empty() {
+                    // Quiet window: jump the barrier to just before the
+                    // earliest pending source event (or the horizon, when
+                    // every source is exhausted) instead of spinning
+                    // through empty windows.
+                    barrier = partitions
+                        .iter()
+                        .flatten()
+                        .filter_map(|(_, source)| source_state_peek(source, scenario))
+                        .min()
+                        .map(|t| SimTime::from_millis(t.as_millis().saturating_sub(1)))
+                        .unwrap_or(horizon_end)
+                        .clamp(barrier, horizon_end);
+                }
+            }
+
+            let pending = self.queue.pending() + (buffer.len() - next);
+            if pending > self.peak_pending {
+                self.peak_pending = pending;
+            }
+            // Apply phase: the serial loop's rule, verbatim — source events
+            // win timestamp ties against queue events.
+            let (now, event) = match buffer.get(next) {
+                None => match self.queue.pop_until(horizon_end) {
+                    Some(popped) => popped,
+                    None => break,
+                },
+                Some(&(ts, _, _)) => {
+                    let take_source = match self.queue.peek_time() {
+                        Some(tq) => ts <= tq,
+                        None => true,
+                    };
+                    if take_source {
+                        let (at, _, event) = buffer[next];
+                        next += 1;
+                        // Keep the queue clock in step, as the serial
+                        // source-head path does.
+                        self.queue.advance_to(at);
+                        (at, event)
                     } else {
                         match self.queue.pop_until(horizon_end) {
                             Some(popped) => popped,
@@ -1310,6 +1454,75 @@ impl Network {
                 self.counters.incr(SimCounter::GatewayCacheMisses);
                 self.handle_request(node, content, now, true, sink);
             }
+        }
+    }
+}
+
+/// Timestamp of a source's next event, if any. Free-standing (state +
+/// scenario, no `&Network`) so that region workers advance sources with the
+/// *identical* code the serial merge loop uses.
+fn source_state_peek(source: &SourceState, scenario: &Scenario) -> Option<SimTime> {
+    match source {
+        SourceState::Churn { node, cursor } => {
+            cursor.peek(&scenario.nodes[*node].schedule).map(|(t, _)| t)
+        }
+        SourceState::Requests { cursor, order } => {
+            cursor_index(scenario.requests.len(), *cursor, order).map(|i| scenario.requests[i].at)
+        }
+        SourceState::GatewayRequests { cursor, order } => {
+            cursor_index(scenario.gateway_requests.len(), *cursor, order)
+                .map(|i| scenario.gateway_requests[i].at)
+        }
+        SourceState::External(source) => source.peek_time(),
+    }
+}
+
+/// Pulls a source's next event. See [`source_state_peek`] for why this is
+/// free-standing.
+fn source_state_pop(source: &mut SourceState, scenario: &Scenario) -> Option<(SimTime, NetEvent)> {
+    match source {
+        SourceState::Churn { node, cursor } => {
+            let (t, event) = cursor.peek(&scenario.nodes[*node].schedule)?;
+            cursor.advance();
+            let event = match event {
+                ChurnEvent::Online => NetEvent::NodeOnline(*node),
+                ChurnEvent::Offline => NetEvent::NodeOffline(*node),
+            };
+            Some((t, event))
+        }
+        SourceState::Requests { cursor, order } => {
+            let index = cursor_index(scenario.requests.len(), *cursor, order)?;
+            *cursor += 1;
+            let r = scenario.requests[index];
+            Some((
+                r.at,
+                NetEvent::UserRequest {
+                    node: r.node,
+                    content: r.content,
+                },
+            ))
+        }
+        SourceState::GatewayRequests { cursor, order } => {
+            let index = cursor_index(scenario.gateway_requests.len(), *cursor, order)?;
+            *cursor += 1;
+            let r = scenario.gateway_requests[index];
+            Some((
+                r.at,
+                NetEvent::GatewayHttp {
+                    operator: r.operator,
+                    content: r.content,
+                },
+            ))
+        }
+        SourceState::External(source) => {
+            let (t, event) = source.next_event()?;
+            let event = match event {
+                WorkloadEvent::Request { node, content } => NetEvent::UserRequest { node, content },
+                WorkloadEvent::Gateway { operator, content } => {
+                    NetEvent::GatewayHttp { operator, content }
+                }
+            };
+            Some((t, event))
         }
     }
 }
@@ -1791,7 +2004,12 @@ mod tests {
             let reference =
                 Network::with_options(busy_scenario(seed), ExecOptions::seed_baseline())
                     .run(&mut reference_sink);
-            for options in [ExecOptions::materialized_wheel(), ExecOptions::lazy()] {
+            for options in [
+                ExecOptions::materialized_wheel(),
+                ExecOptions::lazy(),
+                ExecOptions::lazy_parallel(2),
+                ExecOptions::lazy_parallel(5),
+            ] {
                 let mut sink = RecordingSink::new(2);
                 let report = Network::with_options(busy_scenario(seed), options).run(&mut sink);
                 assert_eq!(

@@ -19,6 +19,7 @@
 //! [`rng::SimRng`] streams, so every experiment is reproducible from its seed.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
 pub mod churn;

@@ -22,6 +22,23 @@
 //! * [`BaselineScheduler`] — the original `BinaryHeap + HashSet`-tombstone
 //!   implementation, kept verbatim as a property-test oracle and as the
 //!   "before" side of the `simnet_bench` comparison.
+//!
+//! The wheel's four levels, each 256 slots, with the span one slot covers:
+//!
+//! ```text
+//! level 0    1 ms/slot      256 slots →      256 ms   "now" — next quarter second
+//! level 1  256 ms/slot      256 slots →    ~65.5 s    short timers (re-broadcasts)
+//! level 2  ~65.5 s/slot     256 slots →    ~4.66 h    session-scale timers
+//! level 3  ~4.66 h/slot     256 slots →   ~49.7 d     whole-run horizon
+//! overflow BinaryHeap                  →   beyond     far future (rare)
+//! ```
+//!
+//! An event lands in the coarsest level whose slot resolution still
+//! separates it from the current time; when the clock enters a coarse slot,
+//! that slot's events *cascade* down one level, regaining resolution. Each
+//! event therefore moves at most `levels` times total — the O(1) amortized
+//! bound — while a binary heap pays O(log pending) on every operation, which
+//! is what the `simnet_bench` scheduler replay measures against.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;

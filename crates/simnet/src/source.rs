@@ -11,10 +11,27 @@
 //!
 //! Contract: a source yields events in nondecreasing time order, and
 //! [`EventSource::peek_time`] always matches the timestamp the next call to
-//! [`EventSource::next`] will return. Merging is deterministic: the driver
-//! breaks timestamp ties by source rank (the order sources were registered),
-//! which reproduces exactly the FIFO sequence-number order the materialized
-//! path produced.
+//! [`EventSource::next_event`] will return. Merging is deterministic: the
+//! driver breaks timestamp ties by source **rank** — the order sources were
+//! registered — which reproduces exactly the FIFO sequence-number order the
+//! materialized path produced:
+//!
+//! ```text
+//!  rank 0   churn(node 0)  ──┐           merge key: (next event time, rank)
+//!  rank 1   churn(node 1)  ──┤
+//!  ...                       ├──► head-heap ──► event loop ──► handlers
+//!  rank N   node requests ──┤      (or: per-region batches, merged by the
+//!  rank N+1 gateway reqs  ──┘       same key at a synchronization barrier)
+//!
+//!  tie at time t:  lower rank first; and source events at t precede
+//!  runtime (scheduler) events at t — the materialized path scheduled the
+//!  initial events first, so they carried the lower sequence numbers.
+//! ```
+//!
+//! Because a source's event stream depends only on the scenario and its own
+//! RNG stream — never on simulation state — sources may be advanced *ahead*
+//! of the main loop, on other threads, without changing a single event;
+//! that is what the simulator's parallel-regions mode exploits.
 
 use crate::time::SimTime;
 

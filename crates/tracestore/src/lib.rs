@@ -42,12 +42,19 @@
 //!   (labels + merged entries + connection records) over the in-memory
 //!   dataset, a single segment, and a multi-segment manifest, so every
 //!   analysis runs unchanged against any of them.
+//! * [`sink`] — the parallel analysis engine: the [`sink::AnalysisSink`]
+//!   trait (per-entry `consume`, associative `combine`, `finish`), the
+//!   serial [`sink::run_sink`] driver over any source, and
+//!   [`reader::ManifestReader::run_parallel`], which feeds each monitor
+//!   chain's decode stream to a sink clone on its own worker thread and
+//!   skips the k-way merge entirely.
 //!
 //! A round-trip through a segment is lossless, and measured segments are a
 //! fraction of the size of the equivalent JSON (see the `tracestore_bench`
 //! binary in `ipfs-mon-bench`).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
 pub mod codec;
@@ -57,6 +64,7 @@ pub mod mmap;
 pub mod reader;
 pub mod record;
 pub mod segment;
+pub mod sink;
 pub mod source;
 pub mod writer;
 
@@ -75,5 +83,6 @@ pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, Un
 pub use segment::{
     ChunkEntries, ChunkInfo, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
 };
+pub use sink::{run_sink, AnalysisSink};
 pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};
 pub use writer::TraceWriter;

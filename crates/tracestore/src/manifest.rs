@@ -30,6 +30,12 @@
 //! monitor index 0 (the segment knows only its own monitor); the manifest
 //! maps each segment back to its global monitor index, and the reader
 //! restores it on every yielded record.
+//!
+//! Segment files referenced by a manifest are format-v2 segments (chunk
+//! framing with a leading per-chunk codec byte); the v1→v2 compatibility
+//! rule lives in one place, [`crate::segment::FORMAT_VERSION`]. The
+//! manifest itself carries its own version byte, independent of the segment
+//! format.
 
 use crate::crc::crc32;
 use crate::record::{ConnectionRecord, TraceEntry};

@@ -760,8 +760,30 @@ impl ManifestReader {
         })
     }
 
-    /// The options the reader was opened with.
-    pub fn options(&self) -> ReadOptions {
+    /// The [`ReadOptions`] the reader was opened with.
+    ///
+    /// ```
+    /// use ipfs_mon_tracestore::{
+    ///     DatasetConfig, DatasetWriter, ManifestReader, ReadOptions,
+    /// };
+    ///
+    /// let dir = std::env::temp_dir().join(format!("ipmm-doc-{}", std::process::id()));
+    /// DatasetWriter::create(&dir, vec!["us".into()], DatasetConfig::default())?
+    ///     .finish()?;
+    ///
+    /// // Default: block-cached file reads, serial merge.
+    /// let reader = ManifestReader::open(&dir)?;
+    /// assert!(!reader.read_options().mmap);
+    ///
+    /// // Opt in to mapped buffers and decode-ahead workers per monitor chain.
+    /// let options = ReadOptions::default().mmap(true).decode_ahead(true);
+    /// let reader = ManifestReader::open_with(&dir, options)?;
+    /// assert_eq!(reader.read_options(), options);
+    ///
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), ipfs_mon_tracestore::SegmentError>(())
+    /// ```
+    pub fn read_options(&self) -> ReadOptions {
         self.options
     }
 
@@ -1037,7 +1059,7 @@ enum Prefetched {
 /// extra footer decode each, no extra opens and no duplicated buffers),
 /// runs the identical [`ChainedMonitorStream`] the serial path runs, and
 /// ships entries in bounded batches over a rendezvous-depth channel,
-/// closing with an explicit [`Prefetched::Done`] / [`Prefetched::Failed`].
+/// closing with an explicit done/failed message.
 /// A hangup *without* that closing message means the worker died (panic);
 /// the consumer reports it as an error rather than a clean, silently
 /// truncated stream. Dropping the stream disconnects the channel; the

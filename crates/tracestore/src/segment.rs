@@ -46,10 +46,18 @@ use std::ops::Range;
 pub const HEADER_MAGIC: &[u8; 4] = b"IPMT";
 /// Magic bytes closing every segment (after the footer).
 pub const FOOTER_MAGIC: &[u8; 4] = b"TSFT";
-/// Current format version. Version 2 added the per-chunk codec byte; v1
-/// segments (which had no codec byte) are refused with
-/// [`SegmentError::UnsupportedVersion`] rather than silently misparsed —
-/// re-encode them through a v1 build's reader if any still exist.
+/// Current format version.
+///
+/// **The v1→v2 compatibility rule** (the single normative statement — the
+/// writer, manifest and reader docs all defer here): version 2 added the
+/// per-chunk codec byte as the first payload byte, inside the chunk CRC.
+/// Writers only produce v2. Readers dispatch on the per-chunk codec byte,
+/// so v2 datasets may mix codecs freely — but v1 segments (no codec byte)
+/// are *refused* at open with [`SegmentError::UnsupportedVersion`] rather
+/// than silently misparsed; re-encode them through a v1 build's reader if
+/// any still exist. Manifests are unversioned against this change: a
+/// manifest only names segment files, so a dataset is migrated segment by
+/// segment.
 pub const FORMAT_VERSION: u8 = 2;
 /// Size of the fixed trailer: footer CRC + footer length + magic.
 pub const TRAILER_LEN: usize = 4 + 8 + 4;

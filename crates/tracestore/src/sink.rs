@@ -1,0 +1,335 @@
+//! The parallel analysis engine: [`AnalysisSink`] and the drivers that run
+//! sinks over trace sources — serially over the merged stream, or with one
+//! worker per monitor chain via [`ManifestReader::run_parallel`].
+//!
+//! # Why sinks
+//!
+//! Most of the paper's analyses (request-type series, raw popularity,
+//! activity counts, descriptive stats) aggregate per entry and never compare
+//! entries *across* monitors — the global `(timestamp, monitor)` merge the
+//! read path produces is pure overhead for them. A sink makes that
+//! independence explicit:
+//!
+//! * [`AnalysisSink::consume`] folds one entry into the sink's state;
+//! * [`AnalysisSink::combine`] merges two partial states. It must be
+//!   **associative and commutative up to the final output**: splitting each
+//!   monitor's stream into time-contiguous runs, folding the runs into
+//!   clones (each run in stream order), and combining the clones in any
+//!   order must finish to the same output as one sink consuming everything.
+//!   Drivers always keep one monitor's stream contiguous — a sink may
+//!   therefore carry per-monitor sequential state (last-seen timestamps),
+//!   but must not assume anything about cross-monitor interleaving. (Sinks
+//!   over integer aggregates combine exactly; sinks that need
+//!   floating-point must defer the float math to `finish` so partials stay
+//!   exact.)
+//! * [`AnalysisSink::finish`] turns the state into the analysis result.
+//!
+//! With that contract, [`ManifestReader::run_parallel`] feeds every monitor
+//! chain's decode stream to a sink clone on its own worker thread and never
+//! materializes the merge at all — each worker runs the *same*
+//! per-monitor chain stream the serial k-way merge would have consumed (the
+//! byte-identity argument is the same as for decode-ahead mode: same code,
+//! same streams, only the interleaving differs, and the sink contract makes
+//! the interleaving irrelevant).
+//!
+//! The serial driver [`run_sink`] runs the same sink over the merged stream
+//! of *any* [`TraceSource`]; the single-stream analysis entry points in
+//! `ipfs-mon-core` are thin wrappers over it, and the equivalence
+//! `run_parallel(sink) == run_sink(source, sink)` is property-tested in
+//! `tests/parallel_analysis.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use ipfs_mon_tracestore::{run_sink, AnalysisSink, MonitoringDataset, TraceEntry};
+//!
+//! /// Counts entries per monitor.
+//! #[derive(Clone, Default)]
+//! struct CountSink {
+//!     per_monitor: Vec<u64>,
+//! }
+//!
+//! impl AnalysisSink for CountSink {
+//!     type Output = Vec<u64>;
+//!
+//!     fn consume(&mut self, entry: TraceEntry) {
+//!         if self.per_monitor.len() <= entry.monitor {
+//!             self.per_monitor.resize(entry.monitor + 1, 0);
+//!         }
+//!         self.per_monitor[entry.monitor] += 1;
+//!     }
+//!
+//!     fn combine(&mut self, other: Self) {
+//!         if self.per_monitor.len() < other.per_monitor.len() {
+//!             self.per_monitor.resize(other.per_monitor.len(), 0);
+//!         }
+//!         for (mine, theirs) in self.per_monitor.iter_mut().zip(other.per_monitor) {
+//!             *mine += theirs;
+//!         }
+//!     }
+//!
+//!     fn finish(self) -> Vec<u64> {
+//!         self.per_monitor
+//!     }
+//! }
+//!
+//! let dataset = MonitoringDataset::new(vec!["us".into(), "de".into()]);
+//! let counts = run_sink(&dataset, CountSink::default()).unwrap();
+//! assert_eq!(counts, Vec::<u64>::new()); // empty dataset, no buckets
+//! ```
+
+use crate::reader::ManifestReader;
+use crate::record::TraceEntry;
+use crate::segment::SegmentError;
+use crate::source::TraceSource;
+
+/// A streaming analysis whose result does not depend on the interleaving of
+/// entries *across* monitors.
+///
+/// Implementors fold entries with [`AnalysisSink::consume`]; partial states
+/// merge with [`AnalysisSink::combine`] (associative and commutative up to
+/// the final output, over per-monitor time-contiguous partitions — see the
+/// [module docs](self) for the exact contract); [`AnalysisSink::finish`]
+/// produces the result. Entries within one monitor are always delivered in
+/// that monitor's exact `(timestamp, arrival)` stream order, so per-monitor
+/// sequential state (last-seen timestamps, inter-arrival tracking) is fine
+/// as long as it is *keyed by monitor*.
+///
+/// The trait itself has no `Send` bound — only
+/// [`ManifestReader::run_parallel`] requires `Send` (plus `Clone`) on the
+/// concrete sink; serial drivers accept any sink.
+pub trait AnalysisSink {
+    /// What the analysis produces.
+    type Output;
+
+    /// Folds one entry into the sink's state.
+    fn consume(&mut self, entry: TraceEntry);
+
+    /// Merges another sink's partial state into this one.
+    fn combine(&mut self, other: Self);
+
+    /// Produces the analysis result.
+    fn finish(self) -> Self::Output;
+}
+
+/// Two sinks runnable as one: both see every entry, and the output is the
+/// pair of outputs. Nests, so any number of analyses share a single pass.
+impl<A: AnalysisSink, B: AnalysisSink> AnalysisSink for (A, B) {
+    type Output = (A::Output, B::Output);
+
+    fn consume(&mut self, entry: TraceEntry) {
+        self.0.consume(entry.clone());
+        self.1.consume(entry);
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.0.combine(other.0);
+        self.1.combine(other.1);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish())
+    }
+}
+
+/// Runs a sink serially over the merged entry stream of any trace source —
+/// the reference semantics every parallel execution must reproduce.
+pub fn run_sink<S, K>(source: &S, mut sink: K) -> Result<K::Output, SegmentError>
+where
+    S: TraceSource + ?Sized,
+    K: AnalysisSink,
+{
+    let mut entries = source.merged_entries();
+    for entry in &mut entries {
+        sink.consume(entry);
+    }
+    if let Some(error) = entries.take_error() {
+        return Err(error);
+    }
+    Ok(sink.finish())
+}
+
+impl ManifestReader {
+    /// Runs a sink with one worker thread per monitor chain, skipping the
+    /// k-way merge entirely.
+    ///
+    /// Each worker streams its monitor's segment chain — the identical
+    /// [`ChainedMonitorStream`](crate::reader::ChainedMonitorStream) the
+    /// serial merge consumes, over the same `Arc`-shared sources — into a
+    /// clone of `sink`; the partial sinks are then combined in monitor
+    /// order and finished on the calling thread. For any sink honouring the
+    /// [`AnalysisSink`] contract the output equals
+    /// [`run_sink`]`(self, sink)`, while decode *and* analysis run on all
+    /// monitor chains concurrently.
+    ///
+    /// If any chain ends on a storage error, the error of the
+    /// lowest-numbered failing monitor is returned (deterministic regardless
+    /// of worker timing).
+    pub fn run_parallel<K>(&self, sink: K) -> Result<K::Output, SegmentError>
+    where
+        K: AnalysisSink + Clone + Send,
+    {
+        let monitors = self.monitor_count();
+        if monitors <= 1 {
+            return run_sink(self, sink);
+        }
+        let results: Vec<Result<K, SegmentError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..monitors)
+                .map(|monitor| {
+                    let mut worker_sink = sink.clone();
+                    scope.spawn(move || {
+                        let mut stream = self.stream_monitor_sorted(monitor);
+                        for entry in &mut stream {
+                            worker_sink.consume(entry);
+                        }
+                        match stream.take_error() {
+                            Some(error) => Err(error),
+                            None => Ok(worker_sink),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("analysis worker panicked"))
+                .collect()
+        });
+        let mut combined: Option<K> = None;
+        for result in results {
+            let part = result?;
+            match combined.as_mut() {
+                None => combined = Some(part),
+                Some(acc) => acc.combine(part),
+            }
+        }
+        Ok(combined.unwrap_or(sink).finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{DatasetConfig, DatasetWriter};
+    use crate::record::EntryFlags;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, peer: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(3, peer),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::Us),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[peer as u8]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    /// `(per-monitor entry count, per-monitor sum of timestamps)` — enough
+    /// state to notice dropped, duplicated, or misattributed entries.
+    #[derive(Clone, Default, PartialEq, Debug)]
+    struct ProbeSink {
+        counts: Vec<u64>,
+        time_sums: Vec<u64>,
+    }
+
+    impl AnalysisSink for ProbeSink {
+        type Output = (Vec<u64>, Vec<u64>);
+
+        fn consume(&mut self, entry: TraceEntry) {
+            if self.counts.len() <= entry.monitor {
+                self.counts.resize(entry.monitor + 1, 0);
+                self.time_sums.resize(entry.monitor + 1, 0);
+            }
+            self.counts[entry.monitor] += 1;
+            self.time_sums[entry.monitor] += entry.timestamp.as_millis();
+        }
+
+        fn combine(&mut self, other: Self) {
+            if self.counts.len() < other.counts.len() {
+                self.counts.resize(other.counts.len(), 0);
+                self.time_sums.resize(other.counts.len(), 0);
+            }
+            for (i, (c, s)) in other.counts.into_iter().zip(other.time_sums).enumerate() {
+                self.counts[i] += c;
+                self.time_sums[i] += s;
+            }
+        }
+
+        fn finish(self) -> Self::Output {
+            (self.counts, self.time_sums)
+        }
+    }
+
+    fn build_manifest_dir(label: &str, monitors: usize, per_monitor: u64) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ts-sink-{label}-{}-{}",
+            std::process::id(),
+            monitors
+        ));
+        let labels: Vec<String> = (0..monitors).map(|m| format!("m{m}")).collect();
+        let mut writer = DatasetWriter::create(
+            &dir,
+            labels,
+            DatasetConfig {
+                rotate_after_entries: (per_monitor / 3).max(1),
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        for m in 0..monitors {
+            for i in 0..per_monitor {
+                writer.append(&entry(i * 7 + m as u64, i % 11, m)).unwrap();
+            }
+        }
+        writer.finish().unwrap();
+        dir
+    }
+
+    #[test]
+    fn run_parallel_matches_run_sink() {
+        let dir = build_manifest_dir("match", 3, 200);
+        let reader = ManifestReader::open(&dir).unwrap();
+        let serial = run_sink(&reader, ProbeSink::default()).unwrap();
+        let parallel = reader.run_parallel(ProbeSink::default()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.0, vec![200, 200, 200]);
+    }
+
+    #[test]
+    fn tuple_sinks_share_one_pass() {
+        let dir = build_manifest_dir("tuple", 2, 50);
+        let reader = ManifestReader::open(&dir).unwrap();
+        let (a, b) = reader
+            .run_parallel((ProbeSink::default(), ProbeSink::default()))
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(a, b);
+        assert_eq!(a.0, vec![50, 50]);
+    }
+
+    #[test]
+    fn run_parallel_surfaces_storage_errors() {
+        let dir = build_manifest_dir("err", 2, 120);
+        // Damage one segment body (past the header, before the footer).
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[10] ^= 0x55;
+        std::fs::write(&victim, &bytes).unwrap();
+        let reader = ManifestReader::open(&dir).unwrap();
+        let result = reader.run_parallel(ProbeSink::default());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(
+            result,
+            Err(SegmentError::ChecksumMismatch { .. }) | Err(SegmentError::Corrupt(_))
+        ));
+    }
+}

@@ -101,6 +101,49 @@ impl Iterator for SourceConnections<'_> {
 }
 
 /// A readable trace, wherever it lives.
+///
+/// An analysis written against `&impl TraceSource` runs unchanged over the
+/// in-memory dataset, a single on-disk segment, or a multi-segment manifest:
+///
+/// ```
+/// use ipfs_mon_bitswap::RequestType;
+/// use ipfs_mon_simnet::time::SimTime;
+/// use ipfs_mon_tracestore::{EntryFlags, MonitoringDataset, TraceEntry, TraceSource};
+/// use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+///
+/// fn entry(ms: u64, monitor: usize) -> TraceEntry {
+///     TraceEntry {
+///         timestamp: SimTime::from_millis(ms),
+///         peer: PeerId::derived(1, ms),
+///         address: Multiaddr::new(1, 4001, Transport::Tcp, Country::Us),
+///         request_type: RequestType::WantHave,
+///         cid: Cid::new_v1(Multicodec::Raw, b"x"),
+///         monitor,
+///         flags: EntryFlags::default(),
+///     }
+/// }
+///
+/// /// Counts the requests of a trace — any trace.
+/// fn count_requests(source: &impl TraceSource) -> usize {
+///     source.merged_entries().filter(|e| e.is_request()).count()
+/// }
+///
+/// let mut dataset = MonitoringDataset::new(vec!["us".into(), "de".into()]);
+/// dataset.entries[0].push(entry(20, 0));
+/// dataset.entries[1].push(entry(10, 1));
+/// assert_eq!(count_requests(&dataset), 2);
+///
+/// // The merged view is (timestamp, monitor)-ordered regardless of how the
+/// // entries were laid out per monitor.
+/// let times: Vec<u64> = dataset
+///     .merged_entries()
+///     .map(|e| e.timestamp.as_millis())
+///     .collect();
+/// assert_eq!(times, vec![10, 20]);
+/// ```
+///
+/// The same `count_requests` accepts a [`TraceReader`] or [`ManifestReader`]
+/// — see [`crate::sink`] for the analysis engine built on top of this trait.
 pub trait TraceSource {
     /// The monitor labels of the dataset.
     fn monitor_labels(&self) -> &[String];

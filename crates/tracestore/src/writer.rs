@@ -1,4 +1,13 @@
 //! The sharded, spill-as-you-go segment writer.
+//!
+//! Writes format **v2** segments exclusively (see
+//! [`crate::segment::FORMAT_VERSION`] for the v1→v2 compatibility rule):
+//! every spilled chunk is framed as
+//! `payload_len:varint · payload · crc32(payload):u32le` with the payload's
+//! first byte naming the chunk codec ([`crate::codec`]) that transformed the
+//! column planes behind it. Earlier docs described the v1 framing, which
+//! had no codec byte — the CRC of a v2 chunk covers codec byte *and* body,
+//! so a reader can never mistake one format for the other silently.
 
 use crate::record::{ConnectionRecord, TraceEntry};
 use crate::segment::{
@@ -8,8 +17,10 @@ use crate::segment::{
 use std::io::Write;
 
 /// Writes a segment incrementally: entries are buffered per monitor (one
-/// shard each) and spilled to the sink as framed columnar chunks whenever a
-/// shard reaches the configured capacity. Memory use is bounded by
+/// shard each) and spilled to the sink as framed columnar **v2** chunks —
+/// length varint, then a payload opening with the codec byte of
+/// [`SegmentConfig::codec`], then the payload CRC — whenever a shard reaches
+/// the configured capacity. Memory use is bounded by
 /// `monitors × chunk_capacity` entries regardless of trace length.
 ///
 /// Connection records are rare relative to entries and are kept for the

@@ -13,6 +13,7 @@
 //! * [`scenario`] — presets and the end-to-end [`scenario::build_scenario`].
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
 pub mod catalog;

@@ -26,7 +26,7 @@ use ipfs_mon_simnet::rng::SimRng;
 use ipfs_mon_simnet::source::EventSource;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of the request workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -145,8 +145,8 @@ pub fn generate_gateway_requests(
 /// eager, stably-time-sorted request vector byte for byte.
 struct NodeRequestSource {
     node: usize,
-    sessions: Rc<[OnlineSession]>,
-    sampler: Rc<PopularitySampler>,
+    sessions: Arc<[OnlineSession]>,
+    sampler: Arc<PopularitySampler>,
     rng: SimRng,
     mean_gap_secs: f64,
     session_idx: usize,
@@ -157,8 +157,8 @@ struct NodeRequestSource {
 impl NodeRequestSource {
     fn new(
         node: usize,
-        sessions: Rc<[OnlineSession]>,
-        sampler: Rc<PopularitySampler>,
+        sessions: Arc<[OnlineSession]>,
+        sampler: Arc<PopularitySampler>,
         mut rng: SimRng,
         rate_mean_per_hour: f64,
         rate_shape: f64,
@@ -229,7 +229,7 @@ impl EventSource for NodeRequestSource {
 /// draw-for-draw identical to [`generate_gateway_requests`].
 struct GatewayRequestSource {
     shares: Vec<f64>,
-    sampler: Rc<PopularitySampler>,
+    sampler: Arc<PopularitySampler>,
     rng: SimRng,
     mean_gap_secs: f64,
     horizon_end: SimTime,
@@ -240,7 +240,7 @@ struct GatewayRequestSource {
 impl GatewayRequestSource {
     fn new(
         shares: Vec<f64>,
-        sampler: Rc<PopularitySampler>,
+        sampler: Arc<PopularitySampler>,
         rng: SimRng,
         mean_gap_secs: f64,
         horizon_end: SimTime,
@@ -286,8 +286,8 @@ impl EventSource for GatewayRequestSource {
 }
 
 /// Builds the full set of lazy workload sources for a scenario: one
-/// [`NodeRequestSource`] per non-gateway node in index order, followed by
-/// the [`GatewayRequestSource`] — exactly the rank order
+/// node-request source per non-gateway node in index order, followed by
+/// the gateway stream — exactly the rank order
 /// [`ipfs_mon_node::Network::with_sources`] needs to reproduce the
 /// materialized delivery sequence.
 ///
@@ -307,7 +307,7 @@ pub fn lazy_workload_sources(
     let mut sources: Vec<DynWorkloadSource> = Vec::new();
 
     let mut sampler_rng = node_rng.derive("node-popularity");
-    let node_sampler = Rc::new(PopularitySampler::new(
+    let node_sampler = Arc::new(PopularitySampler::new(
         config.node_popularity,
         catalog_size,
         &mut sampler_rng,
@@ -322,7 +322,7 @@ pub fn lazy_workload_sources(
         sources.push(Box::new(NodeRequestSource::new(
             index,
             node.schedule.sessions.clone().into(),
-            Rc::clone(&node_sampler),
+            Arc::clone(&node_sampler),
             rng,
             config.mean_node_requests_per_hour,
             shape,
@@ -331,7 +331,7 @@ pub fn lazy_workload_sources(
 
     if !operator_shares.is_empty() && config.gateway_requests_per_hour > 0.0 {
         let mut sampler_rng = gateway_rng.derive("gateway-popularity");
-        let gateway_sampler = Rc::new(PopularitySampler::new(
+        let gateway_sampler = Arc::new(PopularitySampler::new(
             config.gateway_popularity,
             catalog_size,
             &mut sampler_rng,

@@ -179,6 +179,31 @@ pub fn build_scenario(config: &ScenarioConfig) -> Scenario {
 /// [`ipfs_mon_node::Network::with_sources`] yields a monitor trace
 /// byte-identical to running the eagerly built scenario, with memory bounded
 /// by the population instead of `population × horizon`.
+///
+/// ```
+/// use ipfs_mon_node::{Network, RecordingSink};
+/// use ipfs_mon_simnet::time::SimDuration;
+/// use ipfs_mon_workload::{build_scenario, build_scenario_lazy, ScenarioConfig};
+///
+/// let mut config = ScenarioConfig::small_test(7);
+/// config.population.nodes = 20;
+/// config.catalog.items = 40;
+/// config.horizon = SimDuration::from_hours(1);
+///
+/// // Eager: the whole request vector is materialized up front…
+/// let eager = build_scenario(&config);
+/// assert!(!eager.requests.is_empty());
+/// let mut eager_sink = RecordingSink::new(eager.monitors.len());
+/// Network::new(eager).run(&mut eager_sink);
+///
+/// // …lazy: no vectors at all, the same events drawn while running.
+/// let (scenario, sources) = build_scenario_lazy(&config);
+/// assert!(scenario.requests.is_empty() && scenario.gateway_requests.is_empty());
+/// let mut lazy_sink = RecordingSink::new(scenario.monitors.len());
+/// Network::with_sources(scenario, sources).run(&mut lazy_sink);
+///
+/// assert_eq!(eager_sink.observations, lazy_sink.observations);
+/// ```
 pub fn build_scenario_lazy(config: &ScenarioConfig) -> (Scenario, Vec<DynWorkloadSource>) {
     let ScenarioBase {
         rng,

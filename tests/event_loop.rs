@@ -80,6 +80,52 @@ fn lazy_generation_is_byte_identical_across_seeds_and_churn() {
     }
 }
 
+/// (b') Parallel regions — lazily generated sources partitioned onto worker
+/// threads and advanced between synchronization barriers — are byte-identical
+/// to serial lazy execution, for every region count from trivial to
+/// more-regions-than-cores, with vector-backed and generated sources alike.
+#[test]
+fn parallel_regions_are_byte_identical_to_lazy_serial() {
+    for seed in [12u64, 73] {
+        let config = scenario_config(seed, 120);
+        let monitor_count = config.monitors.len();
+
+        let mut serial_sink = RecordingSink::new(monitor_count);
+        let (scenario, sources) = build_scenario_lazy(&config);
+        let serial_report = Network::with_sources(scenario, sources).run(&mut serial_sink);
+
+        for regions in [2, 3, 8] {
+            // Generated sources (the production path).
+            let (scenario, sources) = build_scenario_lazy(&config);
+            let mut sink = RecordingSink::new(monitor_count);
+            let report = Network::with_sources_options(
+                scenario,
+                sources,
+                ExecOptions::lazy_parallel(regions),
+            )
+            .run(&mut sink);
+            assert_eq!(
+                sink.observations, serial_sink.observations,
+                "seed {seed}, {regions} regions"
+            );
+            assert_eq!(sink.connections, serial_sink.connections);
+            assert_eq!(report.events_processed, serial_report.events_processed);
+            assert_eq!(report.counters, serial_report.counters);
+
+            // Vector-backed sources (scenario request vectors, no externals).
+            let mut sink = RecordingSink::new(monitor_count);
+            let report =
+                Network::with_options(build_scenario(&config), ExecOptions::lazy_parallel(regions))
+                    .run(&mut sink);
+            assert_eq!(
+                sink.observations, serial_sink.observations,
+                "seed {seed}, {regions} regions, vector-backed"
+            );
+            assert_eq!(report.events_processed, serial_report.events_processed);
+        }
+    }
+}
+
 /// Lazy execution keeps the pending set proportional to live sources, not to
 /// the number of scheduled events.
 #[test]

@@ -1,0 +1,236 @@
+//! Parallel analysis engine integration coverage.
+//!
+//! Property tests proving the two guarantees the engine rests on, for every
+//! ported analysis (request-type series, popularity, activity counts,
+//! descriptive stats):
+//!
+//! 1. **driver equivalence** — `ManifestReader::run_parallel(sink)` equals
+//!    the serial wrapper (`run_sink` over the merged stream) on arbitrary
+//!    datasets, rotation layouts and read options;
+//! 2. **combine-order invariance** — folding each monitor's stream into its
+//!    own sink clone and combining the partials in a *shuffled* order (any
+//!    worker completion order a parallel run could exhibit) equals the
+//!    serial output.
+//!
+//! Plus equivalence of the sink outputs with the pre-engine entry points
+//! they wrap (`request_type_series`, `popularity_scores_stream`,
+//! `per_peer_request_counts_stream`, `multicodec_shares`).
+
+use ipfs_monitoring::bitswap::RequestType;
+use ipfs_monitoring::core::{
+    activity_counts_source, entry_stats_source, multicodec_shares, per_peer_request_counts_stream,
+    popularity_scores_source, popularity_scores_stream, request_type_series,
+    request_type_series_source, ActivityCountsSink, AnalysisSink, EntryStatsSink, PopularitySink,
+    RequestTypeSink,
+};
+use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
+use ipfs_monitoring::tracestore::{
+    run_sink, DatasetConfig, DatasetWriter, EntryFlags, ManifestReader, MonitoringDataset,
+    ReadOptions, SegmentConfig, TraceEntry, TraceSource,
+};
+use ipfs_monitoring::types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Random multi-monitor dataset with bounded per-monitor arrival disorder —
+/// the same trace shape the manifest round-trip suite uses.
+fn random_dataset(
+    seed: u64,
+    monitors: usize,
+    per_monitor: usize,
+    jitter_ms: u64,
+) -> MonitoringDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let types = [
+        RequestType::WantHave,
+        RequestType::WantBlock,
+        RequestType::Cancel,
+    ];
+    let mut dataset = MonitoringDataset::new((0..monitors).map(|m| format!("m{m}")).collect());
+    for monitor in 0..monitors {
+        let mut clock: u64 = 0;
+        for _ in 0..per_monitor {
+            clock += rng.gen_range(0u64..5_000);
+            let timestamp = clock.saturating_sub(rng.gen_range(0u64..=jitter_ms.max(1)));
+            dataset.entries[monitor].push(TraceEntry {
+                timestamp: SimTime::from_millis(timestamp),
+                peer: PeerId::derived(29, rng.gen_range(0u64..12)),
+                address: Multiaddr::new(rng.gen::<u32>(), 4001, Transport::Tcp, Country::De),
+                request_type: types[rng.gen_range(0usize..types.len())],
+                cid: Cid::new_v1(
+                    if rng.gen_bool(0.3) {
+                        Multicodec::DagProtobuf
+                    } else {
+                        Multicodec::Raw
+                    },
+                    &[rng.gen_range(0u8..24)],
+                ),
+                monitor,
+                flags: EntryFlags::default(),
+            });
+        }
+    }
+    dataset
+}
+
+fn temp_dir(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("par-an-{tag}-{}-{seed}", std::process::id()))
+}
+
+fn write_manifest(dataset: &MonitoringDataset, dir: &Path, rotate: u64, chunk: usize) {
+    let config = DatasetConfig {
+        rotate_after_entries: rotate,
+        segment: SegmentConfig {
+            chunk_capacity: chunk,
+            ..SegmentConfig::default()
+        },
+    };
+    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
+    for per_monitor in &dataset.entries {
+        for entry in per_monitor {
+            writer.append(entry).unwrap();
+        }
+    }
+    writer.finish().unwrap();
+}
+
+/// Folds one monitor's time-sorted stream into a fresh clone of `sink`.
+fn fold_monitor<K: AnalysisSink + Clone>(reader: &ManifestReader, monitor: usize, sink: &K) -> K {
+    let mut part = sink.clone();
+    for entry in reader.stream_monitor_sorted(monitor) {
+        part.consume(entry);
+    }
+    part
+}
+
+/// Combines per-monitor partials in the given (shuffled) order.
+fn combine_in_order<K: AnalysisSink + Clone>(mut parts: Vec<K>, order: &[usize]) -> K {
+    let mut acc: Option<K> = None;
+    for &m in order {
+        let part = parts[m].clone();
+        match acc.as_mut() {
+            None => acc = Some(part),
+            Some(acc) => acc.combine(part),
+        }
+    }
+    let _ = parts.drain(..);
+    acc.expect("at least one monitor")
+}
+
+proptest! {
+    /// Driver equivalence + combine-order invariance for all four ported
+    /// analyses, over random datasets, rotation layouts, read options and
+    /// shuffled combine orders.
+    #[test]
+    fn parallel_engine_matches_serial_wrappers(
+        seed in 0u64..1_000_000,
+        monitors in 1usize..4,
+        per_monitor in 1usize..90,
+        jitter in 0u64..2_000,
+        rotate in 5u64..60,
+        chunk in 1usize..32,
+        mmap in any::<bool>(),
+        decode_ahead in any::<bool>(),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let dataset = random_dataset(seed, monitors, per_monitor, jitter);
+        let dir = temp_dir("prop", seed);
+        write_manifest(&dataset, &dir, rotate, chunk);
+        let options = ReadOptions::default().mmap(mmap).decode_ahead(decode_ahead);
+        let reader = ManifestReader::open_with(&dir, options).unwrap();
+
+        // A shuffled worker-completion order.
+        let mut order: Vec<usize> = (0..monitors).collect();
+        let mut shuffle_rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, shuffle_rng.gen_range(0..=i));
+        }
+
+        macro_rules! check {
+            ($make:expr, $label:literal) => {{
+                let serial = run_sink(&reader, $make).unwrap();
+                let parallel = reader.run_parallel($make).unwrap();
+                prop_assert_eq!(&serial, &parallel, "run_parallel diverges: {}", $label);
+                let parts: Vec<_> = (0..monitors)
+                    .map(|m| fold_monitor(&reader, m, &$make))
+                    .collect();
+                let shuffled = combine_in_order(parts, &order).finish();
+                prop_assert_eq!(&serial, &shuffled,
+                    "shuffled combine order {:?} diverges: {}", &order, $label);
+            }};
+        }
+
+        let bucket = SimDuration::from_secs(30);
+        check!(RequestTypeSink::new(bucket), "request-type series");
+        check!(PopularitySink::new(), "popularity");
+        check!(ActivityCountsSink::new(), "activity counts");
+        check!(EntryStatsSink::new(), "entry stats");
+
+        // Composed sinks run through the same machinery.
+        let serial = run_sink(&reader, (PopularitySink::new(), EntryStatsSink::new())).unwrap();
+        let parallel = reader
+            .run_parallel((PopularitySink::new(), EntryStatsSink::new()))
+            .unwrap();
+        prop_assert_eq!(serial, parallel);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The sinks equal the pre-engine entry points they wrap, on a trace from
+/// the standard in-memory path (the reference semantics).
+#[test]
+fn sink_outputs_match_wrapped_entry_points() {
+    let dataset = random_dataset(4242, 3, 400, 1_500);
+    let dir = temp_dir("wrapped", 4242);
+    write_manifest(&dataset, &dir, 64, 24);
+    let reader = ManifestReader::open(&dir).unwrap();
+
+    // Request-type series: row m equals the in-memory per-monitor analysis.
+    let bucket = SimDuration::from_hours(1);
+    let series = request_type_series_source(&reader, bucket).unwrap();
+    assert_eq!(series.len(), 3);
+    for (m, row) in series.iter().enumerate() {
+        assert_eq!(
+            row,
+            &request_type_series(&dataset, m, bucket),
+            "monitor {m}"
+        );
+    }
+    assert_eq!(
+        series,
+        reader.run_parallel(RequestTypeSink::new(bucket)).unwrap()
+    );
+
+    // Popularity: equals the single-stream wrapper over the merged stream.
+    let scores = popularity_scores_source(&reader).unwrap();
+    assert_eq!(scores, popularity_scores_stream(reader.merged_entries()));
+    assert_eq!(scores, reader.run_parallel(PopularitySink::new()).unwrap());
+
+    // Activity counts: per-peer rows equal the stream wrapper, multicodec
+    // rows equal the in-memory Table I computation.
+    let counts = activity_counts_source(&reader).unwrap();
+    assert_eq!(
+        counts.per_peer,
+        per_peer_request_counts_stream(reader.merged_entries())
+    );
+    assert_eq!(counts.multicodec, multicodec_shares(&dataset));
+    assert_eq!(
+        counts,
+        reader.run_parallel(ActivityCountsSink::new()).unwrap()
+    );
+
+    // Entry stats: per-monitor counts reconcile with the dataset.
+    let stats = entry_stats_source(&reader).unwrap();
+    assert_eq!(stats.len(), 3);
+    for (m, s) in stats.iter().enumerate() {
+        assert_eq!(s.entries as usize, dataset.entries[m].len(), "monitor {m}");
+        assert_eq!(s.requests + s.cancels, s.entries);
+        assert_eq!(s.inter_arrival_ms.unwrap().count as u64, s.entries - 1);
+    }
+    assert_eq!(stats, reader.run_parallel(EntryStatsSink::new()).unwrap());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
