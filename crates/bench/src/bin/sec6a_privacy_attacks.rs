@@ -2,7 +2,8 @@
 //! evaluated against simulation ground truth.
 
 use ipfs_mon_bench::{
-    pct, print_header, print_row, run_experiment, scaled, spill_to_manifest_with, StorageFlags,
+    pct, print_header, print_row, run_experiment, scaled, spill_to_manifest_with, ObsFlags,
+    StorageFlags,
 };
 use ipfs_mon_core::{
     identify_data_wanters, per_peer_request_counts, run_attacks_source, track_node_wants,
@@ -15,6 +16,9 @@ use std::collections::{HashMap, HashSet};
 
 fn main() {
     let flags = StorageFlags::from_args();
+    // Heartbeats cover the whole experiment; the drop at the end of main
+    // emits the final `"done":true` line (a no-op without --obs).
+    let _reporter = ObsFlags::from_args().start();
     let mut config = ScenarioConfig::analysis_week(108, scaled(600));
     config.horizon = SimDuration::from_days(2);
     config.workload.mean_node_requests_per_hour = 1.5;

@@ -39,7 +39,7 @@
 //! scale the scenario (the same flags `sec5c_visibility` takes), on top of
 //! `IPFS_MON_SCALE`.
 
-use ipfs_mon_bench::{print_header, scaled, HashingSink, ScaleFlags};
+use ipfs_mon_bench::{print_header, scaled, HashingSink, ObsFlags, ScaleFlags};
 use ipfs_mon_node::{ExecOptions, Network, RunReport};
 use ipfs_mon_simnet::scheduler::{BaselineScheduler, Scheduler};
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
@@ -201,9 +201,17 @@ fn main() {
     let (population, horizon_days) = (scale.population, scale.horizon_days);
     let mut config = ScenarioConfig::analysis_week(4242, population);
     config.horizon = SimDuration::from_days(horizon_days);
+    let reporter = ObsFlags::from_args().start();
 
     print_header("simnet — event-loop scale-out");
-    println!("  population {population}, horizon {horizon_days} d\n");
+    println!(
+        "  population {population}, horizon {horizon_days} d (instrumentation {})\n",
+        if ipfs_mon_obs::is_enabled() {
+            "on"
+        } else {
+            "off (obs-off build)"
+        }
+    );
 
     let regions = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -285,6 +293,22 @@ fn main() {
         lazy.events_per_sec(),
         lazy_parallel.events_per_sec(),
     );
+    // Instrumentation-overhead datum: one line per build flavour. Running
+    // the bench once normally and once with `--features obs-off` and
+    // comparing the two `events_per_sec` values measures the cost of the
+    // obs layer itself (acceptance bar: <= 5%).
+    println!(
+        "BENCH_simnet.json {{\"mode\":\"obs-overhead\",\"obs\":\"{}\",\"population\":{},\"horizon_days\":{},\"events_per_sec\":{:.0}}}",
+        if ipfs_mon_obs::is_enabled() {
+            "instrumented"
+        } else {
+            "off"
+        },
+        population,
+        horizon_days,
+        lazy.events_per_sec(),
+    );
+
     let full_speedup = lazy.events_per_sec() / baseline.events_per_sec().max(1e-9);
     let events = lazy.report.events_processed;
     let pending_ratio = lazy.report.peak_pending as f64 / events.max(1) as f64;
@@ -318,4 +342,9 @@ fn main() {
     // Scheduler comparison at scale-out size: 8x the population over a full
     // week — initial-event counts the seed path materializes whole.
     scheduler_replay(population * 8, 7);
+
+    // Emits the final `"done":true` heartbeat (a no-op without --obs).
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
 }

@@ -7,7 +7,7 @@
 //! per-monitor-parallel manifest ingestion. The acceptance bar of the
 //! tracestore subsystem is a segment under 50 % of the equivalent JSON.
 
-use ipfs_mon_bench::{print_header, run_experiment, scaled, spill_to_manifest_with};
+use ipfs_mon_bench::{print_header, run_experiment, scaled, spill_to_manifest_with, ObsFlags};
 use ipfs_mon_core::{
     flag_segment, unify_and_flag, unify_and_flag_segment, ActivityCountsSink, EntryStatsSink,
     PopularitySink, PreprocessConfig, RequestTypeSink,
@@ -29,6 +29,7 @@ fn entries_per_s(entries: usize, seconds: f64) -> f64 {
 }
 
 fn main() {
+    let reporter = ObsFlags::from_args().start();
     let mut config = ScenarioConfig::analysis_week(77, scaled(600));
     config.horizon = SimDuration::from_days(1);
     let run = run_experiment(&config);
@@ -37,8 +38,13 @@ fn main() {
 
     print_header("tracestore — columnar segments vs JSON");
     println!(
-        "  trace: {total_entries} entries, {} connections\n",
-        dataset.connections.len()
+        "  trace: {total_entries} entries, {} connections (instrumentation {})\n",
+        dataset.connections.len(),
+        if ipfs_mon_obs::is_enabled() {
+            "on"
+        } else {
+            "off (obs-off build)"
+        }
     );
 
     // Encode.
@@ -287,6 +293,18 @@ fn main() {
     println!(
         "BENCH_tracestore.json {{\"mode\":\"parallel-analysis\",\"entries\":{total_entries},\"monitors\":{fan_out},\"serial_s\":{serial_best:.4},\"parallel_s\":{parallel_best:.4},\"speedup\":{analysis_speedup:.2},\"cores\":{cores}}}"
     );
+    // Instrumentation-overhead datum: compare this line between a normal
+    // build and a `--features obs-off` build (acceptance bar: <= 5%).
+    println!(
+        "BENCH_tracestore.json {{\"mode\":\"obs-overhead\",\"obs\":\"{}\",\"entries\":{total_entries},\"serial_entries_per_sec\":{:.0},\"parallel_entries_per_sec\":{:.0}}}",
+        if ipfs_mon_obs::is_enabled() {
+            "instrumented"
+        } else {
+            "off"
+        },
+        entries_per_s(total_entries, serial_best),
+        entries_per_s(total_entries, parallel_best),
+    );
     drop(reader);
     std::fs::remove_dir_all(&dir_parallel).ok();
 
@@ -358,6 +376,11 @@ fn main() {
         on_disk[1] < on_disk[0],
         "compressed manifest must be strictly smaller than raw"
     );
+
+    // Emits the final `"done":true` heartbeat (a no-op without --obs).
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
 
     if ratio < 0.5 {
         println!("\n  PASS: segment is {:.1}x smaller than JSON", 1.0 / ratio);

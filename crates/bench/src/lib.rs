@@ -186,8 +186,14 @@ impl StorageFlags {
                 }
                 "--mmap" => flags.options.mmap = true,
                 "--decode-ahead" => flags.options.decode_ahead = true,
+                // Observability flags belong to [`ObsFlags`]; skip them (and
+                // their values) so binaries can take both flag families.
+                "--obs" | "--obs-interval" => {
+                    args.next();
+                }
                 other => panic!(
-                    "unknown flag {other:?} (expected --codec <raw|lz>, --mmap, --decode-ahead)"
+                    "unknown flag {other:?} (expected --codec <raw|lz>, --mmap, --decode-ahead, \
+                     --obs <path>, --obs-interval <ms>)"
                 ),
             }
         }
@@ -321,12 +327,80 @@ impl ScaleFlags {
                         .and_then(|v| v.parse().ok())
                         .expect("--horizon-days needs a positive integer");
                 }
+                // Observability flags belong to [`ObsFlags`]; skip them (and
+                // their values) so binaries can take both flag families.
+                "--obs" | "--obs-interval" => {
+                    args.next();
+                }
                 other => {
-                    panic!("unknown flag {other:?} (expected --population <n>, --horizon-days <d>)")
+                    panic!(
+                        "unknown flag {other:?} (expected --population <n>, --horizon-days <d>, \
+                         --obs <path>, --obs-interval <ms>)"
+                    )
                 }
             }
         }
         flags
+    }
+}
+
+/// Heartbeat telemetry flags shared by every bench/example binary:
+///
+/// * `--obs <path>` — stream JSONL heartbeat lines to `path` (`-` for
+///   stdout) while the run is in flight;
+/// * `--obs-interval <ms>` — heartbeat period in milliseconds (default
+///   1000).
+///
+/// See `docs/OBSERVABILITY.md` for the heartbeat schema. With no `--obs`
+/// flag, [`ObsFlags::start`] starts nothing and the run is unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct ObsFlags {
+    /// Heartbeat destination (`-` = stdout); `None` disables the reporter.
+    pub path: Option<String>,
+    /// Heartbeat period in milliseconds.
+    pub interval_ms: Option<u64>,
+}
+
+impl ObsFlags {
+    /// Parses the process arguments, ignoring flags it does not own (the
+    /// storage/scale parsers do their own strict pass over the full argv,
+    /// so unknown-flag rejection happens exactly once per binary).
+    pub fn from_args() -> Self {
+        let mut flags = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--obs" => {
+                    flags.path = Some(args.next().expect("--obs needs a path (or - for stdout)"));
+                }
+                "--obs-interval" => {
+                    flags.interval_ms = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--obs-interval needs milliseconds"),
+                    );
+                }
+                _ => {}
+            }
+        }
+        flags
+    }
+
+    /// Starts the heartbeat reporter if `--obs` was given. Hold the returned
+    /// handle for the duration of the run and call
+    /// [`ipfs_mon_obs::Reporter::stop`] before printing final summaries (the
+    /// stop emits the last `"done":true` line).
+    pub fn start(&self) -> Option<ipfs_mon_obs::Reporter> {
+        let path = self.path.as_deref()?;
+        let config = ipfs_mon_obs::ReporterConfig::with_interval(std::time::Duration::from_millis(
+            self.interval_ms.unwrap_or(1000),
+        ));
+        Some(if path == "-" {
+            ipfs_mon_obs::Reporter::stdout(config)
+        } else {
+            ipfs_mon_obs::Reporter::to_file(std::path::Path::new(path), config)
+                .expect("create --obs output file")
+        })
     }
 }
 

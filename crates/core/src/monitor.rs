@@ -10,6 +10,7 @@
 
 use crate::trace::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry};
 use ipfs_mon_node::{BitswapObservation, MonitorSink};
+use ipfs_mon_obs as obs;
 use ipfs_mon_simnet::time::SimTime;
 use ipfs_mon_tracestore::{
     DatasetConfig, DatasetSummary, DatasetWriter, SegmentConfig, SegmentError, SegmentSummary,
@@ -65,6 +66,9 @@ impl MonitorCollector {
 
 impl MonitorSink for MonitorCollector {
     fn record(&mut self, monitor: usize, observation: BitswapObservation) {
+        // Observations arrive orders of magnitude less often than sim
+        // events, so an unbatched obs bump per record is within budget.
+        obs::counter!("collect.observations").incr();
         self.dataset.entries[monitor].push(TraceEntry {
             timestamp: observation.timestamp,
             peer: observation.peer,
@@ -228,6 +232,7 @@ impl<W: Write> MonitorSink for SpillingCollector<W> {
         if self.error.is_some() {
             return;
         }
+        obs::counter!("collect.observations").incr();
         let entry = TraceEntry {
             timestamp: observation.timestamp,
             peer: observation.peer,
@@ -331,6 +336,7 @@ impl MonitorSink for ManifestCollector {
         if self.error.is_some() {
             return;
         }
+        obs::counter!("collect.observations").incr();
         let entry = TraceEntry {
             timestamp: observation.timestamp,
             peer: observation.peer,

@@ -1,0 +1,808 @@
+//! Lock-free counters, gauges, and log2 histograms behind a per-thread-shard
+//! registry.
+//!
+//! # Design
+//!
+//! Metric *names* are registered once through a mutex-guarded name table
+//! (registration is rare — typically a handful of times per process, cached
+//! at the call site via [`crate::counter!`] and friends). The returned
+//! handles are plain `Copy` indices. Metric *updates* go to a thread-local
+//! shard of preallocated atomics and use only `Relaxed` `fetch_add`, so
+//! concurrent writers on different threads never touch the same cache line
+//! for counter traffic and never block. [`snapshot`] walks every shard ever
+//! registered (an `Arc` per thread, kept alive by the registry even after
+//! the thread exits) and sums.
+//!
+//! Gauges are the exception: last-write-wins has no meaning per shard, so
+//! gauges are single global atomics.
+//!
+//! # Histograms
+//!
+//! Histograms use 65 fixed log2 buckets: bucket 0 holds the value 0 and
+//! bucket `i ≥ 1` holds `[2^(i-1), 2^i)`. That covers the full `u64` range
+//! with ~2× relative error per bucket — plenty for wall-time-in-nanoseconds
+//! span data — and makes recording branch-free beyond a `leading_zeros`.
+//! [`HistogramSnapshot::quantile`] interpolates linearly inside a bucket.
+//!
+//! # Capacity
+//!
+//! Shards are preallocated at fixed capacities (`256` counters, `64` gauges,
+//! `128` histograms) so a shard created before a metric is registered can
+//! still store it. Registration past capacity returns a *dead* handle whose
+//! operations are silently ignored — the pipeline registers a few dozen
+//! metrics, so hitting the ceiling means a naming bug, not a sizing problem.
+
+use serde::content::{struct_field, Content};
+use serde::{DeError, Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+#[cfg(not(feature = "obs-off"))]
+const MAX_COUNTERS: usize = 256;
+#[cfg(not(feature = "obs-off"))]
+const MAX_GAUGES: usize = 64;
+#[cfg(not(feature = "obs-off"))]
+const MAX_HISTOGRAMS: usize = 128;
+
+/// Handle index marking a metric that could not be registered (name table
+/// full). All operations on a dead handle are no-ops.
+#[cfg(not(feature = "obs-off"))]
+const DEAD: u16 = u16::MAX;
+
+/// Reports whether this build carries live instrumentation (`true`) or was
+/// compiled with the `obs-off` feature (`false`).
+///
+/// Use it to label bench output and to gate assertions on metric values;
+/// never to change pipeline behavior — instrumented and `obs-off` builds
+/// must produce identical results.
+pub const fn is_enabled() -> bool {
+    cfg!(not(feature = "obs-off"))
+}
+
+/// Returns the `[low, high]` value range covered by a histogram bucket.
+///
+/// Bucket 0 covers only the value 0; bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i - 1]` (bucket 64 tops out at `u64::MAX`).
+pub fn bucket_bounds(bucket: u8) -> (u64, u64) {
+    match bucket {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// Maps a value to its histogram bucket index (inverse of [`bucket_bounds`]).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. `Copy`; cheap to pass around.
+///
+/// Obtain one with [`counter`] (or the caching [`crate::counter!`] macro) and
+/// bump it with [`Counter::add`] / [`Counter::incr`]. For per-event hot loops
+/// wrap it in a [`BatchedCounter`] so the shared shard is only touched every
+/// few thousand increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    idx: u16,
+}
+
+impl Counter {
+    /// Adds `n` to the counter (relaxed, on this thread's shard).
+    #[inline]
+    pub fn add(self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        live::counter_add(self.idx, n);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+}
+
+/// A last-write-wins gauge backed by one global atomic (not sharded, because
+/// "last write" across shards is meaningless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    idx: u16,
+}
+
+impl Gauge {
+    /// Stores `value` (relaxed).
+    #[inline]
+    pub fn set(self, value: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        live::gauge_set(self.idx, value);
+        #[cfg(feature = "obs-off")]
+        let _ = value;
+    }
+
+    /// Loads the current value (relaxed). Always 0 under `obs-off`.
+    #[inline]
+    pub fn get(self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return live::gauge_get(self.idx);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (conventionally nanoseconds
+/// for stage timings — name the metric `*_ns` to say so).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    idx: u16,
+}
+
+impl Histogram {
+    /// Records one sample (three relaxed `fetch_add`s on this thread's
+    /// shard: count, sum, bucket).
+    #[inline]
+    pub fn record(self, value: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        live::histogram_record(self.idx, value);
+        #[cfg(feature = "obs-off")]
+        let _ = value;
+    }
+
+    /// Starts an RAII span: the elapsed wall time in nanoseconds is recorded
+    /// into this histogram when the returned [`SpanTimer`] drops. Under
+    /// `obs-off` the timer never reads the clock.
+    #[inline]
+    pub fn timer(self) -> SpanTimer {
+        SpanTimer {
+            #[cfg(not(feature = "obs-off"))]
+            hist: self,
+            #[cfg(not(feature = "obs-off"))]
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+/// RAII stage timer created by [`Histogram::timer`]; records elapsed
+/// nanoseconds into the histogram on drop.
+#[must_use = "a span timer records on drop; binding it to _ discards the span immediately"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    #[cfg(not(feature = "obs-off"))]
+    hist: Histogram,
+    #[cfg(not(feature = "obs-off"))]
+    start: std::time::Instant,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        self.hist
+            .record(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// A counter front-end that accumulates locally and flushes to the shared
+/// shard every [`BatchedCounter::BATCH`] increments (and on drop).
+///
+/// Use this for per-event hot loops — the simulator dispatches ~10M events/s,
+/// where even a thread-local relaxed `fetch_add` per event would be a
+/// measurable tax. The flush granularity means [`snapshot`] can lag the true
+/// total by up to `BATCH - 1` per live `BatchedCounter`.
+#[derive(Debug)]
+pub struct BatchedCounter {
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    counter: Counter,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    local: u64,
+}
+
+impl BatchedCounter {
+    /// Increments between flushes to the shared shard.
+    pub const BATCH: u64 = 4096;
+
+    /// Wraps a counter handle.
+    pub fn new(counter: Counter) -> Self {
+        Self { counter, local: 0 }
+    }
+
+    /// Adds `n` locally, flushing if the local tally reached
+    /// [`BatchedCounter::BATCH`].
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.local += n;
+            if self.local >= Self::BATCH {
+                self.flush();
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Adds 1 locally.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Pushes the local tally to the shared shard.
+    pub fn flush(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if self.local > 0 {
+                self.counter.add(self.local);
+                self.local = 0;
+            }
+        }
+    }
+}
+
+impl Drop for BatchedCounter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+/// Registers (or looks up) a counter by name. Registration takes a mutex;
+/// cache the handle — see [`crate::counter!`].
+pub fn counter(name: &str) -> Counter {
+    #[cfg(not(feature = "obs-off"))]
+    return Counter {
+        idx: live::register(live::MetricKind::Counter, name),
+    };
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = name;
+        Counter { idx: 0 }
+    }
+}
+
+/// Registers (or looks up) a gauge by name.
+pub fn gauge(name: &str) -> Gauge {
+    #[cfg(not(feature = "obs-off"))]
+    return Gauge {
+        idx: live::register(live::MetricKind::Gauge, name),
+    };
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = name;
+        Gauge { idx: 0 }
+    }
+}
+
+/// Registers (or looks up) a histogram by name.
+pub fn histogram(name: &str) -> Histogram {
+    #[cfg(not(feature = "obs-off"))]
+    return Histogram {
+        idx: live::register(live::MetricKind::Histogram, name),
+    };
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = name;
+        Histogram { idx: 0 }
+    }
+}
+
+/// Registers a counter once per call site and caches the handle in a static,
+/// so hot paths skip the registry mutex entirely.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Registers a gauge once per call site and caches the handle in a static.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Registers a histogram once per call site and caches the handle in a
+/// static.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Serializes a string-keyed map as a JSON object (the vendored serde's
+/// blanket `BTreeMap` impl emits `[[k, v], …]` pair sequences, which would
+/// make heartbeat lines ungreppable by metric name).
+pub(crate) fn string_map_content<V: Serialize>(map: &BTreeMap<String, V>) -> Content {
+    Content::Map(
+        map.iter()
+            .map(|(name, value)| (name.clone(), value.to_content()))
+            .collect(),
+    )
+}
+
+fn string_map_from<V: Deserialize>(content: &Content) -> Result<BTreeMap<String, V>, DeError> {
+    let entries = content
+        .as_map()
+        .ok_or_else(|| DeError::msg("expected metric object"))?;
+    entries
+        .iter()
+        .map(|(name, value)| Ok((name.clone(), V::from_content(value)?)))
+        .collect()
+}
+
+/// A point-in-time aggregation of every registered metric across all shards.
+///
+/// Serializes to/from JSON via the workspace serde; the heartbeat reporter
+/// derives its line format from this. Counter totals can lag live
+/// [`BatchedCounter`]s by up to one batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name (all registered counters, including zeros).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram state by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Serialize for Snapshot {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("counters".to_string(), string_map_content(&self.counters)),
+            ("gauges".to_string(), string_map_content(&self.gauges)),
+            (
+                "histograms".to_string(),
+                string_map_content(&self.histograms),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Snapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::msg("expected snapshot object"))?;
+        Ok(Self {
+            counters: string_map_from(struct_field(entries, "counters")?)?,
+            gauges: string_map_from(struct_field(entries, "gauges")?)?,
+            histograms: string_map_from(struct_field(entries, "histograms")?)?,
+        })
+    }
+}
+
+/// Aggregated state of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket_index, sample_count)`, ascending by
+    /// index. See [`bucket_bounds`] for the value range of each index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// containing bucket. Exact to within the bucket's ~2× width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for &(bucket, count) in &self.buckets {
+            let next = cumulative + count;
+            if next as f64 >= rank {
+                let (low, high) = bucket_bounds(bucket);
+                let within = if count == 0 {
+                    0.0
+                } else {
+                    (rank - cumulative as f64) / count as f64
+                };
+                return low as f64 + within * (high - low) as f64;
+            }
+            cumulative = next;
+        }
+        // Rounding left us past the last bucket: report its upper bound.
+        self.buckets
+            .last()
+            .map_or(0.0, |&(bucket, _)| bucket_bounds(bucket).1 as f64)
+    }
+
+    /// Upper bound of the largest non-empty bucket — an upper estimate of
+    /// the maximum recorded sample. 0 for an empty histogram.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .last()
+            .map_or(0, |&(bucket, _)| bucket_bounds(bucket).1)
+    }
+}
+
+/// Aggregates every shard into a [`Snapshot`]. Takes the registry mutexes
+/// briefly (to copy the name table and shard list) but never blocks metric
+/// writers, which only touch their own shard's atomics.
+pub fn snapshot() -> Snapshot {
+    #[cfg(not(feature = "obs-off"))]
+    return live::snapshot();
+    #[cfg(feature = "obs-off")]
+    Snapshot::default()
+}
+
+// ---------------------------------------------------------------------------
+// Live implementation (compiled out under obs-off)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "obs-off"))]
+mod live {
+    use super::{
+        HistogramSnapshot, Snapshot, BUCKETS, DEAD, MAX_COUNTERS, MAX_GAUGES, MAX_HISTOGRAMS,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    pub(super) enum MetricKind {
+        Counter,
+        Gauge,
+        Histogram,
+    }
+
+    /// One thread's slice of every counter and histogram, preallocated at
+    /// full capacity so metrics registered after the shard was created still
+    /// have a slot.
+    struct Shard {
+        counters: Vec<AtomicU64>,
+        hist_counts: Vec<AtomicU64>,
+        hist_sums: Vec<AtomicU64>,
+        /// `MAX_HISTOGRAMS × BUCKETS`, row-major by histogram index.
+        hist_buckets: Vec<AtomicU64>,
+    }
+
+    impl Shard {
+        fn new() -> Self {
+            let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+            Self {
+                counters: zeros(MAX_COUNTERS),
+                hist_counts: zeros(MAX_HISTOGRAMS),
+                hist_sums: zeros(MAX_HISTOGRAMS),
+                hist_buckets: zeros(MAX_HISTOGRAMS * BUCKETS),
+            }
+        }
+    }
+
+    struct Registry {
+        counter_names: Mutex<Vec<String>>,
+        gauge_names: Mutex<Vec<String>>,
+        histogram_names: Mutex<Vec<String>>,
+        /// Gauges are global (not sharded): last write wins.
+        gauge_values: Vec<AtomicU64>,
+        /// Every shard ever created; the `Arc` keeps totals from exited
+        /// threads alive.
+        shards: Mutex<Vec<Arc<Shard>>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            counter_names: Mutex::new(Vec::new()),
+            gauge_names: Mutex::new(Vec::new()),
+            histogram_names: Mutex::new(Vec::new()),
+            gauge_values: (0..MAX_GAUGES).map(|_| AtomicU64::new(0)).collect(),
+            shards: Mutex::new(Vec::new()),
+        })
+    }
+
+    thread_local! {
+        static SHARD: Arc<Shard> = {
+            let shard = Arc::new(Shard::new());
+            registry().shards.lock().unwrap().push(shard.clone());
+            shard
+        };
+    }
+
+    pub(super) fn register(kind: MetricKind, name: &str) -> u16 {
+        let reg = registry();
+        let (table, cap) = match kind {
+            MetricKind::Counter => (&reg.counter_names, MAX_COUNTERS),
+            MetricKind::Gauge => (&reg.gauge_names, MAX_GAUGES),
+            MetricKind::Histogram => (&reg.histogram_names, MAX_HISTOGRAMS),
+        };
+        let mut names = table.lock().unwrap();
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        if names.len() >= cap {
+            return DEAD;
+        }
+        names.push(name.to_string());
+        (names.len() - 1) as u16
+    }
+
+    #[inline]
+    pub(super) fn counter_add(idx: u16, n: u64) {
+        if idx == DEAD {
+            return;
+        }
+        SHARD.with(|s| s.counters[idx as usize].fetch_add(n, Relaxed));
+    }
+
+    #[inline]
+    pub(super) fn gauge_set(idx: u16, value: u64) {
+        if idx == DEAD {
+            return;
+        }
+        registry().gauge_values[idx as usize].store(value, Relaxed);
+    }
+
+    #[inline]
+    pub(super) fn gauge_get(idx: u16) -> u64 {
+        if idx == DEAD {
+            return 0;
+        }
+        registry().gauge_values[idx as usize].load(Relaxed)
+    }
+
+    #[inline]
+    pub(super) fn histogram_record(idx: u16, value: u64) {
+        if idx == DEAD {
+            return;
+        }
+        let bucket = super::bucket_index(value);
+        SHARD.with(|s| {
+            let i = idx as usize;
+            s.hist_counts[i].fetch_add(1, Relaxed);
+            s.hist_sums[i].fetch_add(value, Relaxed);
+            s.hist_buckets[i * BUCKETS + bucket].fetch_add(1, Relaxed);
+        });
+    }
+
+    pub(super) fn snapshot() -> Snapshot {
+        let reg = registry();
+        let counter_names = reg.counter_names.lock().unwrap().clone();
+        let gauge_names = reg.gauge_names.lock().unwrap().clone();
+        let histogram_names = reg.histogram_names.lock().unwrap().clone();
+        let shards = reg.shards.lock().unwrap().clone();
+
+        let mut snap = Snapshot::default();
+        for (i, name) in counter_names.into_iter().enumerate() {
+            let total = shards
+                .iter()
+                .map(|s| s.counters[i].load(Relaxed))
+                .fold(0u64, u64::wrapping_add);
+            snap.counters.insert(name, total);
+        }
+        for (i, name) in gauge_names.into_iter().enumerate() {
+            snap.gauges.insert(name, reg.gauge_values[i].load(Relaxed));
+        }
+        for (i, name) in histogram_names.into_iter().enumerate() {
+            let mut hist = HistogramSnapshot::default();
+            for shard in &shards {
+                hist.count = hist.count.wrapping_add(shard.hist_counts[i].load(Relaxed));
+                hist.sum = hist.sum.wrapping_add(shard.hist_sums[i].load(Relaxed));
+            }
+            for bucket in 0..BUCKETS {
+                let count = shards
+                    .iter()
+                    .map(|s| s.hist_buckets[i * BUCKETS + bucket].load(Relaxed))
+                    .fold(0u64, u64::wrapping_add);
+                if count > 0 {
+                    hist.buckets.push((bucket as u8, count));
+                }
+            }
+            snap.histograms.insert(name, hist);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        // Every bucket's bounds map back to that bucket, and the values just
+        // outside map to the neighbors.
+        for bucket in 0..BUCKETS as u8 {
+            let (low, high) = bucket_bounds(bucket);
+            assert_eq!(bucket_index(low), bucket as usize, "low bound of {bucket}");
+            assert_eq!(
+                bucket_index(high),
+                bucket as usize,
+                "high bound of {bucket}"
+            );
+            if bucket > 0 {
+                assert_eq!(bucket_index(low - 1), bucket as usize - 1);
+            }
+            if high < u64::MAX {
+                assert_eq!(bucket_index(high + 1), bucket as usize + 1);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let c = counter("test.metrics.threads");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        c.add(5);
+        if is_enabled() {
+            assert_eq!(snapshot().counters["test.metrics.threads"], 4005);
+        } else {
+            assert!(snapshot().counters.is_empty());
+        }
+    }
+
+    #[test]
+    fn gauges_are_global_last_write_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(7);
+        g.set(42);
+        if is_enabled() {
+            assert_eq!(g.get(), 42);
+            assert_eq!(snapshot().gauges["test.metrics.gauge"], 42);
+        } else {
+            assert_eq!(g.get(), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut hist = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(hist.quantile(0.5), 0.0);
+
+        // 100 samples of value 1 (bucket 1), 100 of value ~1000 (bucket 10:
+        // [512, 1023]).
+        hist.count = 200;
+        hist.sum = 100 + 100 * 1000;
+        hist.buckets = vec![(1, 100), (10, 100)];
+        // Median sits at the boundary: still inside bucket 1.
+        assert_eq!(hist.quantile(0.5), 1.0);
+        // p75 lands halfway through bucket 10.
+        let p75 = hist.quantile(0.75);
+        assert!((512.0..=1023.0).contains(&p75), "p75 = {p75}");
+        // p100 is the top of the last bucket.
+        assert_eq!(hist.quantile(1.0), 1023.0);
+        assert_eq!(hist.max_bound(), 1023);
+        assert!((hist.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histograms_aggregate_shards_and_snapshot() {
+        let h = histogram("test.metrics.hist");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        if is_enabled() {
+            let hist = &snap.histograms["test.metrics.hist"];
+            assert_eq!(hist.count, 400);
+            let bucket_total: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+            assert_eq!(bucket_total, 400);
+            assert_eq!(
+                hist.sum,
+                (0..4).map(|t| t * 1000 * 100).sum::<u64>() + 4 * 4950
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.b".into(), 17);
+        snap.gauges.insert("g".into(), 3);
+        snap.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 5,
+                sum: 500,
+                buckets: vec![(0, 1), (7, 4)],
+            },
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn batched_counter_flushes_on_drop() {
+        let c = counter("test.metrics.batched");
+        {
+            let mut batched = BatchedCounter::new(c);
+            for _ in 0..10 {
+                batched.incr();
+            }
+            if is_enabled() {
+                // Below the batch threshold: nothing visible yet.
+                assert_eq!(snapshot().counters["test.metrics.batched"], 0);
+            }
+        }
+        if is_enabled() {
+            assert_eq!(snapshot().counters["test.metrics.batched"], 10);
+        }
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = histogram("test.metrics.span");
+        {
+            let _span = h.timer();
+            std::hint::black_box(0u64);
+        }
+        if is_enabled() {
+            assert_eq!(snapshot().histograms["test.metrics.span"].count, 1);
+        }
+    }
+
+    #[test]
+    fn dead_handles_are_silent() {
+        // Forged dead handles must be safe to use.
+        let c = Counter { idx: u16::MAX };
+        c.add(10);
+        let g = Gauge { idx: u16::MAX };
+        g.set(1);
+        assert_eq!(g.get(), 0);
+        let h = Histogram { idx: u16::MAX };
+        h.record(9);
+    }
+}

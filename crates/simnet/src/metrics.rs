@@ -27,7 +27,14 @@ impl Counters {
 
     /// Increments `name` by `amount`.
     pub fn add(&mut self, name: &str, amount: u64) {
-        *self.values.entry(name.to_string()).or_insert(0) += amount;
+        // Look up with the borrowed key first: `entry` would allocate a
+        // `String` on every call, and increments of existing counters are
+        // the overwhelmingly common case.
+        if let Some(value) = self.values.get_mut(name) {
+            *value += amount;
+        } else {
+            self.values.insert(name.to_string(), amount);
+        }
     }
 
     /// Current value of `name` (0 if never incremented).

@@ -41,6 +41,7 @@
 //! is what the `simnet_bench` scheduler replay measures against.
 
 use crate::time::{SimDuration, SimTime};
+use ipfs_mon_obs as obs;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -434,6 +435,9 @@ impl<E> Scheduler<E> {
             if level_of(self.cursor, head.at) >= LEVELS {
                 return;
             }
+            // Coarse obs signal: promotions are rare (far-future events
+            // only), so an unbatched counter bump is fine here.
+            obs::counter!("sched.overflow_promotions").incr();
             let Reverse(e) = self.overflow.pop().expect("peeked");
             if self.dead_entries == 0 || self.alive.contains(e.seq) {
                 self.insert(WheelEntry {
@@ -498,6 +502,9 @@ impl<E> Scheduler<E> {
                     | ((slot as u64) << (LEVEL_BITS as u64 * level as u64));
                 self.occupied[level].clear(slot);
                 let entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+                // Coarse obs signal: one cascade per ~256 deliveries at
+                // worst, so the counter stays off the per-pop hot path.
+                obs::counter!("sched.cascades").incr();
                 self.cursor = base;
                 if self.dead_entries == 0 {
                     for entry in entries {

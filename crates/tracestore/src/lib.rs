@@ -83,6 +83,6 @@ pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, Un
 pub use segment::{
     ChunkEntries, ChunkInfo, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
 };
-pub use sink::{run_sink, AnalysisSink};
+pub use sink::{run_sink, AnalysisSink, ParallelProgress};
 pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};
 pub use writer::TraceWriter;

@@ -41,6 +41,7 @@ use crate::crc::crc32;
 use crate::record::{ConnectionRecord, TraceEntry};
 use crate::segment::{SegmentConfig, SegmentError, SegmentSummary};
 use crate::writer::TraceWriter;
+use ipfs_mon_obs as obs;
 use ipfs_mon_types::varint;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
@@ -243,10 +244,18 @@ pub struct MonitorWriter {
     completed: Vec<SegmentMeta>,
     bytes_written: u64,
     total_entries: u64,
+    /// Obs progress: `ingest.entries` (all monitors) and
+    /// `ingest.entries.<label>`, batched so the per-append cost is a local
+    /// add. Flushed by drop when the writer finishes.
+    obs_entries: obs::BatchedCounter,
+    obs_entries_label: obs::BatchedCounter,
 }
 
 impl MonitorWriter {
     fn new(dir: PathBuf, monitor: usize, label: String, config: DatasetConfig) -> Self {
+        let obs_entries = obs::BatchedCounter::new(obs::counter("ingest.entries"));
+        let obs_entries_label =
+            obs::BatchedCounter::new(obs::counter(&format!("ingest.entries.{label}")));
         Self {
             dir,
             monitor,
@@ -258,6 +267,8 @@ impl MonitorWriter {
             completed: Vec::new(),
             bytes_written: 0,
             total_entries: 0,
+            obs_entries,
+            obs_entries_label,
         }
     }
 
@@ -308,6 +319,8 @@ impl MonitorWriter {
         self.writer()?.append_owned(local)?;
         self.current_entries += 1;
         self.total_entries += 1;
+        self.obs_entries.incr();
+        self.obs_entries_label.incr();
         Ok(())
     }
 
@@ -327,6 +340,7 @@ impl MonitorWriter {
         };
         let file_name = self.current_file_name();
         let summary: SegmentSummary = writer.finish()?;
+        obs::counter!("ingest.segments_rotated").incr();
         self.bytes_written += summary.bytes_written;
         self.completed.push(SegmentMeta {
             file_name,

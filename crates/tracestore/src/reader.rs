@@ -8,6 +8,7 @@ use crate::segment::{
     decode_footer, ChunkEntries, ChunkInfo, ChunkView, Footer, SegmentError, FOOTER_MAGIC,
     FORMAT_VERSION, HEADER_MAGIC, TRAILER_LEN,
 };
+use ipfs_mon_obs as obs;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
 use std::borrow::Cow;
 use std::collections::BinaryHeap;
@@ -864,6 +865,7 @@ impl ManifestReader {
             ManifestMergedStream {
                 inner: MergedInner::DecodeAhead(streams),
                 heads,
+                merged: obs::BatchedCounter::new(obs::counter!("store.merged_entries")),
             }
         } else {
             let mut streams = Vec::with_capacity(monitors);
@@ -875,6 +877,7 @@ impl ManifestReader {
             ManifestMergedStream {
                 inner: MergedInner::Serial(streams),
                 heads,
+                merged: obs::BatchedCounter::new(obs::counter!("store.merged_entries")),
             }
         }
     }
@@ -968,6 +971,11 @@ impl ChainedMonitorStream<'_> {
     /// Opens the next pending segment; an immediately-exhausted (empty or
     /// broken) stream is retired on the spot.
     fn admit_next(&mut self) {
+        // Chain-merge stage span: admission (open + first decode of the next
+        // rotation segment) is where the merge machinery spends its time;
+        // the per-entry scan is a handful of compares.
+        let _span = obs::histogram!("store.chain_admit_ns").timer();
+        obs::counter!("store.segments_admitted").incr();
         let index = self.next_pending;
         self.next_pending += 1;
         let mut stream = self.readers[index].stream_monitor_sorted(0);
@@ -1178,6 +1186,9 @@ enum MergedInner<'a> {
 pub struct ManifestMergedStream<'a> {
     inner: MergedInner<'a>,
     heads: Vec<Option<TraceEntry>>,
+    /// Obs progress (`store.merged_entries`), batched: one local add per
+    /// yielded entry, flushed every few thousand and on drop.
+    merged: obs::BatchedCounter,
 }
 
 impl ManifestMergedStream<'_> {
@@ -1198,10 +1209,14 @@ impl Iterator for ManifestMergedStream<'_> {
     type Item = TraceEntry;
 
     fn next(&mut self) -> Option<TraceEntry> {
-        match &mut self.inner {
+        let entry = match &mut self.inner {
             MergedInner::Serial(streams) => merge_next(streams, &mut self.heads),
             MergedInner::DecodeAhead(streams) => merge_next(streams, &mut self.heads),
+        };
+        if entry.is_some() {
+            self.merged.incr();
         }
+        entry
     }
 }
 

@@ -37,6 +37,7 @@ use crate::codec::Codec;
 use crate::crc::crc32;
 use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
 use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_obs as obs;
 use ipfs_mon_simnet::time::SimTime;
 use ipfs_mon_types::{varint, Cid, Country, Multiaddr, PeerId, Transport};
 use std::borrow::Cow;
@@ -562,6 +563,14 @@ pub struct ChunkView<'a> {
     flag_plane: Range<usize>,
 }
 
+/// Per-codec stage histogram for chunk decoding (`store.chunk_decode_ns.*`).
+fn decode_stage_histogram(codec: Codec) -> obs::Histogram {
+    match codec {
+        Codec::Raw => obs::histogram!("store.chunk_decode_ns.raw"),
+        Codec::Lz => obs::histogram!("store.chunk_decode_ns.lz"),
+    }
+}
+
 impl<'a> ChunkView<'a> {
     /// Parses and validates a framed chunk (starting at the length prefix).
     /// Checks the CRC, resolves the codec byte, decodes the planes, and
@@ -586,6 +595,10 @@ impl<'a> ChunkView<'a> {
             return Err(SegmentError::Corrupt("empty chunk payload".into()));
         }
         let codec = Codec::from_byte(payload[0])?;
+        // Decode-stage span, split per codec. The envelope work above is a
+        // few branches; the decompression and column validation below are
+        // where decode time actually goes.
+        let _span = decode_stage_histogram(codec).timer();
         let body_range = payload_start + 1..payload_start + payload_len;
         let planes = match codec {
             // Raw planes live inside the frame — record the range and keep
@@ -659,6 +672,9 @@ impl<'a> ChunkView<'a> {
         if !cursor.is_at_end() {
             return Err(SegmentError::Corrupt("trailing bytes in payload".into()));
         }
+
+        obs::counter!("store.chunks_decoded").incr();
+        obs::counter!("store.entries_decoded").add(count as u64);
 
         Ok(Self {
             planes,

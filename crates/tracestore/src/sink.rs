@@ -82,6 +82,7 @@ use crate::reader::ManifestReader;
 use crate::record::TraceEntry;
 use crate::segment::SegmentError;
 use crate::source::TraceSource;
+use ipfs_mon_obs as obs;
 
 /// A streaming analysis whose result does not depend on the interleaving of
 /// entries *across* monitors.
@@ -139,9 +140,12 @@ where
     S: TraceSource + ?Sized,
     K: AnalysisSink,
 {
+    let _span = obs::histogram!("analysis.serial_pass_ns").timer();
+    let mut consumed = obs::BatchedCounter::new(obs::counter!("analysis.entries"));
     let mut entries = source.merged_entries();
     for entry in &mut entries {
         sink.consume(entry);
+        consumed.incr();
     }
     if let Some(error) = entries.take_error() {
         return Err(error);
@@ -164,46 +168,119 @@ impl ManifestReader {
     ///
     /// If any chain ends on a storage error, the error of the
     /// lowest-numbered failing monitor is returned (deterministic regardless
-    /// of worker timing).
+    /// of worker timing). How far every worker got — including the
+    /// non-failing ones — is still reported: see
+    /// [`ManifestReader::run_parallel_with_progress`], which this delegates
+    /// to, and the `analysis.entries.<label>` obs counters it publishes.
     pub fn run_parallel<K>(&self, sink: K) -> Result<K::Output, SegmentError>
     where
         K: AnalysisSink + Clone + Send,
     {
+        self.run_parallel_with_progress(sink).result
+    }
+
+    /// Like [`ManifestReader::run_parallel`], but never swallows worker
+    /// progress: the returned [`ParallelProgress`] carries the number of
+    /// entries each monitor's worker consumed, whether the run succeeded or
+    /// not. On error, workers that did not fail still report their counts —
+    /// a partially corrupt dataset shows exactly how far each chain got.
+    ///
+    /// The counts are also published to the obs registry: the
+    /// `analysis.entries` counter totals all workers, and every monitor adds
+    /// its count to `analysis.entries.<label>`, so heartbeat snapshots show
+    /// per-monitor analysis progress while the run is still in flight (the
+    /// per-entry accounting is batched; totals are exact once the run
+    /// returns).
+    pub fn run_parallel_with_progress<K>(&self, sink: K) -> ParallelProgress<K::Output>
+    where
+        K: AnalysisSink + Clone + Send,
+    {
         let monitors = self.monitor_count();
-        if monitors <= 1 {
-            return run_sink(self, sink);
+        if monitors == 0 {
+            return ParallelProgress {
+                result: Ok(sink.finish()),
+                entries_consumed: Vec::new(),
+            };
         }
-        let results: Vec<Result<K, SegmentError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..monitors)
-                .map(|monitor| {
-                    let mut worker_sink = sink.clone();
-                    scope.spawn(move || {
-                        let mut stream = self.stream_monitor_sorted(monitor);
-                        for entry in &mut stream {
-                            worker_sink.consume(entry);
-                        }
-                        match stream.take_error() {
-                            Some(error) => Err(error),
-                            None => Ok(worker_sink),
-                        }
+        // One worker's chain pass. Shared by the single-monitor (inline) and
+        // multi-monitor (scoped threads) paths so both report identically.
+        let run_chain = |monitor: usize, mut worker_sink: K| -> (Result<K, SegmentError>, u64) {
+            let _span = obs::histogram!("analysis.worker_pass_ns").timer();
+            let mut consumed = obs::BatchedCounter::new(obs::counter(&format!(
+                "analysis.entries.{}",
+                self.monitor_labels()[monitor]
+            )));
+            let mut total = obs::BatchedCounter::new(obs::counter!("analysis.entries"));
+            let mut stream = self.stream_monitor_sorted(monitor);
+            let mut count = 0u64;
+            for entry in &mut stream {
+                worker_sink.consume(entry);
+                count += 1;
+                consumed.incr();
+                total.incr();
+            }
+            match stream.take_error() {
+                Some(error) => (Err(error), count),
+                None => (Ok(worker_sink), count),
+            }
+        };
+        let results: Vec<(Result<K, SegmentError>, u64)> = if monitors == 1 {
+            vec![run_chain(0, sink.clone())]
+        } else {
+            std::thread::scope(|scope| {
+                let run_chain = &run_chain;
+                let handles: Vec<_> = (0..monitors)
+                    .map(|monitor| {
+                        let worker_sink = sink.clone();
+                        scope.spawn(move || run_chain(monitor, worker_sink))
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("analysis worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("analysis worker panicked"))
+                    .collect()
+            })
+        };
+        let entries_consumed: Vec<u64> = results.iter().map(|(_, count)| *count).collect();
         let mut combined: Option<K> = None;
-        for result in results {
-            let part = result?;
+        for (result, _) in results {
+            let part = match result {
+                Ok(part) => part,
+                Err(error) => {
+                    obs::counter!("analysis.workers_failed").incr();
+                    return ParallelProgress {
+                        result: Err(error),
+                        entries_consumed,
+                    };
+                }
+            };
             match combined.as_mut() {
                 None => combined = Some(part),
-                Some(acc) => acc.combine(part),
+                Some(acc) => {
+                    let _span = obs::histogram!("analysis.combine_ns").timer();
+                    acc.combine(part);
+                }
             }
         }
-        Ok(combined.unwrap_or(sink).finish())
+        ParallelProgress {
+            result: Ok(combined.unwrap_or(sink).finish()),
+            entries_consumed,
+        }
     }
+}
+
+/// Outcome of [`ManifestReader::run_parallel_with_progress`]: the sink
+/// result plus how far every worker got, error or not.
+#[derive(Debug)]
+pub struct ParallelProgress<T> {
+    /// The combined, finished sink output — or the error of the
+    /// lowest-numbered failing monitor, exactly as
+    /// [`ManifestReader::run_parallel`] reports it.
+    pub result: Result<T, SegmentError>,
+    /// Entries consumed per monitor (indexed by global monitor), recorded
+    /// even for workers whose chain later failed and for workers that
+    /// succeeded while another monitor failed.
+    pub entries_consumed: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -309,6 +386,51 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(a, b);
         assert_eq!(a.0, vec![50, 50]);
+    }
+
+    #[test]
+    fn run_parallel_with_progress_counts_every_monitor() {
+        let dir = build_manifest_dir("progress", 3, 150);
+        let reader = ManifestReader::open(&dir).unwrap();
+        let progress = reader.run_parallel_with_progress(ProbeSink::default());
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(progress.entries_consumed, vec![150, 150, 150]);
+        assert_eq!(progress.result.unwrap().0, vec![150, 150, 150]);
+    }
+
+    #[test]
+    fn run_parallel_with_progress_keeps_counts_on_error() {
+        let dir = build_manifest_dir("progress-err", 2, 120);
+        // Damage one monitor's segment body; the file name carries the
+        // monitor index (`seg-<monitor>-<sequence>.seg`).
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .unwrap();
+        let failed_monitor: usize = victim
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .split('-')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[10] ^= 0x55;
+        std::fs::write(&victim, &bytes).unwrap();
+        let reader = ManifestReader::open(&dir).unwrap();
+        let progress = reader.run_parallel_with_progress(ProbeSink::default());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(progress.result.is_err());
+        assert_eq!(progress.entries_consumed.len(), 2);
+        // The failing chain stopped early; the healthy one still reports a
+        // full pass instead of being swallowed by the error.
+        assert!(progress.entries_consumed[failed_monitor] < 120);
+        assert_eq!(progress.entries_consumed[1 - failed_monitor], 120);
     }
 
     #[test]

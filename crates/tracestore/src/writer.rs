@@ -9,12 +9,22 @@
 //! had no codec byte — the CRC of a v2 chunk covers codec byte *and* body,
 //! so a reader can never mistake one format for the other silently.
 
+use crate::codec::Codec;
 use crate::record::{ConnectionRecord, TraceEntry};
 use crate::segment::{
     encode_chunk, encode_footer, ChunkInfo, Footer, SegmentConfig, SegmentError, SegmentSummary,
     FORMAT_VERSION, HEADER_MAGIC,
 };
+use ipfs_mon_obs as obs;
 use std::io::Write;
+
+/// Per-codec stage histogram for chunk encoding (`store.chunk_encode_ns.*`).
+pub(crate) fn encode_stage_histogram(codec: Codec) -> obs::Histogram {
+    match codec {
+        Codec::Raw => obs::histogram!("store.chunk_encode_ns.raw"),
+        Codec::Lz => obs::histogram!("store.chunk_encode_ns.lz"),
+    }
+}
 
 /// Writes a segment incrementally: entries are buffered per monitor (one
 /// shard each) and spilled to the sink as framed columnar **v2** chunks —
@@ -125,10 +135,18 @@ impl<W: Write> TraceWriter<W> {
         }
         let entries = std::mem::take(&mut self.shards[monitor]);
         let mut frame = Vec::new();
-        let mut info: ChunkInfo = encode_chunk(monitor, &entries, self.config.codec, &mut frame);
+        let mut info: ChunkInfo = {
+            // Span covers columnarization + codec transform, not the sink
+            // write below (which may be a file with its own latency story).
+            let _span = encode_stage_histogram(self.config.codec).timer();
+            encode_chunk(monitor, &entries, self.config.codec, &mut frame)
+        };
         info.offset = self.offset;
         self.sink.write_all(&frame)?;
         self.offset += frame.len() as u64;
+        obs::counter!("store.chunks_written").incr();
+        obs::counter!("store.entries_written").add(info.entries);
+        obs::counter!("store.bytes_written").add(frame.len() as u64);
         self.footer.total_entries += info.entries;
         self.footer.chunks.push(info);
         Ok(())

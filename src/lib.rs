@@ -7,6 +7,10 @@
 //! that examples and downstream users can depend on a single crate:
 //!
 //! * [`types`] — peer IDs, CIDs, multihashes, multicodecs, multiaddrs,
+//! * [`obs`] — the runtime observability layer: lock-free counters, gauges
+//!   and log2 histograms, stage-timing spans, and the JSONL heartbeat
+//!   reporter (`docs/OBSERVABILITY.md`); compile with `--features obs-off`
+//!   to strip every probe,
 //! * [`simnet`] — deterministic discrete-event simulation kernel,
 //! * [`kad`] — Kademlia DHT substrate and the crawler baseline,
 //! * [`bitswap`] — the Bitswap protocol engine and wire format,
@@ -30,6 +34,7 @@ pub use ipfs_mon_blockstore as blockstore;
 pub use ipfs_mon_core as core;
 pub use ipfs_mon_kad as kad;
 pub use ipfs_mon_node as node;
+pub use ipfs_mon_obs as obs;
 pub use ipfs_mon_simnet as simnet;
 pub use ipfs_mon_tracestore as tracestore;
 pub use ipfs_mon_types as types;

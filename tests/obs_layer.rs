@@ -1,0 +1,280 @@
+//! Integration coverage for the observability layer (`ipfs-mon-obs`) as
+//! wired through the pipeline:
+//!
+//! * metric handles registered across layers actually track real work
+//!   (simulation events, decoded chunks, analysis entries);
+//! * per-monitor analysis progress (`run_parallel_with_progress`) is exact
+//!   in both build flavours, instrumented and `obs-off`;
+//! * the instrumentation is output-passive — the pipeline produces
+//!   byte-identical traces with a live heartbeat reporter sampling
+//!   concurrently and with none at all (so an `obs-off` build, which strips
+//!   the probes entirely, trivially produces the same bytes; CI runs this
+//!   whole suite in both configurations);
+//! * heartbeat JSONL lines parse and carry the documented fields;
+//! * histogram bucket/quantile contracts hold through the public API;
+//! * snapshots round-trip through JSON.
+//!
+//! Metric state is global per test binary and the harness runs tests
+//! concurrently, so counter assertions use unique metric names or `>=`
+//! deltas, never exact global equality on shared names.
+
+use ipfs_monitoring::core::MonitorCollector;
+use ipfs_monitoring::node::Network;
+use ipfs_monitoring::obs;
+use ipfs_monitoring::tracestore::{
+    AnalysisSink, DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, SegmentConfig,
+    TraceEntry,
+};
+use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
+use serde::content::{struct_field, Content};
+use std::path::{Path, PathBuf};
+
+fn scenario_config(seed: u64, nodes: usize) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small_test(seed);
+    config.population.nodes = nodes;
+    config
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("obs-layer-{tag}-{}", std::process::id()))
+}
+
+fn run_pipeline(seed: u64) -> MonitoringDataset {
+    let config = scenario_config(seed, 100);
+    let labels: Vec<String> = config.monitors.iter().map(|m| m.label.clone()).collect();
+    let mut collector = MonitorCollector::new(labels);
+    Network::new(build_scenario(&config)).run(&mut collector);
+    collector.into_dataset()
+}
+
+fn write_manifest(dataset: &MonitoringDataset, dir: &Path) {
+    let config = DatasetConfig {
+        rotate_after_entries: (dataset.total_entries() as u64 / 3).max(1),
+        segment: SegmentConfig {
+            chunk_capacity: 64,
+            ..SegmentConfig::default()
+        },
+    };
+    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
+    for per_monitor in &dataset.entries {
+        for entry in per_monitor {
+            writer.append(entry).unwrap();
+        }
+    }
+    writer.finish().unwrap();
+}
+
+/// Trivial associative sink: counts entries.
+#[derive(Clone, Default, PartialEq, Debug)]
+struct CountSink {
+    count: u64,
+}
+
+impl AnalysisSink for CountSink {
+    type Output = u64;
+
+    fn consume(&mut self, _entry: TraceEntry) {
+        self.count += 1;
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.count += other.count;
+    }
+
+    fn finish(self) -> u64 {
+        self.count
+    }
+}
+
+/// The cross-layer counters and stage histograms move when the pipeline
+/// does real work (and stay empty under `obs-off`).
+#[test]
+fn pipeline_metrics_track_real_work() {
+    let dataset = run_pipeline(41);
+    let total = dataset.total_entries() as u64;
+    assert!(total > 0, "scenario must produce observations");
+
+    let dir = temp_dir("metrics");
+    write_manifest(&dataset, &dir);
+    let reader = ManifestReader::open(&dir).expect("open manifest");
+    let before = obs::snapshot();
+    let progress = reader.run_parallel_with_progress(CountSink::default());
+    assert_eq!(progress.result.expect("analysis"), total);
+    let after = obs::snapshot();
+    std::fs::remove_dir_all(&dir).ok();
+
+    if obs::is_enabled() {
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        // `>=` because other tests in this binary drive the same global
+        // counters concurrently.
+        assert!(delta("analysis.entries") >= total);
+        assert!(delta("store.chunks_decoded") >= 1);
+        assert!(delta("store.entries_decoded") >= total);
+        assert!(after.counters.get("sim.events").copied().unwrap_or(0) > 0);
+        assert!(after.counters.get("ingest.entries").copied().unwrap_or(0) >= total);
+        let decode = after
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("store.chunk_decode_ns."))
+            .map(|(_, h)| h.count)
+            .sum::<u64>();
+        assert!(decode >= 1, "decode stage histogram must have samples");
+    } else {
+        assert!(after.counters.is_empty());
+        assert!(after.histograms.is_empty());
+        assert!(after.gauges.is_empty());
+    }
+}
+
+/// Per-monitor progress from `run_parallel_with_progress` is exact in both
+/// build flavours: it is functional accounting, not a metrics read-back.
+#[test]
+fn parallel_progress_is_exact_in_both_configs() {
+    let dataset = run_pipeline(42);
+    let per_monitor: Vec<u64> = dataset.entries.iter().map(|e| e.len() as u64).collect();
+    let dir = temp_dir("progress");
+    write_manifest(&dataset, &dir);
+    let reader = ManifestReader::open(&dir).expect("open manifest");
+    let progress = reader.run_parallel_with_progress(CountSink::default());
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        progress.result.expect("analysis"),
+        per_monitor.iter().sum::<u64>()
+    );
+    assert_eq!(progress.entries_consumed, per_monitor);
+}
+
+/// Output passivity: the pipeline's trace bytes are identical whether a
+/// heartbeat reporter is actively sampling the registry or no reporter
+/// exists at all. Run under both default and `obs-off` features, this is
+/// the byte-identity property the `obs-off` feature promises.
+#[test]
+fn instrumentation_is_output_passive() {
+    let quiet = run_pipeline(43).to_json().expect("encode");
+
+    let heartbeat_path = temp_dir("passive").with_extension("jsonl");
+    let reporter = {
+        let config = obs::ReporterConfig::with_interval(std::time::Duration::from_millis(1));
+        obs::Reporter::to_file(&heartbeat_path, config).expect("reporter file")
+    };
+    let sampled = run_pipeline(43).to_json().expect("encode");
+    reporter.stop();
+    std::fs::remove_file(&heartbeat_path).ok();
+
+    assert_eq!(quiet, sampled, "reporter sampling must not perturb outputs");
+}
+
+/// Heartbeat lines are valid JSON with the documented fields; the final
+/// line carries `done: true`. Under `obs-off` no file is even created.
+#[test]
+fn heartbeat_lines_parse_and_finish_with_done() {
+    let path = temp_dir("heartbeat").with_extension("jsonl");
+    std::fs::remove_file(&path).ok();
+    let reporter = obs::Reporter::to_file(
+        &path,
+        obs::ReporterConfig::with_interval(std::time::Duration::from_millis(10)),
+    )
+    .expect("reporter file");
+    // Drive some work so counters exist, then give the reporter a tick.
+    let _ = run_pipeline(44);
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    reporter.stop();
+
+    if !obs::is_enabled() {
+        assert!(!path.exists(), "obs-off must not create heartbeat files");
+        return;
+    }
+    let text = std::fs::read_to_string(&path).expect("heartbeat file");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+    for (i, line) in lines.iter().enumerate() {
+        let value: Content = serde_json::from_str(line).expect("heartbeat JSON");
+        let map = value.as_map().expect("heartbeat object");
+        for field in [
+            "heartbeat",
+            "uptime_s",
+            "events_per_sec",
+            "counters",
+            "histograms",
+        ] {
+            struct_field(map, field).expect("documented heartbeat field");
+        }
+        let done = struct_field(map, "done")
+            .ok()
+            .and_then(Content::as_bool)
+            .expect("done flag");
+        assert_eq!(done, i == lines.len() - 1, "only the last line is final");
+    }
+    let last: Content = serde_json::from_str(lines.last().unwrap()).unwrap();
+    let counters = struct_field(last.as_map().unwrap(), "counters")
+        .ok()
+        .and_then(Content::as_map)
+        .unwrap();
+    assert!(
+        counters.iter().any(|(name, _)| name == "sim.events"),
+        "pipeline counters appear in the heartbeat"
+    );
+}
+
+/// Bucket/quantile contract through the public API: every value lands in a
+/// bucket whose bounds contain it, and quantiles are monotone and bounded.
+#[test]
+fn histogram_bucket_and_quantile_contract() {
+    for value in (0u64..70).map(|i| 1u64.checked_shl(i as u32).unwrap_or(u64::MAX)) {
+        for v in [value.saturating_sub(1), value, value.saturating_add(1)] {
+            let (low, high) = obs::bucket_bounds(obs::bucket_index(v) as u8);
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+        }
+    }
+
+    let hist = obs::histogram!("test.obs_layer.quantiles");
+    for v in [1u64, 3, 7, 90, 90, 4096, 70_000] {
+        hist.record(v);
+    }
+    let snapshot = obs::snapshot();
+    if obs::is_enabled() {
+        let h = snapshot
+            .histograms
+            .get("test.obs_layer.quantiles")
+            .expect("recorded histogram");
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1 + 3 + 7 + 90 + 90 + 4096 + 70_000);
+        let quantiles: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for pair in quantiles.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles must be monotone");
+        }
+        assert!(quantiles[0] >= 1.0);
+        assert!(*quantiles.last().unwrap() <= h.max_bound() as f64);
+        assert!((h.mean() - (h.sum as f64 / 7.0)).abs() < 1e-9);
+    } else {
+        assert!(snapshot.histograms.is_empty());
+    }
+}
+
+/// Snapshots survive a JSON round-trip in both build flavours (under
+/// `obs-off` the snapshot is empty — and still round-trips).
+#[test]
+fn snapshot_roundtrips_through_facade_json() {
+    obs::counter!("test.obs_layer.roundtrip").add(17);
+    obs::gauge!("test.obs_layer.gauge").set(5);
+    obs::histogram!("test.obs_layer.hist").record(1000);
+    let snapshot = obs::snapshot();
+    let json = serde_json::to_string(&snapshot).expect("encode snapshot");
+    let back: obs::Snapshot = serde_json::from_str(&json).expect("decode snapshot");
+    assert_eq!(snapshot, back);
+    if obs::is_enabled() {
+        assert_eq!(back.counters.get("test.obs_layer.roundtrip"), Some(&17));
+        assert_eq!(back.gauges.get("test.obs_layer.gauge"), Some(&5));
+        assert_eq!(
+            back.histograms.get("test.obs_layer.hist").map(|h| h.count),
+            Some(1)
+        );
+    }
+}

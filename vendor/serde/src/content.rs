@@ -52,12 +52,43 @@ impl Content {
         }
     }
 
+    /// Interprets the value as a boolean if possible.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string if possible.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The map entries of a struct-shaped value.
     pub fn as_map(&self) -> Option<&[(String, Content)]> {
         match self {
             Content::Map(entries) => Some(entries),
             _ => None,
         }
+    }
+}
+
+// `Content` is its own data model, so (de)serializing it is the identity:
+// this is what lets callers decode arbitrary JSON they do not have a struct
+// for (`serde_json::from_str::<Content>(..)`), mirroring `serde_json::Value`.
+impl crate::Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
     }
 }
 
