@@ -3,17 +3,46 @@
 //! and gateway usage — by replaying the adversary's analyses on mitigated
 //! traces.
 
-use ipfs_mon_bench::{pct, print_header, run_experiment, scaled};
-use ipfs_mon_core::{apply_countermeasure, evaluate_countermeasure, Countermeasure};
+use ipfs_mon_bench::{
+    pct, print_header, print_row, run_experiment, scaled, spill_to_manifest_with, StorageFlags,
+};
+use ipfs_mon_core::{
+    apply_countermeasure, evaluate_countermeasure, unify_and_flag_source, Countermeasure,
+    PreprocessConfig,
+};
 use ipfs_mon_simnet::rng::SimRng;
 use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_tracestore::{DatasetConfig, ManifestReader, SegmentConfig};
 use ipfs_mon_workload::ScenarioConfig;
 
 fn main() {
+    let flags = StorageFlags::from_args();
     let mut config = ScenarioConfig::analysis_week(112, scaled(600));
     config.horizon = SimDuration::from_days(1);
     config.workload.mean_node_requests_per_hour = 1.5;
     let run = run_experiment(&config);
+
+    // The adversary's view is replayed from a spilled manifest under the
+    // selected codec/source/merge combination and cross-checked against the
+    // in-memory preprocessing before the countermeasures are applied.
+    let dir = std::env::temp_dir().join(format!("sec6c-manifest-{}", std::process::id()));
+    let summary = spill_to_manifest_with(
+        &run.dataset,
+        &dir,
+        DatasetConfig {
+            segment: SegmentConfig::with_codec(flags.codec),
+            rotate_after_entries: (run.dataset.total_entries() as u64 / 4).max(1),
+        },
+    );
+    let reader =
+        ManifestReader::open_with(&summary.manifest_path, flags.options).expect("open manifest");
+    let (streamed, _) =
+        unify_and_flag_source(&reader, PreprocessConfig::default()).expect("stream manifest");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        streamed.entries, run.trace.entries,
+        "streamed unified trace must equal the in-memory path"
+    );
 
     let cases: Vec<(&str, Countermeasure)> = vec![
         (
@@ -59,17 +88,26 @@ fn main() {
     ];
 
     print_header("Sec. VI-C — countermeasure design space (lower = better privacy)");
+    print_row(
+        "manifest",
+        format!(
+            "{} segments, {} entries, {}",
+            summary.segment_count,
+            summary.total_entries,
+            flags.describe()
+        ),
+    );
     println!(
         "  {:<34} {:>12} {:>12} {:>12} {:>10}",
         "countermeasure", "TNW link.", "IDW prec.", "CID visib.", "overhead"
     );
     // Baseline.
     let baseline = ipfs_mon_core::MitigatedTrace {
-        trace: run.trace.clone(),
+        trace: streamed.clone(),
         traffic_overhead: 0.0,
         forced_reconnections: 0,
     };
-    let eval = evaluate_countermeasure(&run.trace, &baseline);
+    let eval = evaluate_countermeasure(&streamed, &baseline);
     println!(
         "  {:<34} {:>12} {:>12} {:>12} {:>10}",
         "none (baseline)",
@@ -80,8 +118,8 @@ fn main() {
     );
     for (name, countermeasure) in cases {
         let mut rng = SimRng::new(0xC0FFEE);
-        let mitigated = apply_countermeasure(&run.trace, countermeasure, &mut rng);
-        let eval = evaluate_countermeasure(&run.trace, &mitigated);
+        let mitigated = apply_countermeasure(&streamed, countermeasure, &mut rng);
+        let eval = evaluate_countermeasure(&streamed, &mitigated);
         println!(
             "  {:<34} {:>12} {:>12} {:>12} {:>10}",
             name,

@@ -158,7 +158,7 @@ pub fn spill_to_manifest_with(
 /// Storage-path choices shared by the trace-driven experiment binaries,
 /// parsed from the common command-line flags:
 ///
-/// * `--codec <raw|lz>` — chunk payload codec for the spilled manifest,
+/// * `--codec <raw|lz|col>` — chunk payload codec for the spilled manifest,
 /// * `--mmap` — read segments through zero-copy mapped buffers,
 /// * `--decode-ahead` — decode each monitor chain on its own prefetch worker.
 ///
@@ -180,7 +180,7 @@ impl StorageFlags {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--codec" => {
-                    let name = args.next().expect("--codec needs a value (raw|lz)");
+                    let name = args.next().expect("--codec needs a value (raw|lz|col)");
                     flags.codec =
                         ipfs_mon_tracestore::Codec::parse(&name).expect("unknown codec name");
                 }
@@ -192,7 +192,7 @@ impl StorageFlags {
                     args.next();
                 }
                 other => panic!(
-                    "unknown flag {other:?} (expected --codec <raw|lz>, --mmap, --decode-ahead, \
+                    "unknown flag {other:?} (expected --codec <raw|lz|col>, --mmap, --decode-ahead, \
                      --obs <path>, --obs-interval <ms>)"
                 ),
             }

@@ -17,9 +17,15 @@
 //!   [`segment::ChunkView`] (dictionary slices + column cursors); owned
 //!   entries are materialized only at the stream boundary.
 //! * [`codec`] — the pluggable chunk payload codecs behind the codec byte:
-//!   [`codec::RawCodec`] (verbatim planes) and [`codec::LzCodec`]
-//!   (back-reference compression with per-chunk raw fallback). Codecs mix
-//!   freely within a dataset, so migration is per-segment or even per-chunk.
+//!   [`codec::RawCodec`] (verbatim planes), [`codec::LzCodec`]
+//!   (back-reference compression with per-chunk raw fallback) and
+//!   [`col::ColCodec`] (column-aware bit-packed encoding with a vectorized
+//!   batch decoder — see [`col`]). Codecs mix freely within a dataset, so
+//!   migration is per-segment or even per-chunk.
+//! * [`migrate`] — [`migrate::migrate_manifest`], the offline rewrite of a
+//!   manifest dataset to a target codec: segment-by-segment, verified
+//!   entry-stream-identical, with an atomic per-segment swap so readers see
+//!   a valid (possibly mixed-codec) dataset at every instant.
 //! * [`writer`] — [`writer::TraceWriter`], a sharded encoder (one shard per
 //!   monitor) that spills fixed-size chunks to any `io::Write` sink as
 //!   entries arrive, so collection runs in constant memory.
@@ -58,8 +64,10 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod col;
 pub mod crc;
 pub mod manifest;
+pub mod migrate;
 pub mod mmap;
 pub mod reader;
 pub mod record;
@@ -69,10 +77,12 @@ pub mod source;
 pub mod writer;
 
 pub use codec::{ChunkCodec, Codec, LzCodec, RawCodec};
+pub use col::ColCodec;
 pub use manifest::{
     DatasetConfig, DatasetSummary, DatasetWriter, Manifest, ManifestBuilder, MonitorSummary,
     MonitorWriter, SegmentMeta, MANIFEST_FILE_NAME,
 };
+pub use migrate::{migrate_manifest, MigrateReport, MIGRATE_TMP_SUFFIX};
 pub use mmap::MmapSource;
 pub use reader::{
     ChainedMonitorStream, ChunkSource, EntryStream, FileSource, ManifestMergedStream,
@@ -81,7 +91,7 @@ pub use reader::{
 };
 pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
 pub use segment::{
-    ChunkEntries, ChunkInfo, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
+    ChunkEntries, ChunkInfo, ChunkScratch, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
 };
 pub use sink::{run_sink, AnalysisSink, ParallelProgress};
 pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};

@@ -1,0 +1,353 @@
+//! Offline migration of a manifest dataset to a target codec.
+//!
+//! [`migrate_manifest`] rewrites every segment of a manifest dataset whose
+//! chunks are not already encoded with the target [`Codec`], one segment at
+//! a time:
+//!
+//! 1. **Skip check** — the per-chunk codec bytes are inspected via the
+//!    segment's footer index. A segment whose chunks all already carry the
+//!    target codec is left untouched (byte-for-byte, not just
+//!    entry-for-entry).
+//! 2. **Rewrite** — the segment's entry stream, connection records, and
+//!    monitor label are streamed through a fresh [`TraceWriter`] configured
+//!    with the target codec into `<segment>.migrate-tmp` next to the
+//!    original. Memory stays bounded by one chunk regardless of segment
+//!    size.
+//! 3. **Verify** — the temp segment is reopened and its labels, connection
+//!    records, and full entry stream are compared against the original.
+//!    Any mismatch aborts the migration with the original file intact.
+//! 4. **Swap** — the temp file is fsynced and renamed over the original.
+//!    The rename is atomic and the file name (hence the manifest) never
+//!    changes, so a concurrent reader sees a valid — possibly mixed-codec —
+//!    dataset at every instant. A crash mid-migration leaves at most one
+//!    stale `*.migrate-tmp` file, which the next run removes.
+//!
+//! Chunk codec bytes live *inside* the per-chunk CRC, so mixed-codec
+//! datasets (including half-migrated ones) read transparently; migration is
+//! an optimization pass, never a correctness requirement.
+
+use crate::codec::Codec;
+use crate::manifest::{Manifest, MANIFEST_FILE_NAME};
+use crate::reader::{ChunkSource, SegmentSource, TraceReader};
+use crate::segment::{SegmentConfig, SegmentError};
+use crate::writer::TraceWriter;
+use ipfs_mon_obs as obs;
+use ipfs_mon_types::varint;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+/// Suffix of the temporary file a segment is rewritten into before the
+/// atomic swap. Stale files with this suffix (from a crashed migration) are
+/// removed on the next run and never referenced by any manifest.
+pub const MIGRATE_TMP_SUFFIX: &str = ".migrate-tmp";
+
+/// What [`migrate_manifest`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// Segments listed in the manifest.
+    pub segments_total: usize,
+    /// Segments rewritten to the target codec.
+    pub segments_rewritten: usize,
+    /// Segments skipped because every chunk already carried the target
+    /// codec.
+    pub segments_skipped: usize,
+    /// Trace entries streamed through rewritten segments.
+    pub entries: u64,
+    /// Total size of all segment files before migration, in bytes.
+    pub bytes_before: u64,
+    /// Total size of all segment files after migration, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Reads the codec byte of one chunk frame: `payload_len:varint` followed
+/// by the payload, whose first byte names the codec.
+fn chunk_codec_byte<S: ChunkSource>(
+    source: &S,
+    offset: u64,
+    frame_len: u64,
+) -> Result<u8, SegmentError> {
+    // A length varint is at most 10 bytes; one more for the codec byte.
+    let head = source.read_at(offset, (frame_len as usize).min(11))?;
+    let (_, used) = varint::decode(&head)
+        .map_err(|e| SegmentError::Corrupt(format!("bad chunk length varint: {e:?}")))?;
+    head.get(used)
+        .copied()
+        .ok_or_else(|| SegmentError::Corrupt("chunk frame too short for codec byte".into()))
+}
+
+/// True when every chunk of the open segment already carries `target`.
+fn segment_matches<S: ChunkSource>(
+    reader: &TraceReader<S>,
+    target: Codec,
+) -> Result<bool, SegmentError> {
+    for info in reader.chunks() {
+        if chunk_codec_byte(reader.source(), info.offset, info.len)? != target.byte() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Rewrites one segment file to `target`, verifying the rewrite before the
+/// atomic swap. Returns the number of entries streamed.
+fn rewrite_segment(path: &Path, target: Codec) -> Result<u64, SegmentError> {
+    let reader = TraceReader::new(SegmentSource::open(path, false)?)?;
+    let labels = reader.monitor_labels().to_vec();
+
+    let tmp_path = migrate_tmp_path(path);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp_path)?;
+        let mut writer = TraceWriter::new(
+            BufWriter::new(file),
+            labels.clone(),
+            SegmentConfig::with_codec(target),
+        )?;
+        // Manifest segments hold a single monitor chain stored as local
+        // index 0; standalone multi-monitor segments migrate just as well.
+        for monitor in 0..labels.len() {
+            let mut stream = reader.stream_monitor(monitor);
+            for entry in stream.by_ref() {
+                writer.append_owned(entry)?;
+            }
+            if let Some(error) = stream.take_error() {
+                return Err(error);
+            }
+        }
+        for record in reader.connections() {
+            writer.record_connection(record.clone());
+        }
+        writer.finish()?;
+        // The writer's BufWriter flushed on finish; fsync through a fresh
+        // handle so the rename below never promotes unwritten data.
+        std::fs::File::open(&tmp_path)?.sync_all()?;
+
+        verify_identical(&reader, &tmp_path)?;
+        std::fs::rename(&tmp_path, path)?;
+        Ok(reader.total_entries())
+    })();
+    if result.is_err() {
+        // Keep the original segment authoritative: the temp file is
+        // best-effort garbage at this point.
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+/// Compares the rewritten segment at `tmp_path` against the already-open
+/// original, entry by entry. Any difference is a migration bug surfaced as
+/// [`SegmentError::Corrupt`] *before* the original is replaced.
+fn verify_identical<S: ChunkSource>(
+    original: &TraceReader<S>,
+    tmp_path: &Path,
+) -> Result<(), SegmentError> {
+    let mismatch = |what: &str| SegmentError::Corrupt(format!("migrate verification: {what}"));
+    let rewritten = TraceReader::new(SegmentSource::open(tmp_path, false)?)?;
+    if rewritten.monitor_labels() != original.monitor_labels() {
+        return Err(mismatch("monitor labels differ"));
+    }
+    if rewritten.connections() != original.connections() {
+        return Err(mismatch("connection records differ"));
+    }
+    if rewritten.total_entries() != original.total_entries() {
+        return Err(mismatch("entry counts differ"));
+    }
+    for monitor in 0..original.monitor_labels().len() {
+        let mut want = original.stream_monitor(monitor);
+        let mut got = rewritten.stream_monitor(monitor);
+        loop {
+            match (want.next(), got.next()) {
+                (None, None) => break,
+                (Some(a), Some(b)) if a == b => {}
+                _ => return Err(mismatch("entry streams differ")),
+            }
+        }
+        if let Some(error) = want.take_error() {
+            return Err(error);
+        }
+        if let Some(error) = got.take_error() {
+            return Err(error);
+        }
+    }
+    Ok(())
+}
+
+fn migrate_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(MIGRATE_TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Removes stale `*.migrate-tmp` files left by a crashed earlier run.
+fn sweep_stale_tmp_files(dir: &Path) -> Result<(), SegmentError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_string_lossy()
+            .ends_with(MIGRATE_TMP_SUFFIX)
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites every segment of the manifest dataset in `dir` to `target`,
+/// segment by segment with an atomic per-segment swap (see the [module
+/// docs](self) for the exact protocol). Already-migrated segments are
+/// skipped; each rewritten segment is verified entry-stream-identical
+/// before it replaces the original. Returns what was done.
+///
+/// The dataset stays readable throughout: file names never change, each
+/// swap is a same-directory rename, and readers dispatch on per-chunk codec
+/// bytes, so a crash at any point leaves a valid (possibly mixed-codec)
+/// dataset plus at most one stale temp file that the next run removes.
+pub fn migrate_manifest(
+    dir: impl AsRef<Path>,
+    target: Codec,
+) -> Result<MigrateReport, SegmentError> {
+    let dir = dir.as_ref();
+    let manifest = Manifest::load(dir.join(MANIFEST_FILE_NAME))?;
+    sweep_stale_tmp_files(dir)?;
+
+    let mut report = MigrateReport {
+        segments_total: manifest.segments.len(),
+        ..MigrateReport::default()
+    };
+    for segment in &manifest.segments {
+        let path = dir.join(&segment.file_name);
+        report.bytes_before += std::fs::metadata(&path)?.len();
+        let already_done = {
+            let reader = TraceReader::new(SegmentSource::open(&path, false)?)?;
+            segment_matches(&reader, target)?
+        };
+        if already_done {
+            report.segments_skipped += 1;
+        } else {
+            report.entries += rewrite_segment(&path, target)?;
+            report.segments_rewritten += 1;
+            obs::counter!("migrate.segments_rewritten").incr();
+        }
+        report.bytes_after += std::fs::metadata(&path)?.len();
+    }
+    // Entry counts and file names are unchanged, but rewrite the manifest
+    // anyway: it re-asserts the index matches what is on disk after the
+    // pass (and refreshes its CRC framing in one place).
+    manifest.write_to(dir)?;
+    obs::counter!("migrate.runs").incr();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{DatasetConfig, DatasetWriter};
+    use crate::reader::{ManifestReader, ReadOptions};
+    use crate::record::{ConnectionRecord, EntryFlags, TraceEntry};
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, peer: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(3, peer % 17),
+            address: Multiaddr::new((peer % 11) as u32, 4001, Transport::Tcp, Country::De),
+            request_type: if peer.is_multiple_of(3) {
+                RequestType::WantBlock
+            } else {
+                RequestType::WantHave
+            },
+            cid: Cid::new_v1(Multicodec::DagProtobuf, &(peer % 29).to_be_bytes()),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    fn write_dataset(dir: &Path, codec: Codec) -> u64 {
+        let config = DatasetConfig {
+            segment: SegmentConfig {
+                chunk_capacity: 32,
+                codec,
+            },
+            rotate_after_entries: 100,
+        };
+        let mut writer = DatasetWriter::create(dir, vec!["us".into(), "de".into()], config)
+            .expect("create dataset");
+        for i in 0..300u64 {
+            writer.append(&entry(i * 7, i, (i % 2) as usize)).unwrap();
+        }
+        writer
+            .record_connection(ConnectionRecord {
+                monitor: 0,
+                peer: PeerId::derived(3, 1),
+                address: Multiaddr::new(1, 4001, Transport::Tcp, Country::De),
+                connected_at: SimTime::from_millis(0),
+                disconnected_at: None,
+            })
+            .unwrap();
+        writer.finish().unwrap().total_entries
+    }
+
+    fn merged_entries(dir: &Path) -> Vec<TraceEntry> {
+        let reader = ManifestReader::open_with(dir, ReadOptions::default()).unwrap();
+        let mut stream = reader.stream_merged();
+        let entries: Vec<_> = stream.by_ref().collect();
+        assert!(stream.take_error().is_none());
+        entries
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("migrate-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn migrates_lz_dataset_to_col_and_preserves_stream() {
+        let dir = temp_dir("lz-to-col");
+        let total = write_dataset(&dir, Codec::Lz);
+        let before = merged_entries(&dir);
+        assert_eq!(before.len() as u64, total);
+
+        let report = migrate_manifest(&dir, Codec::Col).unwrap();
+        assert_eq!(report.segments_rewritten, report.segments_total);
+        assert_eq!(report.segments_skipped, 0);
+        assert_eq!(report.entries, total);
+        assert!(report.bytes_after < report.bytes_before, "col beats lz");
+
+        assert_eq!(merged_entries(&dir), before);
+        // Second run is a no-op: everything already carries Col.
+        let again = migrate_manifest(&dir, Codec::Col).unwrap();
+        assert_eq!(again.segments_skipped, again.segments_total);
+        assert_eq!(again.segments_rewritten, 0);
+        assert_eq!(again.bytes_after, report.bytes_after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_and_ignored() {
+        let dir = temp_dir("stale-tmp");
+        write_dataset(&dir, Codec::Raw);
+        let stale = dir.join("seg-000-00000.seg.migrate-tmp");
+        std::fs::write(&stale, b"half-written junk from a crashed run").unwrap();
+
+        let report = migrate_manifest(&dir, Codec::Col).unwrap();
+        assert!(!stale.exists(), "stale temp file must be removed");
+        assert_eq!(report.segments_rewritten, report.segments_total);
+        assert!(merged_entries(&dir).len() as u64 == report.entries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rewrite_leaves_original_intact() {
+        let dir = temp_dir("intact");
+        write_dataset(&dir, Codec::Raw);
+        let before = merged_entries(&dir);
+        // Migrating a missing dataset directory errors cleanly.
+        assert!(migrate_manifest(dir.join("nope"), Codec::Col).is_err());
+        assert_eq!(merged_entries(&dir), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -435,7 +435,14 @@ impl<S: ChunkSource> EntryStream<'_, S> {
                 return false;
             }
         };
-        match ChunkView::parse(frame) {
+        // Recycle the previous chunk's column allocations: one scratch set
+        // serves the whole chain instead of a fresh Vec per column per chunk.
+        let scratch = self
+            .current
+            .take()
+            .map(ChunkEntries::into_scratch)
+            .unwrap_or_default();
+        match ChunkView::parse_with(frame, scratch) {
             Ok(view) => {
                 self.current = Some(view.into_entries());
                 true

@@ -23,6 +23,7 @@ pub(crate) fn encode_stage_histogram(codec: Codec) -> obs::Histogram {
     match codec {
         Codec::Raw => obs::histogram!("store.chunk_encode_ns.raw"),
         Codec::Lz => obs::histogram!("store.chunk_encode_ns.lz"),
+        Codec::Col => obs::histogram!("store.chunk_encode_ns.col"),
     }
 }
 

@@ -2,10 +2,12 @@
 //!
 //! Covers the three-layer read stack introduced with the pluggable codecs:
 //! typed errors for every kind of codec-level damage (unknown codec byte,
-//! corrupted compressed body, CRC-vs-codec corruption), mixed-codec
-//! manifests (per-segment codec migration) streaming identically to the
-//! in-memory path, equality of every `(codec, source, merge-mode)`
-//! combination, and the on-disk size win of the compressed codec.
+//! corrupted compressed body, CRC-vs-codec corruption, single-byte damage
+//! anywhere in a `col` body), mixed-codec manifests (per-segment codec
+//! migration) streaming identically to the in-memory path, equality of every
+//! `(codec, source, merge-mode)` combination — all three codecs × two
+//! sources × two merge modes — the offline `migrate_manifest` rewrite, and
+//! the on-disk size wins of the compressed codecs.
 
 use ipfs_monitoring::bitswap::RequestType;
 use ipfs_monitoring::core::{
@@ -204,7 +206,7 @@ proptest! {
         let mut metas = Vec::new();
         for (monitor, entries) in dataset.entries.iter().enumerate() {
             for (sequence, window) in entries.chunks(rotate).enumerate() {
-                let codec = if (monitor + sequence) % 2 == 0 { Codec::Raw } else { Codec::Lz };
+                let codec = Codec::all()[(monitor + sequence) % 3];
                 let file_name = format!("seg-{monitor:03}-{sequence:05}.seg");
                 let bytes = monitor_segment(&format!("m{monitor}"), window, codec, chunk);
                 std::fs::write(dir.join(&file_name), &bytes).unwrap();
@@ -251,7 +253,7 @@ proptest! {
         let dataset = random_dataset(seed, 2, per_monitor, jitter);
         let reference: Vec<TraceEntry> = dataset.merged_entries().collect();
 
-        for codec in [Codec::Raw, Codec::Lz] {
+        for codec in Codec::all() {
             let dir = temp_dir(&format!("modes-{seed}-{per_monitor}-{}", codec.name()));
             write_manifest(&dataset, &dir, DatasetConfig {
                 segment: SegmentConfig { chunk_capacity: 16, codec },
@@ -292,7 +294,7 @@ fn netsize_and_attacks_agree_across_all_modes() {
     let reference_idw = identify_data_wanters(&trace, &target_cid);
     let reference_tnw = track_node_wants(&trace, &target_peer);
 
-    for codec in [Codec::Raw, Codec::Lz] {
+    for codec in Codec::all() {
         let dir = temp_dir(&format!("analyses-{}", codec.name()));
         write_manifest(
             &dataset,
@@ -345,6 +347,166 @@ fn netsize_and_attacks_agree_across_all_modes() {
 /// The compressed codec must make the dataset strictly smaller on disk for
 /// dictionary-heavy traces (the realistic shape: few distinct peers/CIDs per
 /// chunk, repetitive index columns).
+#[test]
+fn col_manifest_is_strictly_smaller_than_lz_on_disk() {
+    let dataset = random_dataset(11, 2, 4_000, 800);
+    let lz_dir = temp_dir("size2-lz");
+    let col_dir = temp_dir("size2-col");
+    for (dir, codec) in [(&lz_dir, Codec::Lz), (&col_dir, Codec::Col)] {
+        write_manifest(
+            &dataset,
+            dir,
+            DatasetConfig {
+                segment: SegmentConfig {
+                    chunk_capacity: 1024,
+                    codec,
+                },
+                rotate_after_entries: 2_000,
+            },
+        );
+    }
+    let lz_bytes = dir_bytes(&lz_dir);
+    let col_bytes = dir_bytes(&col_dir);
+    assert!(
+        col_bytes < lz_bytes,
+        "col manifest not smaller: {col_bytes} vs {lz_bytes} lz"
+    );
+
+    // And it still reads back identically.
+    let reader = ManifestReader::open(&col_dir).unwrap();
+    let (streamed, _) = unify_and_flag_source(&reader, PreprocessConfig::default()).unwrap();
+    let (trace, _) = unify_and_flag(&dataset, PreprocessConfig::default());
+    assert_eq!(streamed.entries, trace.entries);
+
+    std::fs::remove_dir_all(&lz_dir).ok();
+    std::fs::remove_dir_all(&col_dir).ok();
+}
+
+/// Exhaustive single-byte damage sweep over a `col` chunk body, through the
+/// full reader stack: every flip must either surface a *typed* error
+/// (truncated bit-pack runs, out-of-range dictionary indexes, RLE overruns —
+/// all `Corrupt` — or an unknown codec byte) or decode cleanly into
+/// different-but-valid entries (flips inside dictionary bytes). Never a
+/// panic, never a checksum-skipping shortcut.
+#[test]
+fn col_body_damage_sweep_never_panics() {
+    let dataset = random_dataset(43, 1, 400, 400);
+    let bytes = monitor_segment("m0", &dataset.entries[0], Codec::Col, 64);
+    let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+    let chunk = reader.chunks()[0];
+    let frame_start = chunk.offset as usize;
+    let (payload_len, varint_len) = varint::decode(&bytes[frame_start..]).unwrap();
+    let payload_start = frame_start + varint_len;
+    let payload_end = payload_start + payload_len as usize;
+    let crc_range = payload_end..payload_end + 4;
+    assert_eq!(
+        bytes[payload_start],
+        Codec::Col.byte(),
+        "first chunk is col"
+    );
+
+    let mut typed_errors = 0usize;
+    let mut clean_decodes = 0usize;
+    for pos in payload_start + 1..payload_end {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0xA5;
+        let crc = ipfs_monitoring::tracestore::crc::crc32(&damaged[payload_start..payload_end]);
+        damaged[crc_range.clone()].copy_from_slice(&crc.to_le_bytes());
+
+        let reader = TraceReader::new(SliceSource::new(&damaged)).unwrap();
+        let mut stream = reader.stream_monitor(0);
+        let _ = (&mut stream).count();
+        match stream.take_error() {
+            Some(SegmentError::Corrupt(_)) | Some(SegmentError::UnknownCodec(_)) => {
+                typed_errors += 1;
+            }
+            Some(other) => panic!("unexpected error type at body offset {pos}: {other:?}"),
+            None => clean_decodes += 1,
+        }
+    }
+    // A healthy sweep hits both outcomes: structural bytes (widths, counts,
+    // run lengths, indexes) produce typed errors; dictionary payload bytes
+    // decode to different entries.
+    assert!(typed_errors > 0, "no flip surfaced a typed error");
+    assert!(
+        clean_decodes > 0,
+        "no flip landed in plain dictionary bytes"
+    );
+}
+
+/// Migration round-trip: a hand-assembled manifest whose segments cycle all
+/// three codecs is rewritten to all-`col` — the merged stream must be
+/// byte-identical before and after, already-`col` segments are skipped, a
+/// stale temp file from a crashed previous run is swept, and a second run is
+/// a no-op.
+#[test]
+fn migrate_rewrites_mixed_manifest_to_col() {
+    use ipfs_monitoring::tracestore::{migrate_manifest, MIGRATE_TMP_SUFFIX};
+
+    let dataset = random_dataset(59, 2, 400, 600);
+    let dir = temp_dir("migrate-mixed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut metas = Vec::new();
+    let mut col_segments = 0usize;
+    for (monitor, entries) in dataset.entries.iter().enumerate() {
+        for (sequence, window) in entries.chunks(120).enumerate() {
+            let codec = Codec::all()[(monitor + sequence) % 3];
+            if codec == Codec::Col {
+                col_segments += 1;
+            }
+            let file_name = format!("seg-{monitor:03}-{sequence:05}.seg");
+            let bytes = monitor_segment(&format!("m{monitor}"), window, codec, 32);
+            std::fs::write(dir.join(&file_name), &bytes).unwrap();
+            metas.push(SegmentMeta {
+                file_name,
+                monitor,
+                sequence: sequence as u64,
+                entries: window.len() as u64,
+            });
+        }
+    }
+    let manifest = Manifest {
+        monitor_labels: dataset.monitor_labels.clone(),
+        segments: metas,
+    };
+    manifest.write_to(&dir).unwrap();
+    // A stale temp file from a simulated crashed migration must be swept and
+    // must not confuse the rewrite.
+    let stale = dir.join(format!("seg-000-00000.seg{MIGRATE_TMP_SUFFIX}"));
+    std::fs::write(&stale, b"half-written garbage").unwrap();
+
+    let reference: Vec<TraceEntry> = {
+        let reader = ManifestReader::open(&dir).unwrap();
+        let mut stream = reader.merged_entries();
+        let entries: Vec<TraceEntry> = (&mut stream).collect();
+        assert!(stream.take_error().is_none());
+        entries
+    };
+
+    let report = migrate_manifest(&dir, Codec::Col).unwrap();
+    assert!(!stale.exists(), "stale temp file must be swept");
+    assert_eq!(report.segments_skipped, col_segments, "col segments skip");
+    assert_eq!(
+        report.segments_rewritten,
+        report.segments_total - col_segments
+    );
+
+    let reader = ManifestReader::open(&dir).unwrap();
+    let mut stream = reader.merged_entries();
+    let migrated: Vec<TraceEntry> = (&mut stream).collect();
+    assert!(stream.take_error().is_none());
+    assert_eq!(migrated, reference, "stream must survive migration intact");
+
+    // Second run: everything already col, nothing rewritten, size unchanged.
+    let before = dir_bytes(&dir);
+    let second = migrate_manifest(&dir, Codec::Col).unwrap();
+    assert_eq!(second.segments_rewritten, 0);
+    assert_eq!(second.segments_skipped, report.segments_total);
+    assert_eq!(dir_bytes(&dir), before);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn lz_manifest_is_strictly_smaller_on_disk() {
     let dataset = random_dataset(7, 2, 4_000, 800);
