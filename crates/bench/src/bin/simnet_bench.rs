@@ -3,7 +3,7 @@
 //!
 //! Two sections, both on scenarios from the standard generator:
 //!
-//! **Full-simulation comparison** — runs the *same* scenario through five
+//! **Full-simulation comparison** — runs the *same* scenario through six
 //! execution configurations and verifies they produce byte-identical monitor
 //! traces (order-sensitive digest over every observation and connection
 //! event):
@@ -18,7 +18,19 @@
 //!    lazily from the same RNG streams while the simulation runs;
 //! 5. `lazy-parallel`   — lazy-generated sources partitioned into
 //!    independent regions advanced on worker threads between
-//!    synchronization barriers (`ExecOptions::lazy_parallel`).
+//!    synchronization barriers (`ExecOptions::lazy_parallel`);
+//! 6. `sharded-handlers` — lazy-generated sources *and* the observation
+//!    half of every handler distributed over shard worker threads
+//!    (`ExecOptions::sharded`, `--parallel-shards <n>` to override the
+//!    shard count).
+//!
+//! A seventh measurement, `fast-rng`, reruns the lazy-generated
+//! configuration with the table-driven ziggurat normal sampler. Its draw
+//! sequence legitimately differs from Box–Muller, so its digest is checked
+//! for determinism across repeats but *not* against the other modes.
+//! Passing `--fast-rng` additionally re-baselines all six digest-checked
+//! configurations on the ziggurat stream — the cross-mode digest assertion
+//! then proves the modes stay mutually identical under the fast sampler.
 //!
 //! Reports the build/run wall-clock split, total events/sec and peak pending
 //! events per mode, and asserts the lazy pending set tracks concurrency
@@ -217,21 +229,49 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1)
         .clamp(2, 8);
+    let shards = if scale.parallel_shards > 0 {
+        scale.parallel_shards
+    } else {
+        regions
+    };
+    // `--fast-rng` re-baselines every digest-checked mode on the ziggurat
+    // stream; the cross-mode digest assertions below then prove the modes
+    // stay mutually identical under the fast sampler too.
+    let tune = {
+        let fast = scale.fast_rng;
+        move |options: ExecOptions| {
+            if fast {
+                options.with_fast_rng()
+            } else {
+                options
+            }
+        }
+    };
     let results = [
         measure("seed-baseline", &config, |c| {
-            Network::with_options(build_scenario(c), ExecOptions::seed_baseline())
+            Network::with_options(build_scenario(c), tune(ExecOptions::seed_baseline()))
         }),
         measure("wheel-material", &config, |c| {
-            Network::with_options(build_scenario(c), ExecOptions::materialized_wheel())
+            Network::with_options(build_scenario(c), tune(ExecOptions::materialized_wheel()))
         }),
-        measure("lazy-vectors", &config, |c| Network::new(build_scenario(c))),
+        measure("lazy-vectors", &config, |c| {
+            Network::with_options(build_scenario(c), tune(ExecOptions::lazy()))
+        }),
         measure("lazy-generated", &config, |c| {
             let (scenario, sources) = build_scenario_lazy(c);
-            Network::with_sources(scenario, sources)
+            Network::with_sources_options(scenario, sources, tune(ExecOptions::lazy()))
         }),
         measure("lazy-parallel", &config, move |c| {
             let (scenario, sources) = build_scenario_lazy(c);
-            Network::with_sources_options(scenario, sources, ExecOptions::lazy_parallel(regions))
+            Network::with_sources_options(
+                scenario,
+                sources,
+                tune(ExecOptions::lazy_parallel(regions)),
+            )
+        }),
+        measure("sharded-handlers", &config, move |c| {
+            let (scenario, sources) = build_scenario_lazy(c);
+            Network::with_sources_options(scenario, sources, tune(ExecOptions::sharded(shards)))
         }),
     ];
 
@@ -292,6 +332,43 @@ fn main() {
         "BENCH_simnet.json {{\"mode\":\"parallel-regions\",\"regions\":{regions},\"lazy_events_per_sec\":{:.0},\"parallel_events_per_sec\":{:.0},\"speedup\":{regions_speedup:.2}}}",
         lazy.events_per_sec(),
         lazy_parallel.events_per_sec(),
+    );
+
+    // Sharded handler execution: digest equality was asserted above against
+    // the seed baseline; the speedup over the serial lazy path is reported
+    // but not asserted (it depends on host core count and monitor density).
+    let sharded = &results[5];
+    let sharded_speedup = sharded.events_per_sec() / lazy.events_per_sec().max(1e-9);
+    println!(
+        "  sharded handlers speedup (sharded-handlers vs lazy-generated, {shards} shards): {sharded_speedup:.2}x"
+    );
+    println!(
+        "BENCH_simnet.json {{\"mode\":\"sharded-handlers\",\"shards\":{shards},\"digest_match\":true,\"lazy_events_per_sec\":{:.0},\"sharded_events_per_sec\":{:.0},\"speedup\":{sharded_speedup:.2}}}",
+        lazy.events_per_sec(),
+        sharded.events_per_sec(),
+    );
+
+    // Ziggurat sampler: deterministic (asserted across repeats inside
+    // `measure`) but on a different normal-draw sequence than Box–Muller, so
+    // it is measured outside the digest-equality set.
+    let fast = measure("fast-rng", &config, |c| {
+        let (scenario, sources) = build_scenario_lazy(c);
+        Network::with_sources_options(scenario, sources, ExecOptions::lazy().with_fast_rng())
+    });
+    let fast_speedup = fast.events_per_sec() / lazy.events_per_sec().max(1e-9);
+    assert_eq!(
+        fast.report.events_processed, lazy.report.events_processed,
+        "the sampler choice must not change the event stream, only the latency draws"
+    );
+    println!(
+        "  fast-rng (ziggurat) vs lazy-generated (Box\u{2013}Muller): {fast_speedup:.2}x ({:.0} events/sec)",
+        fast.events_per_sec()
+    );
+    println!(
+        "BENCH_simnet.json {{\"mode\":\"fast-rng\",\"sampler\":\"ziggurat\",\"events\":{},\"events_per_sec\":{:.0},\"speedup\":{fast_speedup:.2},\"observations\":{}}}",
+        fast.report.events_processed,
+        fast.events_per_sec(),
+        fast.observations,
     );
     // Instrumentation-overhead datum: one line per build flavour. Running
     // the bench once normally and once with `--features obs-off` and

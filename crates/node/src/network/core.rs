@@ -1,0 +1,72 @@
+//! The scenario-immutable half of a [`Network`](super::Network).
+//!
+//! Everything a run never mutates is gathered here and shared via
+//! `Arc<ScenarioCore>`: the [`Scenario`] itself, the derived node and monitor
+//! identities, the DHT routing tables, the precomputed latency table, and the
+//! base generator the per-node observation RNG streams derive from. Shard
+//! workers in the sharded execution mode hold clones of the `Arc` and read
+//! from it concurrently with the main thread; the serial modes read through
+//! the same `Arc` so there is exactly one code path for lookups.
+//!
+//! The only writers are the pre-run scenario editors (`add_content`,
+//! `register_monitor_provider` routing through the runtime provider index) —
+//! they go through `Arc::make_mut`, which is a plain mutation while the run
+//! has not started (reference count 1) and a copy-on-write afterwards.
+
+use crate::spec::Scenario;
+use ipfs_mon_kad::RoutingTable;
+use ipfs_mon_simnet::region::LatencyTable;
+use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_types::{Cid, Multiaddr, PeerId};
+use std::collections::HashMap;
+
+/// Scenario-immutable state shared by the main loop and every shard worker.
+#[derive(Debug, Clone)]
+pub(super) struct ScenarioCore {
+    /// The scenario this network was built from. Content may be appended
+    /// before a run starts (probe tooling); nothing is mutated during one.
+    pub(super) scenario: Scenario,
+    /// Peer ID of each node, derived from the experiment seed.
+    pub(super) node_peers: Vec<PeerId>,
+    /// Transport address of each node.
+    pub(super) node_addrs: Vec<Multiaddr>,
+    /// Peer ID of each monitor.
+    pub(super) monitor_ids: Vec<PeerId>,
+    /// Transport address of each monitor.
+    pub(super) monitor_addrs: Vec<Multiaddr>,
+    /// Root CID → content index (for cache probes and attack tooling).
+    pub(super) root_index: HashMap<Cid, usize>,
+    /// Routing tables of DHT-server nodes (node index → table), built once.
+    pub(super) routing_tables: HashMap<usize, RoutingTable>,
+    /// Peer ID → node index.
+    pub(super) peer_index: HashMap<PeerId, usize>,
+    /// Flat country×country latency table precomputed from
+    /// `scenario.params.latency` — the handler hot path indexes it instead of
+    /// re-deriving the country-pair mean per sample.
+    pub(super) latency: LatencyTable,
+    /// Base generator of the per-node observation streams; node `i` draws
+    /// from `obs_base.derive_indexed("node", i)`, created lazily on first
+    /// use. Kept here so the inline executor and every shard worker derive
+    /// identical streams.
+    pub(super) obs_base: SimRng,
+}
+
+impl ScenarioCore {
+    /// Number of monitors.
+    #[inline]
+    pub(super) fn monitor_count(&self) -> usize {
+        self.monitor_ids.len()
+    }
+
+    /// Number of (non-monitor) nodes.
+    #[inline]
+    pub(super) fn node_count(&self) -> usize {
+        self.node_peers.len()
+    }
+
+    /// Root CID of content item `index`.
+    #[inline]
+    pub(super) fn content_root(&self, index: usize) -> &Cid {
+        &self.scenario.content[index].dag.root
+    }
+}

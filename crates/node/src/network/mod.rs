@@ -43,7 +43,39 @@
 //! the FIFO sequence order of the seed's fully materialized scheduler. The
 //! materialized path (and the seed's binary-heap scheduler) remain available
 //! through [`ExecOptions`] as an equivalence oracle and benchmark baseline.
+//!
+//! # Structure: scenario core, runtime state, observation half
+//!
+//! The simulator state is split into three layers:
+//!
+//! ```text
+//!  Arc<ScenarioCore>      scenario, identities, routing tables, latency
+//!  (core.rs, immutable)   table, observation RNG base — shared read-only
+//!          │               with every shard worker
+//!          ▼
+//!  runtime state          online flags, block stores, gateway caches,
+//!  (state.rs, mutable)    provider index, pending-want slab, counters,
+//!          │               runtime queue — main thread only, serial order
+//!          ▼
+//!  observation half       monitor-link rows + per-node observation RNG
+//!  (sharded.rs)           streams → sink records; inline (serial modes)
+//!                          or on shard worker threads (sharded mode)
+//! ```
+//!
+//! Every handler runs its *state half* on the main thread and emits
+//! `ObsWork` items for its *observation half*. The serial modes execute
+//! those inline after each event through a single-shard executor; the sixth
+//! execution mode, [`ExecOptions::sharded`], ships them to persistent worker
+//! threads and merges the results back in event order — byte-identical to
+//! the serial lazy mode by construction (see the `sharded` module docs).
 
+mod core;
+mod sharded;
+mod state;
+
+use self::core::ScenarioCore;
+use self::sharded::{apply_sink_op, ObsShard, ObsWork, SinkOp};
+use self::state::{NodeState, PendingSlab, ProviderIndex};
 use crate::counters::SimCounter;
 use crate::gateway::{CacheOutcome, GatewayCache, GatewayCacheConfig};
 use crate::spec::{ContentSpec, GatewayRequestEvent, RequestEvent, Scenario, WorkloadEvent};
@@ -53,7 +85,7 @@ use ipfs_mon_kad::{DhtView, RoutingTable};
 use ipfs_mon_obs as obs;
 use ipfs_mon_simnet::churn::{ChurnEvent, ScheduleCursor};
 use ipfs_mon_simnet::metrics::{Counters, TypedCounters};
-use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::rng::{NormalSampler, SimRng};
 use ipfs_mon_simnet::scheduler::{BaselineScheduler, Scheduler};
 use ipfs_mon_simnet::source::EventSource;
 use ipfs_mon_simnet::time::{SimDuration, SimTime};
@@ -61,7 +93,8 @@ use ipfs_mon_types::{Cid, Country, Multiaddr, PeerId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// One Bitswap wantlist entry as received by a monitor: the raw material of
 /// the paper's `(timestamp, node_ID, address, request_type, CID)` tuples.
@@ -145,13 +178,6 @@ impl MonitorSink for RecordingSink {
     }
 }
 
-/// Who provides a content item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-enum ProviderRef {
-    Node(usize),
-    Monitor(usize),
-}
-
 /// How a retrieval was (or was not) resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Resolution {
@@ -159,60 +185,6 @@ enum Resolution {
     Dht,
     MonitorProvider(usize),
     Unresolved,
-}
-
-/// Internal per-node runtime state.
-#[derive(Debug)]
-struct NodeState {
-    peer_id: PeerId,
-    address: Multiaddr,
-    online: bool,
-    blockstore: Blockstore,
-    gateway_cache: Option<GatewayCache>,
-    /// Outstanding wants: content index → when the want started.
-    pending: HashMap<usize, SimTime>,
-}
-
-/// Which monitors each node is currently connected to, as one flat bit
-/// matrix: node `n`'s links live in `stride` consecutive words. Replaces the
-/// seed's per-node `Vec<bool>` (one heap allocation per node and a byte per
-/// flag) with two cache-friendly words-per-node in the common ≤128-monitor
-/// case.
-#[derive(Debug, Clone)]
-struct LinkMatrix {
-    words: Vec<u64>,
-    stride: usize,
-}
-
-impl LinkMatrix {
-    fn new(nodes: usize, monitors: usize) -> Self {
-        let stride = monitors.div_ceil(64).max(1);
-        Self {
-            words: vec![0; nodes * stride],
-            stride,
-        }
-    }
-
-    #[inline]
-    fn test(&self, node: usize, monitor: usize) -> bool {
-        self.words[node * self.stride + monitor / 64] & (1 << (monitor % 64)) != 0
-    }
-
-    #[inline]
-    fn set(&mut self, node: usize, monitor: usize) {
-        self.words[node * self.stride + monitor / 64] |= 1 << (monitor % 64);
-    }
-
-    /// One 64-monitor word of a node's link set.
-    #[inline]
-    fn word(&self, node: usize, word: usize) -> u64 {
-        self.words[node * self.stride + word]
-    }
-
-    fn clear_node(&mut self, node: usize) {
-        let base = node * self.stride;
-        self.words[base..base + self.stride].fill(0);
-    }
 }
 
 /// Events driving the simulation.
@@ -310,6 +282,22 @@ pub struct ExecOptions {
     /// *when* they are pulled cannot change *what* they yield; the barrier
     /// merge re-establishes the exact `(time, source rank)` order).
     pub parallel_regions: usize,
+    /// Ship the observation half of every handler (per-monitor attach draws,
+    /// broadcast latency samples, sink records) to this many persistent shard
+    /// worker threads, partitioned by node index. `0` keeps observation
+    /// execution inline on the main thread. Requires lazy sourcing; the
+    /// merged sink-op order — and therefore the monitor trace — is
+    /// bit-identical to the serial lazy mode (the observation half never
+    /// feeds back into handler state, and results are re-merged in global
+    /// event order at every flush barrier).
+    pub shard_handlers: usize,
+    /// Draw standard normals (latency jitter) with the table-driven ziggurat
+    /// sampler instead of the seed's Box–Muller transform. Roughly 2× fewer
+    /// transcendental calls per latency sample; the *distribution* is
+    /// identical but the concrete draw sequence differs, so this is opt-in
+    /// and off by default. All execution modes remain mutually
+    /// digest-identical under either sampler.
+    pub fast_rng: bool,
 }
 
 impl Default for ExecOptions {
@@ -325,6 +313,8 @@ impl ExecOptions {
             materialized: false,
             baseline_scheduler: false,
             parallel_regions: 0,
+            shard_handlers: 0,
+            fast_rng: false,
         }
     }
 
@@ -339,6 +329,19 @@ impl ExecOptions {
         }
     }
 
+    /// The sharded core: lazy sourcing with source advancement *and* the
+    /// observation half of every handler distributed over `shards` worker
+    /// threads (conservative-lookahead flush windows, deterministic merge).
+    /// Digest-identical to [`ExecOptions::lazy`]; see
+    /// [`ExecOptions::shard_handlers`].
+    pub fn sharded(shards: usize) -> Self {
+        Self {
+            parallel_regions: shards,
+            shard_handlers: shards.max(1),
+            ..Self::lazy()
+        }
+    }
+
     /// The seed configuration: everything materialized up front, delivered
     /// from the binary-heap scheduler. Used as the benchmark baseline and as
     /// the equivalence oracle in tests.
@@ -346,7 +349,7 @@ impl ExecOptions {
         Self {
             materialized: true,
             baseline_scheduler: true,
-            parallel_regions: 0,
+            ..Self::lazy()
         }
     }
 
@@ -355,9 +358,14 @@ impl ExecOptions {
     pub fn materialized_wheel() -> Self {
         Self {
             materialized: true,
-            baseline_scheduler: false,
-            parallel_regions: 0,
+            ..Self::lazy()
         }
+    }
+
+    /// Enables the ziggurat normal sampler (see [`ExecOptions::fast_rng`]).
+    pub fn with_fast_rng(mut self) -> Self {
+        self.fast_rng = true;
+        self
     }
 }
 
@@ -406,26 +414,20 @@ pub struct RunReport {
 
 /// The executable network simulation built from a [`Scenario`].
 pub struct Network {
-    scenario: Scenario,
+    /// Scenario-immutable state, shared with shard workers (see `core.rs`).
+    core: Arc<ScenarioCore>,
     nodes: Vec<NodeState>,
-    monitor_ids: Vec<PeerId>,
-    monitor_addrs: Vec<Multiaddr>,
-    /// Which monitors each node is currently connected to.
-    monitor_links: LinkMatrix,
-    /// Providers per content index.
-    providers: Vec<HashSet<ProviderRef>>,
-    /// Root CID → content index (for cache probes and attack tooling).
-    root_index: HashMap<Cid, usize>,
-    /// Routing tables of DHT-server nodes (node index → table), built once.
-    routing_tables: HashMap<usize, RoutingTable>,
-    /// Peer ID → node index.
-    peer_index: HashMap<PeerId, usize>,
+    /// Providers per content index (flat sorted node lists + monitor masks).
+    providers: ProviderIndex,
+    /// Outstanding wants of all nodes, in one slab.
+    pending: PendingSlab,
     queue: Queue,
     /// Lazy initial-event processes, merged through `heads`.
     sources: Vec<SourceState>,
     /// Next event time per live source, keyed `(time, rank)` — min-heap via
     /// `Reverse`. Rank ties reproduce materialized FIFO order.
     heads: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// The decision stream: resolution draws and fetch delays only.
     rng: SimRng,
     counters: TypedCounters<SimCounter>,
     ever_online: Vec<bool>,
@@ -435,6 +437,16 @@ pub struct Network {
     online_count: usize,
     peak_pending: usize,
     options: ExecOptions,
+    /// Global sequence number of the event currently being handled; tags the
+    /// observation work the handler emits so shard results merge in order.
+    event_seq: u64,
+    /// Observation work emitted by handlers, not yet executed.
+    pending_obs: Vec<(u64, ObsWork)>,
+    /// Scratch buffer for inline observation execution.
+    obs_scratch: Vec<(u64, SinkOp)>,
+    /// The inline observation executor of the non-sharded modes (`None` when
+    /// `shard_handlers >= 1`; the sharded loop spawns per-shard executors).
+    obs_exec: Option<ObsShard>,
 }
 
 impl Network {
@@ -450,8 +462,9 @@ impl Network {
     }
 
     /// Builds a network with explicit execution options (lazy vs materialized
-    /// scheduling, wheel vs seed scheduler). All combinations produce
-    /// byte-identical monitor traces; they differ only in cost.
+    /// scheduling, wheel vs seed scheduler, inline vs sharded observation
+    /// execution). All combinations produce byte-identical monitor traces;
+    /// they differ only in cost.
     ///
     /// # Panics
     ///
@@ -508,19 +521,31 @@ impl Network {
             !options.materialized || options.parallel_regions <= 1,
             "parallel regions advance lazy sources; the materialized path has none"
         );
-        let rng = SimRng::new(scenario.seed);
-        let mut id_rng = rng.derive("node-identities");
+        assert!(
+            options.shard_handlers == 0 || !options.materialized,
+            "sharded handler execution requires lazy sourcing"
+        );
+        // The root generator. The sampler choice is set before *any* stream
+        // is derived so it propagates into every derived stream; the
+        // identity/table streams draw uniforms only and are unaffected.
+        let mut root = SimRng::new(scenario.seed);
+        if options.fast_rng {
+            root.set_normal_sampler(NormalSampler::Ziggurat);
+        }
+        let mut id_rng = root.derive("node-identities");
 
         // Node identities and state.
         let mut nodes = Vec::with_capacity(scenario.nodes.len());
+        let mut node_peers = Vec::with_capacity(scenario.nodes.len());
+        let mut node_addrs = Vec::with_capacity(scenario.nodes.len());
         let mut peer_index = HashMap::new();
         for (i, spec) in scenario.nodes.iter().enumerate() {
             let peer_id = PeerId::derived(scenario.seed, i as u64);
             let address = Multiaddr::random_in_country(&mut id_rng, spec.country);
             peer_index.insert(peer_id, i);
+            node_peers.push(peer_id);
+            node_addrs.push(address);
             nodes.push(NodeState {
-                peer_id,
-                address,
                 online: false,
                 blockstore: Blockstore::with_config(BlockstoreConfig {
                     capacity: spec.config.cache_capacity,
@@ -531,7 +556,6 @@ impl Network {
                 } else {
                     None
                 },
-                pending: HashMap::new(),
             });
         }
 
@@ -543,19 +567,12 @@ impl Network {
             .iter()
             .map(|m| Multiaddr::random_in_country(&mut id_rng, m.country))
             .collect();
-        let monitor_links = LinkMatrix::new(nodes.len(), monitor_ids.len());
 
         // Initial providers.
-        let providers: Vec<HashSet<ProviderRef>> = scenario
-            .content
-            .iter()
-            .map(|c| {
-                c.initial_providers
-                    .iter()
-                    .map(|&i| ProviderRef::Node(i))
-                    .collect()
-            })
-            .collect();
+        let mut providers = ProviderIndex::new(monitor_ids.len());
+        for c in &scenario.content {
+            providers.push_content(&c.initial_providers);
+        }
         let root_index: HashMap<Cid, usize> = scenario
             .content
             .iter()
@@ -565,7 +582,7 @@ impl Network {
 
         // Routing tables for DHT servers: each server knows a random set of
         // other servers (clients are never inserted — the crawler bias).
-        let mut table_rng = rng.derive("routing-tables");
+        let mut table_rng = root.derive("routing-tables");
         let server_indices: Vec<usize> = scenario
             .nodes
             .iter()
@@ -575,14 +592,14 @@ impl Network {
             .collect();
         let mut routing_tables = HashMap::new();
         for &i in &server_indices {
-            let mut table = RoutingTable::with_default_k(nodes[i].peer_id);
+            let mut table = RoutingTable::with_default_k(node_peers[i]);
             let neighbour_target = 150.min(server_indices.len().saturating_sub(1));
             let mut inserted = 0;
             let mut attempts = 0;
             while inserted < neighbour_target && attempts < neighbour_target * 8 {
                 attempts += 1;
                 let j = server_indices[table_rng.gen_range(0..server_indices.len())];
-                if j != i && table.insert(nodes[j].peer_id, true) {
+                if j != i && table.insert(node_peers[j], true) {
                     inserted += 1;
                 }
             }
@@ -647,19 +664,34 @@ impl Network {
 
         let operator_cursor = vec![0; scenario.operators.len()];
         let ever_online = vec![false; nodes.len()];
-        let mut network = Self {
-            nodes,
+        let pending = PendingSlab::new(nodes.len());
+        // Latency table and observation base are derived before the scenario
+        // moves into the core.
+        let latency = scenario.params.latency.table();
+        let obs_base = root.derive("node-obs");
+        let core = Arc::new(ScenarioCore {
+            scenario,
+            node_peers,
+            node_addrs,
             monitor_ids,
             monitor_addrs,
-            monitor_links,
-            providers,
             root_index,
             routing_tables,
             peer_index,
+            latency,
+            obs_base,
+        });
+        let obs_exec =
+            (options.shard_handlers == 0).then(|| ObsShard::new(Arc::clone(&core), 1, 0));
+        let mut network = Self {
+            core,
+            nodes,
+            providers,
+            pending,
             queue,
             sources,
             heads: BinaryHeap::new(),
-            rng: rng.derive("runtime"),
+            rng: root.derive("runtime"),
             counters: TypedCounters::new(),
             ever_online,
             ever_online_count: 0,
@@ -667,7 +699,10 @@ impl Network {
             online_count: 0,
             peak_pending: 0,
             options,
-            scenario,
+            event_seq: 0,
+            pending_obs: Vec::new(),
+            obs_scratch: Vec::new(),
+            obs_exec,
         };
         network.heads = (0..network.sources.len())
             .filter_map(|rank| network.source_peek(rank).map(|t| Reverse((t, rank as u32))))
@@ -681,7 +716,7 @@ impl Network {
 
     /// The scenario this network was built from.
     pub fn scenario(&self) -> &Scenario {
-        &self.scenario
+        &self.core.scenario
     }
 
     /// Number of (non-monitor) nodes.
@@ -691,42 +726,42 @@ impl Network {
 
     /// Number of monitors.
     pub fn monitor_count(&self) -> usize {
-        self.monitor_ids.len()
+        self.core.monitor_count()
     }
 
     /// Peer ID of node `index`.
     pub fn peer_id(&self, index: usize) -> PeerId {
-        self.nodes[index].peer_id
+        self.core.node_peers[index]
     }
 
     /// Peer ID of monitor `index`.
     pub fn monitor_peer_id(&self, index: usize) -> PeerId {
-        self.monitor_ids[index]
+        self.core.monitor_ids[index]
     }
 
     /// Address of monitor `index`.
     pub fn monitor_address(&self, index: usize) -> Multiaddr {
-        self.monitor_addrs[index]
+        self.core.monitor_addrs[index]
     }
 
     /// Address of node `index`.
     pub fn address(&self, index: usize) -> Multiaddr {
-        self.nodes[index].address
+        self.core.node_addrs[index]
     }
 
     /// Country of node `index`.
     pub fn country(&self, index: usize) -> Country {
-        self.scenario.nodes[index].country
+        self.core.scenario.nodes[index].country
     }
 
     /// Node index for a peer ID, if it belongs to a simulated node.
     pub fn node_of_peer(&self, peer: &PeerId) -> Option<usize> {
-        self.peer_index.get(peer).copied()
+        self.core.peer_index.get(peer).copied()
     }
 
     /// Root CID of content item `index`.
     pub fn content_root(&self, index: usize) -> &Cid {
-        &self.scenario.content[index].dag.root
+        self.core.content_root(index)
     }
 
     /// Returns true if node `index` currently holds the root block of the
@@ -740,7 +775,8 @@ impl Network {
     /// Peer IDs of all nodes run by gateway operators (ground truth for the
     /// gateway-probing evaluation).
     pub fn gateway_ground_truth(&self) -> HashMap<String, Vec<PeerId>> {
-        self.scenario
+        self.core
+            .scenario
             .operators
             .iter()
             .map(|op| {
@@ -748,7 +784,7 @@ impl Network {
                     op.name.clone(),
                     op.node_indices
                         .iter()
-                        .map(|&i| self.nodes[i].peer_id)
+                        .map(|&i| self.core.node_peers[i])
                         .collect(),
                 )
             })
@@ -758,22 +794,27 @@ impl Network {
     /// Adds a new content item at runtime (used by probing attacks that
     /// generate fresh random blocks). Returns its content index.
     pub fn add_content(&mut self, spec: ContentSpec) -> usize {
-        let index = self.scenario.content.len();
-        self.providers.push(
-            spec.initial_providers
-                .iter()
-                .map(|&i| ProviderRef::Node(i))
-                .collect(),
-        );
-        self.root_index.insert(spec.dag.root.clone(), index);
-        self.scenario.content.push(spec);
+        self.providers.push_content(&spec.initial_providers);
+        self.pending.ensure_nodes(self.nodes.len());
+        let index = {
+            // Plain mutation before a run starts (refcount 1); copy-on-write
+            // if a shard worker were still holding the old snapshot.
+            let core = Arc::make_mut(&mut self.core);
+            let index = core.scenario.content.len();
+            core.root_index.insert(spec.dag.root.clone(), index);
+            core.scenario.content.push(spec);
+            index
+        };
+        if let Some(exec) = &mut self.obs_exec {
+            exec.refresh_core(Arc::clone(&self.core));
+        }
         index
     }
 
     /// Registers monitor `monitor` as a DHT provider for content `content`
     /// (step one of the gateway-probing methodology).
     pub fn register_monitor_provider(&mut self, monitor: usize, content: usize) {
-        self.providers[content].insert(ProviderRef::Monitor(monitor));
+        self.providers.insert_monitor(content, monitor);
     }
 
     /// Schedules an additional user request (attack tooling; works identically
@@ -801,16 +842,17 @@ impl Network {
 
     /// Peer IDs of online DHT servers, usable as crawl bootstrap peers.
     pub fn online_server_peers(&self, at: SimTime, limit: usize) -> Vec<PeerId> {
-        self.scenario
+        self.core
+            .scenario
             .nodes
             .iter()
             .enumerate()
             .filter(|(i, s)| {
                 s.config.dht_mode.is_server()
                     && s.schedule.online_at(at)
-                    && self.routing_tables.contains_key(i)
+                    && self.core.routing_tables.contains_key(i)
             })
-            .map(|(i, _)| self.nodes[i].peer_id)
+            .map(|(i, _)| self.core.node_peers[i])
             .take(limit)
             .collect()
     }
@@ -826,12 +868,12 @@ impl Network {
 
     /// Timestamp of the next event of source `rank`, if any.
     fn source_peek(&self, rank: usize) -> Option<SimTime> {
-        source_state_peek(&self.sources[rank], &self.scenario)
+        source_state_peek(&self.sources[rank], &self.core.scenario)
     }
 
     /// Pulls the next event of source `rank`.
     fn source_pop(&mut self, rank: usize) -> Option<(SimTime, NetEvent)> {
-        source_state_pop(&mut self.sources[rank], &self.scenario)
+        source_state_pop(&mut self.sources[rank], &self.core.scenario)
     }
 
     /// Takes the event of the source at the top of the head-heap, refreshes
@@ -859,14 +901,50 @@ impl Network {
     /// Runs the simulation to completion, feeding `sink` with everything the
     /// monitors observe.
     pub fn run<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
+        if self.options.shard_handlers >= 1 {
+            return self.run_sharded(sink);
+        }
         if self.options.parallel_regions >= 2 && self.sources.len() >= 2 {
             return self.run_parallel_regions(sink);
         }
         self.run_serial(sink)
     }
 
+    /// Executes the pending observation work inline (single-shard executor)
+    /// and applies the resulting sink ops — the non-sharded modes' equivalent
+    /// of one dispatch/collect round, run after every event.
+    fn drain_obs_inline<S: MonitorSink>(&mut self, sink: &mut S) {
+        if self.pending_obs.is_empty() {
+            return;
+        }
+        let mut work = std::mem::take(&mut self.pending_obs);
+        let mut out = std::mem::take(&mut self.obs_scratch);
+        let mut exec = self
+            .obs_exec
+            .take()
+            .expect("non-sharded modes keep an inline observation executor");
+        for (seq, item) in &work {
+            exec.execute(*seq, item, &mut out);
+        }
+        for (_, op) in &out {
+            apply_sink_op(&self.core, &mut self.counters, op, sink);
+        }
+        work.clear();
+        out.clear();
+        self.pending_obs = work;
+        self.obs_scratch = out;
+        self.obs_exec = Some(exec);
+    }
+
+    /// Queues one observation-half task, tagged with the current event's
+    /// global sequence number.
+    #[inline]
+    fn push_obs(&mut self, work: ObsWork) {
+        self.pending_obs.push((self.event_seq, work));
+    }
+
     fn run_serial<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
-        let horizon_end = SimTime::ZERO + self.scenario.horizon;
+        let horizon_end = SimTime::ZERO + self.core.scenario.horizon;
         let mut events = 0u64;
         // Obs: batched event counter (one local add per event), pending-set
         // gauge refreshed every 4096 events, handler-dispatch span sampled
@@ -915,7 +993,9 @@ impl Network {
             events += 1;
             obs_events.incr();
             let _span = (events & 1023 == 0).then(|| dispatch_hist.timer());
-            self.handle_event(now, event, sink);
+            self.event_seq = events;
+            self.handle_event(now, event);
+            self.drain_obs_inline(sink);
         }
         RunReport {
             counters: self.counters.to_counters(),
@@ -956,7 +1036,7 @@ impl Network {
         /// slice of the horizon.
         const REGION_WINDOW: SimDuration = SimDuration::from_hours(1);
 
-        let horizon_end = SimTime::ZERO + self.scenario.horizon;
+        let horizon_end = SimTime::ZERO + self.core.scenario.horizon;
         let regions = self.options.parallel_regions.min(self.sources.len());
         // Partition the sources round-robin, keeping each one's global rank
         // (the merge key that reproduces serial order). The head-heap is not
@@ -984,7 +1064,7 @@ impl Network {
             while next >= buffer.len() && barrier < horizon_end {
                 barrier = (barrier + REGION_WINDOW).min(horizon_end);
                 let deadline = barrier;
-                let scenario = &self.scenario;
+                let scenario = &self.core.scenario;
                 let _advance_span = obs::histogram!("sim.region_advance_ns").timer();
                 let batches: Vec<Vec<(SimTime, u32, NetEvent)>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = partitions
@@ -1075,7 +1155,9 @@ impl Network {
             events += 1;
             obs_events.incr();
             let _span = (events & 1023 == 0).then(|| dispatch_hist.timer());
-            self.handle_event(now, event, sink);
+            self.event_seq = events;
+            self.handle_event(now, event);
+            self.drain_obs_inline(sink);
         }
         RunReport {
             counters: self.counters.to_counters(),
@@ -1085,28 +1167,31 @@ impl Network {
         }
     }
 
-    fn handle_event<S: MonitorSink>(&mut self, now: SimTime, event: NetEvent, sink: &mut S) {
+    // ------------------------------------------------------------------
+    // Handlers: the state half. Observable side effects are queued as
+    // `ObsWork` (executed inline or on shard workers, identically).
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, now: SimTime, event: NetEvent) {
         match event {
-            NetEvent::NodeOnline(i) => self.handle_online(i, now, sink),
-            NetEvent::NodeOffline(i) => self.handle_offline(i, now, sink),
+            NetEvent::NodeOnline(i) => self.handle_online(i, now),
+            NetEvent::NodeOffline(i) => self.handle_offline(i, now),
             NetEvent::UserRequest { node, content } => {
-                self.handle_request(node, content, now, false, sink)
+                self.handle_request(node, content, now, false)
             }
-            NetEvent::Rebroadcast { node, content } => {
-                self.handle_rebroadcast(node, content, now, sink)
-            }
+            NetEvent::Rebroadcast { node, content } => self.handle_rebroadcast(node, content, now),
             NetEvent::RetrievalComplete {
                 node,
                 content,
                 resolution,
-            } => self.handle_retrieval_complete(node, content, resolution, now, sink),
+            } => self.handle_retrieval_complete(node, content, resolution, now),
             NetEvent::GatewayHttp { operator, content } => {
-                self.handle_gateway_http(operator, content, now, sink)
+                self.handle_gateway_http(operator, content, now)
             }
         }
     }
 
-    fn handle_online<S: MonitorSink>(&mut self, i: usize, now: SimTime, sink: &mut S) {
+    fn handle_online(&mut self, i: usize, now: SimTime) {
         if self.nodes[i].online {
             return;
         }
@@ -1117,202 +1202,113 @@ impl Network {
             self.ever_online_count += 1;
         }
         self.counters.incr(SimCounter::NodeOnlineEvents);
-        for m in 0..self.monitor_ids.len() {
-            let p = self.scenario.monitors[m].attach_probability;
-            if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
-                self.monitor_links.set(i, m);
-                sink.peer_connected(m, self.nodes[i].peer_id, self.nodes[i].address, now);
-            }
-        }
+        self.push_obs(ObsWork::Online { node: i, at: now });
     }
 
-    fn handle_offline<S: MonitorSink>(&mut self, i: usize, now: SimTime, sink: &mut S) {
+    fn handle_offline(&mut self, i: usize, now: SimTime) {
         if !self.nodes[i].online {
             return;
         }
         self.nodes[i].online = false;
         self.online_count = self.online_count.saturating_sub(1);
         self.counters.incr(SimCounter::NodeOfflineEvents);
-        let peer = self.nodes[i].peer_id;
-        for w in 0..self.monitor_links.stride {
-            for bit in set_bits(self.monitor_links.word(i, w)) {
-                sink.peer_disconnected(w * 64 + bit, peer, now);
-            }
-        }
-        self.monitor_links.clear_node(i);
-        self.nodes[i].pending.clear();
-    }
-
-    /// Emits one wantlist entry to every monitor the node is connected to.
-    fn broadcast_to_monitors<S: MonitorSink>(
-        &mut self,
-        node: usize,
-        request_type: RequestType,
-        cid: &Cid,
-        now: SimTime,
-        sink: &mut S,
-    ) {
-        let country = self.scenario.nodes[node].country;
-        let peer = self.nodes[node].peer_id;
-        let address = self.nodes[node].address;
-        for w in 0..self.monitor_links.stride {
-            for bit in set_bits(self.monitor_links.word(node, w)) {
-                let m = w * 64 + bit;
-                let latency = self.scenario.params.latency.sample(
-                    &mut self.rng,
-                    country,
-                    self.scenario.monitors[m].country,
-                );
-                sink.record(
-                    m,
-                    BitswapObservation {
-                        timestamp: now + latency,
-                        peer,
-                        address,
-                        request_type,
-                        cid: cid.clone(),
-                    },
-                );
-                self.counters.incr(SimCounter::MonitorEntriesRecorded);
-            }
-        }
-    }
-
-    /// Sends a targeted wantlist entry to one specific monitor (used when the
-    /// monitor itself is a DHT provider for the requested CID).
-    fn send_to_monitor<S: MonitorSink>(
-        &mut self,
-        node: usize,
-        monitor: usize,
-        request_type: RequestType,
-        cid: &Cid,
-        now: SimTime,
-        sink: &mut S,
-    ) {
-        let country = self.scenario.nodes[node].country;
-        let latency = self.scenario.params.latency.sample(
-            &mut self.rng,
-            country,
-            self.scenario.monitors[monitor].country,
-        );
-        // Connecting to the provider also makes the requester a monitor peer.
-        if !self.monitor_links.test(node, monitor) {
-            self.monitor_links.set(node, monitor);
-            sink.peer_connected(
-                monitor,
-                self.nodes[node].peer_id,
-                self.nodes[node].address,
-                now,
-            );
-        }
-        sink.record(
-            monitor,
-            BitswapObservation {
-                timestamp: now + latency,
-                peer: self.nodes[node].peer_id,
-                address: self.nodes[node].address,
-                request_type,
-                cid: cid.clone(),
-            },
-        );
-        self.counters.incr(SimCounter::MonitorEntriesRecorded);
+        self.pending.clear_node(i);
+        self.push_obs(ObsWork::Offline { node: i, at: now });
     }
 
     fn want_request_type(&self, node: usize, now: SimTime) -> RequestType {
-        match self.scenario.nodes[node].upgrade.protocol_at(now) {
+        match self.core.scenario.nodes[node].upgrade.protocol_at(now) {
             ProtocolVersion::Modern => RequestType::WantHave,
             ProtocolVersion::Legacy => RequestType::WantBlock,
         }
     }
 
-    fn handle_request<S: MonitorSink>(
+    fn handle_request(
         &mut self,
         node: usize,
         content: usize,
         now: SimTime,
         via_gateway_revalidation: bool,
-        sink: &mut S,
     ) {
         if !self.nodes[node].online {
             self.counters.incr(SimCounter::RequestsWhileOffline);
             return;
         }
         self.counters.incr(SimCounter::RequestsTotal);
-        let root = self.scenario.content[content].dag.root.clone();
 
         // Local cache: no network activity at all (the monitor blind spot the
         // paper describes for repeated requests).
-        if !via_gateway_revalidation && self.nodes[node].blockstore.contains(&root) {
+        if !via_gateway_revalidation
+            && self.nodes[node]
+                .blockstore
+                .contains(self.core.content_root(content))
+        {
             self.counters.incr(SimCounter::RequestsCacheHit);
             return;
         }
-        if self.nodes[node].pending.contains_key(&content) {
+        if self.pending.get(node, content).is_some() {
             self.counters.incr(SimCounter::RequestsAlreadyPending);
             return;
         }
 
-        self.nodes[node].pending.insert(content, now);
+        self.pending.insert(node, content, now);
         let rtype = self.want_request_type(node, now);
-        self.broadcast_to_monitors(node, rtype, &root, now, sink);
+        self.push_obs(ObsWork::Broadcast {
+            node,
+            rtype,
+            content: content as u32,
+            at: now,
+        });
         self.counters.incr(SimCounter::Broadcasts);
-        self.resolve(node, content, now, sink);
+        self.resolve(node, content, now);
     }
 
-    fn handle_rebroadcast<S: MonitorSink>(
-        &mut self,
-        node: usize,
-        content: usize,
-        now: SimTime,
-        sink: &mut S,
-    ) {
+    fn handle_rebroadcast(&mut self, node: usize, content: usize, now: SimTime) {
         if !self.nodes[node].online {
             return;
         }
-        let Some(&started) = self.nodes[node].pending.get(&content) else {
+        let Some(started) = self.pending.get(node, content) else {
             return; // resolved or cancelled in the meantime
         };
-        let timeout = self.scenario.nodes[node].config.want_timeout;
+        let timeout = self.core.scenario.nodes[node].config.want_timeout;
         if now.since(started) >= timeout {
-            self.nodes[node].pending.remove(&content);
+            self.pending.remove(node, content);
             self.counters.incr(SimCounter::WantsTimedOut);
             return;
         }
-        let root = self.scenario.content[content].dag.root.clone();
         let rtype = self.want_request_type(node, now);
-        self.broadcast_to_monitors(node, rtype, &root, now, sink);
+        self.push_obs(ObsWork::Broadcast {
+            node,
+            rtype,
+            content: content as u32,
+            at: now,
+        });
         self.counters.incr(SimCounter::Rebroadcasts);
-        self.resolve(node, content, now, sink);
+        self.resolve(node, content, now);
     }
 
     /// Decides how (and whether) an outstanding want gets resolved, and
     /// schedules either the completion or the next re-broadcast.
-    fn resolve<S: MonitorSink>(&mut self, node: usize, content: usize, now: SimTime, sink: &mut S) {
-        // One pass over the provider set: how many online provider *nodes*
-        // there are, and the first monitor-provider in iteration order —
-        // exactly what the seed's temporary Vec was collected to compute.
+    fn resolve(&mut self, node: usize, content: usize, now: SimTime) {
+        // One linear pass over the sorted provider list: how many online
+        // provider *nodes* there are. The monitor-provider pick is a
+        // trailing-zeros scan of the content's monitor mask — deterministic
+        // lowest-index, unlike the seed's hash-set iteration order.
         let mut provider_nodes = 0u32;
-        let mut monitor_provider = None;
-        for p in &self.providers[content] {
-            match *p {
-                ProviderRef::Node(i) => {
-                    if i != node && self.nodes[i].online {
-                        provider_nodes += 1;
-                    }
-                }
-                ProviderRef::Monitor(m) => {
-                    if monitor_provider.is_none() {
-                        monitor_provider = Some(m);
-                    }
-                }
+        for &p in self.providers.node_providers(content) {
+            let i = p as usize;
+            if i != node && self.nodes[i].online {
+                provider_nodes += 1;
             }
         }
+        let monitor_provider = self.providers.first_monitor(content);
 
         let resolution = if provider_nodes == 0 && monitor_provider.is_none() {
             Resolution::Unresolved
         } else {
             // Probability that at least one provider is a direct neighbour of
             // the requester, given the requester's connection count.
-            let conn = self.scenario.nodes[node].connections as f64;
+            let conn = self.core.scenario.nodes[node].connections as f64;
             let online_total = self.online_count.max(2) as f64;
             let p_single = (conn / online_total).min(1.0);
             let p_any_neighbour = 1.0 - (1.0 - p_single).powi(provider_nodes as i32);
@@ -1327,7 +1323,7 @@ impl Network {
 
         match resolution {
             Resolution::Unresolved => {
-                let interval = self.scenario.params.rebroadcast_interval;
+                let interval = self.core.scenario.params.rebroadcast_interval;
                 self.queue
                     .schedule_at(now + interval, NetEvent::Rebroadcast { node, content });
             }
@@ -1335,9 +1331,13 @@ impl Network {
                 // The requester finds the monitor in the DHT, connects and
                 // sends a targeted WANT_BLOCK — exactly the signal the
                 // gateway-probing attack waits for.
-                let root = self.scenario.content[content].dag.root.clone();
-                self.send_to_monitor(node, m, RequestType::WantBlock, &root, now, sink);
-                let delay = self.sample_fetch_delay(self.scenario.params.dht_fetch_ms);
+                self.push_obs(ObsWork::Targeted {
+                    node,
+                    monitor: m,
+                    content: content as u32,
+                    at: now,
+                });
+                let delay = self.sample_fetch_delay(self.core.scenario.params.dht_fetch_ms);
                 self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
@@ -1348,7 +1348,7 @@ impl Network {
                 );
             }
             Resolution::Neighbour => {
-                let delay = self.sample_fetch_delay(self.scenario.params.neighbour_fetch_ms);
+                let delay = self.sample_fetch_delay(self.core.scenario.params.neighbour_fetch_ms);
                 self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
@@ -1359,7 +1359,7 @@ impl Network {
                 );
             }
             Resolution::Dht => {
-                let delay = self.sample_fetch_delay(self.scenario.params.dht_fetch_ms);
+                let delay = self.sample_fetch_delay(self.core.scenario.params.dht_fetch_ms);
                 self.queue.schedule_at(
                     now + delay,
                     NetEvent::RetrievalComplete {
@@ -1382,15 +1382,14 @@ impl Network {
         SimDuration::from_millis(ms)
     }
 
-    fn handle_retrieval_complete<S: MonitorSink>(
+    fn handle_retrieval_complete(
         &mut self,
         node: usize,
         content: usize,
         resolution: Resolution,
         now: SimTime,
-        sink: &mut S,
     ) {
-        if self.nodes[node].pending.remove(&content).is_none() {
+        if self.pending.remove(node, content).is_none() {
             return; // node went offline or want timed out
         }
         if !self.nodes[node].online {
@@ -1407,29 +1406,26 @@ impl Network {
 
         // Cache the root block (logical size of the whole DAG) and become a
         // provider if re-providing is enabled.
-        let dag = &self.scenario.content[content].dag;
-        let root_block = dag.root_block().clone();
+        let root_block = self.core.scenario.content[content].dag.root_block().clone();
         self.nodes[node].blockstore.put(root_block, now);
-        if self.scenario.nodes[node].config.reprovide {
-            self.providers[content].insert(ProviderRef::Node(node));
+        if self.core.scenario.nodes[node].config.reprovide {
+            self.providers.insert_node(content, node);
         }
 
         // CANCEL goes out to every peer that received the want broadcast —
         // monitors included.
-        let root = dag.root.clone();
-        self.broadcast_to_monitors(node, RequestType::Cancel, &root, now, sink);
+        self.push_obs(ObsWork::Broadcast {
+            node,
+            rtype: RequestType::Cancel,
+            content: content as u32,
+            at: now,
+        });
         self.counters.incr(SimCounter::Cancels);
     }
 
-    fn handle_gateway_http<S: MonitorSink>(
-        &mut self,
-        operator: usize,
-        content: usize,
-        now: SimTime,
-        sink: &mut S,
-    ) {
+    fn handle_gateway_http(&mut self, operator: usize, content: usize, now: SimTime) {
         self.counters.incr(SimCounter::GatewayHttpRequests);
-        let op = &self.scenario.operators[operator];
+        let op = &self.core.scenario.operators[operator];
         if !op.http_functional {
             self.counters.incr(SimCounter::GatewayHttpFailed);
             return;
@@ -1455,12 +1451,11 @@ impl Network {
             .nth(cursor % online)
             .expect("count checked above");
 
-        let root = self.scenario.content[content].dag.root.clone();
         let outcome = self.nodes[node]
             .gateway_cache
             .as_mut()
             .expect("gateway nodes have an HTTP cache")
-            .request(&root, now);
+            .request(self.core.content_root(content), now);
         match outcome {
             CacheOutcome::Hit => {
                 self.counters.incr(SimCounter::GatewayCacheHits);
@@ -1469,15 +1464,19 @@ impl Network {
                 self.counters.incr(SimCounter::GatewayCacheRevalidations);
                 // Revalidation triggers a Bitswap want even though the bytes
                 // are (usually) still present locally; the want resolves
-                // almost immediately and is cancelled again.
+                // almost immediately and is cancelled again a few hundred
+                // milliseconds later.
                 let rtype = self.want_request_type(node, now);
-                self.broadcast_to_monitors(node, rtype, &root, now, sink);
-                let cancel_at = now + SimDuration::from_millis(self.rng.gen_range(200..1200));
-                self.broadcast_to_monitors(node, RequestType::Cancel, &root, cancel_at, sink);
+                self.push_obs(ObsWork::RevalidateCancel {
+                    node,
+                    rtype,
+                    content: content as u32,
+                    at: now,
+                });
             }
             CacheOutcome::Miss => {
                 self.counters.incr(SimCounter::GatewayCacheMisses);
-                self.handle_request(node, content, now, true, sink);
+                self.handle_request(node, content, now, true);
             }
         }
     }
@@ -1552,6 +1551,17 @@ fn source_state_pop(source: &mut SourceState, scenario: &Scenario) -> Option<(Si
     }
 }
 
+/// The node whose state a source's events act on, if it names exactly one —
+/// the partition affinity the sharded driver uses. Partitioning never affects
+/// the merged order (ranks are global), so a `None` falls back to round-robin.
+fn source_shard_hint(source: &SourceState) -> Option<usize> {
+    match source {
+        SourceState::Churn { node, .. } => Some(*node),
+        SourceState::External(s) => s.shard_hint(),
+        SourceState::Requests { .. } | SourceState::GatewayRequests { .. } => None,
+    }
+}
+
 /// Resolves a vector cursor to the element index it points at — through the
 /// stable time permutation when one exists — or `None` past the end. Both
 /// request-vector source kinds peek and pop through this one helper so their
@@ -1561,19 +1571,6 @@ fn cursor_index(len: usize, cursor: usize, order: &Option<Box<[u32]>>) -> Option
         Some(order) => order.get(cursor).map(|&i| i as usize),
         None => (cursor < len).then_some(cursor),
     }
-}
-
-/// Iterates the set bit positions of one link-matrix word.
-fn set_bits(mut word: u64) -> impl Iterator<Item = usize> {
-    std::iter::from_fn(move || {
-        if word == 0 {
-            None
-        } else {
-            let bit = word.trailing_zeros() as usize;
-            word &= word - 1;
-            Some(bit)
-        }
-    })
 }
 
 /// Stable permutation of `items` by timestamp, or `None` when they are
@@ -1603,7 +1600,12 @@ impl DhtView for NetworkDhtView<'_> {
     fn is_server(&self, peer: &PeerId) -> bool {
         self.network
             .node_of_peer(peer)
-            .map(|i| self.network.scenario.nodes[i].config.dht_mode.is_server())
+            .map(|i| {
+                self.network.core.scenario.nodes[i]
+                    .config
+                    .dht_mode
+                    .is_server()
+            })
             .unwrap_or(false)
     }
 
@@ -1611,8 +1613,8 @@ impl DhtView for NetworkDhtView<'_> {
         self.network
             .node_of_peer(peer)
             .map(|i| {
-                self.network.scenario.nodes[i].schedule.online_at(self.at)
-                    && self.network.scenario.nodes[i].config.dht_mode.is_server()
+                let spec = &self.network.core.scenario.nodes[i];
+                spec.schedule.online_at(self.at) && spec.config.dht_mode.is_server()
             })
             .unwrap_or(false)
     }
@@ -1622,7 +1624,11 @@ impl DhtView for NetworkDhtView<'_> {
             return None;
         }
         let index = self.network.node_of_peer(peer)?;
-        self.network.routing_tables.get(&index).map(|t| t.peers())
+        self.network
+            .core
+            .routing_tables
+            .get(&index)
+            .map(|t| t.peers())
     }
 }
 
@@ -1759,11 +1765,6 @@ mod tests {
     #[test]
     fn downloader_becomes_provider_for_subsequent_requests() {
         let mut scenario = base_scenario(4);
-        // Node 0 is the initial provider; node 1 fetches, then the provider
-        // goes offline-equivalent by... simpler: node 2 fetches later and can
-        // be served by node 1 as well; we just check the provider set grew by
-        // observing that the second retrieval succeeds even if we remove the
-        // original provider from the set. Here: both requests must resolve.
         scenario.requests.push(RequestEvent {
             at: SimTime::from_secs(60),
             node: 1,
@@ -2034,6 +2035,9 @@ mod tests {
                 ExecOptions::lazy(),
                 ExecOptions::lazy_parallel(2),
                 ExecOptions::lazy_parallel(5),
+                ExecOptions::sharded(1),
+                ExecOptions::sharded(2),
+                ExecOptions::sharded(7),
             ] {
                 let mut sink = RecordingSink::new(2);
                 let report = Network::with_options(busy_scenario(seed), options).run(&mut sink);
@@ -2049,6 +2053,34 @@ mod tests {
                 assert_eq!(
                     format!("{:?}", report.counters),
                     format!("{:?}", reference.counters)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_rng_modes_are_mutually_identical() {
+        // The ziggurat sampler changes the latency draws relative to
+        // Box–Muller, but every execution mode must agree with every other
+        // under the *same* sampler.
+        for seed in [7, 21] {
+            let mut reference_sink = RecordingSink::new(2);
+            Network::with_options(busy_scenario(seed), ExecOptions::lazy().with_fast_rng())
+                .run(&mut reference_sink);
+            for options in [
+                ExecOptions::seed_baseline().with_fast_rng(),
+                ExecOptions::lazy_parallel(3).with_fast_rng(),
+                ExecOptions::sharded(3).with_fast_rng(),
+            ] {
+                let mut sink = RecordingSink::new(2);
+                Network::with_options(busy_scenario(seed), options).run(&mut sink);
+                assert_eq!(
+                    sink.observations, reference_sink.observations,
+                    "observations diverge for seed {seed} under {options:?}"
+                );
+                assert_eq!(
+                    sink.connections, reference_sink.connections,
+                    "connections diverge for seed {seed} under {options:?}"
                 );
             }
         }
@@ -2139,5 +2171,54 @@ mod tests {
         assert_eq!(lazy_sink.observations, seed_sink.observations);
         assert_eq!(lazy_sink.connections, seed_sink.connections);
         assert_eq!(lazy_report.events_processed, seed_report.events_processed);
+        // The sharded mode must interleave injected runtime events under the
+        // same tie rule.
+        for shards in [1, 2, 7] {
+            let (sharded_sink, sharded_report) = build(ExecOptions::sharded(shards));
+            assert_eq!(
+                sharded_sink.observations, seed_sink.observations,
+                "observations diverge with {shards} shards"
+            );
+            assert_eq!(sharded_sink.connections, seed_sink.connections);
+            assert_eq!(
+                sharded_report.events_processed,
+                seed_report.events_processed
+            );
+        }
+    }
+
+    #[test]
+    fn probe_content_added_at_runtime_is_observable_in_sharded_mode() {
+        // add_content + register_monitor_provider after build (the
+        // gateway-probing flow) goes through Arc::make_mut; the sharded
+        // workers must see the refreshed core.
+        let run = |options: ExecOptions| {
+            let mut network = Network::with_options(busy_scenario(11), options);
+            let content = network.add_content(ContentSpec {
+                dag: build_file(7_777, 100, 1024, 4),
+                initial_providers: vec![],
+            });
+            network.register_monitor_provider(1, content);
+            network.schedule_request(RequestEvent {
+                at: SimTime::from_secs(500),
+                node: 0,
+                content,
+            });
+            let mut sink = RecordingSink::new(2);
+            let report = network.run(&mut sink);
+            (sink, report)
+        };
+        let (serial_sink, serial_report) = run(ExecOptions::lazy());
+        let (sharded_sink, sharded_report) = run(ExecOptions::sharded(3));
+        assert_eq!(serial_sink.observations, sharded_sink.observations);
+        assert_eq!(serial_sink.connections, sharded_sink.connections);
+        assert_eq!(
+            serial_report.events_processed,
+            sharded_report.events_processed
+        );
+        assert_eq!(
+            serial_report.counters.get("resolved_via_monitor_provider"),
+            1
+        );
     }
 }

@@ -1,0 +1,629 @@
+//! Sharded handler execution: the observation half of every event handler,
+//! offloaded to per-node-shard worker threads.
+//!
+//! # Why handlers can be split
+//!
+//! Every handler of the simulator decomposes into
+//!
+//! * a **state half** — online flags, the pending-want slab, block stores,
+//!   gateway caches, the provider index, counters and runtime-queue
+//!   scheduling. These couple *across* nodes with zero lag (`online_count`,
+//!   the shared provider sets, the single decision RNG stream), so they run
+//!   on the main thread in exact serial event order, just as in every other
+//!   execution mode; and
+//! * an **observation half** — which monitors a node attaches to, the
+//!   per-monitor latency draws of a want/cancel broadcast, and the resulting
+//!   sink records. This state is *per node* (its monitor-link row, its
+//!   observation RNG stream) and is never read back by the state half, so it
+//!   can run on another thread — the only requirement is that each node's
+//!   observation work executes in event order.
+//!
+//! The state loop therefore emits one [`ObsWork`] item per observable event,
+//! tagged with the global event sequence number, and partitions items to
+//! `shards` workers by `node % shards`. Each worker owns the link rows and
+//! observation RNG streams of its nodes and turns work items into
+//! [`SinkOp`]s. The main thread merges completed batches by sequence number —
+//! a stable sort, since all ops of one event live on exactly one worker — and
+//! applies them to the [`MonitorSink`]. The merged op order is identical to
+//! the inline executor's, so the monitor trace is byte-identical to the
+//! serial lazy mode by construction.
+//!
+//! # Conservative lookahead
+//!
+//! There is no feedback from the observation half into the state half, so
+//! correctness does not bound how far the state loop may run ahead. The
+//! *memory* bound is conservative instead: observation work is flushed to the
+//! workers every [`OBS_FLUSH_THRESHOLD`] events and at every source-advance
+//! window boundary, with one round of results outstanding (depth-1
+//! pipelining), so the backlog never exceeds one window of events.
+
+use super::core::ScenarioCore;
+use super::state::{set_bits, BitMatrix};
+use super::{
+    source_shard_hint, source_state_peek, source_state_pop, BitswapObservation, MonitorSink,
+    NetEvent, Network, RunReport, SourceState,
+};
+use crate::counters::SimCounter;
+use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_obs as obs;
+use ipfs_mon_simnet::metrics::TypedCounters;
+use ipfs_mon_simnet::rng::SimRng;
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use rand::Rng;
+use std::sync::{mpsc, Arc};
+
+/// Flush the observation backlog to the shard workers every this many items.
+const OBS_FLUSH_THRESHOLD: usize = 8192;
+
+/// One deferred observation task, emitted by a state-half handler. Carries
+/// indices only — peers, addresses and CIDs are reconstructed from the shared
+/// [`ScenarioCore`] when the resulting [`SinkOp`]s are applied.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum ObsWork {
+    /// The node came online: draw the per-monitor attach decisions.
+    Online { node: usize, at: SimTime },
+    /// The node went offline: disconnect it from its linked monitors.
+    Offline { node: usize, at: SimTime },
+    /// Broadcast one wantlist entry to every linked monitor.
+    Broadcast {
+        node: usize,
+        rtype: RequestType,
+        content: u32,
+        at: SimTime,
+    },
+    /// Targeted `WANT_BLOCK` to one monitor (the monitor-provider path).
+    Targeted {
+        node: usize,
+        monitor: usize,
+        content: u32,
+        at: SimTime,
+    },
+    /// Gateway revalidation: a want broadcast followed by a cancel broadcast
+    /// a few hundred milliseconds later.
+    RevalidateCancel {
+        node: usize,
+        rtype: RequestType,
+        content: u32,
+        at: SimTime,
+    },
+}
+
+impl ObsWork {
+    /// The node whose observation state this item acts on — the partition
+    /// key of the sharded executor.
+    #[inline]
+    pub(super) fn node(&self) -> usize {
+        match *self {
+            ObsWork::Online { node, .. }
+            | ObsWork::Offline { node, .. }
+            | ObsWork::Broadcast { node, .. }
+            | ObsWork::Targeted { node, .. }
+            | ObsWork::RevalidateCancel { node, .. } => node,
+        }
+    }
+}
+
+/// One completed observation effect, ready to apply to the sink. Ops carry
+/// indices and times only; [`apply_sink_op`] reconstructs the peer, address
+/// and CID views from the shared core at apply time, keeping the worker
+/// channels free of heap-backed payloads.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum SinkOp {
+    /// One wantlist entry arriving at a monitor.
+    Record {
+        monitor: usize,
+        node: usize,
+        rtype: RequestType,
+        at: SimTime,
+        content: u32,
+    },
+    /// A node connected to a monitor.
+    Connected {
+        monitor: usize,
+        node: usize,
+        at: SimTime,
+    },
+    /// A node disconnected from a monitor.
+    Disconnected {
+        monitor: usize,
+        node: usize,
+        at: SimTime,
+    },
+}
+
+/// Shared context of one broadcast expansion (kept in a struct so the helper
+/// stays within the argument-count lint while the RNG borrows separately).
+struct BroadcastCtx<'a> {
+    core: &'a ScenarioCore,
+    links: &'a BitMatrix,
+    local: usize,
+    node: usize,
+    seq: u64,
+}
+
+/// Expands one broadcast into per-monitor `Record` ops, drawing one latency
+/// sample per linked monitor from the node's observation stream.
+fn broadcast_ops(
+    ctx: &BroadcastCtx<'_>,
+    rng: &mut SimRng,
+    rtype: RequestType,
+    content: u32,
+    at: SimTime,
+    out: &mut Vec<(u64, SinkOp)>,
+) {
+    let country = ctx.core.scenario.nodes[ctx.node].country;
+    for w in 0..ctx.links.stride() {
+        for bit in set_bits(ctx.links.word(ctx.local, w)) {
+            let m = w * 64 + bit;
+            let latency =
+                ctx.core
+                    .latency
+                    .sample(rng, country, ctx.core.scenario.monitors[m].country);
+            out.push((
+                ctx.seq,
+                SinkOp::Record {
+                    monitor: m,
+                    node: ctx.node,
+                    rtype,
+                    at: at + latency,
+                    content,
+                },
+            ));
+        }
+    }
+}
+
+/// The observation executor of one shard: owns the monitor-link rows and the
+/// lazily derived observation RNG streams of the nodes with
+/// `node % shards == offset`. The serial execution modes use a single
+/// inline instance (`shards == 1`), so there is exactly one code path for
+/// observation semantics.
+#[derive(Debug)]
+pub(super) struct ObsShard {
+    core: Arc<ScenarioCore>,
+    shards: usize,
+    offset: usize,
+    /// Monitor links of this shard's nodes, row-indexed by `node / shards`.
+    links: BitMatrix,
+    /// Per-node observation streams, derived on first use so untouched nodes
+    /// cost nothing.
+    rngs: Vec<Option<SimRng>>,
+}
+
+impl ObsShard {
+    pub(super) fn new(core: Arc<ScenarioCore>, shards: usize, offset: usize) -> Self {
+        let locals = core.node_count().div_ceil(shards.max(1));
+        Self {
+            links: BitMatrix::new(locals, core.monitor_count()),
+            rngs: (0..locals).map(|_| None).collect(),
+            core,
+            shards: shards.max(1),
+            offset,
+        }
+    }
+
+    /// Swaps in a new core after a copy-on-write scenario edit
+    /// (`add_content`), so the inline executor never reads a stale snapshot.
+    pub(super) fn refresh_core(&mut self, core: Arc<ScenarioCore>) {
+        self.core = core;
+    }
+
+    /// Executes one work item, appending the resulting sink ops (tagged with
+    /// `seq`) to `out`. Items of one node must arrive in event order; that is
+    /// the only ordering the executor relies on.
+    pub(super) fn execute(&mut self, seq: u64, work: &ObsWork, out: &mut Vec<(u64, SinkOp)>) {
+        let Self {
+            core,
+            shards,
+            offset,
+            links,
+            rngs,
+        } = self;
+        let core: &ScenarioCore = core;
+        let node = work.node();
+        debug_assert_eq!(node % *shards, *offset, "work routed to the wrong shard");
+        let local = node / *shards;
+        let rng =
+            rngs[local].get_or_insert_with(|| core.obs_base.derive_indexed("node", node as u64));
+        match *work {
+            ObsWork::Online { node, at } => {
+                for m in 0..core.monitor_count() {
+                    let p = core.scenario.monitors[m].attach_probability;
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        links.set(local, m);
+                        out.push((
+                            seq,
+                            SinkOp::Connected {
+                                monitor: m,
+                                node,
+                                at,
+                            },
+                        ));
+                    }
+                }
+            }
+            ObsWork::Offline { node, at } => {
+                for w in 0..links.stride() {
+                    for bit in set_bits(links.word(local, w)) {
+                        out.push((
+                            seq,
+                            SinkOp::Disconnected {
+                                monitor: w * 64 + bit,
+                                node,
+                                at,
+                            },
+                        ));
+                    }
+                }
+                links.clear_row(local);
+            }
+            ObsWork::Broadcast {
+                node,
+                rtype,
+                content,
+                at,
+            } => {
+                let ctx = BroadcastCtx {
+                    core,
+                    links,
+                    local,
+                    node,
+                    seq,
+                };
+                broadcast_ops(&ctx, rng, rtype, content, at, out);
+            }
+            ObsWork::Targeted {
+                node,
+                monitor,
+                content,
+                at,
+            } => {
+                // Latency is drawn before the link test, matching the order
+                // the combined handler used.
+                let country = core.scenario.nodes[node].country;
+                let latency =
+                    core.latency
+                        .sample(rng, country, core.scenario.monitors[monitor].country);
+                if !links.test(local, monitor) {
+                    links.set(local, monitor);
+                    out.push((seq, SinkOp::Connected { monitor, node, at }));
+                }
+                out.push((
+                    seq,
+                    SinkOp::Record {
+                        monitor,
+                        node,
+                        rtype: RequestType::WantBlock,
+                        at: at + latency,
+                        content,
+                    },
+                ));
+            }
+            ObsWork::RevalidateCancel {
+                node,
+                rtype,
+                content,
+                at,
+            } => {
+                let ctx = BroadcastCtx {
+                    core,
+                    links,
+                    local,
+                    node,
+                    seq,
+                };
+                broadcast_ops(&ctx, rng, rtype, content, at, out);
+                let cancel_at = at + SimDuration::from_millis(rng.gen_range(200..1200));
+                broadcast_ops(&ctx, rng, RequestType::Cancel, content, cancel_at, out);
+            }
+        }
+    }
+}
+
+/// Applies one completed sink op: reconstructs the peer/address/CID view from
+/// the shared core and forwards it to the sink. Both the inline drain and the
+/// sharded merge go through this function, so the record format (and the
+/// `MonitorEntriesRecorded` tally) cannot drift between modes.
+pub(super) fn apply_sink_op<S: MonitorSink>(
+    core: &ScenarioCore,
+    counters: &mut TypedCounters<SimCounter>,
+    op: &SinkOp,
+    sink: &mut S,
+) {
+    match *op {
+        SinkOp::Record {
+            monitor,
+            node,
+            rtype,
+            at,
+            content,
+        } => {
+            sink.record(
+                monitor,
+                BitswapObservation {
+                    timestamp: at,
+                    peer: core.node_peers[node],
+                    address: core.node_addrs[node],
+                    request_type: rtype,
+                    cid: core.content_root(content as usize).clone(),
+                },
+            );
+            counters.incr(SimCounter::MonitorEntriesRecorded);
+        }
+        SinkOp::Connected { monitor, node, at } => {
+            sink.peer_connected(monitor, core.node_peers[node], core.node_addrs[node], at);
+        }
+        SinkOp::Disconnected { monitor, node, at } => {
+            sink.peer_disconnected(monitor, core.node_peers[node], at);
+        }
+    }
+}
+
+/// Partitions the pending observation backlog by owner shard and ships one
+/// batch to every worker (empty batches included, so result rounds align).
+fn dispatch_round(
+    work_txs: &[mpsc::Sender<Vec<(u64, ObsWork)>>],
+    pending: &mut Vec<(u64, ObsWork)>,
+    cross_shard: obs::Counter,
+) {
+    let shards = work_txs.len();
+    cross_shard.add(pending.len() as u64);
+    let mut batches: Vec<Vec<(u64, ObsWork)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (seq, work) in pending.drain(..) {
+        batches[work.node() % shards].push((seq, work));
+    }
+    for (tx, batch) in work_txs.iter().zip(batches) {
+        tx.send(batch).expect("shard worker exited early");
+    }
+}
+
+/// Receives one result round from every worker, merges by event sequence
+/// (stable — each event's ops live on exactly one worker) and applies the ops
+/// in order. The receive wait is the synchronization barrier of the mode and
+/// is timed into `sim.barrier_wait_ns`.
+fn collect_round<S: MonitorSink>(
+    result_rxs: &[mpsc::Receiver<Vec<(u64, SinkOp)>>],
+    merge: &mut Vec<(u64, SinkOp)>,
+    barrier_hist: obs::Histogram,
+    core: &ScenarioCore,
+    counters: &mut TypedCounters<SimCounter>,
+    sink: &mut S,
+) {
+    merge.clear();
+    {
+        let _wait = barrier_hist.timer();
+        for rx in result_rxs {
+            merge.extend(rx.recv().expect("shard worker dropped its result channel"));
+        }
+    }
+    merge.sort_by_key(|&(seq, _)| seq);
+    for (_, op) in merge.iter() {
+        apply_sink_op(core, counters, op, sink);
+    }
+}
+
+impl Network {
+    /// The sharded-handlers event loop (see [`super::ExecOptions::sharded`]).
+    ///
+    /// Source advancement reuses the parallel-regions machinery — partitioned
+    /// by [`source_shard_hint`] instead of round-robin where a source names
+    /// its node — and the apply phase follows the serial loop's tie rule
+    /// verbatim, so the *state* side is the serial lazy loop exactly. The
+    /// observation half of each handler is shipped to `shard_handlers`
+    /// persistent workers and merged back in event order (module docs).
+    pub(super) fn run_sharded<S: MonitorSink>(&mut self, sink: &mut S) -> RunReport {
+        /// Barrier spacing of the source-advance windows, matching the
+        /// parallel-regions mode.
+        const SHARD_WINDOW: SimDuration = SimDuration::from_hours(1);
+
+        let shards = self.options.shard_handlers.max(1);
+        let horizon_end = SimTime::ZERO + self.core.scenario.horizon;
+        let regions = shards.min(self.sources.len()).max(1);
+        let mut partitions: Vec<Vec<(u32, SourceState)>> =
+            (0..regions).map(|_| Vec::new()).collect();
+        for (rank, source) in std::mem::take(&mut self.sources).into_iter().enumerate() {
+            let region = source_shard_hint(&source).map_or(rank % regions, |n| n % regions);
+            partitions[region].push((rank as u32, source));
+        }
+        self.heads.clear();
+
+        let mut events = 0u64;
+        // The serial loop's instrumentation, plus the sharded-mode metrics
+        // (per-shard work counts, barrier waits, cross-thread message count).
+        let mut obs_events = obs::BatchedCounter::new(obs::counter!("sim.events"));
+        let obs_pending = obs::gauge!("sim.pending");
+        let dispatch_hist = obs::histogram!("sim.handler_dispatch_ns");
+        let barrier_hist = obs::histogram!("sim.barrier_wait_ns");
+        let cross_shard = obs::counter!("sim.cross_shard_msgs");
+
+        let mut buffer: Vec<(SimTime, u32, NetEvent)> = Vec::new();
+        let mut next = 0usize;
+        let mut barrier = SimTime::ZERO;
+        let mut merge: Vec<(u64, SinkOp)> = Vec::new();
+        let mut in_flight = false;
+
+        std::thread::scope(|scope| {
+            let mut work_txs: Vec<mpsc::Sender<Vec<(u64, ObsWork)>>> = Vec::with_capacity(shards);
+            let mut result_rxs: Vec<mpsc::Receiver<Vec<(u64, SinkOp)>>> =
+                Vec::with_capacity(shards);
+            for w in 0..shards {
+                let (work_tx, work_rx) = mpsc::channel::<Vec<(u64, ObsWork)>>();
+                let (result_tx, result_rx) = mpsc::channel::<Vec<(u64, SinkOp)>>();
+                work_txs.push(work_tx);
+                result_rxs.push(result_rx);
+                let core = Arc::clone(&self.core);
+                scope.spawn(move || {
+                    let mut shard = ObsShard::new(core, shards, w);
+                    // Dynamic metric name — the caching `counter!` macro is
+                    // per call site and would alias the shards.
+                    let shard_events = obs::counter(&format!("sim.shard_events.{w}"));
+                    while let Ok(batch) = work_rx.recv() {
+                        shard_events.add(batch.len() as u64);
+                        let mut out = Vec::with_capacity(batch.len() * 2);
+                        for (seq, work) in &batch {
+                            shard.execute(*seq, work, &mut out);
+                        }
+                        if result_tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            loop {
+                // Advance phase: refill the source buffer window by window.
+                while next >= buffer.len() && barrier < horizon_end {
+                    // Window boundary: bound the observation backlog to one
+                    // window before running further ahead.
+                    if !self.pending_obs.is_empty() {
+                        if in_flight {
+                            collect_round(
+                                &result_rxs,
+                                &mut merge,
+                                barrier_hist,
+                                &self.core,
+                                &mut self.counters,
+                                sink,
+                            );
+                        }
+                        dispatch_round(&work_txs, &mut self.pending_obs, cross_shard);
+                        in_flight = true;
+                    }
+                    barrier = (barrier + SHARD_WINDOW).min(horizon_end);
+                    let deadline = barrier;
+                    let scenario = &self.core.scenario;
+                    let _advance_span = obs::histogram!("sim.region_advance_ns").timer();
+                    let batches: Vec<Vec<(SimTime, u32, NetEvent)>> =
+                        std::thread::scope(|advance| {
+                            let handles: Vec<_> = partitions
+                                .iter_mut()
+                                .map(|partition| {
+                                    advance.spawn(move || {
+                                        let mut batch = Vec::new();
+                                        for (rank, source) in partition.iter_mut() {
+                                            while source_state_peek(source, scenario)
+                                                .is_some_and(|t| t <= deadline)
+                                            {
+                                                let (at, event) =
+                                                    source_state_pop(source, scenario)
+                                                        .expect("peek implies a pending event");
+                                                batch.push((at, *rank, event));
+                                            }
+                                        }
+                                        batch.sort_by_key(|&(t, rank, _)| (t, rank));
+                                        batch
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|handle| handle.join().expect("source worker panicked"))
+                                .collect()
+                        });
+                    buffer.clear();
+                    next = 0;
+                    for batch in batches {
+                        buffer.extend(batch);
+                    }
+                    buffer.sort_by_key(|&(t, rank, _)| (t, rank));
+                    if buffer.is_empty() {
+                        // Quiet window: jump to just before the earliest
+                        // pending source event instead of spinning.
+                        barrier = partitions
+                            .iter()
+                            .flatten()
+                            .filter_map(|(_, source)| source_state_peek(source, scenario))
+                            .min()
+                            .map(|t| SimTime::from_millis(t.as_millis().saturating_sub(1)))
+                            .unwrap_or(horizon_end)
+                            .clamp(barrier, horizon_end);
+                    }
+                }
+
+                let pending = self.queue.pending() + (buffer.len() - next);
+                if pending > self.peak_pending {
+                    self.peak_pending = pending;
+                }
+                if events & 4095 == 0 {
+                    obs_pending.set(pending as u64);
+                }
+                // Apply phase: the serial loop's tie rule, verbatim.
+                let (now, event) = match buffer.get(next) {
+                    None => match self.queue.pop_until(horizon_end) {
+                        Some(popped) => popped,
+                        None => break,
+                    },
+                    Some(&(ts, _, _)) => {
+                        let take_source = match self.queue.peek_time() {
+                            Some(tq) => ts <= tq,
+                            None => true,
+                        };
+                        if take_source {
+                            let (at, _, event) = buffer[next];
+                            next += 1;
+                            self.queue.advance_to(at);
+                            (at, event)
+                        } else {
+                            match self.queue.pop_until(horizon_end) {
+                                Some(popped) => popped,
+                                None => break,
+                            }
+                        }
+                    }
+                };
+                events += 1;
+                obs_events.incr();
+                let _span = (events & 1023 == 0).then(|| dispatch_hist.timer());
+                self.event_seq = events;
+                self.handle_event(now, event);
+                if self.pending_obs.len() >= OBS_FLUSH_THRESHOLD {
+                    if in_flight {
+                        collect_round(
+                            &result_rxs,
+                            &mut merge,
+                            barrier_hist,
+                            &self.core,
+                            &mut self.counters,
+                            sink,
+                        );
+                    }
+                    dispatch_round(&work_txs, &mut self.pending_obs, cross_shard);
+                    in_flight = true;
+                }
+            }
+
+            // Drain: collect the outstanding round, flush the tail, then
+            // close the work channels so the workers exit before the scope
+            // joins them.
+            if in_flight {
+                collect_round(
+                    &result_rxs,
+                    &mut merge,
+                    barrier_hist,
+                    &self.core,
+                    &mut self.counters,
+                    sink,
+                );
+            }
+            if !self.pending_obs.is_empty() {
+                dispatch_round(&work_txs, &mut self.pending_obs, cross_shard);
+                collect_round(
+                    &result_rxs,
+                    &mut merge,
+                    barrier_hist,
+                    &self.core,
+                    &mut self.counters,
+                    sink,
+                );
+            }
+            drop(work_txs);
+        });
+
+        RunReport {
+            counters: self.counters.to_counters(),
+            events_processed: events,
+            nodes_ever_online: self.ever_online_count,
+            peak_pending: self.peak_pending,
+        }
+    }
+}

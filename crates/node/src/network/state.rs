@@ -1,0 +1,340 @@
+//! Runtime-mutable simulation state: per-node flags and caches, the
+//! link/provider bit matrices, and the flat pending-want slab.
+//!
+//! Everything in this module changes while a run executes, in contrast to the
+//! scenario-immutable [`ScenarioCore`](super::core::ScenarioCore). The
+//! structures are deliberately flat — plain vectors indexed by node/content —
+//! so the handler hot path never chases `HashMap` buckets:
+//!
+//! * [`BitMatrix`] — one bit per (row, column) pair in `stride` consecutive
+//!   words per row; backs both the node↔monitor link matrix and the
+//!   per-content monitor-provider masks,
+//! * [`ProviderIndex`] — sorted flat provider lists per content item plus a
+//!   monitor bitmask, replacing the seed's `Vec<HashSet<ProviderRef>>`,
+//! * [`PendingSlab`] — all outstanding wants of all nodes in one entry pool
+//!   threaded into intrusive per-node lists, replacing one
+//!   `HashMap<usize, SimTime>` per node.
+
+use crate::gateway::GatewayCache;
+use ipfs_mon_blockstore::Blockstore;
+use ipfs_mon_simnet::time::SimTime;
+
+/// Internal per-node runtime state. Identity (peer ID, address, country) is
+/// scenario-immutable and lives in the shared
+/// [`ScenarioCore`](super::core::ScenarioCore); observation-side state (which
+/// monitors the node is linked to) lives with the observation executor.
+#[derive(Debug)]
+pub(super) struct NodeState {
+    pub(super) online: bool,
+    pub(super) blockstore: Blockstore,
+    pub(super) gateway_cache: Option<GatewayCache>,
+}
+
+/// A dense bit matrix: row `r`'s bits live in `stride` consecutive words.
+/// Replaces the seed's per-node `Vec<bool>` (one heap allocation per node and
+/// a byte per flag) with cache-friendly words-per-row in the common
+/// ≤128-column case.
+#[derive(Debug, Clone)]
+pub(super) struct BitMatrix {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl BitMatrix {
+    pub(super) fn new(rows: usize, cols: usize) -> Self {
+        let stride = cols.div_ceil(64).max(1);
+        Self {
+            words: vec![0; rows * stride],
+            stride,
+        }
+    }
+
+    pub(super) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    #[inline]
+    pub(super) fn test(&self, row: usize, col: usize) -> bool {
+        self.words[row * self.stride + col / 64] & (1 << (col % 64)) != 0
+    }
+
+    #[inline]
+    pub(super) fn set(&mut self, row: usize, col: usize) {
+        self.words[row * self.stride + col / 64] |= 1 << (col % 64);
+    }
+
+    /// One 64-column word of a row.
+    #[inline]
+    pub(super) fn word(&self, row: usize, word: usize) -> u64 {
+        self.words[row * self.stride + word]
+    }
+
+    pub(super) fn clear_row(&mut self, row: usize) {
+        let base = row * self.stride;
+        self.words[base..base + self.stride].fill(0);
+    }
+
+    /// Appends an all-zero row.
+    pub(super) fn push_row(&mut self) {
+        self.words.resize(self.words.len() + self.stride, 0);
+    }
+
+    /// The lowest set column of a row, if any.
+    pub(super) fn first_set(&self, row: usize) -> Option<usize> {
+        let base = row * self.stride;
+        self.words[base..base + self.stride]
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+    }
+}
+
+/// Iterates the set bit positions of one bit-matrix word.
+pub(super) fn set_bits(mut word: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if word == 0 {
+            None
+        } else {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            Some(bit)
+        }
+    })
+}
+
+/// Who provides each content item: a sorted flat list of provider *nodes*
+/// plus a bitmask of monitor providers per content index.
+///
+/// The seed kept a `HashSet<ProviderRef>` per content item; `resolve` then
+/// paid a bucket walk per provider on every (re)broadcast of popular content.
+/// Here the node scan is a linear pass over a sorted `Vec<u32>` and the
+/// monitor-provider pick is a trailing-zeros scan — and, unlike `HashSet`
+/// iteration order, "first monitor provider" is well defined (lowest monitor
+/// index).
+#[derive(Debug, Clone)]
+pub(super) struct ProviderIndex {
+    node_lists: Vec<Vec<u32>>,
+    monitor_masks: BitMatrix,
+}
+
+impl ProviderIndex {
+    pub(super) fn new(monitors: usize) -> Self {
+        Self {
+            node_lists: Vec::new(),
+            monitor_masks: BitMatrix::new(0, monitors),
+        }
+    }
+
+    /// Appends a content item with the given initial provider nodes.
+    pub(super) fn push_content(&mut self, initial: &[usize]) {
+        let mut list: Vec<u32> = initial.iter().map(|&i| i as u32).collect();
+        list.sort_unstable();
+        list.dedup();
+        self.node_lists.push(list);
+        self.monitor_masks.push_row();
+    }
+
+    /// Registers `node` as a provider for `content` (idempotent).
+    pub(super) fn insert_node(&mut self, content: usize, node: usize) {
+        let list = &mut self.node_lists[content];
+        if let Err(pos) = list.binary_search(&(node as u32)) {
+            list.insert(pos, node as u32);
+        }
+    }
+
+    /// Registers `monitor` as a provider for `content` (idempotent).
+    pub(super) fn insert_monitor(&mut self, content: usize, monitor: usize) {
+        self.monitor_masks.set(content, monitor);
+    }
+
+    /// The provider nodes of `content`, sorted by node index.
+    #[inline]
+    pub(super) fn node_providers(&self, content: usize) -> &[u32] {
+        &self.node_lists[content]
+    }
+
+    /// The lowest-index monitor provider of `content`, if any.
+    #[inline]
+    pub(super) fn first_monitor(&self, content: usize) -> Option<usize> {
+        self.monitor_masks.first_set(content)
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// All outstanding wants of all nodes in one slab: entries are pooled in a
+/// single vector (with an intrusive free list) and threaded into one singly
+/// linked list per node. Replaces a `HashMap<usize, SimTime>` per node — the
+/// per-node list length is the node's *concurrent* want count, which is tiny,
+/// so a linear walk beats hashing and the slab never allocates after warm-up.
+#[derive(Debug, Clone)]
+pub(super) struct PendingSlab {
+    entries: Vec<SlabEntry>,
+    heads: Vec<u32>,
+    free: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SlabEntry {
+    content: u32,
+    started: SimTime,
+    next: u32,
+}
+
+impl PendingSlab {
+    pub(super) fn new(nodes: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            heads: vec![NIL; nodes],
+            free: NIL,
+        }
+    }
+
+    /// When the outstanding want of `node` for `content` started, if any.
+    pub(super) fn get(&self, node: usize, content: usize) -> Option<SimTime> {
+        let mut cursor = self.heads[node];
+        while cursor != NIL {
+            let entry = &self.entries[cursor as usize];
+            if entry.content == content as u32 {
+                return Some(entry.started);
+            }
+            cursor = entry.next;
+        }
+        None
+    }
+
+    /// Records a new outstanding want. The caller checks for duplicates via
+    /// [`Self::get`] first (the handler returns early on already-pending).
+    pub(super) fn insert(&mut self, node: usize, content: usize, started: SimTime) {
+        debug_assert!(self.get(node, content).is_none(), "want already pending");
+        let entry = SlabEntry {
+            content: content as u32,
+            started,
+            next: self.heads[node],
+        };
+        let slot = if self.free != NIL {
+            let slot = self.free;
+            self.free = self.entries[slot as usize].next;
+            self.entries[slot as usize] = entry;
+            slot
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("pending slab overflow");
+            self.entries.push(entry);
+            slot
+        };
+        self.heads[node] = slot;
+    }
+
+    /// Removes the outstanding want of `node` for `content`, returning when
+    /// it started.
+    pub(super) fn remove(&mut self, node: usize, content: usize) -> Option<SimTime> {
+        let mut prev = NIL;
+        let mut cursor = self.heads[node];
+        while cursor != NIL {
+            let entry = &self.entries[cursor as usize];
+            if entry.content == content as u32 {
+                let started = entry.started;
+                let next = entry.next;
+                if prev == NIL {
+                    self.heads[node] = next;
+                } else {
+                    self.entries[prev as usize].next = next;
+                }
+                self.entries[cursor as usize].next = self.free;
+                self.free = cursor;
+                return Some(started);
+            }
+            prev = cursor;
+            cursor = entry.next;
+        }
+        None
+    }
+
+    /// Drops every outstanding want of `node` (it went offline).
+    pub(super) fn clear_node(&mut self, node: usize) {
+        let mut cursor = self.heads[node];
+        self.heads[node] = NIL;
+        while cursor != NIL {
+            let next = self.entries[cursor as usize].next;
+            self.entries[cursor as usize].next = self.free;
+            self.free = cursor;
+            cursor = next;
+        }
+    }
+
+    /// Grows the slab to cover `nodes` nodes (content can be added at
+    /// runtime; nodes cannot shrink).
+    pub(super) fn ensure_nodes(&mut self, nodes: usize) {
+        if self.heads.len() < nodes {
+            self.heads.resize(nodes, NIL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_matrix_set_test_clear() {
+        let mut m = BitMatrix::new(3, 130);
+        assert_eq!(m.stride(), 3);
+        assert!(!m.test(1, 129));
+        m.set(1, 129);
+        m.set(1, 0);
+        assert!(m.test(1, 129) && m.test(1, 0));
+        assert!(!m.test(0, 0) && !m.test(2, 129));
+        assert_eq!(m.first_set(1), Some(0));
+        m.clear_row(1);
+        assert!(!m.test(1, 129) && !m.test(1, 0));
+        assert_eq!(m.first_set(1), None);
+    }
+
+    #[test]
+    fn bit_matrix_rows_grow() {
+        let mut m = BitMatrix::new(0, 2);
+        m.push_row();
+        m.push_row();
+        m.set(1, 1);
+        assert_eq!(m.first_set(0), None);
+        assert_eq!(m.first_set(1), Some(1));
+    }
+
+    #[test]
+    fn provider_index_sorts_and_dedupes() {
+        let mut p = ProviderIndex::new(8);
+        p.push_content(&[5, 1, 5, 3]);
+        assert_eq!(p.node_providers(0), &[1, 3, 5]);
+        p.insert_node(0, 3);
+        p.insert_node(0, 2);
+        assert_eq!(p.node_providers(0), &[1, 2, 3, 5]);
+        assert_eq!(p.first_monitor(0), None);
+        p.insert_monitor(0, 6);
+        p.insert_monitor(0, 2);
+        assert_eq!(p.first_monitor(0), Some(2));
+    }
+
+    #[test]
+    fn pending_slab_roundtrip() {
+        let mut slab = PendingSlab::new(3);
+        let t = SimTime::from_secs;
+        slab.insert(0, 10, t(1));
+        slab.insert(0, 11, t(2));
+        slab.insert(2, 10, t(3));
+        assert_eq!(slab.get(0, 10), Some(t(1)));
+        assert_eq!(slab.get(0, 11), Some(t(2)));
+        assert_eq!(slab.get(1, 10), None);
+        assert_eq!(slab.get(2, 10), Some(t(3)));
+        assert_eq!(slab.remove(0, 10), Some(t(1)));
+        assert_eq!(slab.remove(0, 10), None);
+        assert_eq!(slab.get(0, 11), Some(t(2)));
+        slab.clear_node(0);
+        assert_eq!(slab.get(0, 11), None);
+        // Freed slots are recycled.
+        slab.insert(1, 42, t(4));
+        slab.insert(1, 43, t(5));
+        assert_eq!(slab.entries.len(), 3);
+        assert_eq!(slab.get(1, 42), Some(t(4)));
+    }
+}

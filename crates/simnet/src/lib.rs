@@ -34,8 +34,8 @@ pub use churn::{
     ChurnEvent, ChurnModel, NodeSchedule, OnlineSession, ScheduleCursor, ScheduleSource,
 };
 pub use metrics::{BucketedSeries, CounterId, Counters, TypedCounters};
-pub use region::{CountryMix, LatencyModel};
-pub use rng::SimRng;
+pub use region::{CountryMix, LatencyModel, LatencyTable};
+pub use rng::{NormalSampler, SimRng};
 pub use scheduler::{BaselineScheduler, EventId, Scheduler};
 pub use source::{EventSource, IterSource};
 pub use time::{SimDuration, SimTime};

@@ -120,30 +120,88 @@ fn region_group(country: Country) -> u8 {
 }
 
 impl LatencyModel {
-    /// Samples the one-way latency of a message between two countries.
-    pub fn sample(&self, rng: &mut SimRng, from: Country, to: Country) -> SimDuration {
-        let base = if from == to && from != Country::Other {
+    /// The mean one-way latency between two countries, in milliseconds.
+    fn base_ms(&self, from: Country, to: Country) -> f64 {
+        if from == to && from != Country::Other {
             self.same_country_ms
         } else if region_group(from) == region_group(to) && region_group(from) != 3 {
             self.same_region_ms
         } else {
             self.cross_region_ms
-        };
-        let jitter_factor = 1.0 + self.jitter * (2.0 * rng.sample_standard_normal().tanh());
-        let ms = (base * jitter_factor.max(0.1)).max(1.0);
-        SimDuration::from_millis(ms.round() as u64)
+        }
+    }
+
+    /// Samples the one-way latency of a message between two countries.
+    pub fn sample(&self, rng: &mut SimRng, from: Country, to: Country) -> SimDuration {
+        jittered(self.base_ms(from, to), self.jitter, rng)
     }
 
     /// Mean latency (without jitter) between two countries.
     pub fn mean(&self, from: Country, to: Country) -> SimDuration {
-        let base = if from == to && from != Country::Other {
-            self.same_country_ms
-        } else if region_group(from) == region_group(to) && region_group(from) != 3 {
-            self.same_region_ms
-        } else {
-            self.cross_region_ms
-        };
-        SimDuration::from_millis(base.round() as u64)
+        SimDuration::from_millis(self.base_ms(from, to).round() as u64)
+    }
+
+    /// Precomputes the full country×country base-latency matrix so the
+    /// handler hot path indexes a flat table instead of re-deriving the
+    /// country-pair mean on every sample.
+    pub fn table(&self) -> LatencyTable {
+        let n = Country::all()
+            .iter()
+            .map(|&c| c as usize)
+            .max()
+            .expect("country list is non-empty")
+            + 1;
+        let mut base_ms = vec![0.0f64; n * n];
+        for &from in Country::all() {
+            for &to in Country::all() {
+                base_ms[from as usize * n + to as usize] = self.base_ms(from, to);
+            }
+        }
+        LatencyTable {
+            n,
+            base_ms,
+            jitter: self.jitter,
+        }
+    }
+}
+
+/// Applies the multiplicative jitter draw shared by [`LatencyModel::sample`]
+/// and [`LatencyTable::sample`]; both must consume exactly one standard
+/// normal so the two entry points are stream-compatible.
+fn jittered(base: f64, jitter: f64, rng: &mut SimRng) -> SimDuration {
+    let jitter_factor = 1.0 + jitter * (2.0 * rng.sample_standard_normal().tanh());
+    let ms = (base * jitter_factor.max(0.1)).max(1.0);
+    SimDuration::from_millis(ms.round() as u64)
+}
+
+/// Flat country×country base-latency matrix built by [`LatencyModel::table`].
+///
+/// Sampling draws the identical jitter factor as [`LatencyModel::sample`], so
+/// for the same generator state the two produce bit-identical durations — the
+/// table is a pure lookup optimization, not a model change.
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    n: usize,
+    base_ms: Vec<f64>,
+    jitter: f64,
+}
+
+impl LatencyTable {
+    /// Samples the one-way latency between two countries using the
+    /// precomputed base mean.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng, from: Country, to: Country) -> SimDuration {
+        jittered(
+            self.base_ms[from as usize * self.n + to as usize],
+            self.jitter,
+            rng,
+        )
+    }
+
+    /// Mean latency (without jitter) between two countries.
+    #[inline]
+    pub fn mean(&self, from: Country, to: Country) -> SimDuration {
+        SimDuration::from_millis(self.base_ms[from as usize * self.n + to as usize].round() as u64)
     }
 }
 
@@ -211,6 +269,26 @@ mod tests {
             let lat = model.sample(&mut rng, Country::Us, Country::Cn);
             assert!(lat.as_millis() >= 1);
             assert!(lat.as_millis() < 1000, "latency {lat} too large");
+        }
+    }
+
+    #[test]
+    fn latency_table_matches_model_bit_for_bit() {
+        let model = LatencyModel::default();
+        let table = model.table();
+        let mut rng_model = SimRng::new(31);
+        let mut rng_table = SimRng::new(31);
+        for &from in Country::all() {
+            for &to in Country::all() {
+                assert_eq!(table.mean(from, to), model.mean(from, to));
+                for _ in 0..20 {
+                    assert_eq!(
+                        table.sample(&mut rng_table, from, to),
+                        model.sample(&mut rng_model, from, to),
+                        "{from:?} -> {to:?}"
+                    );
+                }
+            }
         }
     }
 

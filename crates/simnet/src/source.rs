@@ -45,6 +45,15 @@ pub trait EventSource {
 
     /// Produces the next event. Timestamps never decrease between calls.
     fn next_event(&mut self) -> Option<(SimTime, Self::Event)>;
+
+    /// An affinity hint for sharded drivers: the entity (commonly a node
+    /// index) whose state this source's events act on, or `None` when the
+    /// source fans out across entities. Partitioning never affects the merged
+    /// event order — ranks are global — so hints are purely a locality
+    /// optimization and the default is fine for any source.
+    fn shard_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl<S: EventSource + ?Sized> EventSource for Box<S> {
@@ -56,6 +65,10 @@ impl<S: EventSource + ?Sized> EventSource for Box<S> {
 
     fn next_event(&mut self) -> Option<(SimTime, Self::Event)> {
         (**self).next_event()
+    }
+
+    fn shard_hint(&self) -> Option<usize> {
+        (**self).shard_hint()
     }
 }
 

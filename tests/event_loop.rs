@@ -1,12 +1,14 @@
 //! Integration tests for the simulator event loop rewrite: timer-wheel
-//! scheduling, lazy event sourcing, and their bit-identity with the seed's
-//! fully materialized execution path.
+//! scheduling, lazy event sourcing, sharded handler execution, and their
+//! bit-identity with the seed's fully materialized execution path.
 
 use ipfs_monitoring::core::{GatewayProber, MonitorCollector};
-use ipfs_monitoring::node::{ExecOptions, Network, RecordingSink};
+use ipfs_monitoring::node::{ExecOptions, Network, RecordingSink, RequestEvent};
 use ipfs_monitoring::simnet::rng::SimRng;
 use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
+use ipfs_monitoring::simnet::{ChurnModel, NormalSampler};
 use ipfs_monitoring::workload::{build_scenario, build_scenario_lazy, ScenarioConfig};
+use proptest::prelude::*;
 
 fn scenario_config(seed: u64, nodes: usize) -> ScenarioConfig {
     let mut config = ScenarioConfig::small_test(seed);
@@ -187,4 +189,106 @@ fn gateway_probing_injection_matches_seed_path_in_lazy_mode() {
         lazy_hits.iter().any(|&h| h > 0),
         "at least one probe must surface in the trace"
     );
+    // The observation-offload sharded path sees the probes' injected requests
+    // and runtime-added content identically.
+    let (sharded_sink, sharded_report, sharded_hits) = run(ExecOptions::sharded(3));
+    assert_eq!(sharded_sink.observations, seed_sink.observations);
+    assert_eq!(
+        sharded_report.events_processed,
+        seed_report.events_processed
+    );
+    assert_eq!(sharded_hits, seed_hits);
+}
+
+/// (d) Sharded handler execution — the serial state half plus parallel
+/// observation workers — is byte-identical to serial lazy execution across
+/// seeds, churn models, and shard counts from trivial to odd/oversubscribed.
+#[test]
+fn sharded_handlers_are_byte_identical_across_churn_and_shard_counts() {
+    for (seed, always_online) in [(5u64, false), (6, true), (91, false)] {
+        let mut config = scenario_config(seed, 120);
+        if always_online {
+            config.population.churn = ChurnModel::always_online();
+        }
+        let monitor_count = config.monitors.len();
+
+        let mut serial_sink = RecordingSink::new(monitor_count);
+        let (scenario, sources) = build_scenario_lazy(&config);
+        let serial_report = Network::with_sources(scenario, sources).run(&mut serial_sink);
+
+        for shards in [1, 2, 7] {
+            let (scenario, sources) = build_scenario_lazy(&config);
+            let mut sink = RecordingSink::new(monitor_count);
+            let report =
+                Network::with_sources_options(scenario, sources, ExecOptions::sharded(shards))
+                    .run(&mut sink);
+            assert_eq!(
+                sink.observations, serial_sink.observations,
+                "seed {seed}, {shards} shards"
+            );
+            assert_eq!(sink.connections, serial_sink.connections);
+            assert_eq!(report.events_processed, serial_report.events_processed);
+            assert_eq!(report.counters, serial_report.counters);
+        }
+    }
+}
+
+/// (d') Requests injected into a built network through the runtime queue
+/// interleave with source events under the same tie rule on the sharded path
+/// as on the seed path, for every shard count.
+#[test]
+fn sharded_mode_interleaves_injected_requests_like_seed_path() {
+    let run = |options: ExecOptions| {
+        let config = scenario_config(58, 150);
+        let mut network = Network::with_options(build_scenario(&config), options);
+        network.schedule_request(RequestEvent {
+            at: SimTime::ZERO + SimDuration::from_secs(3_600),
+            node: 7,
+            content: 0,
+        });
+        network.schedule_request(RequestEvent {
+            at: SimTime::ZERO + SimDuration::from_hours(12),
+            node: 11,
+            content: 0,
+        });
+        let mut sink = RecordingSink::new(network.monitor_count());
+        let report = network.run(&mut sink);
+        (sink, report)
+    };
+    let (seed_sink, seed_report) = run(ExecOptions::seed_baseline());
+    for shards in [1, 2, 7] {
+        let (sharded_sink, sharded_report) = run(ExecOptions::sharded(shards));
+        assert_eq!(
+            sharded_sink.observations, seed_sink.observations,
+            "{shards} shards"
+        );
+        assert_eq!(sharded_sink.connections, seed_sink.connections);
+        assert_eq!(
+            sharded_report.events_processed,
+            seed_report.events_processed
+        );
+    }
+}
+
+proptest! {
+    /// The ziggurat fast path draws from the same distribution as Box–Muller:
+    /// over random seeds, the first two sample moments agree within sampling
+    /// tolerance (the streams themselves intentionally differ).
+    #[test]
+    fn ziggurat_moments_match_box_muller(seed in 0u64..1_000_000) {
+        let n = 40_000usize;
+        let moments = |sampler: NormalSampler| {
+            let mut rng = SimRng::new(seed).with_normal_sampler(sampler);
+            let samples: Vec<f64> = (0..n).map(|_| rng.sample_standard_normal()).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            (mean, var)
+        };
+        let (bm_mean, bm_var) = moments(NormalSampler::BoxMuller);
+        let (zig_mean, zig_var) = moments(NormalSampler::Ziggurat);
+        prop_assert!((bm_mean - zig_mean).abs() < 0.05,
+            "means diverge: box–muller {bm_mean}, ziggurat {zig_mean}");
+        prop_assert!((bm_var - zig_var).abs() < 0.08,
+            "variances diverge: box–muller {bm_var}, ziggurat {zig_var}");
+    }
 }
