@@ -41,6 +41,7 @@ fn main() {
         DatasetConfig {
             segment: SegmentConfig::with_codec(flags.codec),
             rotate_after_entries: (run.dataset.total_entries() as u64 / 6).max(1),
+            ..DatasetConfig::default()
         },
     );
     let reader =

@@ -28,6 +28,7 @@ fn main() {
         DatasetConfig {
             segment: SegmentConfig::with_codec(flags.codec),
             rotate_after_entries: (run.dataset.total_entries() as u64 / 4).max(1),
+            ..DatasetConfig::default()
         },
     );
     let reader =

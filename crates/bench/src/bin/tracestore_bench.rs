@@ -14,9 +14,9 @@ use ipfs_mon_core::{
 };
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_tracestore::{
-    run_sink, ChunkScratch, ChunkSource, ChunkView, Codec, DatasetConfig, DatasetWriter, Manifest,
-    ManifestReader, MonitoringDataset, ReadOptions, SegmentConfig, SegmentSource, SliceSource,
-    TraceEntry, TraceReader, TraceSource,
+    recover_dataset, run_sink, ChunkScratch, ChunkSource, ChunkView, Codec, DatasetConfig,
+    DatasetWriter, Manifest, ManifestReader, MonitoringDataset, ReadOptions, SegmentConfig,
+    SegmentSource, SliceSource, TraceEntry, TraceReader, TraceSource,
 };
 use ipfs_mon_workload::ScenarioConfig;
 use std::time::Instant;
@@ -344,6 +344,7 @@ fn main() {
             DatasetConfig {
                 segment: SegmentConfig::with_codec(codec),
                 rotate_after_entries: rotate,
+                ..DatasetConfig::default()
             },
         );
         on_disk[c] = std::fs::read_dir(&dir)
@@ -457,6 +458,92 @@ fn main() {
     println!(
         "BENCH_tracestore.json {{\"mode\":\"codec-matrix\",\"entries\":{total_entries},\"raw_bytes\":{},\"lz_bytes\":{},\"col_bytes\":{},\"lz_decode_s\":{lz_decode_s:.4},\"col_decode_s\":{col_decode_s:.4}}}",
         on_disk[0], on_disk[1], on_disk[2]
+    );
+
+    // Durability and recovery: what periodic checkpoints cost on the ingest
+    // path, and how fast `recover_dataset` turns a crashed directory (open
+    // segments with no footers, no manifest) back into a readable dataset.
+    let rotate = (total_entries as u64 / 6).max(1);
+    let ingest = |dir: &std::path::Path, checkpoint_after_entries: u64| -> f64 {
+        let config = DatasetConfig {
+            rotate_after_entries: rotate,
+            checkpoint_after_entries,
+            ..DatasetConfig::default()
+        };
+        let start = Instant::now();
+        let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config)
+            .expect("create dataset");
+        for entries in &dataset.entries {
+            for entry in entries {
+                writer.append(entry).expect("append");
+            }
+        }
+        writer.finish().expect("finish");
+        start.elapsed().as_secs_f64()
+    };
+    let dir_plain = std::env::temp_dir().join(format!("ts-bench-plain-{}", std::process::id()));
+    let plain_s = ingest(&dir_plain, u64::MAX);
+    std::fs::remove_dir_all(&dir_plain).ok();
+    let checkpoint_every = (total_entries as u64 / 8).max(1);
+    let dir_ckpt = std::env::temp_dir().join(format!("ts-bench-ckpt-{}", std::process::id()));
+    let ckpt_s = ingest(&dir_ckpt, checkpoint_every);
+    std::fs::remove_dir_all(&dir_ckpt).ok();
+    let checkpoint_overhead_pct = (ckpt_s - plain_s) / plain_s.max(1e-9) * 100.0;
+
+    // Crash the checkpointed ingest (drop without finish: spilled chunks are
+    // on disk, footers and manifest are not) and time the recovery.
+    let dir_crash = std::env::temp_dir().join(format!("ts-bench-crash-{}", std::process::id()));
+    {
+        let config = DatasetConfig {
+            rotate_after_entries: rotate,
+            checkpoint_after_entries: checkpoint_every,
+            ..DatasetConfig::default()
+        };
+        let mut writer = DatasetWriter::create(&dir_crash, dataset.monitor_labels.clone(), config)
+            .expect("create dataset");
+        for entries in &dataset.entries {
+            for entry in entries {
+                writer.append(entry).expect("append");
+            }
+        }
+        // No finish(): simulated crash.
+    }
+    let start = Instant::now();
+    let report = recover_dataset(&dir_crash).expect("recover crashed dataset");
+    let recover_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.entries_lost_after_checkpoint, 0,
+        "checkpointed entries must survive the crash"
+    );
+    let recovered_reader = ManifestReader::open(&dir_crash).expect("open recovered dataset");
+    assert_eq!(recovered_reader.total_entries(), report.entries_recovered);
+    drop(recovered_reader);
+    std::fs::remove_dir_all(&dir_crash).ok();
+
+    println!("\n  durability ({total_entries} entries, checkpoint every {checkpoint_every}):");
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "ingest, no checkpoints",
+        entries_per_s(total_entries, plain_s)
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s  ({checkpoint_overhead_pct:+.1}% vs no checkpoints)",
+        "ingest, checkpointed",
+        entries_per_s(total_entries, ckpt_s)
+    );
+    println!(
+        "  crash recovery: {} of {} entries back in {:.1} ms ({:.0} entries/s, {} truncated, {} quarantined)",
+        report.entries_recovered,
+        total_entries,
+        recover_s * 1e3,
+        entries_per_s(report.entries_recovered as usize, recover_s),
+        report.segments_truncated,
+        report.quarantined.len(),
+    );
+    println!(
+        "BENCH_tracestore.json {{\"mode\":\"recovery\",\"entries\":{total_entries},\"checkpoint_overhead_pct\":{checkpoint_overhead_pct:.1},\"recovered_entries\":{},\"recover_s\":{recover_s:.4},\"recover_entries_per_sec\":{:.0}}}",
+        report.entries_recovered,
+        entries_per_s(report.entries_recovered as usize, recover_s),
     );
 
     // Emits the final `"done":true` heartbeat (a no-op without --obs).

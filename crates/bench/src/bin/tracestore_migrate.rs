@@ -119,6 +119,7 @@ fn prepare_demo_manifest(dir: &std::path::Path) {
         DatasetConfig {
             segment: SegmentConfig::with_codec(Codec::Lz),
             rotate_after_entries: (run.dataset.total_entries() as u64 / 4).max(1),
+            ..DatasetConfig::default()
         },
     );
     println!(

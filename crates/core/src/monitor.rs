@@ -308,6 +308,31 @@ impl ManifestCollector {
         self.writer.total_entries()
     }
 
+    /// Seals a durability checkpoint of the dataset being collected: fsyncs
+    /// every open segment chain and atomically writes `manifest.ckpt`, so a
+    /// crash after this point loses nothing recorded before it (see
+    /// [`ipfs_mon_tracestore::DatasetWriter::checkpoint`] and
+    /// [`ipfs_mon_tracestore::recover_dataset`]). An earlier latched write
+    /// error is returned instead of checkpointing over bad state, and a
+    /// checkpoint failure latches the collector like any other write
+    /// failure — either way the collector stays dead afterwards and
+    /// [`ManifestCollector::finish`] reports the condition too.
+    pub fn checkpoint(&mut self) -> Result<(), SegmentError> {
+        if let Some(error) = self.error.take() {
+            self.error = Some(SegmentError::Corrupt(
+                "collector disabled by an earlier write error".into(),
+            ));
+            return Err(error);
+        }
+        if let Err(error) = self.writer.checkpoint() {
+            self.error = Some(SegmentError::Corrupt(format!(
+                "collector disabled by a failed checkpoint: {error}"
+            )));
+            return Err(error);
+        }
+        Ok(())
+    }
+
     /// Closes still-open connections (with no disconnect time, as
     /// [`MonitorCollector`] does), finishes every segment chain, and writes
     /// the manifest.

@@ -66,11 +66,13 @@
 pub mod codec;
 pub mod col;
 pub mod crc;
+pub mod fault;
 pub mod manifest;
 pub mod migrate;
 pub mod mmap;
 pub mod reader;
 pub mod record;
+pub mod recover;
 pub mod segment;
 pub mod sink;
 pub mod source;
@@ -78,18 +80,27 @@ pub mod writer;
 
 pub use codec::{ChunkCodec, Codec, LzCodec, RawCodec};
 pub use col::ColCodec;
-pub use manifest::{
-    DatasetConfig, DatasetSummary, DatasetWriter, Manifest, ManifestBuilder, MonitorSummary,
-    MonitorWriter, SegmentMeta, MANIFEST_FILE_NAME,
+pub use fault::{
+    is_transient, with_retry, write_file_durable, CrashMode, FaultPlan, FaultyStorage, RealStorage,
+    RetryFile, RetryPolicy, Storage, StorageFile,
 };
-pub use migrate::{migrate_manifest, MigrateReport, MIGRATE_TMP_SUFFIX};
+pub use manifest::{
+    Checkpoint, DatasetConfig, DatasetSummary, DatasetWriter, Manifest, ManifestBuilder,
+    MonitorCheckpoint, MonitorSummary, MonitorWriter, OpenSegmentState, SegmentMeta,
+    CHECKPOINT_FILE_NAME, MANIFEST_FILE_NAME,
+};
+pub use migrate::{migrate_manifest, migrate_manifest_with, MigrateReport, MIGRATE_TMP_SUFFIX};
 pub use mmap::MmapSource;
 pub use reader::{
     ChainedMonitorStream, ChunkSource, EntryStream, FileSource, ManifestMergedStream,
     ManifestReader, MergedEntryStream, PrefetchedMonitorStream, ReadOptions, SegmentSource,
-    SliceSource, SortedEntryStream, TraceReader,
+    SkippedSegment, SliceSource, SortedEntryStream, TraceReader,
 };
 pub use record::{ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, UnifiedTrace};
+pub use recover::{
+    recover_dataset, recover_dataset_with, QuarantineReason, QuarantinedSegment, RecoveryReport,
+    ResumeCursor, QUARANTINE_DIR_NAME, RECOVER_TMP_SUFFIX,
+};
 pub use segment::{
     ChunkEntries, ChunkInfo, ChunkScratch, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
 };

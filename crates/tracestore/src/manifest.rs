@@ -38,13 +38,15 @@
 //! format.
 
 use crate::crc::crc32;
+use crate::fault::{write_file_durable, RealStorage, RetryFile, RetryPolicy, Storage, StorageFile};
 use crate::record::{ConnectionRecord, TraceEntry};
-use crate::segment::{SegmentConfig, SegmentError, SegmentSummary};
+use crate::segment::{self, SegmentConfig, SegmentError, SegmentSummary};
 use crate::writer::TraceWriter;
 use ipfs_mon_obs as obs;
 use ipfs_mon_types::varint;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes opening every manifest file.
 pub const MANIFEST_MAGIC: &[u8; 4] = b"IPMM";
@@ -52,6 +54,14 @@ pub const MANIFEST_MAGIC: &[u8; 4] = b"IPMM";
 pub const MANIFEST_VERSION: u8 = 1;
 /// File name of the manifest inside a dataset directory.
 pub const MANIFEST_FILE_NAME: &str = "manifest.ipmm";
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"IPMC";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+/// File name of the durability checkpoint inside a dataset directory. Present
+/// only while a collection is in flight (or after a crash); a clean
+/// [`DatasetWriter::finish`] removes it once the manifest is durable.
+pub const CHECKPOINT_FILE_NAME: &str = "manifest.ckpt";
 
 /// One segment file of a multi-segment dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,10 +201,23 @@ impl Manifest {
     }
 
     /// Writes the manifest into `dir` under [`MANIFEST_FILE_NAME`] and
-    /// returns the full path.
+    /// returns the full path. Durable and atomic: the bytes go to a temp
+    /// file that is fsynced and renamed over the manifest, then the
+    /// directory entry is fsynced — a crash at any point leaves either the
+    /// previous manifest or the new one, never a torn mix.
     pub fn write_to(&self, dir: impl AsRef<Path>) -> Result<PathBuf, SegmentError> {
+        self.write_to_with(dir, &RealStorage)
+    }
+
+    /// [`Manifest::write_to`] through an explicit [`Storage`] (fault
+    /// injection, tests).
+    pub fn write_to_with(
+        &self,
+        dir: impl AsRef<Path>,
+        storage: &dyn Storage,
+    ) -> Result<PathBuf, SegmentError> {
         let path = dir.as_ref().join(MANIFEST_FILE_NAME);
-        std::fs::write(&path, self.encode())?;
+        write_file_durable(storage, &path, &self.encode())?;
         Ok(path)
     }
 
@@ -211,6 +234,277 @@ impl Manifest {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durability checkpoints
+// ---------------------------------------------------------------------------
+
+/// Durable state of a monitor's *open* (not yet rotated) segment at
+/// checkpoint time: how much of the file is fsynced and chunk-complete, and
+/// the footer-bound connection records that otherwise exist only in memory.
+///
+/// `durable_bytes`/`durable_entries` bound what recovery must find: every
+/// byte up to `durable_bytes` was written *and fsynced* before the
+/// checkpoint itself became visible, so a crash can only cost entries
+/// appended after the checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSegmentState {
+    /// File name of the open segment, relative to the dataset directory.
+    pub file_name: String,
+    /// Rotation sequence of the open segment.
+    pub sequence: u64,
+    /// Bytes of the segment file (header + complete chunk frames) that were
+    /// fsynced before the checkpoint was published.
+    pub durable_bytes: u64,
+    /// Entries contained in those durable chunk frames.
+    pub durable_entries: u64,
+    /// Connection records destined for the segment footer (with local
+    /// monitor index 0, as stored in per-monitor segments).
+    pub connections: Vec<ConnectionRecord>,
+}
+
+/// Per-monitor slice of a [`Checkpoint`]: the sealed chain so far plus the
+/// durable state of the open segment, if one exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorCheckpoint {
+    /// Global monitor index.
+    pub monitor: usize,
+    /// Segments already sealed (rotated, fsynced) for this monitor.
+    pub sealed: Vec<SegmentMeta>,
+    /// The in-flight segment, if the monitor has one open.
+    pub open: Option<OpenSegmentState>,
+}
+
+/// A durability checkpoint: the recovery anchor written periodically by
+/// [`DatasetWriter::checkpoint`].
+///
+/// ```text
+/// checkpoint := "IPMC" version:u8 payload crc32(payload):u32le
+/// payload    := label_count:varint (len:varint label)*
+///               monitor_count:varint monitor*
+/// monitor    := index:varint sealed_count:varint sealed* open_flag:u8 [open]
+/// sealed     := name_len:varint name monitor:varint sequence:varint
+///               entries:varint                        (the manifest row)
+/// open       := name_len:varint name sequence:varint durable_bytes:varint
+///               durable_entries:varint conn_count:varint connection*
+/// ```
+///
+/// Connections use the segment-footer wire form. The file is written with
+/// the same tmp+fsync+rename+dir-sync protocol as the manifest, after the
+/// open segment files themselves were fsynced — so everything a checkpoint
+/// claims durable really is.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monitor labels, indexed by global monitor index.
+    pub monitor_labels: Vec<String>,
+    /// One slice per monitor, in monitor order.
+    pub monitors: Vec<MonitorCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        varint::encode(self.monitor_labels.len() as u64, &mut payload);
+        for label in &self.monitor_labels {
+            varint::encode(label.len() as u64, &mut payload);
+            payload.extend_from_slice(label.as_bytes());
+        }
+        varint::encode(self.monitors.len() as u64, &mut payload);
+        for monitor in &self.monitors {
+            varint::encode(monitor.monitor as u64, &mut payload);
+            varint::encode(monitor.sealed.len() as u64, &mut payload);
+            for meta in &monitor.sealed {
+                varint::encode(meta.file_name.len() as u64, &mut payload);
+                payload.extend_from_slice(meta.file_name.as_bytes());
+                varint::encode(meta.monitor as u64, &mut payload);
+                varint::encode(meta.sequence, &mut payload);
+                varint::encode(meta.entries, &mut payload);
+            }
+            match &monitor.open {
+                None => payload.push(0),
+                Some(open) => {
+                    payload.push(1);
+                    varint::encode(open.file_name.len() as u64, &mut payload);
+                    payload.extend_from_slice(open.file_name.as_bytes());
+                    varint::encode(open.sequence, &mut payload);
+                    varint::encode(open.durable_bytes, &mut payload);
+                    varint::encode(open.durable_entries, &mut payload);
+                    varint::encode(open.connections.len() as u64, &mut payload);
+                    for connection in &open.connections {
+                        segment::encode_connection(connection, &mut payload);
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 9);
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parses a checkpoint from bytes, verifying magic, version and CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SegmentError> {
+        if bytes.len() < 9 {
+            return Err(SegmentError::Corrupt("checkpoint too short".into()));
+        }
+        if &bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(SegmentError::Corrupt("missing checkpoint magic".into()));
+        }
+        if bytes[4] != CHECKPOINT_VERSION {
+            return Err(SegmentError::UnsupportedVersion(bytes[4]));
+        }
+        let payload = &bytes[5..bytes.len() - 4];
+        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crc32(payload) != stored_crc {
+            return Err(SegmentError::ChecksumMismatch {
+                location: "checkpoint".into(),
+            });
+        }
+
+        let mut cursor = segment::Cursor::new(payload);
+        let label_count = cursor.varint()? as usize;
+        if label_count > payload.len() {
+            return Err(SegmentError::Corrupt(
+                "checkpoint label count out of range".into(),
+            ));
+        }
+        let mut monitor_labels = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            let len = cursor.varint()? as usize;
+            let label = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| SegmentError::Corrupt("checkpoint label is not UTF-8".into()))?;
+            monitor_labels.push(label.to_string());
+        }
+
+        let take_string = |cursor: &mut segment::Cursor<'_>| -> Result<String, SegmentError> {
+            let len = cursor.varint()? as usize;
+            let s = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| SegmentError::Corrupt("checkpoint string is not UTF-8".into()))?;
+            Ok(s.to_string())
+        };
+
+        let monitor_count = cursor.varint()? as usize;
+        if monitor_count > payload.len() {
+            return Err(SegmentError::Corrupt(
+                "checkpoint monitor count out of range".into(),
+            ));
+        }
+        let mut monitors = Vec::with_capacity(monitor_count);
+        for _ in 0..monitor_count {
+            let monitor = cursor.varint()? as usize;
+            if monitor >= monitor_labels.len() {
+                return Err(SegmentError::Corrupt(format!(
+                    "checkpoint references monitor {monitor} but has {} labels",
+                    monitor_labels.len()
+                )));
+            }
+            let sealed_count = cursor.varint()? as usize;
+            if sealed_count > payload.len() {
+                return Err(SegmentError::Corrupt(
+                    "checkpoint sealed count out of range".into(),
+                ));
+            }
+            let mut sealed = Vec::with_capacity(sealed_count);
+            for _ in 0..sealed_count {
+                let file_name = take_string(&mut cursor)?;
+                let meta_monitor = cursor.varint()? as usize;
+                let sequence = cursor.varint()?;
+                let entries = cursor.varint()?;
+                sealed.push(SegmentMeta {
+                    file_name,
+                    monitor: meta_monitor,
+                    sequence,
+                    entries,
+                });
+            }
+            let open = match cursor.byte()? {
+                0 => None,
+                1 => {
+                    let file_name = take_string(&mut cursor)?;
+                    let sequence = cursor.varint()?;
+                    let durable_bytes = cursor.varint()?;
+                    let durable_entries = cursor.varint()?;
+                    let conn_count = cursor.varint()? as usize;
+                    if conn_count > payload.len() {
+                        return Err(SegmentError::Corrupt(
+                            "checkpoint connection count out of range".into(),
+                        ));
+                    }
+                    let mut connections = Vec::with_capacity(conn_count);
+                    for _ in 0..conn_count {
+                        connections.push(segment::decode_connection(&mut cursor)?);
+                    }
+                    Some(OpenSegmentState {
+                        file_name,
+                        sequence,
+                        durable_bytes,
+                        durable_entries,
+                        connections,
+                    })
+                }
+                other => {
+                    return Err(SegmentError::Corrupt(format!(
+                        "invalid checkpoint open-segment marker {other}"
+                    )))
+                }
+            };
+            monitors.push(MonitorCheckpoint {
+                monitor,
+                sealed,
+                open,
+            });
+        }
+        if !cursor.is_at_end() {
+            return Err(SegmentError::Corrupt("trailing bytes in checkpoint".into()));
+        }
+        Ok(Checkpoint {
+            monitor_labels,
+            monitors,
+        })
+    }
+
+    /// Writes the checkpoint into `dir` under [`CHECKPOINT_FILE_NAME`],
+    /// durably and atomically, and returns the full path.
+    pub fn write_to(
+        &self,
+        dir: impl AsRef<Path>,
+        storage: &dyn Storage,
+    ) -> Result<PathBuf, SegmentError> {
+        let path = dir.as_ref().join(CHECKPOINT_FILE_NAME);
+        write_file_durable(storage, &path, &self.encode())?;
+        Ok(path)
+    }
+
+    /// Loads the checkpoint of a dataset directory, if one exists.
+    /// `Ok(None)` means no checkpoint file; a present-but-corrupt checkpoint
+    /// is an error (recovery treats it as absent).
+    pub fn load(dir: impl AsRef<Path>) -> Result<Option<Self>, SegmentError> {
+        let path = dir.as_ref().join(CHECKPOINT_FILE_NAME);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(Self::decode(&bytes)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The last durable entry count per monitor: sealed entries plus the
+    /// open segment's durable entries. Nothing at or below this may be lost
+    /// by a crash.
+    pub fn durable_entries(&self, monitor: usize) -> u64 {
+        self.monitors
+            .iter()
+            .filter(|m| m.monitor == monitor)
+            .map(|m| {
+                m.sealed.iter().map(|s| s.entries).sum::<u64>()
+                    + m.open.as_ref().map_or(0, |o| o.durable_entries)
+            })
+            .sum()
+    }
+}
+
 /// Configuration of a multi-segment dataset writer.
 #[derive(Debug, Clone, Copy)]
 pub struct DatasetConfig {
@@ -219,6 +513,11 @@ pub struct DatasetConfig {
     /// A monitor's current segment is finished and a fresh one opened once it
     /// holds this many entries. `u64::MAX` disables rotation.
     pub rotate_after_entries: u64,
+    /// A durability checkpoint ([`DatasetWriter::checkpoint`]) is sealed
+    /// automatically after this many entries arrive across all monitors.
+    /// `u64::MAX` (the default) disables automatic checkpointing; callers
+    /// can still checkpoint explicitly.
+    pub checkpoint_after_entries: u64,
 }
 
 impl Default for DatasetConfig {
@@ -226,19 +525,31 @@ impl Default for DatasetConfig {
         Self {
             segment: SegmentConfig::default(),
             rotate_after_entries: 1_000_000,
+            checkpoint_after_entries: u64::MAX,
         }
     }
 }
 
+/// The sink type behind an open per-monitor segment: a buffered,
+/// transient-retry-wrapped [`StorageFile`].
+type SegmentSink = BufWriter<RetryFile>;
+
 /// The writer for one monitor's segment chain. Owns its open file and all
 /// rotation state, so it can live on its own ingestion thread; the handles of
 /// a dataset are tied back together by [`ManifestBuilder::finish`].
+///
+/// All file-system mutations go through the [`Storage`] the writer was
+/// created with; transient I/O errors are absorbed by a bounded-backoff
+/// [`RetryFile`] (`store.io_retries`). Rotation seals segments durably:
+/// finish, fsync the file, fsync the directory entry — only then does the
+/// segment count as sealed chain state.
 pub struct MonitorWriter {
     dir: PathBuf,
+    storage: Arc<dyn Storage>,
     monitor: usize,
     label: String,
     config: DatasetConfig,
-    current: Option<TraceWriter<BufWriter<std::fs::File>>>,
+    current: Option<TraceWriter<SegmentSink>>,
     current_entries: u64,
     sequence: u64,
     completed: Vec<SegmentMeta>,
@@ -252,12 +563,19 @@ pub struct MonitorWriter {
 }
 
 impl MonitorWriter {
-    fn new(dir: PathBuf, monitor: usize, label: String, config: DatasetConfig) -> Self {
+    fn new(
+        dir: PathBuf,
+        storage: Arc<dyn Storage>,
+        monitor: usize,
+        label: String,
+        config: DatasetConfig,
+    ) -> Self {
         let obs_entries = obs::BatchedCounter::new(obs::counter("ingest.entries"));
         let obs_entries_label =
             obs::BatchedCounter::new(obs::counter(&format!("ingest.entries.{label}")));
         Self {
             dir,
+            storage,
             monitor,
             label,
             config,
@@ -270,6 +588,25 @@ impl MonitorWriter {
             obs_entries,
             obs_entries_label,
         }
+    }
+
+    /// Reconstructs a writer mid-chain: `sealed` is the surviving segment
+    /// chain of this monitor (from a recovered manifest) and appends resume
+    /// at the sequence after the last sealed segment. Used by
+    /// [`DatasetWriter::resume`].
+    fn resume_from(
+        dir: PathBuf,
+        storage: Arc<dyn Storage>,
+        monitor: usize,
+        label: String,
+        config: DatasetConfig,
+        sealed: Vec<SegmentMeta>,
+    ) -> Self {
+        let mut writer = Self::new(dir, storage, monitor, label, config);
+        writer.sequence = sealed.iter().map(|s| s.sequence + 1).max().unwrap_or(0);
+        writer.total_entries = sealed.iter().map(|s| s.entries).sum();
+        writer.completed = sealed;
+        writer
     }
 
     /// The global monitor index this writer ingests for.
@@ -286,9 +623,12 @@ impl MonitorWriter {
         format!("seg-{:03}-{:05}.seg", self.monitor, self.sequence)
     }
 
-    fn writer(&mut self) -> Result<&mut TraceWriter<BufWriter<std::fs::File>>, SegmentError> {
+    fn writer(&mut self) -> Result<&mut TraceWriter<SegmentSink>, SegmentError> {
         if self.current.is_none() {
-            let file = std::fs::File::create(self.dir.join(self.current_file_name()))?;
+            let file = self
+                .storage
+                .create(&self.dir.join(self.current_file_name()))?;
+            let file = RetryFile::new(file, RetryPolicy::default());
             self.current = Some(TraceWriter::new(
                 BufWriter::new(file),
                 vec![self.label.clone()],
@@ -333,13 +673,21 @@ impl MonitorWriter {
     }
 
     /// Finishes the current segment and arranges for the next append to open
-    /// a fresh one.
+    /// a fresh one. The sealed segment is made durable — file fsync, then
+    /// directory-entry fsync — *before* it enters the sealed chain, so chain
+    /// state never references bytes a power loss could still take away.
     fn rotate(&mut self) -> Result<(), SegmentError> {
         let Some(writer) = self.current.take() else {
             return Ok(());
         };
         let file_name = self.current_file_name();
-        let summary: SegmentSummary = writer.finish()?;
+        let (summary, sink): (SegmentSummary, SegmentSink) = writer.finish_into()?;
+        let mut file = sink
+            .into_inner()
+            .map_err(|e| SegmentError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
+        self.storage.sync_dir(&self.dir)?;
         obs::counter!("ingest.segments_rotated").incr();
         self.bytes_written += summary.bytes_written;
         self.completed.push(SegmentMeta {
@@ -351,6 +699,34 @@ impl MonitorWriter {
         self.sequence += 1;
         self.current_entries = 0;
         Ok(())
+    }
+
+    /// Makes the open segment durable and returns this monitor's slice of a
+    /// dataset checkpoint: spill buffered entries as chunk frames, flush,
+    /// fsync the file, and report exactly how many bytes/entries are now
+    /// stable together with the footer-bound connection records.
+    pub fn prepare_checkpoint(&mut self) -> Result<MonitorCheckpoint, SegmentError> {
+        let file_name = self.current_file_name();
+        let open = match self.current.as_mut() {
+            None => None,
+            Some(writer) => {
+                writer.flush_buffered()?;
+                writer.sink_mut().flush()?;
+                writer.sink_mut().get_mut().sync_all()?;
+                Some(OpenSegmentState {
+                    file_name,
+                    sequence: self.sequence,
+                    durable_bytes: writer.bytes_written(),
+                    durable_entries: writer.spilled_entries(),
+                    connections: writer.connections().to_vec(),
+                })
+            }
+        };
+        Ok(MonitorCheckpoint {
+            monitor: self.monitor,
+            sealed: self.completed.clone(),
+            open,
+        })
     }
 
     /// Flushes and closes the segment chain, returning the metadata of every
@@ -378,14 +754,15 @@ pub struct MonitorSummary {
 }
 
 /// Assembles the manifest once every [`MonitorWriter`] has finished.
-#[derive(Debug)]
 pub struct ManifestBuilder {
     dir: PathBuf,
+    storage: Arc<dyn Storage>,
     monitor_labels: Vec<String>,
 }
 
 impl ManifestBuilder {
-    /// Collects the per-monitor results, writes the manifest file, and
+    /// Collects the per-monitor results, durably writes the manifest file,
+    /// removes any in-flight checkpoint (the manifest supersedes it), and
     /// returns the dataset summary.
     pub fn finish(self, parts: Vec<MonitorSummary>) -> Result<DatasetSummary, SegmentError> {
         let mut segments: Vec<SegmentMeta> =
@@ -395,7 +772,17 @@ impl ManifestBuilder {
             monitor_labels: self.monitor_labels,
             segments,
         };
-        let manifest_path = manifest.write_to(&self.dir)?;
+        let manifest_path = manifest.write_to_with(&self.dir, &*self.storage)?;
+        // The durable manifest is now the authoritative index; a leftover
+        // checkpoint would only describe a stale mid-flight state.
+        match self
+            .storage
+            .remove_file(&self.dir.join(CHECKPOINT_FILE_NAME))
+        {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         Ok(DatasetSummary {
             segment_count: manifest.segments.len(),
             total_entries: manifest.total_entries(),
@@ -436,8 +823,11 @@ pub struct DatasetSummary {
 ///   back together.
 pub struct DatasetWriter {
     dir: PathBuf,
+    storage: Arc<dyn Storage>,
     monitor_labels: Vec<String>,
     writers: Vec<MonitorWriter>,
+    entries_since_checkpoint: u64,
+    checkpoints_written: u64,
 }
 
 impl DatasetWriter {
@@ -447,6 +837,18 @@ impl DatasetWriter {
         dir: impl AsRef<Path>,
         monitor_labels: Vec<String>,
         config: DatasetConfig,
+    ) -> Result<Self, SegmentError> {
+        Self::create_with(dir, monitor_labels, config, Arc::new(RealStorage))
+    }
+
+    /// [`DatasetWriter::create`] through an explicit [`Storage`] (fault
+    /// injection, tests). Every file the dataset writes — segments,
+    /// checkpoints, the manifest — goes through `storage`.
+    pub fn create_with(
+        dir: impl AsRef<Path>,
+        monitor_labels: Vec<String>,
+        config: DatasetConfig,
+        storage: Arc<dyn Storage>,
     ) -> Result<Self, SegmentError> {
         if config.segment.chunk_capacity == 0 {
             return Err(SegmentError::InvalidConfig(
@@ -458,18 +860,56 @@ impl DatasetWriter {
                 "rotation threshold must be positive".into(),
             ));
         }
+        if config.checkpoint_after_entries == 0 {
+            return Err(SegmentError::InvalidConfig(
+                "checkpoint threshold must be positive".into(),
+            ));
+        }
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        storage.create_dir_all(&dir)?;
         let writers = monitor_labels
             .iter()
             .enumerate()
-            .map(|(m, label)| MonitorWriter::new(dir.clone(), m, label.clone(), config))
+            .map(|(m, label)| {
+                MonitorWriter::new(dir.clone(), Arc::clone(&storage), m, label.clone(), config)
+            })
             .collect();
         Ok(Self {
             dir,
+            storage,
             monitor_labels,
             writers,
+            entries_since_checkpoint: 0,
+            checkpoints_written: 0,
         })
+    }
+
+    /// Reopens a dataset mid-chain after [`crate::recover::recover_dataset`]:
+    /// each monitor's writer resumes at the sequence after its last surviving
+    /// segment, so a restarted collector continues without re-ingesting or
+    /// overwriting recovered data. `manifest` is the recovered manifest.
+    pub fn resume(
+        dir: impl AsRef<Path>,
+        manifest: &Manifest,
+        config: DatasetConfig,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, SegmentError> {
+        let mut writer = Self::create_with(dir, manifest.monitor_labels.clone(), config, storage)?;
+        for monitor_writer in &mut writer.writers {
+            let sealed: Vec<SegmentMeta> = manifest
+                .segments_of(monitor_writer.monitor)
+                .cloned()
+                .collect();
+            *monitor_writer = MonitorWriter::resume_from(
+                writer.dir.clone(),
+                Arc::clone(&writer.storage),
+                monitor_writer.monitor,
+                monitor_writer.label.clone(),
+                config,
+                sealed,
+            );
+        }
+        Ok(writer)
     }
 
     /// Number of monitors.
@@ -483,7 +923,8 @@ impl DatasetWriter {
     }
 
     /// Appends one entry to its monitor's segment chain (routed by the
-    /// entry's `monitor` field).
+    /// entry's `monitor` field). Seals an automatic durability checkpoint
+    /// every [`DatasetConfig::checkpoint_after_entries`] appends.
     pub fn append(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
         assert!(
             entry.monitor < self.writers.len(),
@@ -491,7 +932,41 @@ impl DatasetWriter {
             entry.monitor,
             self.writers.len()
         );
-        self.writers[entry.monitor].append(entry)
+        self.writers[entry.monitor].append(entry)?;
+        self.entries_since_checkpoint += 1;
+        if self.entries_since_checkpoint
+            >= self.writers[entry.monitor].config.checkpoint_after_entries
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Seals a durability checkpoint now: fsync every open segment, then
+    /// durably write [`CHECKPOINT_FILE_NAME`] recording the sealed chains
+    /// and the exact durable prefix of each open segment. After this
+    /// returns, a crash loses at most the entries appended since.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, SegmentError> {
+        let _span = obs::histogram!("store.checkpoint_ns").timer();
+        let monitors = self
+            .writers
+            .iter_mut()
+            .map(MonitorWriter::prepare_checkpoint)
+            .collect::<Result<Vec<_>, _>>()?;
+        let checkpoint = Checkpoint {
+            monitor_labels: self.monitor_labels.clone(),
+            monitors,
+        };
+        let path = checkpoint.write_to(&self.dir, &*self.storage)?;
+        self.entries_since_checkpoint = 0;
+        self.checkpoints_written += 1;
+        obs::counter!("store.checkpoints").incr();
+        Ok(path)
+    }
+
+    /// Durability checkpoints sealed so far (automatic and explicit).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
     }
 
     /// Stores a connection record in its monitor's current segment footer.
@@ -511,6 +986,7 @@ impl DatasetWriter {
         (
             ManifestBuilder {
                 dir: self.dir,
+                storage: self.storage,
                 monitor_labels: self.monitor_labels,
             },
             self.writers,

@@ -27,6 +27,7 @@
 //! an optimization pass, never a correctness requirement.
 
 use crate::codec::Codec;
+use crate::fault::{RealStorage, Storage};
 use crate::manifest::{Manifest, MANIFEST_FILE_NAME};
 use crate::reader::{ChunkSource, SegmentSource, TraceReader};
 use crate::segment::{SegmentConfig, SegmentError};
@@ -90,13 +91,13 @@ fn segment_matches<S: ChunkSource>(
 
 /// Rewrites one segment file to `target`, verifying the rewrite before the
 /// atomic swap. Returns the number of entries streamed.
-fn rewrite_segment(path: &Path, target: Codec) -> Result<u64, SegmentError> {
+fn rewrite_segment(storage: &dyn Storage, path: &Path, target: Codec) -> Result<u64, SegmentError> {
     let reader = TraceReader::new(SegmentSource::open(path, false)?)?;
     let labels = reader.monitor_labels().to_vec();
 
     let tmp_path = migrate_tmp_path(path);
     let result = (|| {
-        let file = std::fs::File::create(&tmp_path)?;
+        let file = storage.create(&tmp_path)?;
         let mut writer = TraceWriter::new(
             BufWriter::new(file),
             labels.clone(),
@@ -116,19 +117,28 @@ fn rewrite_segment(path: &Path, target: Codec) -> Result<u64, SegmentError> {
         for record in reader.connections() {
             writer.record_connection(record.clone());
         }
-        writer.finish()?;
-        // The writer's BufWriter flushed on finish; fsync through a fresh
-        // handle so the rename below never promotes unwritten data.
-        std::fs::File::open(&tmp_path)?.sync_all()?;
+        // Fsync the rewritten bytes through the same handle before the
+        // rename below can promote them — a swap must never outrun the
+        // data it swaps in.
+        let (_, sink) = writer.finish_into()?;
+        let mut file = sink
+            .into_inner()
+            .map_err(|error| SegmentError::Io(error.into_error()))?;
+        file.sync_all()?;
+        drop(file);
 
         verify_identical(&reader, &tmp_path)?;
-        std::fs::rename(&tmp_path, path)?;
+        storage.rename(&tmp_path, path)?;
+        // Make the swap itself durable: the rename is a directory mutation.
+        if let Some(parent) = path.parent() {
+            storage.sync_dir(parent)?;
+        }
         Ok(reader.total_entries())
     })();
     if result.is_err() {
         // Keep the original segment authoritative: the temp file is
         // best-effort garbage at this point.
-        let _ = std::fs::remove_file(&tmp_path);
+        let _ = storage.remove_file(&tmp_path);
     }
     result
 }
@@ -178,7 +188,7 @@ fn migrate_tmp_path(path: &Path) -> PathBuf {
 }
 
 /// Removes stale `*.migrate-tmp` files left by a crashed earlier run.
-fn sweep_stale_tmp_files(dir: &Path) -> Result<(), SegmentError> {
+fn sweep_stale_tmp_files(dir: &Path, storage: &dyn Storage) -> Result<(), SegmentError> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         if entry
@@ -186,7 +196,7 @@ fn sweep_stale_tmp_files(dir: &Path) -> Result<(), SegmentError> {
             .to_string_lossy()
             .ends_with(MIGRATE_TMP_SUFFIX)
         {
-            std::fs::remove_file(entry.path())?;
+            storage.remove_file(&entry.path())?;
         }
     }
     Ok(())
@@ -206,9 +216,21 @@ pub fn migrate_manifest(
     dir: impl AsRef<Path>,
     target: Codec,
 ) -> Result<MigrateReport, SegmentError> {
+    migrate_manifest_with(dir, target, &RealStorage)
+}
+
+/// [`migrate_manifest`] through an explicit [`Storage`], so the whole
+/// per-segment swap protocol — temp write, fsync, rename, directory sync —
+/// runs under fault injection in tests (a crash at any injected point must
+/// leave the dataset readable, per the module docs).
+pub fn migrate_manifest_with(
+    dir: impl AsRef<Path>,
+    target: Codec,
+    storage: &dyn Storage,
+) -> Result<MigrateReport, SegmentError> {
     let dir = dir.as_ref();
     let manifest = Manifest::load(dir.join(MANIFEST_FILE_NAME))?;
-    sweep_stale_tmp_files(dir)?;
+    sweep_stale_tmp_files(dir, storage)?;
 
     let mut report = MigrateReport {
         segments_total: manifest.segments.len(),
@@ -224,7 +246,7 @@ pub fn migrate_manifest(
         if already_done {
             report.segments_skipped += 1;
         } else {
-            report.entries += rewrite_segment(&path, target)?;
+            report.entries += rewrite_segment(storage, &path, target)?;
             report.segments_rewritten += 1;
             obs::counter!("migrate.segments_rewritten").incr();
         }
@@ -233,7 +255,7 @@ pub fn migrate_manifest(
     // Entry counts and file names are unchanged, but rewrite the manifest
     // anyway: it re-asserts the index matches what is on disk after the
     // pass (and refreshes its CRC framing in one place).
-    manifest.write_to(dir)?;
+    manifest.write_to_with(dir, storage)?;
     obs::counter!("migrate.runs").incr();
     Ok(report)
 }
@@ -271,6 +293,7 @@ mod tests {
                 codec,
             },
             rotate_after_entries: 100,
+            ..DatasetConfig::default()
         };
         let mut writer = DatasetWriter::create(dir, vec!["us".into(), "de".into()], config)
             .expect("create dataset");
@@ -348,6 +371,46 @@ mod tests {
         // Migrating a missing dataset directory errors cleanly.
         assert!(migrate_manifest(dir.join("nope"), Codec::Col).is_err());
         assert_eq!(merged_entries(&dir), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_migration_leaves_dataset_readable_at_every_op() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+
+        let dir = temp_dir("crash-sweep");
+        write_dataset(&dir, Codec::Lz);
+        let before = merged_entries(&dir);
+
+        // Learn the op budget of a clean migration, then crash at every op
+        // along the way. After each crash the dataset must still stream the
+        // exact same entries (some segments migrated, some not), and a
+        // follow-up clean run must converge to a fully migrated dataset.
+        let probe = FaultyStorage::new(FaultPlan::none());
+        migrate_manifest_with(&dir, Codec::Col, &probe).expect("clean migration");
+        assert_eq!(merged_entries(&dir), before);
+        let total_ops = probe.ops();
+        assert!(total_ops > 0, "migration must route through Storage");
+
+        for crash_at in 0..total_ops {
+            let fresh = temp_dir(&format!("crash-sweep-{crash_at}"));
+            write_dataset(&fresh, Codec::Lz);
+            let faulty = FaultyStorage::new(FaultPlan::crash_at(crash_at));
+            let result = migrate_manifest_with(&fresh, Codec::Col, &faulty);
+            assert!(
+                result.is_err(),
+                "crash at op {crash_at} must surface an error"
+            );
+            assert_eq!(
+                merged_entries(&fresh),
+                before,
+                "dataset must stream identically after crash at op {crash_at}"
+            );
+            // The next (fault-free) run completes the migration.
+            migrate_manifest(&fresh, Codec::Col).expect("rerun after crash");
+            assert_eq!(merged_entries(&fresh), before);
+            std::fs::remove_dir_all(&fresh).unwrap();
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

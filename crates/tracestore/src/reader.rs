@@ -1,7 +1,7 @@
 //! Streaming segment readers: single segments ([`TraceReader`]) and
 //! manifest-spanning multi-segment datasets ([`ManifestReader`]).
 
-use crate::manifest::Manifest;
+use crate::manifest::{Manifest, SegmentMeta};
 use crate::mmap::MmapSource;
 use crate::record::{ConnectionRecord, MonitoringDataset, TraceEntry};
 use crate::segment::{
@@ -628,6 +628,22 @@ pub struct ReadOptions {
     /// parallel. The merged order and bytes are identical to the serial
     /// path — the workers run the very same per-monitor streams.
     pub decode_ahead: bool,
+    /// Degrade gracefully instead of failing the whole read when a segment
+    /// is missing, truncated or corrupt.
+    ///
+    /// With this set, a segment that fails to open or validate against the
+    /// manifest is *skipped* (recorded in
+    /// [`ManifestReader::skipped_segments`]) rather than aborting
+    /// [`ManifestReader::from_manifest_with`], and a segment whose stream
+    /// dies mid-decode (chunk CRC mismatch, I/O error) is retired from the
+    /// merge the same way instead of latching a stream error. Healthy
+    /// segments still stream in exact order; the skip report says precisely
+    /// which segments (and how many manifest-recorded entries) were lost.
+    /// This is the read-side companion to [`crate::recover_dataset`]: use it
+    /// to salvage an analysis from a damaged dataset that has not (or cannot)
+    /// be repaired in place — e.g. one whose manifest still references
+    /// quarantined segments.
+    pub skip_corrupt: bool,
 }
 
 impl ReadOptions {
@@ -642,6 +658,56 @@ impl ReadOptions {
         self.decode_ahead = decode_ahead;
         self
     }
+
+    /// Builder-style setter for [`ReadOptions::skip_corrupt`].
+    pub fn skip_corrupt(mut self, skip_corrupt: bool) -> Self {
+        self.skip_corrupt = skip_corrupt;
+        self
+    }
+}
+
+/// One segment a [`ReadOptions::skip_corrupt`] read skipped, and why.
+///
+/// Returned by [`ManifestReader::skipped_segments`]. `entries` is what the
+/// *manifest* recorded for the segment — an upper bound on what was lost
+/// (a segment skipped mid-stream already delivered part of its entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedSegment {
+    /// File name of the segment, as recorded in the manifest.
+    pub file_name: String,
+    /// Global monitor index the manifest maps the segment to.
+    pub monitor: usize,
+    /// Rotation sequence of the segment within its monitor chain.
+    pub sequence: u64,
+    /// Entry count the manifest recorded for the segment.
+    pub entries: u64,
+    /// Human-readable description of the failure that caused the skip.
+    pub reason: String,
+}
+
+/// Shared skip report: open-time skips are recorded at construction,
+/// stream-time skips by (possibly concurrent decode-ahead) streams.
+type SkipLog = std::sync::Arc<std::sync::Mutex<Vec<SkippedSegment>>>;
+
+/// Manifest-side identity of an opened segment, kept aligned with the
+/// reader chain so stream-time failures can be attributed in skip reports.
+#[derive(Debug, Clone)]
+struct SegmentIdent {
+    file_name: String,
+    sequence: u64,
+    entries: u64,
+}
+
+/// Records a skipped segment in the shared log (and the obs counter).
+fn record_skip(log: &SkipLog, monitor: usize, ident: &SegmentIdent, reason: String) {
+    obs::counter!("store.segments_skipped").incr();
+    log.lock().unwrap().push(SkippedSegment {
+        file_name: ident.file_name.clone(),
+        monitor,
+        sequence: ident.sequence,
+        entries: ident.entries,
+        reason,
+    });
 }
 
 /// A multi-segment dataset opened through its manifest.
@@ -667,6 +733,13 @@ pub struct ManifestReader {
     /// sources are `Arc`-shared so decode-ahead workers stream from the
     /// same open handles / mapped buffers instead of re-opening files.
     segments: Vec<Vec<TraceReader<SharedSegmentSource>>>,
+    /// Manifest identity of each opened segment, aligned with `segments` —
+    /// lets [`ReadOptions::skip_corrupt`] streams attribute mid-stream
+    /// failures to the right file in the skip report.
+    idents: Vec<Vec<SegmentIdent>>,
+    /// Skip report shared with every stream (and decode-ahead worker) the
+    /// reader spawns; only populated under [`ReadOptions::skip_corrupt`].
+    skipped: SkipLog,
     options: ReadOptions,
     total_entries: u64,
 }
@@ -706,10 +779,46 @@ impl ManifestReader {
         options: ReadOptions,
     ) -> Result<Self, SegmentError> {
         let dir = dir.as_ref();
-        let mut keyed: Vec<Vec<(u64, TraceReader<SharedSegmentSource>)>> =
+        let skipped: SkipLog = SkipLog::default();
+        let mut keyed: Vec<Vec<(SegmentIdent, TraceReader<SharedSegmentSource>)>> =
             (0..manifest.monitor_labels.len())
                 .map(|_| Vec::new())
                 .collect();
+        // Opens one segment and validates it against its manifest record.
+        // Every failure mode here is downgradeable under `skip_corrupt`;
+        // structural manifest damage (bad monitor index, duplicate rotation
+        // sequences) stays a hard error below either way — a skip report
+        // cannot make an ambiguous chain merge well-defined.
+        let open_one =
+            |meta: &SegmentMeta| -> Result<TraceReader<SharedSegmentSource>, SegmentError> {
+                let path = dir.join(&meta.file_name);
+                let source = std::sync::Arc::new(SegmentSource::open(&path, options.mmap)?);
+                let reader = TraceReader::new(source)?;
+                if reader.monitor_count() != 1 {
+                    return Err(SegmentError::Corrupt(format!(
+                        "segment {} holds {} monitors, expected a per-monitor segment",
+                        meta.file_name,
+                        reader.monitor_count()
+                    )));
+                }
+                if reader.monitor_labels()[0] != manifest.monitor_labels[meta.monitor] {
+                    return Err(SegmentError::Corrupt(format!(
+                        "segment {} is labelled '{}' but the manifest maps it to '{}'",
+                        meta.file_name,
+                        reader.monitor_labels()[0],
+                        manifest.monitor_labels[meta.monitor]
+                    )));
+                }
+                if reader.total_entries() != meta.entries {
+                    return Err(SegmentError::Corrupt(format!(
+                        "segment {} holds {} entries but the manifest records {}",
+                        meta.file_name,
+                        reader.total_entries(),
+                        meta.entries
+                    )));
+                }
+                Ok(reader)
+            };
         for meta in &manifest.segments {
             if meta.monitor >= manifest.monitor_labels.len() {
                 return Err(SegmentError::Corrupt(format!(
@@ -719,52 +828,52 @@ impl ManifestReader {
                     manifest.monitor_labels.len()
                 )));
             }
-            let path = dir.join(&meta.file_name);
-            let source = std::sync::Arc::new(SegmentSource::open(&path, options.mmap)?);
-            let reader = TraceReader::new(source)?;
-            if reader.monitor_count() != 1 {
-                return Err(SegmentError::Corrupt(format!(
-                    "segment {} holds {} monitors, expected a per-monitor segment",
-                    meta.file_name,
-                    reader.monitor_count()
-                )));
+            let ident = SegmentIdent {
+                file_name: meta.file_name.clone(),
+                sequence: meta.sequence,
+                entries: meta.entries,
+            };
+            match open_one(meta) {
+                Ok(reader) => keyed[meta.monitor].push((ident, reader)),
+                Err(error) if options.skip_corrupt => {
+                    record_skip(&skipped, meta.monitor, &ident, error.to_string());
+                }
+                Err(error) => return Err(error),
             }
-            if reader.monitor_labels()[0] != manifest.monitor_labels[meta.monitor] {
-                return Err(SegmentError::Corrupt(format!(
-                    "segment {} is labelled '{}' but the manifest maps it to '{}'",
-                    meta.file_name,
-                    reader.monitor_labels()[0],
-                    manifest.monitor_labels[meta.monitor]
-                )));
-            }
-            if reader.total_entries() != meta.entries {
-                return Err(SegmentError::Corrupt(format!(
-                    "segment {} holds {} entries but the manifest records {}",
-                    meta.file_name,
-                    reader.total_entries(),
-                    meta.entries
-                )));
-            }
-            keyed[meta.monitor].push((meta.sequence, reader));
         }
         // The chain merge breaks timestamp ties by chain position, so the
         // position must be rotation order regardless of manifest listing
         // order; ambiguous (duplicate) sequences cannot be merged faithfully.
         let mut segments = Vec::with_capacity(keyed.len());
+        let mut idents = Vec::with_capacity(keyed.len());
+        let mut total_entries = 0u64;
         for (monitor, mut chain) in keyed.into_iter().enumerate() {
-            chain.sort_by_key(|(sequence, _)| *sequence);
-            if chain.windows(2).any(|pair| pair[0].0 == pair[1].0) {
+            chain.sort_by_key(|(ident, _)| ident.sequence);
+            if chain
+                .windows(2)
+                .any(|pair| pair[0].0.sequence == pair[1].0.sequence)
+            {
                 return Err(SegmentError::Corrupt(format!(
                     "monitor {monitor} has segments with duplicate rotation sequences"
                 )));
             }
-            segments.push(chain.into_iter().map(|(_, reader)| reader).collect());
+            let mut chain_idents = Vec::with_capacity(chain.len());
+            let mut chain_readers = Vec::with_capacity(chain.len());
+            for (ident, reader) in chain {
+                total_entries += reader.total_entries();
+                chain_idents.push(ident);
+                chain_readers.push(reader);
+            }
+            idents.push(chain_idents);
+            segments.push(chain_readers);
         }
         Ok(Self {
             monitor_labels: manifest.monitor_labels.clone(),
             segments,
+            idents,
+            skipped,
             options,
-            total_entries: manifest.total_entries(),
+            total_entries,
         })
     }
 
@@ -806,8 +915,37 @@ impl ManifestReader {
     }
 
     /// Total entries across all segments.
+    ///
+    /// Under [`ReadOptions::skip_corrupt`] this counts only the segments
+    /// that actually opened — the honest upper bound on what streaming can
+    /// deliver, not what the manifest promised.
     pub fn total_entries(&self) -> u64 {
         self.total_entries
+    }
+
+    /// The segments a [`ReadOptions::skip_corrupt`] read skipped so far,
+    /// sorted by `(monitor, sequence)`.
+    ///
+    /// Open-time skips (missing file, unreadable footer, manifest mismatch)
+    /// are present as soon as the reader is constructed; a segment whose
+    /// stream died mid-decode appears once the stream (or a
+    /// [`ManifestReader::run_parallel`] run) has moved past it — consult the
+    /// report *after* draining a stream for the complete picture. Without
+    /// `skip_corrupt` the report is always empty: every failure is a hard
+    /// error instead.
+    pub fn skipped_segments(&self) -> Vec<SkippedSegment> {
+        let mut skipped = self.skipped.lock().unwrap().clone();
+        skipped.sort_by_key(|a| (a.monitor, a.sequence));
+        skipped
+    }
+
+    /// The skip log + segment identities for `monitor`, when (and only when)
+    /// [`ReadOptions::skip_corrupt`] is set — what a stream needs to record
+    /// and survive mid-stream segment failures.
+    fn skip_context(&self, monitor: usize) -> Option<(SkipLog, Vec<SegmentIdent>)> {
+        self.options
+            .skip_corrupt
+            .then(|| (self.skipped.clone(), self.idents[monitor].clone()))
     }
 
     /// Number of segment files backing `monitor`.
@@ -844,7 +982,7 @@ impl ManifestReader {
     /// nearly time-disjoint, so the working set stays at the few segments
     /// overlapping the frontier instead of the whole chain.
     pub fn stream_monitor_sorted(&self, monitor: usize) -> ChainedMonitorStream<'_> {
-        chain_stream(&self.segments[monitor], monitor)
+        chain_stream(&self.segments[monitor], monitor, self.skip_context(monitor))
     }
 
     /// Streams all entries of all monitors merged by `(timestamp, monitor)` —
@@ -865,7 +1003,7 @@ impl ManifestReader {
                     .iter()
                     .map(|reader| reader.source().clone())
                     .collect();
-                let mut stream = spawn_prefetch(sources, monitor);
+                let mut stream = spawn_prefetch(sources, monitor, self.skip_context(monitor));
                 heads.push(stream.next());
                 streams.push(stream);
             }
@@ -897,6 +1035,7 @@ impl ManifestReader {
 fn chain_stream(
     readers: &[TraceReader<SharedSegmentSource>],
     monitor: usize,
+    skip: Option<(SkipLog, Vec<SegmentIdent>)>,
 ) -> ChainedMonitorStream<'_> {
     // floors[i] = a safe lower bound on every timestamp in segments i..:
     // within a segment, an entry can precede its chunk's first timestamp
@@ -925,6 +1064,7 @@ fn chain_stream(
         next_pending: 0,
         active: Vec::new(),
         error: None,
+        skip,
     }
 }
 
@@ -959,14 +1099,39 @@ pub struct ChainedMonitorStream<'a> {
     active: Vec<ActiveSegment<'a>>,
     /// First error from a retired stream (live streams keep their own).
     error: Option<SegmentError>,
+    /// [`ReadOptions::skip_corrupt`] mode: the shared skip log plus the
+    /// manifest identity of each rotation index. When set, a segment whose
+    /// stream dies is recorded there and the merge continues; when `None`,
+    /// the failure latches into `error` as usual.
+    skip: Option<(SkipLog, Vec<SegmentIdent>)>,
 }
 
 impl ChainedMonitorStream<'_> {
     /// Returns the first error any underlying segment stream hit, if one did.
+    ///
+    /// In [`ReadOptions::skip_corrupt`] mode this always returns `None` —
+    /// failures are recorded as skips (see
+    /// [`ManifestReader::skipped_segments`]) instead of latching.
     pub fn take_error(&mut self) -> Option<SegmentError> {
+        if self.skip.is_some() {
+            return None;
+        }
         self.error
             .take()
             .or_else(|| self.active.iter_mut().find_map(|a| a.stream.take_error()))
+    }
+
+    /// Routes a segment-stream failure: a skip record in degraded mode, a
+    /// latched error otherwise.
+    fn note_failure(&mut self, index: usize, error: SegmentError) {
+        match &self.skip {
+            Some((log, idents)) => {
+                record_skip(log, self.monitor, &idents[index], error.to_string());
+            }
+            None => {
+                self.error.get_or_insert(error);
+            }
+        }
     }
 
     /// Segment streams currently open in the merge (exposed for memory
@@ -994,7 +1159,7 @@ impl ChainedMonitorStream<'_> {
             }),
             None => {
                 if let Some(error) = stream.take_error() {
-                    self.error.get_or_insert(error);
+                    self.note_failure(index, error);
                 }
             }
         }
@@ -1035,7 +1200,8 @@ impl Iterator for ChainedMonitorStream<'_> {
                         None => {
                             let mut retired = self.active.swap_remove(pos);
                             if let Some(error) = retired.stream.take_error() {
-                                self.error.get_or_insert(error);
+                                let index = retired.index;
+                                self.note_failure(index, error);
                             }
                             retired.head
                         }
@@ -1086,20 +1252,39 @@ pub struct PrefetchedMonitorStream {
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
-fn spawn_prefetch(sources: Vec<SharedSegmentSource>, monitor: usize) -> PrefetchedMonitorStream {
+fn spawn_prefetch(
+    sources: Vec<SharedSegmentSource>,
+    monitor: usize,
+    skip: Option<(SkipLog, Vec<SegmentIdent>)>,
+) -> PrefetchedMonitorStream {
     let (sender, receiver) = mpsc::sync_channel(DECODE_AHEAD_DEPTH);
     let worker = std::thread::spawn(move || {
         let mut readers = Vec::with_capacity(sources.len());
-        for source in sources {
+        let mut kept_idents = Vec::with_capacity(sources.len());
+        for (index, source) in sources.into_iter().enumerate() {
             match TraceReader::new(source) {
-                Ok(reader) => readers.push(reader),
-                Err(error) => {
-                    let _ = sender.send(Prefetched::Failed(error));
-                    return;
+                Ok(reader) => {
+                    readers.push(reader);
+                    if let Some((_, idents)) = &skip {
+                        kept_idents.push(idents[index].clone());
+                    }
                 }
+                Err(error) => match &skip {
+                    // The footer already validated at open time, so a decode
+                    // failure here means the file changed underneath us —
+                    // still a skippable per-segment failure in degraded mode.
+                    Some((log, idents)) => {
+                        record_skip(log, monitor, &idents[index], error.to_string());
+                    }
+                    None => {
+                        let _ = sender.send(Prefetched::Failed(error));
+                        return;
+                    }
+                },
             }
         }
-        let mut stream = chain_stream(&readers, monitor);
+        let skip = skip.map(|(log, _)| (log, kept_idents));
+        let mut stream = chain_stream(&readers, monitor, skip);
         loop {
             let batch: Vec<TraceEntry> = stream.by_ref().take(DECODE_AHEAD_BATCH).collect();
             if batch.is_empty() {

@@ -926,6 +926,13 @@ impl<'a> ChunkView<'a> {
         self.count == 0
     }
 
+    /// The decoded timestamp column (milliseconds), in append order. Used by
+    /// recovery to rebuild chunk index rows and lateness bounds without
+    /// materializing full entries.
+    pub(crate) fn timestamps_ms(&self) -> &[u64] {
+        &self.timestamps
+    }
+
     /// Materializes the `i`-th entry as an owned [`TraceEntry`].
     ///
     /// # Panics
@@ -1068,6 +1075,46 @@ pub(crate) struct Footer {
     pub total_entries: u64,
 }
 
+/// Serializes one connection record — the footer wire form, shared with the
+/// checkpoint format of [`crate::manifest`] so the two never diverge.
+pub(crate) fn encode_connection(connection: &ConnectionRecord, payload: &mut Vec<u8>) {
+    varint::encode(connection.monitor as u64, payload);
+    payload.extend_from_slice(connection.peer.as_bytes());
+    encode_multiaddr(&connection.address, payload);
+    varint::encode(connection.connected_at.as_millis(), payload);
+    match connection.disconnected_at {
+        Some(at) => {
+            payload.push(1);
+            varint::encode(at.as_millis(), payload);
+        }
+        None => payload.push(0),
+    }
+}
+
+/// Inverse of [`encode_connection`].
+pub(crate) fn decode_connection(cursor: &mut Cursor<'_>) -> Result<ConnectionRecord, SegmentError> {
+    let monitor = cursor.varint()? as usize;
+    let peer_bytes: [u8; 32] = cursor.take(32)?.try_into().unwrap();
+    let address = decode_multiaddr(cursor.take(MULTIADDR_LEN)?)?;
+    let connected_at = SimTime::from_millis(cursor.varint()?);
+    let disconnected_at = match cursor.byte()? {
+        0 => None,
+        1 => Some(SimTime::from_millis(cursor.varint()?)),
+        other => {
+            return Err(SegmentError::Corrupt(format!(
+                "invalid disconnect marker {other}"
+            )))
+        }
+    };
+    Ok(ConnectionRecord {
+        monitor,
+        peer: PeerId::from_bytes(peer_bytes),
+        address,
+        connected_at,
+        disconnected_at,
+    })
+}
+
 pub(crate) fn encode_footer(footer: &Footer, out: &mut Vec<u8>) {
     let mut payload = Vec::new();
     varint::encode(footer.monitor_labels.len() as u64, &mut payload);
@@ -1082,17 +1129,7 @@ pub(crate) fn encode_footer(footer: &Footer, out: &mut Vec<u8>) {
 
     varint::encode(footer.connections.len() as u64, &mut payload);
     for connection in &footer.connections {
-        varint::encode(connection.monitor as u64, &mut payload);
-        payload.extend_from_slice(connection.peer.as_bytes());
-        encode_multiaddr(&connection.address, &mut payload);
-        varint::encode(connection.connected_at.as_millis(), &mut payload);
-        match connection.disconnected_at {
-            Some(at) => {
-                payload.push(1);
-                varint::encode(at.as_millis(), &mut payload);
-            }
-            None => payload.push(0),
-        }
+        encode_connection(connection, &mut payload);
     }
 
     varint::encode(footer.chunks.len() as u64, &mut payload);
@@ -1134,26 +1171,7 @@ pub(crate) fn decode_footer(payload: &[u8]) -> Result<Footer, SegmentError> {
     let connection_count = checked_count(&mut cursor, 35 + MULTIADDR_LEN, "connection")?;
     let mut connections = Vec::with_capacity(connection_count);
     for _ in 0..connection_count {
-        let monitor = cursor.varint()? as usize;
-        let peer_bytes: [u8; 32] = cursor.take(32)?.try_into().unwrap();
-        let address = decode_multiaddr(cursor.take(MULTIADDR_LEN)?)?;
-        let connected_at = SimTime::from_millis(cursor.varint()?);
-        let disconnected_at = match cursor.byte()? {
-            0 => None,
-            1 => Some(SimTime::from_millis(cursor.varint()?)),
-            other => {
-                return Err(SegmentError::Corrupt(format!(
-                    "invalid disconnect marker {other}"
-                )))
-            }
-        };
-        connections.push(ConnectionRecord {
-            monitor,
-            peer: PeerId::from_bytes(peer_bytes),
-            address,
-            connected_at,
-            disconnected_at,
-        });
+        connections.push(decode_connection(&mut cursor)?);
     }
 
     let chunk_count = checked_count(&mut cursor, 6, "chunk index")?;

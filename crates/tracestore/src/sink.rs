@@ -168,8 +168,11 @@ impl ManifestReader {
     ///
     /// If any chain ends on a storage error, the error of the
     /// lowest-numbered failing monitor is returned (deterministic regardless
-    /// of worker timing). How far every worker got — including the
-    /// non-failing ones — is still reported: see
+    /// of worker timing) — unless the reader was opened with
+    /// [`crate::ReadOptions::skip_corrupt`], in which case failing segments
+    /// are recorded in [`ManifestReader::skipped_segments`] and the run
+    /// completes over the healthy remainder. How far every worker got —
+    /// including the non-failing ones — is still reported: see
     /// [`ManifestReader::run_parallel_with_progress`], which this delegates
     /// to, and the `analysis.entries.<label>` obs counters it publishes.
     pub fn run_parallel<K>(&self, sink: K) -> Result<K::Output, SegmentError>

@@ -129,6 +129,46 @@ impl<W: Write> TraceWriter<W> {
         self.footer.connections.push(record);
     }
 
+    /// Bytes handed to the sink so far (header + spilled chunk frames). After
+    /// [`TraceWriter::flush_buffered`] plus a sink flush/fsync, exactly this
+    /// prefix of the file is durable and chunk-recoverable.
+    pub fn bytes_written(&self) -> u64 {
+        self.offset
+    }
+
+    /// Entries already spilled to the sink as complete chunk frames —
+    /// the durable entry count once the sink is synced (buffered shard
+    /// entries are *not* included; compare [`TraceWriter::total_entries`]).
+    pub fn spilled_entries(&self) -> u64 {
+        self.footer.total_entries
+    }
+
+    /// Connection records collected for the footer so far. Checkpoints
+    /// persist these separately: until [`TraceWriter::finish`] writes the
+    /// footer they exist only in memory.
+    pub fn connections(&self) -> &[ConnectionRecord] {
+        &self.footer.connections
+    }
+
+    /// Mutable access to the sink, for owners that need to flush or sync the
+    /// underlying file (e.g. the checkpoint path of
+    /// [`crate::manifest::DatasetWriter`]).
+    pub(crate) fn sink_mut(&mut self) -> &mut W {
+        &mut self.sink
+    }
+
+    /// Spills every non-empty shard buffer as a (possibly small) chunk, so
+    /// all accepted entries are represented in the byte stream handed to the
+    /// sink. Used by checkpointing to make the open segment's entries
+    /// durable; frequent calls trade chunk size (and thus compression ratio)
+    /// for a tighter durability horizon.
+    pub fn flush_buffered(&mut self) -> Result<(), SegmentError> {
+        for monitor in 0..self.shards.len() {
+            self.flush_shard(monitor)?;
+        }
+        Ok(())
+    }
+
     /// Encodes and spills the shard's buffered entries as one chunk.
     fn flush_shard(&mut self, monitor: usize) -> Result<(), SegmentError> {
         if self.shards[monitor].is_empty() {
@@ -154,21 +194,30 @@ impl<W: Write> TraceWriter<W> {
     }
 
     /// Flushes all shards, writes the footer, and returns segment statistics.
-    pub fn finish(mut self) -> Result<SegmentSummary, SegmentError> {
-        for monitor in 0..self.shards.len() {
-            self.flush_shard(monitor)?;
-        }
+    pub fn finish(self) -> Result<SegmentSummary, SegmentError> {
+        self.finish_into().map(|(summary, _)| summary)
+    }
+
+    /// Like [`TraceWriter::finish`], but hands the sink back so the owner
+    /// can sync the underlying file to stable storage before declaring the
+    /// segment sealed (see `MonitorWriter::rotate` in
+    /// [`crate::manifest`]).
+    pub fn finish_into(mut self) -> Result<(SegmentSummary, W), SegmentError> {
+        self.flush_buffered()?;
         let mut footer_bytes = Vec::new();
         encode_footer(&self.footer, &mut footer_bytes);
         self.sink.write_all(&footer_bytes)?;
         self.offset += footer_bytes.len() as u64;
         self.sink.flush()?;
-        Ok(SegmentSummary {
-            bytes_written: self.offset,
-            total_entries: self.footer.total_entries,
-            chunks: self.footer.chunks.len(),
-            connections: self.footer.connections.len(),
-        })
+        Ok((
+            SegmentSummary {
+                bytes_written: self.offset,
+                total_entries: self.footer.total_entries,
+                chunks: self.footer.chunks.len(),
+                connections: self.footer.connections.len(),
+            },
+            self.sink,
+        ))
     }
 }
 

@@ -258,6 +258,7 @@ proptest! {
             write_manifest(&dataset, &dir, DatasetConfig {
                 segment: SegmentConfig { chunk_capacity: 16, codec },
                 rotate_after_entries: (per_monitor as u64 / 3).max(1),
+                ..DatasetConfig::default()
             });
             for mmap in [false, true] {
                 for decode_ahead in [false, true] {
@@ -305,6 +306,7 @@ fn netsize_and_attacks_agree_across_all_modes() {
                     codec,
                 },
                 rotate_after_entries: 200,
+                ..DatasetConfig::default()
             },
         );
         for mmap in [false, true] {
@@ -362,6 +364,7 @@ fn col_manifest_is_strictly_smaller_than_lz_on_disk() {
                     codec,
                 },
                 rotate_after_entries: 2_000,
+                ..DatasetConfig::default()
             },
         );
     }
@@ -522,6 +525,7 @@ fn lz_manifest_is_strictly_smaller_on_disk() {
                     codec,
                 },
                 rotate_after_entries: 2_000,
+                ..DatasetConfig::default()
             },
         );
     }

@@ -1,0 +1,536 @@
+//! Crash-recovery properties of the tracestore durability subsystem.
+//!
+//! The contract under test (see `docs/ROBUSTNESS.md`): for *any* crash point
+//! during collection — mid-chunk, mid-rotation, mid-checkpoint, torn or
+//! clean — `recover_dataset` must turn the crashed directory back into a
+//! readable dataset whose per-monitor streams are an exact prefix of the
+//! fault-free run, with zero loss of anything a checkpoint promised durable,
+//! and recovery itself must be idempotent and re-runnable after being
+//! crashed mid-repair. Complemented by the byte-level torn-tail property
+//! (any truncation of a segment file recovers the longest CRC-valid chunk
+//! prefix and never panics) and the read-side degradation mode
+//! (`ReadOptions::skip_corrupt` streams a damaged dataset end to end and
+//! reports exactly what it skipped).
+
+use ipfs_monitoring::bitswap::RequestType;
+use ipfs_monitoring::simnet::time::SimTime;
+use ipfs_monitoring::tracestore::{
+    recover_dataset, recover_dataset_with, AnalysisSink, Codec, ConnectionRecord, DatasetConfig,
+    DatasetWriter, EntryFlags, FaultPlan, FaultyStorage, ManifestReader, ReadOptions,
+    SegmentConfig, TraceEntry, TraceReader,
+};
+use ipfs_monitoring::types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MONITORS: usize = 2;
+const ENTRIES: u64 = 240;
+
+fn entry(i: u64, monitor: usize) -> TraceEntry {
+    TraceEntry {
+        // Strictly increasing per monitor, so a monitor's stream order is
+        // its append order and prefix-consistency is directly comparable.
+        timestamp: SimTime::from_millis(i * 10 + monitor as u64),
+        peer: PeerId::derived(5, i % 13),
+        address: Multiaddr::new((i % 7) as u32, 4001, Transport::Tcp, Country::Us),
+        request_type: if i.is_multiple_of(3) {
+            RequestType::WantBlock
+        } else {
+            RequestType::WantHave
+        },
+        cid: Cid::new_v1(Multicodec::Raw, &(i % 31).to_be_bytes()),
+        monitor,
+        flags: EntryFlags::default(),
+    }
+}
+
+/// The fault-free reference: what each monitor would hold if nothing ever
+/// crashed, in stream order.
+fn reference_per_monitor() -> Vec<Vec<TraceEntry>> {
+    let mut per_monitor = vec![Vec::new(); MONITORS];
+    for i in 0..ENTRIES {
+        let monitor = (i % MONITORS as u64) as usize;
+        per_monitor[monitor].push(entry(i, monitor));
+    }
+    per_monitor
+}
+
+fn config(codec: Codec) -> DatasetConfig {
+    DatasetConfig {
+        segment: SegmentConfig {
+            chunk_capacity: 16,
+            codec,
+        },
+        rotate_after_entries: 50,
+        checkpoint_after_entries: 60,
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crash-rec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn connection(monitor: usize) -> ConnectionRecord {
+    ConnectionRecord {
+        monitor,
+        peer: PeerId::derived(5, monitor as u64),
+        address: Multiaddr::new(monitor as u32, 4001, Transport::Tcp, Country::Us),
+        connected_at: SimTime::from_millis(0),
+        disconnected_at: None,
+    }
+}
+
+/// Drives a collection run against `storage` until the first error (the
+/// injected crash) or clean completion. Returns whether `finish` ran clean.
+fn drive_collection(dir: &Path, codec: Codec, storage: &FaultyStorage) -> bool {
+    let mut writer = match DatasetWriter::create_with(
+        dir,
+        vec!["us".into(), "de".into()],
+        config(codec),
+        Arc::new(storage.clone()),
+    ) {
+        Ok(writer) => writer,
+        Err(_) => return false,
+    };
+    for monitor in 0..MONITORS {
+        if writer.record_connection(connection(monitor)).is_err() {
+            return false;
+        }
+    }
+    for i in 0..ENTRIES {
+        let monitor = (i % MONITORS as u64) as usize;
+        if writer.append(&entry(i, monitor)).is_err() {
+            return false;
+        }
+    }
+    writer.finish().is_ok()
+}
+
+/// Streams every monitor of a recovered dataset and checks it is an exact
+/// prefix of the fault-free reference. Returns total entries streamed.
+fn assert_prefix_consistent(dir: &Path, reference: &[Vec<TraceEntry>], context: &str) -> u64 {
+    let reader = ManifestReader::open(dir)
+        .unwrap_or_else(|error| panic!("{context}: recovered dataset must open: {error}"));
+    assert!(
+        reader.monitor_count() <= reference.len(),
+        "{context}: recovery cannot invent monitors"
+    );
+    let mut streamed = 0u64;
+    for (monitor, want) in reference.iter().enumerate().take(reader.monitor_count()) {
+        let mut stream = reader.stream_monitor_sorted(monitor);
+        let recovered: Vec<TraceEntry> = stream.by_ref().collect();
+        assert!(
+            stream.take_error().is_none(),
+            "{context}: recovered monitor {monitor} must stream clean"
+        );
+        assert!(
+            recovered.len() <= want.len(),
+            "{context}: monitor {monitor} recovered more than was written"
+        );
+        assert_eq!(
+            recovered,
+            want[..recovered.len()],
+            "{context}: monitor {monitor} is not a prefix of the fault-free run"
+        );
+        streamed += recovered.len() as u64;
+    }
+    streamed
+}
+
+/// The tentpole property: a matrix of ≥50 crash points — every codec, clean
+/// and torn crashes, ops spanning chunk spills, rotations, checkpoints and
+/// the final manifest write — each recovered to a prefix-consistent dataset
+/// with zero loss past the last checkpoint, and recovery idempotent.
+#[test]
+fn crash_matrix_recovers_prefix_consistent_datasets() {
+    let reference = reference_per_monitor();
+    let mut crash_points_tested = 0u64;
+    let mut truncations_seen = 0u64;
+
+    for codec in [Codec::Raw, Codec::Lz, Codec::Col] {
+        // Learn the op budget of a fault-free run, and pin the reference.
+        let clean_dir = temp_dir(&format!("clean-{codec:?}"));
+        let probe = FaultyStorage::new(FaultPlan::none());
+        assert!(
+            drive_collection(&clean_dir, codec, &probe),
+            "fault-free run must finish"
+        );
+        let total_ops = probe.ops();
+        assert!(total_ops >= 20, "run must route its I/O through Storage");
+        assert_eq!(
+            assert_prefix_consistent(&clean_dir, &reference, "fault-free"),
+            ENTRIES,
+            "fault-free run must hold every entry"
+        );
+        std::fs::remove_dir_all(&clean_dir).unwrap();
+
+        // Sample crash points across the whole run; alternate clean crashes
+        // (the failing op never happens) with torn ones (the failing write
+        // lands a bogus prefix that recovery must cut back).
+        let stride = (total_ops / 18).max(1);
+        for (k, crash_at) in (0..total_ops).step_by(stride as usize).enumerate() {
+            let dir = temp_dir(&format!("crash-{codec:?}-{crash_at}"));
+            let plan = if k % 2 == 0 {
+                FaultPlan::crash_at(crash_at)
+            } else {
+                FaultPlan::torn_at(crash_at, 0x5eed ^ crash_at)
+            };
+            let faulty = FaultyStorage::new(plan);
+            let finished = drive_collection(&dir, codec, &faulty);
+            assert!(!finished, "crash at op {crash_at} must abort the run");
+
+            let context = format!("codec {codec:?} crash at op {crash_at}");
+            let report = recover_dataset(&dir)
+                .unwrap_or_else(|error| panic!("{context}: recovery failed: {error}"));
+            assert_eq!(
+                report.entries_lost_after_checkpoint, 0,
+                "{context}: checkpointed entries must survive any crash"
+            );
+            truncations_seen += report.segments_truncated as u64;
+
+            let streamed = assert_prefix_consistent(&dir, &reference, &context);
+            assert_eq!(
+                streamed, report.entries_recovered,
+                "{context}: report must count exactly what streams back"
+            );
+            let durable: u64 = report.resume.iter().map(|c| c.entries_durable).sum();
+            assert_eq!(
+                durable, report.entries_recovered,
+                "{context}: resume cursors must agree with the recovered total"
+            );
+
+            // Idempotence: recovering a recovered dataset changes nothing.
+            let again = recover_dataset(&dir)
+                .unwrap_or_else(|error| panic!("{context}: second recovery failed: {error}"));
+            assert!(again.clean, "{context}: second recovery must be a no-op");
+            assert_eq!(again.entries_recovered, report.entries_recovered);
+
+            crash_points_tested += 1;
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    assert!(
+        crash_points_tested >= 50,
+        "matrix must cover at least 50 crash points, got {crash_points_tested}"
+    );
+    assert!(
+        truncations_seen > 0,
+        "matrix must exercise torn-tail truncation at least once"
+    );
+}
+
+/// Writes a single-segment, single-monitor dataset and returns the segment
+/// path plus the chunk index boundaries (end offset, cumulative entries).
+fn single_segment_dataset(dir: &Path, codec: Codec, entries: u64) -> (PathBuf, Vec<(u64, u64)>) {
+    let mut writer = DatasetWriter::create(
+        dir,
+        vec!["us".into()],
+        DatasetConfig {
+            segment: SegmentConfig {
+                chunk_capacity: 16,
+                codec,
+            },
+            rotate_after_entries: u64::MAX,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..entries {
+        writer.append(&entry(i, 0)).unwrap();
+    }
+    writer.finish().unwrap();
+    let path = dir.join("seg-000-00000.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    let reader = TraceReader::new(ipfs_monitoring::tracestore::SliceSource::new(&bytes)).unwrap();
+    let mut cumulative = 0u64;
+    let boundaries = reader
+        .chunks()
+        .iter()
+        .map(|info| {
+            cumulative += info.entries;
+            (info.offset + info.len, cumulative)
+        })
+        .collect();
+    (path, boundaries)
+}
+
+/// Entries recoverable from a segment truncated to `len` bytes: the longest
+/// chunk prefix whose frames fit entirely inside the kept bytes.
+fn expected_after_truncation(boundaries: &[(u64, u64)], len: u64) -> u64 {
+    boundaries
+        .iter()
+        .take_while(|(end, _)| *end <= len)
+        .last()
+        .map(|(_, entries)| *entries)
+        .unwrap_or(0)
+}
+
+/// Truncates the segment to `len`, recovers, and checks the dataset streams
+/// exactly the longest CRC-valid chunk prefix. Never panics, any `len`.
+fn check_truncation(codec: Codec, len: u64, tag: &str) {
+    let dir = temp_dir(&format!("torn-{tag}"));
+    let (path, boundaries) = single_segment_dataset(&dir, codec, 200);
+    let full = std::fs::metadata(&path).unwrap().len();
+    let len = len.min(full);
+    let expected = expected_after_truncation(&boundaries, len);
+
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..len as usize]).unwrap();
+
+    let context = format!("codec {codec:?} truncated to {len}/{full}");
+    let report =
+        recover_dataset(&dir).unwrap_or_else(|error| panic!("{context}: recovery failed: {error}"));
+    assert_eq!(
+        report.entries_recovered, expected,
+        "{context}: must recover exactly the valid chunk prefix"
+    );
+
+    let reference = {
+        let mut per_monitor = vec![Vec::new()];
+        for i in 0..200 {
+            per_monitor[0].push(entry(i, 0));
+        }
+        per_monitor
+    };
+    let streamed = assert_prefix_consistent(&dir, &reference, &context);
+    assert_eq!(streamed, expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    /// Any byte-length truncation of a segment, any codec: recovery returns
+    /// the longest CRC-valid chunk prefix and never panics.
+    #[test]
+    fn torn_tail_truncation_recovers_longest_valid_prefix(
+        codec_index in 0usize..3,
+        fraction in 0.0f64..=1.0,
+    ) {
+        let codec = [Codec::Raw, Codec::Lz, Codec::Col][codec_index];
+        // `check_truncation` clamps to the real file length; 1 MiB is a safe
+        // upper bound for a 200-entry segment, so `fraction` spans the file.
+        let len = (fraction * (1 << 20) as f64) as u64;
+        check_truncation(codec, len, &format!("prop-{codec_index}-{len}"));
+    }
+}
+
+/// Deterministic boundary sweep of the same property: exact chunk frame
+/// boundaries and their off-by-one neighbours, plus the degenerate lengths.
+#[test]
+fn torn_tail_boundary_sweep() {
+    for codec in [Codec::Raw, Codec::Lz, Codec::Col] {
+        let probe_dir = temp_dir(&format!("torn-probe-{codec:?}"));
+        let (path, boundaries) = single_segment_dataset(&probe_dir, codec, 200);
+        let full = std::fs::metadata(&path).unwrap().len();
+        std::fs::remove_dir_all(&probe_dir).unwrap();
+
+        let mut lengths = vec![0, 1, 4, 5, 6, full.saturating_sub(1), full];
+        for &(end, _) in &boundaries {
+            lengths.extend([end.saturating_sub(1), end, end + 1]);
+        }
+        for (k, len) in lengths.into_iter().enumerate() {
+            check_truncation(codec, len, &format!("sweep-{codec:?}-{k}"));
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct CountSink {
+    entries: u64,
+}
+
+impl AnalysisSink for CountSink {
+    type Output = u64;
+
+    fn consume(&mut self, _entry: TraceEntry) {
+        self.entries += 1;
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.entries += other.entries;
+    }
+
+    fn finish(self) -> u64 {
+        self.entries
+    }
+}
+
+/// `ReadOptions::skip_corrupt` streams a damaged dataset end to end —
+/// deleted, truncated, and CRC-corrupted segments — in every merge mode, and
+/// reports exactly which segments were skipped.
+#[test]
+fn skip_corrupt_streams_damaged_dataset_with_exact_report() {
+    let dir = temp_dir("skip-corrupt");
+    let mut writer =
+        DatasetWriter::create(&dir, vec!["us".into(), "de".into()], config(Codec::Col)).unwrap();
+    for i in 0..ENTRIES {
+        let monitor = (i % MONITORS as u64) as usize;
+        writer.append(&entry(i, monitor)).unwrap();
+    }
+    writer.finish().unwrap();
+
+    // Monitor 0 rotates every 50 of its 120 entries: seg 0..=2. Damage:
+    // delete its middle segment, CRC-break a late chunk of its last segment
+    // (footer stays valid, so the damage only surfaces mid-stream), and
+    // truncate monitor 1's first segment so it fails at open.
+    let deleted = dir.join("seg-000-00001.seg");
+    std::fs::remove_file(&deleted).unwrap();
+
+    let corrupted = dir.join("seg-000-00002.seg");
+    let mut bytes = std::fs::read(&corrupted).unwrap();
+    let reader = TraceReader::new(ipfs_monitoring::tracestore::SliceSource::new(&bytes)).unwrap();
+    let chunks: Vec<_> = reader.chunks().to_vec();
+    assert!(
+        chunks.len() >= 2,
+        "need a chunk to survive before the damage"
+    );
+    let target = &chunks[1];
+    let salvageable_entries: u64 = chunks[..1].iter().map(|c| c.entries).sum();
+    let flip_at = (target.offset + target.len / 2) as usize;
+    drop(reader);
+    bytes[flip_at] ^= 0x40;
+    std::fs::write(&corrupted, &bytes).unwrap();
+
+    let truncated = dir.join("seg-001-00000.seg");
+    let head = std::fs::read(&truncated).unwrap();
+    std::fs::write(&truncated, &head[..10]).unwrap();
+
+    // Without the option, the damage is a hard open error.
+    assert!(ManifestReader::open(&dir).is_err());
+
+    let reference = reference_per_monitor();
+    // Monitor 0: seg 0 (entries 0..50 of the monitor) + the valid chunk
+    // prefix of seg 2 (entries 100..100+salvageable). Monitor 1: seg 0 is
+    // gone at open, segs 1..=2 stream whole.
+    let expected_m0: Vec<TraceEntry> = reference[0][..50]
+        .iter()
+        .chain(&reference[0][100..100 + salvageable_entries as usize])
+        .cloned()
+        .collect();
+    let expected_m1: Vec<TraceEntry> = reference[1][50..].to_vec();
+
+    for decode_ahead in [false, true] {
+        let options = ReadOptions::default()
+            .skip_corrupt(true)
+            .decode_ahead(decode_ahead);
+        let reader = ManifestReader::open_with(&dir, options).unwrap();
+
+        // Open-time skips are visible immediately.
+        let at_open = reader.skipped_segments();
+        assert_eq!(
+            at_open
+                .iter()
+                .map(|s| (s.monitor, s.sequence))
+                .collect::<Vec<_>>(),
+            vec![(0, 1), (1, 0)],
+            "open-time report must name the deleted and truncated segments"
+        );
+
+        let mut stream = reader.stream_merged();
+        let entries: Vec<TraceEntry> = stream.by_ref().collect();
+        assert!(stream.take_error().is_none(), "degraded mode never errors");
+        drop(stream);
+
+        let merged_m0: Vec<_> = entries.iter().filter(|e| e.monitor == 0).cloned().collect();
+        let merged_m1: Vec<_> = entries.iter().filter(|e| e.monitor == 1).cloned().collect();
+        assert_eq!(merged_m0, expected_m0, "decode_ahead={decode_ahead}");
+        assert_eq!(merged_m1, expected_m1, "decode_ahead={decode_ahead}");
+
+        // After the drain the report also carries the mid-stream casualty.
+        let skipped = reader.skipped_segments();
+        assert_eq!(
+            skipped
+                .iter()
+                .map(|s| (s.monitor, s.sequence, s.file_name.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                (0, 1, "seg-000-00001.seg"),
+                (0, 2, "seg-000-00002.seg"),
+                (1, 0, "seg-001-00000.seg"),
+            ],
+            "decode_ahead={decode_ahead}: report must be exact"
+        );
+        for skip in &skipped {
+            assert!(!skip.reason.is_empty(), "every skip carries a reason");
+        }
+
+        // The parallel analysis driver degrades the same way.
+        let reader = ManifestReader::open_with(&dir, options).unwrap();
+        let total = reader.run_parallel(CountSink::default()).unwrap();
+        assert_eq!(total, (expected_m0.len() + expected_m1.len()) as u64);
+        assert_eq!(reader.skipped_segments().len(), 3);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for item in std::fs::read_dir(from).unwrap() {
+        let item = item.unwrap();
+        if item.file_type().unwrap().is_file() {
+            std::fs::copy(item.path(), to.join(item.file_name())).unwrap();
+        }
+    }
+}
+
+/// Recovery itself can be killed at any injected op and re-run: the rerun
+/// converges to the same dataset a single clean recovery produces.
+#[test]
+fn recovery_survives_crashes_during_recovery() {
+    // One damaged dataset, reused as the template for every crash point.
+    let template = temp_dir("rec-crash-template");
+    let mut writer =
+        DatasetWriter::create(&template, vec!["us".into(), "de".into()], config(Codec::Lz))
+            .unwrap();
+    for i in 0..ENTRIES {
+        let monitor = (i % MONITORS as u64) as usize;
+        writer.append(&entry(i, monitor)).unwrap();
+    }
+    writer.finish().unwrap();
+    // Damage: cut the last third off one segment (forces a rebuild) and
+    // leave a stale tmp file (forces a sweep).
+    let victim = template.join("seg-001-00001.seg");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() * 2 / 3]).unwrap();
+    std::fs::write(template.join("seg-000-00000.seg.tmp"), b"stale").unwrap();
+
+    // Reference: one clean recovery of the damaged template.
+    let reference_dir = temp_dir("rec-crash-reference");
+    copy_dir(&template, &reference_dir);
+    let probe = FaultyStorage::new(FaultPlan::none());
+    let reference_report = recover_dataset_with(&reference_dir, &probe).unwrap();
+    assert!(reference_report.segments_truncated > 0);
+    assert!(reference_report.tmp_files_swept > 0);
+    let total_ops = probe.ops();
+    assert!(total_ops > 0, "recovery must route through Storage");
+    let reference = reference_per_monitor();
+    let reference_total = assert_prefix_consistent(&reference_dir, &reference, "clean recovery");
+    assert_eq!(reference_total, reference_report.entries_recovered);
+
+    for crash_at in 0..total_ops {
+        let dir = temp_dir(&format!("rec-crash-{crash_at}"));
+        copy_dir(&template, &dir);
+        let faulty = FaultyStorage::new(FaultPlan::crash_at(crash_at));
+        // The crashed attempt may fail anywhere; whatever it left behind,
+        // a clean rerun must converge to the reference outcome.
+        let _ = recover_dataset_with(&dir, &faulty);
+        let report = recover_dataset(&dir)
+            .unwrap_or_else(|error| panic!("rerun after crash at op {crash_at}: {error}"));
+        assert_eq!(
+            report.entries_recovered, reference_report.entries_recovered,
+            "crash at op {crash_at}: rerun must recover the same entries"
+        );
+        let total = assert_prefix_consistent(
+            &dir,
+            &reference,
+            &format!("rerun after crash at op {crash_at}"),
+        );
+        assert_eq!(total, reference_total);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&template).unwrap();
+    std::fs::remove_dir_all(&reference_dir).unwrap();
+}

@@ -122,6 +122,7 @@ proptest! {
         write_manifest(&dataset, &dir, DatasetConfig {
             segment: SegmentConfig { chunk_capacity: chunk , ..SegmentConfig::default() },
             rotate_after_entries: rotate,
+            ..DatasetConfig::default()
         });
 
         let reader = ManifestReader::open(&dir).unwrap();
@@ -162,6 +163,7 @@ fn corrupted_chunk_in_manifest_segment_is_detected() {
                 ..SegmentConfig::default()
             },
             rotate_after_entries: 40,
+            ..DatasetConfig::default()
         },
     );
 
@@ -209,6 +211,7 @@ fn parallel_ingestion_is_byte_identical_to_single_threaded() {
             ..SegmentConfig::default()
         },
         rotate_after_entries: 90,
+        ..DatasetConfig::default()
     };
 
     let dir_single = temp_dir("par-single");
@@ -281,6 +284,7 @@ fn scenario_analyses_from_manifest_match_in_memory() {
                 ..SegmentConfig::default()
             },
             rotate_after_entries: (dataset.total_entries() as u64 / 5).max(1),
+            ..DatasetConfig::default()
         },
     )
     .unwrap();
@@ -362,6 +366,7 @@ fn chain_merge_keeps_bounded_active_window() {
                 ..SegmentConfig::default()
             },
             rotate_after_entries: 100,
+            ..DatasetConfig::default()
         },
     );
     let reader = ManifestReader::open(&dir).unwrap();
@@ -403,6 +408,7 @@ fn manifest_listing_order_is_normalized_and_duplicates_rejected() {
                 ..SegmentConfig::default()
             },
             rotate_after_entries: 40,
+            ..DatasetConfig::default()
         },
     );
     let reference: Vec<TraceEntry> = ManifestReader::open(&dir)
@@ -470,6 +476,7 @@ fn all_trace_sources_yield_identical_merged_streams() {
                 ..SegmentConfig::default()
             },
             rotate_after_entries: 70,
+            ..DatasetConfig::default()
         },
     );
     let manifest_reader = ManifestReader::open(&dir).unwrap();

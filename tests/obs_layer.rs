@@ -54,6 +54,7 @@ fn write_manifest(dataset: &MonitoringDataset, dir: &Path) {
             chunk_capacity: 64,
             ..SegmentConfig::default()
         },
+        ..DatasetConfig::default()
     };
     let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
     for per_monitor in &dataset.entries {

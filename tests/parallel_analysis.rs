@@ -86,6 +86,7 @@ fn write_manifest(dataset: &MonitoringDataset, dir: &Path, rotate: u64, chunk: u
             chunk_capacity: chunk,
             ..SegmentConfig::default()
         },
+        ..DatasetConfig::default()
     };
     let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
     for per_monitor in &dataset.entries {
