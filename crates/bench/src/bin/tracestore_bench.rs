@@ -9,14 +9,14 @@
 
 use ipfs_mon_bench::{print_header, run_experiment, scaled, spill_to_manifest_with, ObsFlags};
 use ipfs_mon_core::{
-    flag_segment, unify_and_flag, unify_and_flag_segment, ActivityCountsSink, EntryStatsSink,
-    PopularitySink, PreprocessConfig, RequestTypeSink,
+    flag_segment, unify_and_flag, unify_and_flag_segment, windowed_request_types,
+    ActivityCountsSink, EntryStatsSink, PopularitySink, PreprocessConfig, RequestTypeSink,
 };
 use ipfs_mon_simnet::time::SimDuration;
 use ipfs_mon_tracestore::{
     recover_dataset, run_sink, ChunkScratch, ChunkSource, ChunkView, Codec, DatasetConfig,
-    DatasetWriter, Manifest, ManifestReader, MonitoringDataset, ReadOptions, SegmentConfig,
-    SegmentSource, SliceSource, TraceEntry, TraceReader, TraceSource,
+    DatasetWriter, LatePolicy, Manifest, ManifestReader, MonitoringDataset, ReadOptions,
+    SegmentConfig, SegmentSource, SliceSource, TraceEntry, TraceReader, TraceSource, WindowSpec,
 };
 use ipfs_mon_workload::ScenarioConfig;
 use std::time::Instant;
@@ -544,6 +544,66 @@ fn main() {
         "BENCH_tracestore.json {{\"mode\":\"recovery\",\"entries\":{total_entries},\"checkpoint_overhead_pct\":{checkpoint_overhead_pct:.1},\"recovered_entries\":{},\"recover_s\":{recover_s:.4},\"recover_entries_per_sec\":{:.0}}}",
         report.entries_recovered,
         entries_per_s(report.entries_recovered as usize, recover_s),
+    );
+
+    // Windowed online analysis: the same trace through the event-time
+    // windowing layer (tumbling 1 h windows over per-window request-type
+    // series), serial merged stream vs one worker per monitor chain.
+    // Sealed outputs are asserted identical; `max_open_windows` is the
+    // memory bound of the online path (open accumulators held at once).
+    let dir_windowed =
+        std::env::temp_dir().join(format!("ts-bench-windowed-{}", std::process::id()));
+    spill_to_manifest_with(
+        dataset,
+        &dir_windowed,
+        DatasetConfig {
+            rotate_after_entries: rotate,
+            ..DatasetConfig::default()
+        },
+    );
+    let reader = ManifestReader::open(&dir_windowed).expect("open windowed manifest");
+    let monitors = dataset.monitor_labels.len();
+    let windowed_sink = || {
+        windowed_request_types(
+            monitors,
+            WindowSpec::tumbling(SimDuration::from_hours(1)),
+            SimDuration::ZERO,
+            LatePolicy::Strict,
+            SimDuration::from_mins(10),
+        )
+    };
+    let start = Instant::now();
+    let serial_windows = run_sink(&reader, windowed_sink()).expect("serial windowed analysis");
+    let windowed_serial_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel_windows = reader
+        .run_parallel(windowed_sink())
+        .expect("parallel windowed analysis");
+    let windowed_parallel_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_windows.results, parallel_windows.results,
+        "windowed analysis must seal identical windows under both drivers"
+    );
+    assert_eq!(serial_windows.late_dropped, 0, "merged stream is in order");
+    let window_count = serial_windows.results.len();
+    let windows_per_s = window_count as f64 / windowed_serial_s.max(1e-9);
+    drop(reader);
+    std::fs::remove_dir_all(&dir_windowed).ok();
+    println!("\n  windowed analysis ({total_entries} entries, {window_count} x 1h windows):");
+    println!(
+        "  {:<22} {:>12.0} entries/s  ({} windows open at peak)",
+        "serial merged pass",
+        entries_per_s(total_entries, windowed_serial_s),
+        serial_windows.max_open_windows
+    );
+    println!(
+        "  {:<22} {:>12.0} entries/s",
+        "per-monitor workers",
+        entries_per_s(total_entries, windowed_parallel_s)
+    );
+    println!(
+        "BENCH_tracestore.json {{\"mode\":\"windowed\",\"entries\":{total_entries},\"windows\":{window_count},\"windows_per_sec\":{windows_per_s:.1},\"max_open_windows\":{},\"serial_s\":{windowed_serial_s:.4},\"parallel_s\":{windowed_parallel_s:.4}}}",
+        serial_windows.max_open_windows
     );
 
     // Emits the final `"done":true` heartbeat (a no-op without --obs).

@@ -23,6 +23,12 @@
 //!    wrappers over the same accumulators.
 //! 4. **Privacy attacks** ([`attacks`]) — IDW, TNW, TPI and the gateway
 //!    probing methodology of Sec. VI.
+//! 5. **Continuous monitoring** ([`windowed`], [`service`]) — the same
+//!    analyses over event-time windows ([`windowed`] adapts the
+//!    accumulators to `WindowedSink`), and [`service::MonitorService`],
+//!    the long-running loop tying crash recovery, resumed collection,
+//!    incremental tailing, and windowed analysis into one restart-proof
+//!    process with exactly-once window output.
 //!
 //! Data is fed in either from the bundled network simulator
 //! (`ipfs-mon-node`, via [`monitor::MonitorCollector`]) or from persisted JSON
@@ -39,8 +45,10 @@ pub mod monitor;
 pub mod netsize;
 pub mod popularity;
 pub mod preprocess;
+pub mod service;
 pub mod sinks;
 pub mod trace;
+pub mod windowed;
 
 pub use activity::{
     country_shares, multicodec_shares, origin_group_rates, per_peer_request_counts,
@@ -70,6 +78,10 @@ pub use preprocess::{
     flag_segment, flag_source, unify_and_flag, unify_and_flag_segment, unify_and_flag_source,
     unify_and_flag_stream, FlaggedStream, PreprocessConfig, PreprocessStats, StreamingPreprocessor,
 };
+pub use service::{
+    format_window_line, window_file_name, MonitorService, ServiceConfig, ServiceReport,
+    ServiceWindowAccum, WindowSummary, WINDOW_DIR_NAME,
+};
 pub use sinks::{
     activity_counts_source, entry_stats_source, popularity_scores_source,
     request_type_series_source, ActivityCounts, ActivityCountsSink, EntryStatsSink,
@@ -77,6 +89,10 @@ pub use sinks::{
 };
 pub use trace::{
     ConnectionRecord, EntryFlags, MonitoringDataset, TraceEntry, TraceSource, UnifiedTrace,
+};
+pub use windowed::{
+    netsize_window_factory, popularity_window_factory, request_type_window_factory,
+    windowed_netsize, windowed_popularity, windowed_request_types, NetsizeWindowSink,
 };
 // The parallel-analysis engine primitives live in `ipfs-mon-tracestore`
 // (below this crate in the dependency order, so that

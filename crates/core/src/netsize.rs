@@ -122,6 +122,32 @@ impl SnapshotBuilder {
         self.bitswap_active[entry.monitor].insert(entry.peer);
     }
 
+    /// Merges another builder over the same snapshot grid: sweep events
+    /// concatenate and the unique-peer sets union. Order-invariant —
+    /// [`SnapshotBuilder::finish`] sorts the events by a full deterministic
+    /// key before sweeping — which is what lets the windowed netsize sink
+    /// combine partial builders under `run_parallel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two builders were created over different grids.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.monitors == other.monitors
+                && self.start == other.start
+                && self.end == other.end
+                && self.interval == other.interval,
+            "snapshot builders must share a grid to merge"
+        );
+        self.events.extend(other.events);
+        for (mine, theirs) in self.weekly_unique.iter_mut().zip(other.weekly_unique) {
+            mine.extend(theirs);
+        }
+        for (mine, theirs) in self.bitswap_active.iter_mut().zip(other.bitswap_active) {
+            mine.extend(theirs);
+        }
+    }
+
     /// Sweeps the snapshot grid and assembles the report.
     pub fn finish(self) -> NetworkSizeReport {
         let monitors = self.monitors;

@@ -1,0 +1,616 @@
+//! The continuous monitoring service: one long-running loop tying crash
+//! recovery → resumed collection → incremental chain tailing → windowed
+//! analysis, with *exactly-once* window output across kill/restart.
+//!
+//! # The loop
+//!
+//! [`MonitorService::open`] runs
+//! [`recover_dataset`](ipfs_mon_tracestore::recover::recover_dataset) on
+//! the directory (repairing any crash damage and reporting
+//! [`ResumeCursor`]s), resumes the
+//! [`DatasetWriter`] over the recovered manifest, and opens a
+//! [`DatasetTail`] over the segment chains. From then on the caller feeds
+//! entries with [`MonitorService::ingest`] (collection: appended,
+//! rotated, checkpointed per [`DatasetConfig`]) and calls
+//! [`MonitorService::poll`] whenever it wants answers: the tail decodes
+//! every newly *durable* chunk frame into the windowed analysis sink,
+//! which seals windows behind the cross-monitor watermark and emits one
+//! [`WindowSummary`] JSON line per window. [`MonitorService::finish`]
+//! writes the final manifest, drains the tail, and seals the remaining
+//! windows.
+//!
+//! Memory is bounded (open segment buffers + open windows + one top-K
+//! sketch per open window), and latency-to-answer is bounded by the
+//! checkpoint cadence (entries become durable, hence tail-visible, at
+//! every checkpoint) plus the window size and lateness allowance.
+//!
+//! # Exactly-once window output
+//!
+//! Every sealed window is written as its own durable file
+//! (`windows/win-<index>.json`, via
+//! [`write_file_durable`](ipfs_mon_tracestore::fault::write_file_durable):
+//! tmp + fsync + atomic rename) *in index order*. That makes the window
+//! directory itself the restart state:
+//!
+//! * the files present after a crash are always a dense prefix
+//!   `win-0 .. win-(n-1)` — window `n` crashed before its rename, so it
+//!   was never visible;
+//! * on restart the service counts that prefix, replays the recovered
+//!   chains through a fresh windowed sink, and *suppresses* the first `n`
+//!   sealed windows instead of re-writing them — no duplicates;
+//! * the replay re-derives window `n` and everything after it from
+//!   exactly the bytes that survived the crash — no gaps. The tail only
+//!   ever feeds *durable* bytes to the sink, so a window sealed before
+//!   the crash was computed from data that is still there after it.
+//!
+//! Re-derived windows are bit-identical to the pre-crash ones as long as
+//! the lateness allowance covers each chain's arrival disorder (zero for
+//! the in-order collectors); the `service_soak` integration test
+//! kill/restarts the service at every storage operation and asserts the
+//! concatenated output equals a fault-free run's, byte for byte.
+//!
+//! [`ResumeCursor`]: ipfs_mon_tracestore::recover::ResumeCursor
+
+use crate::trace::TraceEntry;
+use ipfs_mon_bitswap::RequestType;
+use ipfs_mon_obs as obs;
+use ipfs_mon_simnet::time::SimDuration;
+use ipfs_mon_tracestore::fault::write_file_durable;
+use ipfs_mon_tracestore::recover::{recover_dataset_with, RecoveryReport};
+use ipfs_mon_tracestore::sketch::{HeavyHitter, SpaceSaving};
+use ipfs_mon_tracestore::window::{
+    LatePolicy, WindowBounds, WindowResult, WindowSpec, WindowedSink,
+};
+use ipfs_mon_tracestore::{
+    AnalysisSink, DatasetConfig, DatasetTail, DatasetWriter, RealStorage, SegmentError, Storage,
+};
+use ipfs_mon_types::Cid;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Name of the window-output directory inside the dataset directory.
+pub const WINDOW_DIR_NAME: &str = "windows";
+
+/// File name of sealed window `index`.
+pub fn window_file_name(index: u64) -> String {
+    format!("win-{index:08}.json")
+}
+
+/// Configuration of the service loop.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Collection-side configuration (rotation, checkpoint cadence,
+    /// codec). The checkpoint cadence doubles as the latency-to-answer
+    /// bound: entries become tail-visible when they become durable.
+    pub dataset: DatasetConfig,
+    /// Window shape of the online analysis.
+    pub window: WindowSpec,
+    /// Arrival-disorder allowance subtracted from the watermark.
+    pub lateness: SimDuration,
+    /// What to do with entries for already-sealed windows.
+    pub policy: LatePolicy,
+    /// Space-Saving capacity of the per-window top-CID sketch.
+    pub top_k: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetConfig::default(),
+            window: WindowSpec::tumbling(SimDuration::from_mins(1)),
+            lateness: SimDuration::ZERO,
+            policy: LatePolicy::Drop,
+            top_k: 8,
+        }
+    }
+}
+
+/// The per-window analysis the service runs: exact request-type totals
+/// plus a Space-Saving top-K of requested CIDs — compact enough for one
+/// JSON line per window, rich enough to answer the paper's "what is being
+/// asked for right now" question continuously.
+///
+/// The sketch is kept *per monitor* and offset-merged in monitor order at
+/// finish. Space-Saving estimates depend on arrival order, and the tail
+/// interleaves chains differently depending on poll cadence (a restart
+/// replays each chain in bulk; a live run alternates in small batches) —
+/// but *within* a chain the order is fixed, so per-monitor sub-sketches
+/// plus a deterministic merge make the summary identical across
+/// restarts.
+#[derive(Debug, Clone)]
+pub struct ServiceWindowAccum {
+    capacity: usize,
+    want_have: u64,
+    want_block: u64,
+    cancel: u64,
+    top_cids: std::collections::BTreeMap<usize, SpaceSaving<Cid>>,
+}
+
+impl ServiceWindowAccum {
+    fn new(top_k: usize) -> Self {
+        Self {
+            capacity: top_k,
+            want_have: 0,
+            want_block: 0,
+            cancel: 0,
+            top_cids: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl AnalysisSink for ServiceWindowAccum {
+    type Output = WindowSummary;
+
+    fn consume(&mut self, entry: TraceEntry) {
+        match entry.request_type {
+            RequestType::WantHave => self.want_have += 1,
+            RequestType::WantBlock => self.want_block += 1,
+            RequestType::Cancel => self.cancel += 1,
+        }
+        if entry.is_request() {
+            self.top_cids
+                .entry(entry.monitor)
+                .or_insert_with(|| SpaceSaving::new(self.capacity))
+                .record(&entry.cid);
+        }
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.want_have += other.want_have;
+        self.want_block += other.want_block;
+        self.cancel += other.cancel;
+        for (monitor, sketch) in other.top_cids {
+            match self.top_cids.entry(monitor) {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(sketch)
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(sketch);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> WindowSummary {
+        // Monitor order is fixed, so the merged summary is independent of
+        // how the tail interleaved the chains.
+        let mut sketches = self.top_cids.into_values();
+        let mut merged = sketches
+            .next()
+            .unwrap_or_else(|| SpaceSaving::new(self.capacity));
+        for sketch in sketches {
+            merged.merge(sketch);
+        }
+        let top = merged.finish();
+        WindowSummary {
+            want_have: self.want_have,
+            want_block: self.want_block,
+            cancel: self.cancel,
+            top_cids: top.entries,
+        }
+    }
+}
+
+/// One sealed window's analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// `WANT_HAVE` entries in the window.
+    pub want_have: u64,
+    /// `WANT_BLOCK` entries in the window.
+    pub want_block: u64,
+    /// `CANCEL` entries in the window.
+    pub cancel: u64,
+    /// Space-Saving top requested CIDs with guaranteed-error counts.
+    pub top_cids: Vec<HeavyHitter<Cid>>,
+}
+
+/// Formats one sealed window as its canonical JSON line — the bytes
+/// written to `windows/win-<index>.json` and surfaced by
+/// [`MonitorService::poll`]. Deterministic: equal windows format to equal
+/// bytes.
+pub fn format_window_line(result: &WindowResult<WindowSummary>) -> String {
+    let mut line = format!(
+        "{{\"index\":{},\"start_ms\":{},\"end_ms\":{},\"entries\":{},\"want_have\":{},\"want_block\":{},\"cancel\":{},\"top_cids\":[",
+        result.bounds.index,
+        result.bounds.start.as_millis(),
+        result.bounds.end.as_millis(),
+        result.entries,
+        result.output.want_have,
+        result.output.want_block,
+        result.output.cancel,
+    );
+    for (i, hh) in result.output.top_cids.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        // CID string forms are base32/base58 — no JSON escaping needed.
+        line.push_str(&format!(
+            "{{\"cid\":\"{}\",\"count\":{},\"error\":{}}}",
+            hh.key, hh.count, hh.error
+        ));
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Shared state of the window emitter: the callback appending durable
+/// window files, suppression of windows already emitted by a previous
+/// incarnation, and the error channel back to the service loop (the
+/// callback itself cannot return one).
+struct EmitState {
+    storage: Arc<dyn Storage>,
+    window_dir: PathBuf,
+    /// Windows `0..skip_below` are already durable from a previous run:
+    /// re-derived, verified dense, but not re-written.
+    skip_below: u64,
+    /// Next window index expected from the sink (sealing is dense).
+    next: u64,
+    emitted: u64,
+    skipped: u64,
+    /// JSON lines of windows sealed since the last drain.
+    lines: Vec<String>,
+    error: Option<SegmentError>,
+}
+
+impl EmitState {
+    fn emit(&mut self, result: WindowResult<WindowSummary>) {
+        if self.error.is_some() {
+            return;
+        }
+        let index = result.bounds.index;
+        assert_eq!(
+            index, self.next,
+            "windowed sink sealed out of order (dense emission invariant)"
+        );
+        self.next += 1;
+        let line = format_window_line(&result);
+        if index < self.skip_below {
+            self.skipped += 1;
+            obs::counter!("service.windows_skipped").incr();
+            return;
+        }
+        let path = self.window_dir.join(window_file_name(index));
+        match write_file_durable(self.storage.as_ref(), &path, line.as_bytes()) {
+            Ok(()) => {
+                self.emitted += 1;
+                obs::counter!("service.windows_emitted").incr();
+                self.lines.push(line);
+            }
+            Err(error) => self.error = Some(SegmentError::Io(error)),
+        }
+    }
+}
+
+/// Aggregate report of one service incarnation, from
+/// [`MonitorService::finish`].
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Windows written durably by *this* incarnation.
+    pub windows_emitted: u64,
+    /// Windows re-derived but suppressed (already durable before this
+    /// incarnation started).
+    pub windows_skipped: u64,
+    /// Entries appended through [`MonitorService::ingest`] this
+    /// incarnation.
+    pub entries_ingested: u64,
+    /// Entries the tail decoded into the analysis, per monitor (includes
+    /// the replay of pre-crash data after a restart).
+    pub entries_analyzed: Vec<u64>,
+    /// Entries dropped as late under [`LatePolicy::Drop`].
+    pub late_dropped: u64,
+    /// Peak simultaneously-open windows — the analysis memory bound.
+    pub max_open_windows: usize,
+    /// JSON lines of the windows sealed during [`MonitorService::finish`].
+    pub lines: Vec<String>,
+}
+
+type ServiceSink = WindowedSink<
+    ServiceWindowAccum,
+    Box<dyn Fn(&WindowBounds) -> ServiceWindowAccum + Send + Sync>,
+>;
+
+/// The continuous monitoring service. See the [module docs](self).
+pub struct MonitorService {
+    writer: Option<DatasetWriter>,
+    tail: DatasetTail,
+    sink: Option<ServiceSink>,
+    emit: Arc<Mutex<EmitState>>,
+    entries_ingested: u64,
+}
+
+impl MonitorService {
+    /// Opens (or re-opens after a crash) the service over `dir` with real
+    /// storage. Returns the service and the recovery report of the
+    /// opening scan — [`RecoveryReport::resume`] tells the caller where
+    /// each chain continues.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        monitor_labels: Vec<String>,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), SegmentError> {
+        Self::open_with(dir, monitor_labels, config, Arc::new(RealStorage))
+    }
+
+    /// [`MonitorService::open`] through an explicit [`Storage`] — the
+    /// fault-injection seam the kill/restart soak test drives.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        monitor_labels: Vec<String>,
+        config: ServiceConfig,
+        storage: Arc<dyn Storage>,
+    ) -> Result<(Self, RecoveryReport), SegmentError> {
+        let dir = dir.as_ref();
+        storage.create_dir_all(dir)?;
+        let recovery = recover_dataset_with(dir, storage.as_ref())?;
+        let window_dir = dir.join(WINDOW_DIR_NAME);
+        storage.create_dir_all(&window_dir)?;
+        let skip_below = sweep_window_dir(&window_dir, storage.as_ref())?;
+
+        let writer = if recovery.manifest.monitor_labels.is_empty() {
+            DatasetWriter::create_with(
+                dir,
+                monitor_labels.clone(),
+                config.dataset,
+                Arc::clone(&storage),
+            )?
+        } else {
+            if recovery.manifest.monitor_labels != monitor_labels {
+                return Err(SegmentError::InvalidConfig(format!(
+                    "service reopened with labels {:?} over a dataset of {:?}",
+                    monitor_labels, recovery.manifest.monitor_labels
+                )));
+            }
+            DatasetWriter::resume(
+                dir,
+                &recovery.manifest,
+                config.dataset,
+                Arc::clone(&storage),
+            )?
+        };
+        let monitors = monitor_labels.len();
+        let tail = DatasetTail::open(dir, monitors);
+        let emit = Arc::new(Mutex::new(EmitState {
+            storage,
+            window_dir,
+            skip_below,
+            next: 0,
+            emitted: 0,
+            skipped: 0,
+            lines: Vec::new(),
+            error: None,
+        }));
+        let callback_emit = Arc::clone(&emit);
+        let top_k = config.top_k;
+        let factory: Box<dyn Fn(&WindowBounds) -> ServiceWindowAccum + Send + Sync> =
+            Box::new(move |_| ServiceWindowAccum::new(top_k));
+        let sink = WindowedSink::with_callback(
+            monitors,
+            config.window,
+            config.lateness,
+            config.policy,
+            factory,
+            move |result| {
+                callback_emit
+                    .lock()
+                    .expect("emit state poisoned")
+                    .emit(result)
+            },
+        );
+        obs::counter!("service.opens").incr();
+        obs::gauge!("service.windows_durable").set(skip_below);
+        Ok((
+            Self {
+                writer: Some(writer),
+                tail,
+                sink: Some(sink),
+                emit,
+                entries_ingested: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one entry to the collection side (rotation and
+    /// checkpointing per [`DatasetConfig`]). The entry becomes visible to
+    /// the analysis once durable — at the next checkpoint or rotation.
+    pub fn ingest(&mut self, entry: &TraceEntry) -> Result<(), SegmentError> {
+        self.writer
+            .as_mut()
+            .expect("service already finished")
+            .append(entry)?;
+        self.entries_ingested += 1;
+        Ok(())
+    }
+
+    /// Forces a checkpoint: everything ingested so far becomes durable
+    /// and tail-visible.
+    pub fn checkpoint(&mut self) -> Result<(), SegmentError> {
+        self.writer
+            .as_mut()
+            .expect("service already finished")
+            .checkpoint()?;
+        Ok(())
+    }
+
+    /// Windows already durable when this incarnation opened.
+    pub fn windows_durable_at_open(&self) -> u64 {
+        self.emit.lock().expect("emit state poisoned").skip_below
+    }
+
+    /// Drives the analysis forward: decodes every newly durable chunk
+    /// frame into the windowed sink and returns the JSON lines of the
+    /// windows sealed by this poll (suppressed replayed windows excluded).
+    pub fn poll(&mut self) -> Result<Vec<String>, SegmentError> {
+        let sink = self.sink.as_mut().expect("service already finished");
+        self.tail.poll(|entry| sink.consume(entry))?;
+        obs::counter!("service.polls").incr();
+        let mut emit = self.emit.lock().expect("emit state poisoned");
+        if let Some(error) = emit.error.take() {
+            return Err(error);
+        }
+        Ok(std::mem::take(&mut emit.lines))
+    }
+
+    /// Finishes the incarnation cleanly: seals the dataset (manifest),
+    /// drains the tail, seals every remaining window, and reports.
+    pub fn finish(mut self) -> Result<ServiceReport, SegmentError> {
+        let writer = self.writer.take().expect("service already finished");
+        writer.finish()?;
+        let mut sink = self.sink.take().expect("service already finished");
+        self.tail.poll(|entry| sink.consume(entry))?;
+        let windowed = sink.finish();
+        let mut emit = self.emit.lock().expect("emit state poisoned");
+        if let Some(error) = emit.error.take() {
+            return Err(error);
+        }
+        obs::gauge!("service.windows_durable").set(emit.skip_below + emit.emitted);
+        Ok(ServiceReport {
+            windows_emitted: emit.emitted,
+            windows_skipped: emit.skipped,
+            entries_ingested: self.entries_ingested,
+            entries_analyzed: self.tail.entries_read(),
+            late_dropped: windowed.late_dropped,
+            max_open_windows: windowed.max_open_windows,
+            lines: std::mem::take(&mut emit.lines),
+        })
+    }
+}
+
+/// Scans the window directory: sweeps stale durable-write temp files and
+/// returns the length of the dense `win-0..n` prefix already present —
+/// the windows a previous incarnation made durable.
+fn sweep_window_dir(window_dir: &Path, storage: &dyn Storage) -> Result<u64, SegmentError> {
+    let mut indexes = Vec::new();
+    for entry in std::fs::read_dir(window_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            storage.remove_file(&entry.path())?;
+            continue;
+        }
+        if let Some(index) = name
+            .strip_prefix("win-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            indexes.push(index);
+        }
+    }
+    indexes.sort_unstable();
+    // Dense prefix: windows are written in index order through atomic
+    // renames, so a gap can only follow external tampering; everything
+    // past it is re-derived (and overwritten) rather than trusted.
+    let mut dense = 0u64;
+    for index in indexes {
+        if index == dense {
+            dense += 1;
+        } else {
+            break;
+        }
+    }
+    Ok(dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EntryFlags;
+    use ipfs_mon_simnet::time::SimTime;
+    use ipfs_mon_tracestore::SegmentConfig;
+    use ipfs_mon_types::{Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(4, ms % 7),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::De),
+            request_type: if ms % 3 == 0 {
+                RequestType::WantBlock
+            } else {
+                RequestType::WantHave
+            },
+            cid: Cid::new_v1(Multicodec::Raw, &[(ms % 4) as u8]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            dataset: DatasetConfig {
+                segment: SegmentConfig {
+                    chunk_capacity: 8,
+                    ..SegmentConfig::default()
+                },
+                rotate_after_entries: 40,
+                checkpoint_after_entries: 16,
+            },
+            window: WindowSpec::tumbling(SimDuration::from_secs(1)),
+            lateness: SimDuration::ZERO,
+            policy: LatePolicy::Strict,
+            top_k: 4,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("svc-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn service_emits_dense_window_files() {
+        let dir = temp_dir("dense");
+        std::fs::remove_dir_all(&dir).ok();
+        let labels = vec!["us".to_string(), "de".to_string()];
+        let (mut service, recovery) = MonitorService::open(&dir, labels, config()).unwrap();
+        assert!(recovery.manifest.monitor_labels.is_empty());
+        let mut lines = Vec::new();
+        for i in 0..200u64 {
+            for m in 0..2 {
+                service.ingest(&entry(i * 40, m)).unwrap();
+            }
+            if i % 25 == 0 {
+                lines.extend(service.poll().unwrap());
+            }
+        }
+        let report = service.finish().unwrap();
+        lines.extend(report.lines.iter().cloned());
+        // 200 entries at 40 ms apart = just under 8 s of data = 8 windows.
+        assert_eq!(report.windows_emitted, 8);
+        assert_eq!(report.windows_skipped, 0);
+        assert_eq!(report.entries_ingested, 400);
+        assert_eq!(report.entries_analyzed, vec![200, 200]);
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"index\":{i},")));
+            let on_disk =
+                std::fs::read_to_string(dir.join(WINDOW_DIR_NAME).join(window_file_name(i as u64)))
+                    .unwrap();
+            assert_eq!(&on_disk, line);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_a_finished_service_skips_all_windows() {
+        let dir = temp_dir("reopen");
+        std::fs::remove_dir_all(&dir).ok();
+        let labels = vec!["solo".to_string()];
+        let (mut service, _) = MonitorService::open(&dir, labels.clone(), config()).unwrap();
+        for i in 0..100u64 {
+            service.ingest(&entry(i * 30, 0)).unwrap();
+        }
+        let first = service.finish().unwrap();
+        assert!(first.windows_emitted > 0);
+
+        // Reopen over the finished dataset: everything replays, nothing
+        // is re-written, and no new windows appear.
+        let (service, recovery) = MonitorService::open(&dir, labels, config()).unwrap();
+        assert_eq!(recovery.manifest.total_entries(), 100);
+        assert_eq!(service.windows_durable_at_open(), first.windows_emitted);
+        let report = service.finish().unwrap();
+        assert_eq!(report.windows_emitted, 0);
+        assert_eq!(report.windows_skipped, first.windows_emitted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -54,6 +54,19 @@
 //!   [`reader::ManifestReader::run_parallel`], which feeds each monitor
 //!   chain's decode stream to a sink clone on its own worker thread and
 //!   skips the k-way merge entirely.
+//! * [`window`] — event-time windowing over any sink:
+//!   [`window::WindowedSink`] slices a stream into tumbling or sliding
+//!   windows behind a cross-monitor watermark and emits sealed
+//!   [`window::WindowResult`]s eagerly (callback) or deferred, under
+//!   either driver.
+//! * [`sketch`] — bounded-memory approximate analyses for unbounded
+//!   horizons: [`sketch::SpaceSaving`] top-K with guaranteed error counts
+//!   and [`sketch::CountMinSketch`] frequency tables, with order-invariant
+//!   merges so their sinks run under `run_parallel`.
+//! * [`tail`] — [`tail::DatasetTail`], an incremental reader that polls a
+//!   *growing* dataset directory past per-chain byte cursors and decodes
+//!   newly flushed chunk frames — the ingest side of the continuous
+//!   monitoring service in `ipfs-mon-core`.
 //!
 //! A round-trip through a segment is lossless, and measured segments are a
 //! fraction of the size of the equivalent JSON (see the `tracestore_bench`
@@ -75,7 +88,10 @@ pub mod record;
 pub mod recover;
 pub mod segment;
 pub mod sink;
+pub mod sketch;
 pub mod source;
+pub mod tail;
+pub mod window;
 pub mod writer;
 
 pub use codec::{ChunkCodec, Codec, LzCodec, RawCodec};
@@ -105,5 +121,13 @@ pub use segment::{
     ChunkEntries, ChunkInfo, ChunkScratch, ChunkView, SegmentConfig, SegmentError, SegmentSummary,
 };
 pub use sink::{run_sink, AnalysisSink, ParallelProgress};
+pub use sketch::{
+    CountMinSink, CountMinSketch, FrequencySketches, HeavyHitter, HeavyHitters, SpaceSaving,
+    SpaceSavingSink, TopK,
+};
 pub use source::{EntryStreamLike, SourceConnections, SourceEntries, TraceSource};
+pub use tail::{DatasetTail, TailPoll};
+pub use window::{
+    LatePolicy, WindowBounds, WindowResult, WindowSpec, WindowedOutput, WindowedSink,
+};
 pub use writer::TraceWriter;

@@ -1,0 +1,619 @@
+//! Approximate heavy-hitter sketches for unbounded analysis horizons:
+//! [`SpaceSaving`] (top-K with guaranteed per-key error) and
+//! [`CountMinSketch`] (fixed-size frequency table), plus the
+//! [`AnalysisSink`] wrappers [`SpaceSavingSink`] and [`CountMinSink`] that
+//! run them over trace streams — serially or under
+//! [`run_parallel`](crate::reader::ManifestReader::run_parallel).
+//!
+//! # Why sketches
+//!
+//! The exact popularity and activity analyses keep one counter per distinct
+//! CID or peer — fine for a closed dataset, unbounded for a service that
+//! never stops. Both sketches here answer the paper's "most requested
+//! CIDs / most active peers" questions in memory that depends only on the
+//! configured accuracy, never on the stream:
+//!
+//! * [`SpaceSaving`] keeps exactly `capacity` counters. Every estimate
+//!   overcounts (`count >= true`) by at most the tracked `error`
+//!   (`count - error <= true`), the error never exceeds `total / capacity`,
+//!   and any key whose true count exceeds `total / capacity` is guaranteed
+//!   to be reported.
+//! * [`CountMinSketch`] keeps a `depth x width` counter matrix. Estimates
+//!   never undercount, and overcount by more than `e * total / width` only
+//!   with probability `exp(-depth)` per query (the classical bound, under
+//!   per-row hash independence).
+//!
+//! # Combine: an exact monoid over approximate state
+//!
+//! The [`AnalysisSink::combine`] contract demands associativity and
+//! commutativity up to the final output. Count-Min satisfies it trivially
+//! (element-wise matrix addition). Space-Saving does not merge exactly in
+//! its classical truncated form, so [`SpaceSaving::merge`] switches to a
+//! *sealed* representation: each side is read as the estimate function
+//! `f(k) = count(k) if tracked, else absent_bound` (the bound every
+//! untracked key is known not to exceed), and the merge stores the exact
+//! pointwise sum — union of tracked keys plus the summed bound as an
+//! `offset` for keys tracked by neither. Pointwise sums of functions are
+//! associative and commutative, so any combine tree finishes identically.
+//! The union is only truncated back to the top `capacity` in
+//! [`SpaceSaving::finish`], keeping interim memory bounded by
+//! `partitions x capacity` (one partition per monitor chain under
+//! `run_parallel`). All Space-Saving guarantees above survive the merge.
+
+use crate::record::TraceEntry;
+use crate::sink::AnalysisSink;
+use ipfs_mon_types::{Cid, PeerId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A Count-Min frequency sketch: `depth` rows of `width` counters, every
+/// key hashed to one counter per row, estimates read as the row minimum.
+///
+/// Estimates never undercount. For a sketch holding `total` recorded
+/// occurrences, an estimate overcounts by more than `e * total / width`
+/// only with probability about `exp(-depth)` (per query, assuming row-hash
+/// independence); [`CountMinSketch::error_bound`] exposes that analytical
+/// bound. Merging ([`CountMinSketch::merge`]) is element-wise addition and
+/// therefore exactly associative and commutative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+/// Two independent 64-bit hashes of `key`, expanded per row via the
+/// Kirsch–Mitzenmacher construction. `DefaultHasher::new()` is
+/// deterministic within a build, which is all the sketches need (estimates
+/// are only ever compared against counts recorded by the same binary).
+fn base_hashes<K: Hash + ?Sized>(key: &K) -> (u64, u64) {
+    let mut h1 = DefaultHasher::new();
+    1u8.hash(&mut h1);
+    key.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    2u8.hash(&mut h2);
+    key.hash(&mut h2);
+    // An odd second hash keeps the row probes distinct modulo any width.
+    (h1.finish(), h2.finish() | 1)
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0, "count-min width must be positive");
+        assert!(depth > 0, "count-min depth must be positive");
+        Self {
+            width,
+            depth,
+            counters: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total occurrences recorded (including merged-in sketches).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn record<K: Hash + ?Sized>(&mut self, key: &K) {
+        self.record_n(key, 1);
+    }
+
+    /// Records `n` occurrences of `key`.
+    pub fn record_n<K: Hash + ?Sized>(&mut self, key: &K, n: u64) {
+        let (h1, h2) = base_hashes(key);
+        for row in 0..self.depth {
+            let probe = h1.wrapping_add((row as u64 + 1).wrapping_mul(h2));
+            let idx = row * self.width + (probe % self.width as u64) as usize;
+            self.counters[idx] += n;
+        }
+        self.total += n;
+    }
+
+    /// Estimated occurrence count of `key`: the minimum counter across
+    /// rows. Never below the true count.
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        let (h1, h2) = base_hashes(key);
+        (0..self.depth)
+            .map(|row| {
+                let probe = h1.wrapping_add((row as u64 + 1).wrapping_mul(h2));
+                self.counters[row * self.width + (probe % self.width as u64) as usize]
+            })
+            .min()
+            .expect("depth is positive")
+    }
+
+    /// The classical additive error bound `ceil(e * total / width)`: an
+    /// estimate exceeds `true + error_bound()` only with probability about
+    /// `exp(-depth)` per query.
+    pub fn error_bound(&self) -> u64 {
+        ((std::f64::consts::E * self.total as f64) / self.width as f64).ceil() as u64
+    }
+
+    /// Adds another sketch of identical dimensions element-wise. Exactly
+    /// associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            (self.width, self.depth),
+            (other.width, other.depth),
+            "count-min sketches must share dimensions to merge"
+        );
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+}
+
+/// One tracked Space-Saving counter: the overestimate and how much of it
+/// may be attributed to evictions rather than observed occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SsCounter {
+    count: u64,
+    error: u64,
+}
+
+/// The Space-Saving top-K summary (Metwally et al.): at most `capacity`
+/// tracked keys while streaming; merged summaries temporarily hold the
+/// union (see the [module docs](self)).
+///
+/// Guarantees, preserved across [`SpaceSaving::merge`]:
+///
+/// * `count >= true_count` for every reported key,
+/// * `count - error <= true_count` (the error brackets the overcount),
+/// * `error <= total / capacity`,
+/// * every key with `true_count > total / capacity` is reported by
+///   [`SpaceSaving::finish`].
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K> {
+    capacity: usize,
+    total: u64,
+    counters: HashMap<K, SsCounter>,
+    /// Estimate for keys absent from `counters`. Zero while streaming;
+    /// after a merge it carries the summed absent-bounds of the inputs.
+    offset: u64,
+    /// False once merged: the absent-key bound is then `offset` instead of
+    /// the minimum tracked counter.
+    streaming: bool,
+}
+
+impl<K: Hash + Eq + Ord + Clone> SpaceSaving<K> {
+    /// Creates a summary tracking at most `capacity` keys while streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "space-saving capacity must be positive");
+        Self {
+            capacity,
+            total: 0,
+            counters: HashMap::with_capacity(capacity),
+            offset: 0,
+            streaming: true,
+        }
+    }
+
+    /// Tracked-key capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total occurrences recorded (including merged-in summaries).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bound no untracked key's true count exceeds.
+    fn absent_bound(&self) -> u64 {
+        if !self.streaming {
+            self.offset
+        } else if self.counters.len() >= self.capacity {
+            // At capacity: an absent key was evicted at or below the
+            // current minimum counter.
+            self.counters.values().map(|c| c.count).min().unwrap_or(0)
+        } else {
+            // Never full: absent keys were truly never seen.
+            0
+        }
+    }
+
+    /// Records one occurrence of `key` (the classical streaming update:
+    /// increment if tracked, insert if below capacity, otherwise evict the
+    /// minimum counter and inherit its count as error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`SpaceSaving::merge`] — the drivers never do
+    /// this (combining only starts once consumption is complete).
+    pub fn record(&mut self, key: &K) {
+        assert!(
+            self.streaming,
+            "space-saving summaries cannot record after a merge"
+        );
+        self.total += 1;
+        if let Some(counter) = self.counters.get_mut(key) {
+            counter.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters
+                .insert(key.clone(), SsCounter { count: 1, error: 0 });
+            return;
+        }
+        // Evict the deterministic minimum: smallest count, largest key as
+        // the tie-break (so smaller keys, which sort first in the report,
+        // are preferentially retained).
+        let victim = self
+            .counters
+            .iter()
+            .min_by(|(ka, ca), (kb, cb)| ca.count.cmp(&cb.count).then_with(|| kb.cmp(ka)))
+            .map(|(k, c)| (k.clone(), c.count))
+            .expect("capacity is positive");
+        self.counters.remove(&victim.0);
+        self.counters.insert(
+            key.clone(),
+            SsCounter {
+                count: victim.1 + 1,
+                error: victim.1,
+            },
+        );
+    }
+
+    /// Merges another summary of the same capacity: the exact pointwise sum
+    /// of both estimate functions (see the [module docs](self)). Exactly
+    /// associative and commutative, so any combine order finishes to the
+    /// same [`TopK`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "space-saving summaries must share capacity to merge"
+        );
+        let bound_self = self.absent_bound();
+        let bound_other = other.absent_bound();
+        let mut merged: HashMap<K, SsCounter> =
+            HashMap::with_capacity(self.counters.len() + other.counters.len());
+        for (key, mine) in self.counters.drain() {
+            let theirs = other.counters.get(&key).copied().unwrap_or(SsCounter {
+                count: bound_other,
+                error: bound_other,
+            });
+            merged.insert(
+                key,
+                SsCounter {
+                    count: mine.count + theirs.count,
+                    error: mine.error + theirs.error,
+                },
+            );
+        }
+        for (key, theirs) in other.counters {
+            merged.entry(key).or_insert(SsCounter {
+                count: theirs.count + bound_self,
+                error: theirs.error + bound_self,
+            });
+        }
+        self.counters = merged;
+        self.offset = bound_self + bound_other;
+        self.total += other.total;
+        self.streaming = false;
+    }
+
+    /// Produces the ranked report: entries sorted by `(count desc, key
+    /// asc)`, truncated to `capacity` — except that every key whose lower
+    /// bound could still make it a heavy hitter (`count > total /
+    /// capacity`) is retained even past the truncation point, so the
+    /// containment guarantee survives merged summaries.
+    pub fn finish(self) -> TopK<K> {
+        let threshold = self.total / self.capacity as u64;
+        let mut entries: Vec<HeavyHitter<K>> = self
+            .counters
+            .into_iter()
+            .map(|(key, c)| HeavyHitter {
+                key,
+                count: c.count,
+                error: c.error,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        let keep = entries
+            .iter()
+            .position(|e| e.count <= threshold)
+            .map_or(entries.len(), |first_light| first_light.max(self.capacity));
+        entries.truncate(keep.min(entries.len()));
+        TopK {
+            capacity: self.capacity,
+            total: self.total,
+            entries,
+        }
+    }
+}
+
+/// One ranked entry of a [`TopK`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitter<K> {
+    /// The tracked key.
+    pub key: K,
+    /// Overestimated occurrence count (`count >= true >= count - error`).
+    pub count: u64,
+    /// Upper bound on the overcount baked into `count`.
+    pub error: u64,
+}
+
+/// The finished Space-Saving report: ranked heavy hitters with per-key
+/// error bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopK<K> {
+    /// The summary's streaming capacity.
+    pub capacity: usize,
+    /// Total occurrences the summary observed.
+    pub total: u64,
+    /// Entries sorted by `(count desc, key asc)`; at least the top
+    /// `capacity`, plus any further entries still above `total / capacity`.
+    pub entries: Vec<HeavyHitter<K>>,
+}
+
+impl<K> TopK<K> {
+    /// The top `k` entries of the report.
+    pub fn top(&self, k: usize) -> &[HeavyHitter<K>] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+}
+
+/// [`AnalysisSink`] running two [`SpaceSaving`] summaries over a trace
+/// stream: most-requested CIDs (request entries only — wants, not cancels)
+/// and most-active peers (every entry). Runs under
+/// [`run_parallel`](crate::reader::ManifestReader::run_parallel); the
+/// combine is the exact Space-Saving merge monoid, so any combine order
+/// yields the same output.
+#[derive(Debug, Clone)]
+pub struct SpaceSavingSink {
+    cids: SpaceSaving<Cid>,
+    peers: SpaceSaving<PeerId>,
+}
+
+/// Output of [`SpaceSavingSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitters {
+    /// Most-requested CIDs (request entries only).
+    pub cids: TopK<Cid>,
+    /// Most-active peers (all entries).
+    pub peers: TopK<PeerId>,
+}
+
+impl SpaceSavingSink {
+    /// Creates a sink tracking the top `capacity` CIDs and peers.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cids: SpaceSaving::new(capacity),
+            peers: SpaceSaving::new(capacity),
+        }
+    }
+}
+
+impl AnalysisSink for SpaceSavingSink {
+    type Output = HeavyHitters;
+
+    fn consume(&mut self, entry: TraceEntry) {
+        if entry.is_request() {
+            self.cids.record(&entry.cid);
+        }
+        self.peers.record(&entry.peer);
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.cids.merge(other.cids);
+        self.peers.merge(other.peers);
+    }
+
+    fn finish(self) -> HeavyHitters {
+        HeavyHitters {
+            cids: self.cids.finish(),
+            peers: self.peers.finish(),
+        }
+    }
+}
+
+/// [`AnalysisSink`] running two [`CountMinSketch`]es over a trace stream:
+/// CID request frequencies and peer entry frequencies. The finished
+/// sketches answer point frequency queries for *any* key, which is what
+/// the per-window frequency endpoints of the monitoring service use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSink {
+    cids: CountMinSketch,
+    peers: CountMinSketch,
+}
+
+/// Output of [`CountMinSink`]: the two finished frequency sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencySketches {
+    /// CID request frequencies (request entries only).
+    pub cids: CountMinSketch,
+    /// Peer entry frequencies (all entries).
+    pub peers: CountMinSketch,
+}
+
+impl CountMinSink {
+    /// Creates a sink with `width x depth` sketches for CIDs and peers.
+    pub fn new(width: usize, depth: usize) -> Self {
+        Self {
+            cids: CountMinSketch::new(width, depth),
+            peers: CountMinSketch::new(width, depth),
+        }
+    }
+}
+
+impl AnalysisSink for CountMinSink {
+    type Output = FrequencySketches;
+
+    fn consume(&mut self, entry: TraceEntry) {
+        if entry.is_request() {
+            self.cids.record(&entry.cid);
+        }
+        self.peers.record(&entry.peer);
+    }
+
+    fn combine(&mut self, other: Self) {
+        self.cids.merge(other.cids);
+        self.peers.merge(other.peers);
+    }
+
+    fn finish(self) -> FrequencySketches {
+        FrequencySketches {
+            cids: self.cids,
+            peers: self.peers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_min_never_undercounts() {
+        let mut sketch = CountMinSketch::new(64, 4);
+        for i in 0..1000u64 {
+            sketch.record(&(i % 37));
+        }
+        for key in 0..37u64 {
+            let true_count = 1000 / 37 + u64::from(key < 1000 % 37);
+            assert!(sketch.estimate(&key) >= true_count);
+        }
+        assert_eq!(sketch.total(), 1000);
+    }
+
+    #[test]
+    fn count_min_merge_is_elementwise() {
+        let mut a = CountMinSketch::new(32, 3);
+        let mut b = CountMinSketch::new(32, 3);
+        for i in 0..100u64 {
+            a.record(&i);
+            b.record(&(i * 7));
+        }
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 200);
+    }
+
+    #[test]
+    fn space_saving_brackets_true_counts() {
+        // Zipf-ish stream: key k appears 200 / (k + 1) times.
+        let mut ss = SpaceSaving::new(8);
+        let mut truth = HashMap::new();
+        for k in 0..50u64 {
+            for _ in 0..(200 / (k + 1)) {
+                ss.record(&k);
+                *truth.entry(k).or_insert(0u64) += 1;
+            }
+        }
+        let total = ss.total();
+        let report = ss.finish();
+        let threshold = total / report.capacity as u64;
+        for hh in &report.entries {
+            let true_count = truth[&hh.key];
+            assert!(hh.count >= true_count);
+            assert!(hh.count - hh.error <= true_count);
+            assert!(hh.error <= threshold);
+        }
+        // Every key strictly above total/capacity must be reported.
+        for (key, &count) in &truth {
+            if count > threshold {
+                assert!(report.entries.iter().any(|hh| hh.key == *key));
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_merge_is_order_invariant() {
+        let mut parts: Vec<SpaceSaving<u64>> = Vec::new();
+        for p in 0..4u64 {
+            let mut ss = SpaceSaving::new(4);
+            for i in 0..300 {
+                ss.record(&((i * (p + 3)) % 23));
+            }
+            parts.push(ss);
+        }
+        let fold = |order: &[usize]| {
+            let mut acc = parts[order[0]].clone();
+            for &i in &order[1..] {
+                acc.merge(parts[i].clone());
+            }
+            acc.finish()
+        };
+        let reference = fold(&[0, 1, 2, 3]);
+        assert_eq!(reference, fold(&[3, 2, 1, 0]));
+        assert_eq!(reference, fold(&[2, 0, 3, 1]));
+        // Association: (0+1)+(2+3) vs ((0+1)+2)+3.
+        let mut left = parts[0].clone();
+        left.merge(parts[1].clone());
+        let mut right = parts[2].clone();
+        right.merge(parts[3].clone());
+        left.merge(right);
+        assert_eq!(reference, left.finish());
+    }
+
+    #[test]
+    fn space_saving_merged_bounds_hold() {
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut parts: Vec<SpaceSaving<u64>> = Vec::new();
+        for p in 0..3u64 {
+            let mut ss = SpaceSaving::new(6);
+            for i in 0..500u64 {
+                let key = (i * i + p * 13) % 31;
+                ss.record(&key);
+                *truth.entry(key).or_insert(0) += 1;
+            }
+            parts.push(ss);
+        }
+        let mut acc = parts.pop().unwrap();
+        for part in parts {
+            acc.merge(part);
+        }
+        let total = acc.total();
+        assert_eq!(total, 1500);
+        let report = acc.finish();
+        let threshold = total / report.capacity as u64;
+        for hh in &report.entries {
+            let true_count = truth[&hh.key];
+            assert!(hh.count >= true_count, "overestimate invariant");
+            assert!(hh.count - hh.error <= true_count, "error bracket");
+            assert!(hh.error <= threshold, "error cap");
+        }
+        for (key, &count) in &truth {
+            if count > threshold {
+                assert!(
+                    report.entries.iter().any(|hh| hh.key == *key),
+                    "heavy key {key} with count {count} missing from report"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! Event-time windowing over trace streams: [`WindowedSink`] slices any
+//! per-window accumulator ([`WindowAccum`]) into tumbling or sliding
+//! windows ([`WindowSpec`]), seals windows as a cross-monitor watermark
+//! passes them, and emits sealed [`WindowResult`]s — through a callback as
+//! they close (the monitoring service's mode) or collected for
+//! [`finish`](WindowedSink::finish) (the batch/parallel mode).
+//!
+//! # Window semantics
+//!
+//! Windows are half-open event-time intervals derived purely from entry
+//! timestamps: window `i` of a spec with stride `s` and size `w` covers
+//! `[i*s, i*s + w)`. Tumbling windows are the `s == w` special case; with
+//! `s < w` an entry belongs to every window whose interval contains its
+//! timestamp. Sealed windows are emitted *densely* — every index from 0 up
+//! to the last sealed window is reported, including empty ones — so a
+//! consumer can verify completeness by index alone.
+//!
+//! # Watermark
+//!
+//! Entries arrive in per-monitor timestamp order only up to a bounded
+//! arrival disorder (the segment format records each chain's observed
+//! `max_lateness_ms`), and different monitors progress at different
+//! speeds. The sink therefore tracks one high-water timestamp per monitor
+//! and defines the watermark as
+//!
+//! ```text
+//! watermark = min over monitors (high_water[m]) - allowed_lateness
+//! ```
+//!
+//! No window seals until *every* monitor has reported at least one entry —
+//! which is also what makes the sink safe under
+//! [`run_parallel`](crate::reader::ManifestReader::run_parallel): a worker
+//! that only ever sees one monitor's chain never seals anything, the
+//! partial states merge per window in
+//! [`combine`](AnalysisSink::combine), and everything seals in `finish`,
+//! independent of combine order.
+//!
+//! # Late entries
+//!
+//! An entry is *late* for a window that already sealed (its timestamp
+//! falls below the sealed boundary despite the lateness allowance). The
+//! policy is explicit per sink: [`LatePolicy::Drop`] counts the entry into
+//! [`WindowedOutput::late_dropped`] (and the `window.late_dropped` obs
+//! counter) and moves on; [`LatePolicy::Strict`] panics, for tests and
+//! deployments where lateness indicates a configuration bug. With
+//! `allowed_lateness` at least the dataset's recorded arrival disorder, no
+//! entry is ever late.
+
+use crate::record::TraceEntry;
+use crate::sink::AnalysisSink;
+use ipfs_mon_obs as obs;
+use ipfs_mon_simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shape of the event-time windows: size and stride in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    size: SimDuration,
+    stride: SimDuration,
+}
+
+impl WindowSpec {
+    /// Tumbling windows: back-to-back, non-overlapping intervals of
+    /// `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn tumbling(size: SimDuration) -> Self {
+        Self::sliding(size, size)
+    }
+
+    /// Sliding (hopping) windows of `size`, one starting every `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero or the stride exceeds the size
+    /// (which would leave gaps no window covers).
+    pub fn sliding(size: SimDuration, stride: SimDuration) -> Self {
+        assert!(size.as_millis() > 0, "window size must be positive");
+        assert!(stride.as_millis() > 0, "window stride must be positive");
+        assert!(
+            stride <= size,
+            "window stride must not exceed the window size"
+        );
+        Self { size, stride }
+    }
+
+    /// Window size.
+    pub fn size(&self) -> SimDuration {
+        self.size
+    }
+
+    /// Window stride (equals `size` for tumbling windows).
+    pub fn stride(&self) -> SimDuration {
+        self.stride
+    }
+
+    /// Bounds of window `index`.
+    pub fn bounds(&self, index: u64) -> WindowBounds {
+        let start = SimTime::from_millis(index * self.stride.as_millis());
+        WindowBounds {
+            index,
+            start,
+            end: start + self.size,
+        }
+    }
+
+    /// Inclusive range of window indexes containing `t`.
+    pub fn windows_containing(&self, t: SimTime) -> std::ops::RangeInclusive<u64> {
+        let ts = t.as_millis();
+        let stride = self.stride.as_millis();
+        let size = self.size.as_millis();
+        let last = ts / stride;
+        let first = if ts < size {
+            0
+        } else {
+            (ts - size) / stride + 1
+        };
+        first..=last
+    }
+}
+
+/// The half-open event-time interval `[start, end)` of one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowBounds {
+    /// Window index (`start = index * stride`).
+    pub index: u64,
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+/// What to do with an entry that arrives for an already-sealed window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Count it into [`WindowedOutput::late_dropped`] and drop it.
+    #[default]
+    Drop,
+    /// Panic — for tests and deployments where the lateness allowance is
+    /// supposed to cover all arrival disorder.
+    Strict,
+}
+
+/// One sealed window: its bounds, how many entries it absorbed, and the
+/// finished accumulator output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowResult<O> {
+    /// The window's event-time interval.
+    pub bounds: WindowBounds,
+    /// Entries consumed into this window (an entry of a sliding spec
+    /// counts once per window it falls into).
+    pub entries: u64,
+    /// The finished per-window analysis output.
+    pub output: O,
+}
+
+/// Where sealed windows go.
+enum Emit<O> {
+    /// Collect into [`WindowedOutput::results`].
+    Deferred(Vec<WindowResult<O>>),
+    /// Hand each sealed window to a callback as it closes (results are not
+    /// additionally collected).
+    Callback(Arc<dyn Fn(WindowResult<O>) + Send + Sync>),
+}
+
+impl<O: Clone> Clone for Emit<O> {
+    fn clone(&self) -> Self {
+        match self {
+            Emit::Deferred(results) => Emit::Deferred(results.clone()),
+            Emit::Callback(f) => Emit::Callback(Arc::clone(f)),
+        }
+    }
+}
+
+struct OpenWindow<A> {
+    accum: A,
+    entries: u64,
+}
+
+impl<A: Clone> Clone for OpenWindow<A> {
+    fn clone(&self) -> Self {
+        Self {
+            accum: self.accum.clone(),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Aggregate outcome of a windowed run: the sealed windows (deferred mode
+/// only), plus accounting that holds in either mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedOutput<O> {
+    /// Sealed windows in index order, dense from window 0. Empty when the
+    /// sink emitted through a callback.
+    pub results: Vec<WindowResult<O>>,
+    /// Total windows sealed (callback or deferred).
+    pub windows_sealed: u64,
+    /// Entries dropped under [`LatePolicy::Drop`], counted per window
+    /// assignment.
+    pub late_dropped: u64,
+    /// Peak number of simultaneously open windows — the sink's memory
+    /// high-water mark in units of accumulators.
+    pub max_open_windows: usize,
+}
+
+/// The windowing adapter: slices a stream into event-time windows, runs a
+/// fresh per-window [`AnalysisSink`] (built by the factory — any sink
+/// honouring the combine contract works, including the
+/// [sketches](crate::sketch)) per window, seals windows behind the
+/// cross-monitor watermark, and emits [`WindowResult`]s.
+///
+/// Implements [`AnalysisSink`], so it runs under both
+/// [`run_sink`](crate::sink::run_sink) and
+/// [`run_parallel`](crate::reader::ManifestReader::run_parallel) (see the
+/// [module docs](self) for why the combine contract holds). Memory is
+/// bounded by the number of *open* windows: with bounded arrival disorder
+/// that is `O(lateness / stride + size / stride)` accumulators, never the
+/// stream length.
+pub struct WindowedSink<A: AnalysisSink, F> {
+    spec: WindowSpec,
+    lateness: SimDuration,
+    policy: LatePolicy,
+    factory: F,
+    emit: Emit<A::Output>,
+    /// Highest timestamp seen per monitor; the watermark is the minimum
+    /// over all monitors minus the lateness allowance, and undefined until
+    /// every monitor has reported.
+    high_water: Vec<Option<SimTime>>,
+    open: BTreeMap<u64, OpenWindow<A>>,
+    /// Lowest window index not yet sealed.
+    next_index: u64,
+    windows_sealed: u64,
+    late_dropped: u64,
+    max_open: usize,
+}
+
+impl<A, F> Clone for WindowedSink<A, F>
+where
+    A: AnalysisSink + Clone,
+    A::Output: Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            spec: self.spec,
+            lateness: self.lateness,
+            policy: self.policy,
+            factory: self.factory.clone(),
+            emit: self.emit.clone(),
+            high_water: self.high_water.clone(),
+            open: self.open.clone(),
+            next_index: self.next_index,
+            windows_sealed: self.windows_sealed,
+            late_dropped: self.late_dropped,
+            max_open: self.max_open,
+        }
+    }
+}
+
+impl<A, F> WindowedSink<A, F>
+where
+    A: AnalysisSink,
+    F: Fn(&WindowBounds) -> A,
+{
+    /// Creates a sink that collects sealed windows for
+    /// [`finish`](WindowedSink::finish) — the batch and `run_parallel`
+    /// mode.
+    ///
+    /// `monitors` is the number of monitor chains feeding the sink (the
+    /// watermark waits for all of them); `factory` builds the fresh
+    /// accumulator for each window.
+    pub fn deferred(
+        monitors: usize,
+        spec: WindowSpec,
+        lateness: SimDuration,
+        policy: LatePolicy,
+        factory: F,
+    ) -> Self {
+        Self::with_emit(
+            monitors,
+            spec,
+            lateness,
+            policy,
+            factory,
+            Emit::Deferred(Vec::new()),
+        )
+    }
+
+    /// Creates a sink that hands each sealed window to `callback` the
+    /// moment it closes — the monitoring service's streaming mode.
+    /// [`WindowedOutput::results`] stays empty; the callback sees every
+    /// sealed window exactly once, in index order.
+    pub fn with_callback(
+        monitors: usize,
+        spec: WindowSpec,
+        lateness: SimDuration,
+        policy: LatePolicy,
+        factory: F,
+        callback: impl Fn(WindowResult<A::Output>) + Send + Sync + 'static,
+    ) -> Self {
+        Self::with_emit(
+            monitors,
+            spec,
+            lateness,
+            policy,
+            factory,
+            Emit::Callback(Arc::new(callback)),
+        )
+    }
+
+    fn with_emit(
+        monitors: usize,
+        spec: WindowSpec,
+        lateness: SimDuration,
+        policy: LatePolicy,
+        factory: F,
+        emit: Emit<A::Output>,
+    ) -> Self {
+        assert!(monitors > 0, "windowed sink needs at least one monitor");
+        Self {
+            spec,
+            lateness,
+            policy,
+            factory,
+            emit,
+            high_water: vec![None; monitors],
+            open: BTreeMap::new(),
+            next_index: 0,
+            windows_sealed: 0,
+            late_dropped: 0,
+            max_open: 0,
+        }
+    }
+
+    /// The watermark: the point up to which the event-time stream is
+    /// complete, or `None` while any monitor has yet to report.
+    pub fn watermark(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for high in &self.high_water {
+            let high = (*high)?;
+            min = Some(match min {
+                Some(m) if m <= high => m,
+                _ => high,
+            });
+        }
+        min.map(|m| SimTime::from_millis(m.as_millis().saturating_sub(self.lateness.as_millis())))
+    }
+
+    /// Currently open (unsealed, non-empty) windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    fn seal_one(&mut self, index: u64) {
+        let bounds = self.spec.bounds(index);
+        let window = self.open.remove(&index).unwrap_or_else(|| OpenWindow {
+            accum: (self.factory)(&bounds),
+            entries: 0,
+        });
+        let result = WindowResult {
+            bounds,
+            entries: window.entries,
+            output: window.accum.finish(),
+        };
+        self.windows_sealed += 1;
+        obs::counter!("window.sealed").incr();
+        match &mut self.emit {
+            Emit::Deferred(results) => results.push(result),
+            Emit::Callback(f) => f(result),
+        }
+        self.next_index = index + 1;
+    }
+
+    /// Seals every window whose end the watermark has passed. Emission is
+    /// dense: indexes below the highest sealable window seal too, empty or
+    /// not.
+    fn advance(&mut self) {
+        let Some(watermark) = self.watermark() else {
+            return;
+        };
+        while self.spec.bounds(self.next_index).end <= watermark {
+            self.seal_one(self.next_index);
+        }
+        obs::gauge!("window.open").set(self.open.len() as u64);
+    }
+
+    fn consume_entry(&mut self, entry: &TraceEntry) {
+        let monitor = entry.monitor;
+        assert!(
+            monitor < self.high_water.len(),
+            "entry for monitor {monitor} but the windowed sink was built for {} monitors",
+            self.high_water.len()
+        );
+        for index in self.spec.windows_containing(entry.timestamp) {
+            if index < self.next_index {
+                match self.policy {
+                    LatePolicy::Drop => {
+                        self.late_dropped += 1;
+                        obs::counter!("window.late_dropped").incr();
+                    }
+                    LatePolicy::Strict => panic!(
+                        "late entry at {} ms for sealed window {index} (strict late policy)",
+                        entry.timestamp.as_millis()
+                    ),
+                }
+                continue;
+            }
+            let window = self.open.entry(index).or_insert_with(|| OpenWindow {
+                accum: (self.factory)(&self.spec.bounds(index)),
+                entries: 0,
+            });
+            window.accum.consume(entry.clone());
+            window.entries += 1;
+        }
+        self.max_open = self.max_open.max(self.open.len());
+        if self.high_water[monitor] < Some(entry.timestamp) {
+            self.high_water[monitor] = Some(entry.timestamp);
+        }
+        self.advance();
+    }
+}
+
+impl<A, F> AnalysisSink for WindowedSink<A, F>
+where
+    A: AnalysisSink,
+    F: Fn(&WindowBounds) -> A,
+{
+    type Output = WindowedOutput<A::Output>;
+
+    fn consume(&mut self, entry: TraceEntry) {
+        self.consume_entry(&entry);
+    }
+
+    /// Merges the partial state of another windowed sink over the same
+    /// spec: per-window accumulators merge, high-water marks take the
+    /// per-monitor maximum. Supported only while neither side has sealed a
+    /// window — exactly the state of `run_parallel` workers, whose
+    /// single-monitor streams never complete the cross-monitor watermark
+    /// (see the [module docs](self)).
+    fn combine(&mut self, other: Self) {
+        assert_eq!(self.spec, other.spec, "windowed sinks must share a spec");
+        assert!(
+            self.next_index == 0 && other.next_index == 0,
+            "windowed sinks cannot combine after sealing windows"
+        );
+        for (mine, theirs) in self.high_water.iter_mut().zip(other.high_water) {
+            if *mine < theirs {
+                *mine = theirs;
+            }
+        }
+        for (index, window) in other.open {
+            match self.open.entry(index) {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let slot = slot.get_mut();
+                    slot.accum.combine(window.accum);
+                    slot.entries += window.entries;
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(window);
+                }
+            }
+        }
+        self.late_dropped += other.late_dropped;
+        self.max_open = self.max_open.max(self.open.len());
+    }
+
+    /// Seals every remaining window (the stream is over, so the watermark
+    /// no longer applies) and returns the aggregate output. Emission stays
+    /// dense and in index order through the last non-empty window.
+    fn finish(mut self) -> WindowedOutput<A::Output> {
+        if let Some((&last, _)) = self.open.iter().next_back() {
+            while self.next_index <= last {
+                self.seal_one(self.next_index);
+            }
+        }
+        obs::gauge!("window.open").set(0);
+        WindowedOutput {
+            results: match self.emit {
+                Emit::Deferred(results) => results,
+                Emit::Callback(_) => Vec::new(),
+            },
+            windows_sealed: self.windows_sealed,
+            late_dropped: self.late_dropped,
+            max_open_windows: self.max_open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EntryFlags;
+    use ipfs_mon_bitswap::RequestType;
+    use ipfs_mon_types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+
+    fn entry(ms: u64, monitor: usize) -> TraceEntry {
+        TraceEntry {
+            timestamp: SimTime::from_millis(ms),
+            peer: PeerId::derived(1, monitor as u64),
+            address: Multiaddr::new(1, 4001, Transport::Tcp, Country::Us),
+            request_type: RequestType::WantHave,
+            cid: Cid::new_v1(Multicodec::Raw, &[ms as u8]),
+            monitor,
+            flags: EntryFlags::default(),
+        }
+    }
+
+    /// Counts entries; the simplest possible accumulator.
+    #[derive(Clone, Default)]
+    struct Count(u64);
+
+    impl AnalysisSink for Count {
+        type Output = u64;
+
+        fn consume(&mut self, _entry: TraceEntry) {
+            self.0 += 1;
+        }
+
+        fn combine(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+
+        fn finish(self) -> u64 {
+            self.0
+        }
+    }
+
+    fn counting_sink(
+        monitors: usize,
+        spec: WindowSpec,
+    ) -> WindowedSink<Count, impl Fn(&WindowBounds) -> Count + Clone> {
+        WindowedSink::deferred(
+            monitors,
+            spec,
+            SimDuration::ZERO,
+            LatePolicy::Strict,
+            |_| Count::default(),
+        )
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut sink = counting_sink(1, spec);
+        for ms in [0, 10, 99, 100, 150, 320] {
+            sink.consume(entry(ms, 0));
+        }
+        let out = sink.finish();
+        let counts: Vec<u64> = out.results.iter().map(|r| r.output).collect();
+        assert_eq!(counts, vec![3, 2, 0, 1]);
+        assert_eq!(out.windows_sealed, 4);
+        assert_eq!(out.late_dropped, 0);
+        // Window 0 and 1 sealed eagerly once the stream passed them.
+        assert!(out.max_open_windows <= 2);
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let spec =
+            WindowSpec::sliding(SimDuration::from_millis(200), SimDuration::from_millis(100));
+        let mut sink = counting_sink(1, spec);
+        // 150 falls in windows [0,200) and [100,300).
+        sink.consume(entry(150, 0));
+        sink.consume(entry(420, 0));
+        let out = sink.finish();
+        let counts: Vec<u64> = out.results.iter().map(|r| r.output).collect();
+        // Windows: [0,200) [100,300) [200,400) [300,500) [400,600).
+        assert_eq!(counts, vec![1, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn watermark_waits_for_every_monitor() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut sink = counting_sink(2, spec);
+        sink.consume(entry(500, 0));
+        assert_eq!(sink.watermark(), None);
+        assert_eq!(sink.windows_sealed, 0);
+        sink.consume(entry(250, 1));
+        assert_eq!(sink.watermark(), Some(SimTime::from_millis(250)));
+        // Windows [0,100) and [100,200) sealed; [200,300) still open.
+        assert_eq!(sink.windows_sealed, 2);
+    }
+
+    #[test]
+    fn lateness_holds_the_watermark_back() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut sink = WindowedSink::deferred(
+            1,
+            spec,
+            SimDuration::from_millis(150),
+            LatePolicy::Strict,
+            |_: &WindowBounds| Count::default(),
+        );
+        sink.consume(entry(240, 0));
+        assert_eq!(sink.watermark(), Some(SimTime::from_millis(90)));
+        assert_eq!(sink.windows_sealed, 0);
+        // In-allowance disorder is absorbed, not late.
+        sink.consume(entry(110, 0));
+        let out = sink.finish();
+        assert_eq!(out.late_dropped, 0);
+        let counts: Vec<u64> = out.results.iter().map(|r| r.output).collect();
+        assert_eq!(counts, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn late_entries_drop_with_accounting() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut sink = WindowedSink::deferred(
+            1,
+            spec,
+            SimDuration::ZERO,
+            LatePolicy::Drop,
+            |_: &WindowBounds| Count::default(),
+        );
+        sink.consume(entry(350, 0));
+        sink.consume(entry(20, 0)); // window 0 sealed long ago
+        let out = sink.finish();
+        assert_eq!(out.late_dropped, 1);
+        let total: u64 = out.results.iter().map(|r| r.output).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "late entry")]
+    fn strict_policy_panics_on_late_entries() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut sink = counting_sink(1, spec);
+        sink.consume(entry(350, 0));
+        sink.consume(entry(20, 0));
+    }
+
+    #[test]
+    fn callback_mode_emits_in_index_order_exactly_once() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_seen = std::sync::Arc::clone(&seen);
+        let mut sink = WindowedSink::with_callback(
+            1,
+            spec,
+            SimDuration::ZERO,
+            LatePolicy::Strict,
+            |_: &WindowBounds| Count::default(),
+            move |result| {
+                sink_seen
+                    .lock()
+                    .unwrap()
+                    .push((result.bounds.index, result.output))
+            },
+        );
+        for ms in [30, 130, 510] {
+            sink.consume(entry(ms, 0));
+        }
+        let out = sink.finish();
+        assert!(out.results.is_empty());
+        assert_eq!(out.windows_sealed, 6);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(0, 1), (1, 1), (2, 0), (3, 0), (4, 0), (5, 1)]
+        );
+    }
+
+    #[test]
+    fn combine_merges_per_window_state() {
+        let spec = WindowSpec::tumbling(SimDuration::from_millis(100));
+        let mut a = counting_sink(2, spec);
+        let mut b = counting_sink(2, spec);
+        for ms in [10, 110, 120] {
+            a.consume(entry(ms, 0));
+        }
+        for ms in [50, 115] {
+            b.consume(entry(ms, 1));
+        }
+        // Neither sealed: each worker saw only one monitor.
+        assert_eq!(a.windows_sealed + b.windows_sealed, 0);
+        a.combine(b);
+        let out = a.finish();
+        let counts: Vec<u64> = out.results.iter().map(|r| r.output).collect();
+        assert_eq!(counts, vec![2, 3]);
+    }
+}

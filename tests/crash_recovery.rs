@@ -24,6 +24,9 @@ use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+mod common;
+use common::fresh_dir as temp_dir;
+
 const MONITORS: usize = 2;
 const ENTRIES: u64 = 240;
 
@@ -65,13 +68,6 @@ fn config(codec: Codec) -> DatasetConfig {
         rotate_after_entries: 50,
         checkpoint_after_entries: 60,
     }
-}
-
-fn temp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("crash-rec-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
 }
 
 fn connection(monitor: usize) -> ConnectionRecord {

@@ -7,14 +7,11 @@ use ipfs_monitoring::node::{ExecOptions, Network, RecordingSink, RequestEvent};
 use ipfs_monitoring::simnet::rng::SimRng;
 use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
 use ipfs_monitoring::simnet::{ChurnModel, NormalSampler};
-use ipfs_monitoring::workload::{build_scenario, build_scenario_lazy, ScenarioConfig};
+use ipfs_monitoring::workload::{build_scenario, build_scenario_lazy};
 use proptest::prelude::*;
 
-fn scenario_config(seed: u64, nodes: usize) -> ScenarioConfig {
-    let mut config = ScenarioConfig::small_test(seed);
-    config.population.nodes = nodes;
-    config
-}
+mod common;
+use common::scenario_config;
 
 /// (a) Timer-wheel delivery on the full simulator is identical to the seed
 /// heap scheduler, materialized and lazy alike, across seeds.

@@ -8,7 +8,9 @@
 //! output identical to the in-memory path when driven from a manifest-backed
 //! `TraceSource`.
 
-use ipfs_monitoring::bitswap::RequestType;
+mod common;
+
+use common::{random_dataset, temp_dir, write_manifest};
 use ipfs_monitoring::core::{
     estimate_network_size, estimate_network_size_source, identify_data_wanters, run_attacks_source,
     track_node_wants, unify_and_flag, unify_and_flag_source, AttackTargets, ManifestCollector,
@@ -17,87 +19,11 @@ use ipfs_monitoring::core::{
 use ipfs_monitoring::node::Network;
 use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
 use ipfs_monitoring::tracestore::{
-    ConnectionRecord, DatasetConfig, DatasetWriter, EntryFlags, ManifestReader, MonitoringDataset,
-    SegmentConfig, TraceEntry, TraceReader, TraceSource,
+    ConnectionRecord, DatasetConfig, DatasetWriter, ManifestReader, SegmentConfig, TraceEntry,
+    TraceReader, TraceSource,
 };
-use ipfs_monitoring::types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
 use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::path::{Path, PathBuf};
-
-/// Generates a dataset with interleaved duplicates/re-broadcasts and bounded
-/// per-monitor arrival disorder — the same shape `tests/tracestore_roundtrip`
-/// uses, which is the hardest case for merged streaming.
-fn random_dataset(
-    seed: u64,
-    monitors: usize,
-    per_monitor: usize,
-    jitter_ms: u64,
-) -> MonitoringDataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let countries = [Country::Us, Country::De, Country::Nl, Country::Fr];
-    let transports = [Transport::Tcp, Transport::Quic, Transport::WebSocket];
-    let types = [
-        RequestType::WantHave,
-        RequestType::WantBlock,
-        RequestType::Cancel,
-    ];
-    let mut dataset = MonitoringDataset::new((0..monitors).map(|m| format!("m{m}")).collect());
-    for monitor in 0..monitors {
-        let mut clock: u64 = 0;
-        for _ in 0..per_monitor {
-            clock += rng.gen_range(0u64..2_000);
-            let timestamp = clock.saturating_sub(rng.gen_range(0u64..=jitter_ms.max(1)));
-            dataset.entries[monitor].push(TraceEntry {
-                timestamp: SimTime::from_millis(timestamp),
-                peer: PeerId::derived(13, rng.gen_range(0u64..16)),
-                address: Multiaddr::new(
-                    rng.gen::<u32>(),
-                    4001,
-                    transports[rng.gen_range(0usize..transports.len())],
-                    countries[rng.gen_range(0usize..countries.len())],
-                ),
-                request_type: types[rng.gen_range(0usize..types.len())],
-                cid: Cid::new_v1(Multicodec::Raw, &[rng.gen_range(0u8..32)]),
-                monitor,
-                flags: EntryFlags::default(),
-            });
-        }
-    }
-    for _ in 0..rng.gen_range(1usize..8) {
-        let connected_at = rng.gen_range(0u64..100_000);
-        dataset.connections.push(ConnectionRecord {
-            monitor: rng.gen_range(0usize..monitors),
-            peer: PeerId::derived(13, rng.gen_range(0u64..16)),
-            address: Multiaddr::new(rng.gen::<u32>(), 4001, Transport::Tcp, Country::Us),
-            connected_at: SimTime::from_millis(connected_at),
-            disconnected_at: rng
-                .gen_bool(0.5)
-                .then(|| SimTime::from_millis(connected_at + rng.gen_range(0u64..50_000))),
-        });
-    }
-    dataset
-}
-
-fn temp_dir(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("manifest-it-{tag}-{}", std::process::id()))
-}
-
-/// Routes a dataset through a single-threaded `DatasetWriter` into `dir`.
-fn write_manifest(dataset: &MonitoringDataset, dir: &Path, config: DatasetConfig) {
-    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
-    for per_monitor in &dataset.entries {
-        for entry in per_monitor {
-            writer.append(entry).unwrap();
-        }
-    }
-    for connection in &dataset.connections {
-        writer.record_connection(connection.clone()).unwrap();
-    }
-    writer.finish().unwrap();
-}
 
 fn sorted_connections(mut records: Vec<ConnectionRecord>) -> Vec<ConnectionRecord> {
     records.sort_by_key(|r| (r.monitor, r.connected_at, r.peer, r.disconnected_at));

@@ -18,51 +18,25 @@
 //! concurrently, so counter assertions use unique metric names or `>=`
 //! deltas, never exact global equality on shared names.
 
-use ipfs_monitoring::core::MonitorCollector;
-use ipfs_monitoring::node::Network;
+mod common;
+
+use common::temp_dir;
 use ipfs_monitoring::obs;
-use ipfs_monitoring::tracestore::{
-    AnalysisSink, DatasetConfig, DatasetWriter, ManifestReader, MonitoringDataset, SegmentConfig,
-    TraceEntry,
-};
-use ipfs_monitoring::workload::{build_scenario, ScenarioConfig};
+use ipfs_monitoring::tracestore::{AnalysisSink, ManifestReader, MonitoringDataset, TraceEntry};
 use serde::content::{struct_field, Content};
-use std::path::{Path, PathBuf};
-
-fn scenario_config(seed: u64, nodes: usize) -> ScenarioConfig {
-    let mut config = ScenarioConfig::small_test(seed);
-    config.population.nodes = nodes;
-    config
-}
-
-fn temp_dir(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("obs-layer-{tag}-{}", std::process::id()))
-}
+use std::path::Path;
 
 fn run_pipeline(seed: u64) -> MonitoringDataset {
-    let config = scenario_config(seed, 100);
-    let labels: Vec<String> = config.monitors.iter().map(|m| m.label.clone()).collect();
-    let mut collector = MonitorCollector::new(labels);
-    Network::new(build_scenario(&config)).run(&mut collector);
-    collector.into_dataset()
+    common::simulated_dataset(seed, 100)
 }
 
 fn write_manifest(dataset: &MonitoringDataset, dir: &Path) {
-    let config = DatasetConfig {
-        rotate_after_entries: (dataset.total_entries() as u64 / 3).max(1),
-        segment: SegmentConfig {
-            chunk_capacity: 64,
-            ..SegmentConfig::default()
-        },
-        ..DatasetConfig::default()
-    };
-    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
-    for per_monitor in &dataset.entries {
-        for entry in per_monitor {
-            writer.append(entry).unwrap();
-        }
-    }
-    writer.finish().unwrap();
+    common::write_manifest_rotated(
+        dataset,
+        dir,
+        (dataset.total_entries() as u64 / 3).max(1),
+        64,
+    );
 }
 
 /// Trivial associative sink: counts entries.

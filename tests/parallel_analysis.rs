@@ -16,85 +16,24 @@
 //! they wrap (`request_type_series`, `popularity_scores_stream`,
 //! `per_peer_request_counts_stream`, `multicodec_shares`).
 
-use ipfs_monitoring::bitswap::RequestType;
+mod common;
+
+use common::{random_dataset, write_manifest_rotated as write_manifest};
 use ipfs_monitoring::core::{
     activity_counts_source, entry_stats_source, multicodec_shares, per_peer_request_counts_stream,
     popularity_scores_source, popularity_scores_stream, request_type_series,
     request_type_series_source, ActivityCountsSink, AnalysisSink, EntryStatsSink, PopularitySink,
     RequestTypeSink,
 };
-use ipfs_monitoring::simnet::time::{SimDuration, SimTime};
-use ipfs_monitoring::tracestore::{
-    run_sink, DatasetConfig, DatasetWriter, EntryFlags, ManifestReader, MonitoringDataset,
-    ReadOptions, SegmentConfig, TraceEntry, TraceSource,
-};
-use ipfs_monitoring::types::{Cid, Country, Multiaddr, Multicodec, PeerId, Transport};
+use ipfs_monitoring::simnet::time::SimDuration;
+use ipfs_monitoring::tracestore::{run_sink, ManifestReader, ReadOptions, TraceSource};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::{Path, PathBuf};
-
-/// Random multi-monitor dataset with bounded per-monitor arrival disorder —
-/// the same trace shape the manifest round-trip suite uses.
-fn random_dataset(
-    seed: u64,
-    monitors: usize,
-    per_monitor: usize,
-    jitter_ms: u64,
-) -> MonitoringDataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let types = [
-        RequestType::WantHave,
-        RequestType::WantBlock,
-        RequestType::Cancel,
-    ];
-    let mut dataset = MonitoringDataset::new((0..monitors).map(|m| format!("m{m}")).collect());
-    for monitor in 0..monitors {
-        let mut clock: u64 = 0;
-        for _ in 0..per_monitor {
-            clock += rng.gen_range(0u64..5_000);
-            let timestamp = clock.saturating_sub(rng.gen_range(0u64..=jitter_ms.max(1)));
-            dataset.entries[monitor].push(TraceEntry {
-                timestamp: SimTime::from_millis(timestamp),
-                peer: PeerId::derived(29, rng.gen_range(0u64..12)),
-                address: Multiaddr::new(rng.gen::<u32>(), 4001, Transport::Tcp, Country::De),
-                request_type: types[rng.gen_range(0usize..types.len())],
-                cid: Cid::new_v1(
-                    if rng.gen_bool(0.3) {
-                        Multicodec::DagProtobuf
-                    } else {
-                        Multicodec::Raw
-                    },
-                    &[rng.gen_range(0u8..24)],
-                ),
-                monitor,
-                flags: EntryFlags::default(),
-            });
-        }
-    }
-    dataset
-}
+use std::path::PathBuf;
 
 fn temp_dir(tag: &str, seed: u64) -> PathBuf {
-    std::env::temp_dir().join(format!("par-an-{tag}-{}-{seed}", std::process::id()))
-}
-
-fn write_manifest(dataset: &MonitoringDataset, dir: &Path, rotate: u64, chunk: usize) {
-    let config = DatasetConfig {
-        rotate_after_entries: rotate,
-        segment: SegmentConfig {
-            chunk_capacity: chunk,
-            ..SegmentConfig::default()
-        },
-        ..DatasetConfig::default()
-    };
-    let mut writer = DatasetWriter::create(dir, dataset.monitor_labels.clone(), config).unwrap();
-    for per_monitor in &dataset.entries {
-        for entry in per_monitor {
-            writer.append(entry).unwrap();
-        }
-    }
-    writer.finish().unwrap();
+    common::temp_dir(&format!("par-an-{tag}-{seed}"))
 }
 
 /// Folds one monitor's time-sorted stream into a fresh clone of `sink`.

@@ -12,8 +12,23 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Number of random cases each property runs.
+/// Default number of random cases each property runs.
 pub const CASES: usize = 128;
+
+/// Number of random cases each property runs: the `PROPTEST_CASES`
+/// environment variable when set to a positive integer (CI profiles use it
+/// to trade coverage against wall-clock), otherwise [`CASES`].
+pub fn cases() -> usize {
+    cases_from(std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
+/// Parses a `PROPTEST_CASES`-style override, falling back to [`CASES`] on
+/// absence, garbage, or zero.
+pub fn cases_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Panic message used by [`prop_assume!`] to signal a discarded case.
 pub const ASSUME_MARKER: &str = "__proptest_stub_assume_failed__";
@@ -63,6 +78,94 @@ impl Runner {
         } else {
             "<non-string panic>".to_string()
         }
+    }
+}
+
+/// Persisted failure cases, mirroring proptest's `proptest-regressions/`
+/// directory: when a property fails, the deterministic attempt index that
+/// produced the failing inputs is appended to
+/// `<manifest dir>/proptest-regressions/<module>.txt`, and later runs replay
+/// every recorded case before drawing fresh random ones. The files are
+/// committed alongside the code so past failures stay covered.
+///
+/// Unlike real proptest the stub has no shrinking, so the recorded datum is
+/// the 1-based attempt index into the property's deterministic RNG stream
+/// rather than an explicit RNG seed; replaying regenerates the stream up to
+/// that attempt. Lines are `cc <test name> <attempt>`; `#` lines and blanks
+/// are ignored.
+pub struct Regressions {
+    path: std::path::PathBuf,
+    test_name: String,
+    attempts: Vec<u64>,
+}
+
+impl Regressions {
+    /// Loads the recorded cases for `test_name` from the module's regression
+    /// file, if present.
+    pub fn load(manifest_dir: &str, module_path: &str, test_name: &str) -> Self {
+        let file = format!("{}.txt", module_path.replace("::", "__"));
+        let path = std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(file);
+        let mut attempts = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Some(rest) = line.trim().strip_prefix("cc ") else {
+                    continue;
+                };
+                if let Some((name, attempt)) = rest.rsplit_once(' ') {
+                    if name == test_name {
+                        if let Ok(n) = attempt.parse() {
+                            attempts.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            path,
+            test_name: test_name.to_string(),
+            attempts,
+        }
+    }
+
+    /// The recorded attempt indices for this test, oldest first.
+    pub fn attempts(&self) -> &[u64] {
+        &self.attempts
+    }
+
+    /// Appends a failing attempt index, creating the file (with a format
+    /// header) and directory on first use. Persistence failures are
+    /// swallowed: the property panic itself already reports the inputs.
+    pub fn record(&mut self, attempt: u64) {
+        if self.attempts.contains(&attempt) {
+            return;
+        }
+        self.attempts.push(attempt);
+        use std::io::Write;
+        if let Some(dir) = self.path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        let fresh = !self.path.exists();
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                file,
+                "# Failure cases the proptest stub has generated in the past.\n\
+                 # Each line is `cc <test name> <attempt>`: the 1-based attempt into\n\
+                 # the property's deterministic stream that produced the failure.\n\
+                 # Committed alongside the code so the cases replay on every run."
+            );
+        }
+        let _ = writeln!(file, "cc {} {}", self.test_name, attempt);
     }
 }
 
@@ -364,7 +467,8 @@ pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
-/// Defines property tests: each `fn` runs [`CASES`] random cases.
+/// Defines property tests: each `fn` runs [`cases()`](cases) random cases,
+/// after replaying any [`Regressions`] recorded for it.
 ///
 /// Parameters are either `name in strategy` or `name: Type` (shorthand for
 /// `name in any::<Type>()`).
@@ -374,7 +478,7 @@ macro_rules! proptest {
     ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
         $(#[$meta])*
         fn $name() {
-            $crate::__proptest_impl!(@munch [] {$body} $($params)*);
+            $crate::__proptest_impl!(@munch (stringify!($name)) [] {$body} $($params)*);
         }
         $crate::proptest!($($rest)*);
     };
@@ -385,32 +489,70 @@ macro_rules! proptest {
 #[macro_export]
 macro_rules! __proptest_impl {
     // `name in strategy, rest...`
-    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr, $($rest:tt)*) => {
-        $crate::__proptest_impl!(@munch [$($acc)* ($pat, $strat)] $bodyb $($rest)*)
+    (@munch ($name:expr) [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_impl!(@munch ($name) [$($acc)* ($pat, $strat)] $bodyb $($rest)*)
     };
     // `name in strategy` (final)
-    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr) => {
-        $crate::__proptest_impl!(@run [$($acc)* ($pat, $strat)] $bodyb)
+    (@munch ($name:expr) [$($acc:tt)*] $bodyb:tt $pat:ident in $strat:expr) => {
+        $crate::__proptest_impl!(@run ($name) [$($acc)* ($pat, $strat)] $bodyb)
     };
     // `name: Type, rest...`
-    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty, $($rest:tt)*) => {
-        $crate::__proptest_impl!(@munch [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb $($rest)*)
+    (@munch ($name:expr) [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_impl!(@munch ($name) [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb $($rest)*)
     };
     // `name: Type` (final)
-    (@munch [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty) => {
-        $crate::__proptest_impl!(@run [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb)
+    (@munch ($name:expr) [$($acc:tt)*] $bodyb:tt $pat:ident : $ty:ty) => {
+        $crate::__proptest_impl!(@run ($name) [$($acc)* ($pat, $crate::any::<$ty>())] $bodyb)
     };
     // Trailing comma already consumed; nothing left.
-    (@munch [$($acc:tt)*] $bodyb:tt) => {
-        $crate::__proptest_impl!(@run [$($acc)*] $bodyb)
+    (@munch ($name:expr) [$($acc:tt)*] $bodyb:tt) => {
+        $crate::__proptest_impl!(@run ($name) [$($acc)*] $bodyb)
     };
-    (@run [$(($pat:ident, $strat:expr))*] {$body:block}) => {{
+    (@run ($name:expr) [$(($pat:ident, $strat:expr))*] {$body:block}) => {{
+        let __test_name = format!("{}::{}", module_path!(), $name);
+        let mut __regressions =
+            $crate::Regressions::load(env!("CARGO_MANIFEST_DIR"), module_path!(), &__test_name);
+        // Replay recorded regression cases before drawing fresh random ones.
+        // The RNG stream is deterministic, so regenerating `attempt` tuples
+        // reproduces the historical inputs exactly.
+        for &__attempt in __regressions.attempts() {
+            let mut __runner =
+                $crate::Runner::new(concat!(module_path!(), "::", stringify!($($pat),*)));
+            let mut __tuple = None;
+            for _ in 0..__attempt {
+                __tuple = Some((
+                    $($crate::strategy::Strategy::generate(&$strat, __runner.rng()),)*
+                ));
+            }
+            if let Some(($($pat,)*)) = __tuple {
+                let __case_desc = format!(
+                    concat!("(", stringify!($($pat),*), ") = {:?}"),
+                    ($(&$pat,)*)
+                );
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                match __result {
+                    Ok(()) => {}
+                    Err(payload) if $crate::Runner::panic_is_assume(payload.as_ref()) => {}
+                    Err(payload) => {
+                        panic!(
+                            "recorded regression case (attempt {}) failed with inputs {}: {}",
+                            __attempt,
+                            __case_desc,
+                            $crate::Runner::panic_message(payload.as_ref())
+                        );
+                    }
+                }
+            }
+        }
         let mut runner = $crate::Runner::new(concat!(module_path!(), "::", stringify!($($pat),*)));
+        let __cases = $crate::cases();
         let mut ran = 0usize;
         let mut attempts = 0usize;
-        while ran < $crate::CASES {
+        while ran < __cases {
             attempts += 1;
-            if attempts > $crate::CASES * 20 {
+            if attempts > __cases * 20 {
                 panic!("proptest stub: too many discarded cases (prop_assume)");
             }
             $(let $pat = $crate::strategy::Strategy::generate(&$strat, runner.rng());)*
@@ -425,6 +567,7 @@ macro_rules! __proptest_impl {
                 Ok(()) => { ran += 1; }
                 Err(payload) if $crate::Runner::panic_is_assume(payload.as_ref()) => {}
                 Err(payload) => {
+                    __regressions.record(attempts as u64);
                     panic!(
                         "property failed after {} passing case(s) with inputs {}: {}",
                         ran,
@@ -532,9 +675,47 @@ mod tests {
     #[test]
     fn failing_property_panics_with_inputs() {
         let result = std::panic::catch_unwind(|| {
-            crate::__proptest_impl!(@munch [] {{ prop_assert!(false, "boom"); }} x in 0u64..5);
+            crate::__proptest_impl!(
+                @munch ("failing_property_panics_with_inputs") []
+                {{ prop_assert!(false, "boom"); }} x in 0u64..5
+            );
         });
         let message = crate::Runner::panic_message(result.unwrap_err().as_ref());
         assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn case_count_override_parses() {
+        assert_eq!(crate::cases_from(None), crate::CASES);
+        assert_eq!(crate::cases_from(Some("64")), 64);
+        assert_eq!(crate::cases_from(Some(" 7 ")), 7);
+        assert_eq!(crate::cases_from(Some("0")), crate::CASES);
+        assert_eq!(crate::cases_from(Some("not-a-number")), crate::CASES);
+    }
+
+    #[test]
+    fn regressions_roundtrip_and_dedupe() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap();
+
+        let mut fresh = crate::Regressions::load(manifest, "some::module", "some::module::prop_a");
+        assert!(fresh.attempts().is_empty());
+        fresh.record(17);
+        fresh.record(17); // deduped
+        fresh.record(3);
+
+        let back = crate::Regressions::load(manifest, "some::module", "some::module::prop_a");
+        assert_eq!(back.attempts(), &[17, 3]);
+        // Other tests in the same module see only their own lines.
+        let other = crate::Regressions::load(manifest, "some::module", "some::module::prop_b");
+        assert!(other.attempts().is_empty());
+
+        let text =
+            std::fs::read_to_string(dir.join("proptest-regressions/some__module.txt")).unwrap();
+        assert!(text.starts_with('#'), "header comment present: {text}");
+        assert!(text.contains("cc some::module::prop_a 17"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
